@@ -1,0 +1,219 @@
+// benchrunner regenerates the tables and figures of the paper's evaluation
+// (§5) as text tables: Fig.10(b) dataset statistics, Fig.11(a)–(f) update
+// performance per workload class, Fig.11(g)–(h) sensitivity sweeps, Table 1
+// (incremental maintenance vs recomputation), and the ablations.
+//
+// Usage:
+//
+//	benchrunner -exp all -sizes 1000,5000,20000 -ops 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rxview/internal/bench"
+	"rxview/internal/workload"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation")
+	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
+	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
+	seedFlag = flag.Int64("seed", 42, "generator seed")
+)
+
+func main() {
+	flag.Parse()
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, fn func([]int)) {
+		if *expFlag == "all" || *expFlag == name {
+			fn(sizes)
+		}
+	}
+	run("fig10b", fig10b)
+	run("fig11del", fig11del)
+	run("fig11ins", fig11ins)
+	run("fig11g", fig11g)
+	run("fig11h", fig11h)
+	run("table1", table1)
+	run("ablation", ablation)
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func fig10b(sizes []int) {
+	fmt.Println("== Fig.10(b): dataset statistics ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\trows\tDAG nodes\tDAG edges\ttree |T|\tcompr.\tshared\t|L|\t|M|\tbuild")
+	for _, nc := range sizes {
+		st, took, err := bench.DatasetStats(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.0f\t%.2fx\t%.1f%%\t%d\t%d\t%v\n",
+			nc, st.BaseRows, st.Nodes, st.Edges, st.TreeSize, st.Compression,
+			100*st.SharedFrac, st.TopoLen, st.MatrixPairs, took.Round(time.Millisecond))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig11(sizes []int, deletes bool) {
+	kind := "insertions (Fig.11 d–f)"
+	if deletes {
+		kind = "deletions (Fig.11 a–c)"
+	}
+	fmt.Printf("== Fig.11: %s — per-op phase times ==\n", kind)
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tclass\tops\tapplied\t(a) eval\t(b) translate+exec\t(c) maintain\ttotal")
+	for _, nc := range sizes {
+		for _, class := range []workload.Class{workload.W1, workload.W2, workload.W3} {
+			res, err := bench.RunWorkload(nc, class, deletes, *opsFlag, *seedFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := time.Duration(res.Ops)
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+				nc, class, res.Ops, res.Applied,
+				ms(res.Phases.Eval/n), ms(res.Phases.Translate()/n),
+				ms(res.Phases.Maintain/n), ms(res.Phases.Total()/n))
+		}
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig11del(sizes []int) { fig11(sizes, true) }
+func fig11ins(sizes []int) { fig11(sizes, false) }
+
+func fig11g(sizes []int) {
+	nc := sizes[len(sizes)-1]
+	fmt.Printf("== Fig.11(g): varying |r[[p]]| / |Ep(r)| at |C| = %d ==\n", nc)
+	targets := []int{1, 2, 4, 8, 16, 32, 64}
+	points, err := bench.VarySelection(nc, targets, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := newTab()
+	fmt.Fprintln(w, "target\t|r[[p]]|\t|Ep|\tXdelete\tdelete\t∆(M,L)del\tXinsert\tinsert\t∆(M,L)ins")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			p.Targets, p.RP, p.EP,
+			ms(p.Del.XToDV), ms(p.Del.DVToDR), ms(p.Del.Maintain),
+			ms(p.Ins.XToDV), ms(p.Ins.DVToDR), ms(p.Ins.Maintain))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig11h(sizes []int) {
+	nc := sizes[len(sizes)-1]
+	fmt.Printf("== Fig.11(h): varying |ST(A,t)| at |C| = %d, |r[[p]]| = |Ep(r)| = 1 ==\n", nc)
+	fanouts := []int{0, 2, 4, 8, 16, 32}
+	points, err := bench.VarySubtree(nc, fanouts, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := newTab()
+	fmt.Fprintln(w, "|ST| edges\tXinsert\tinsert\t∆(M,L)ins\tXdelete\tdelete\t∆(M,L)del")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			p.STEdges,
+			ms(p.Ins.XToDV), ms(p.Ins.DVToDR), ms(p.Ins.Maintain),
+			ms(p.Del.XToDV), ms(p.Del.DVToDR), ms(p.Del.Maintain))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func table1(sizes []int) {
+	fmt.Println("== Table 1: incremental maintenance of L and M vs recomputation ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tincr. insertion\tincr. deletion\trecompute L\trecompute M")
+	for _, nc := range sizes {
+		res, err := bench.Table1(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\n",
+			nc, ms(res.IncrInsert), ms(res.IncrDelete), ms(res.RecomputeL), ms(res.RecomputeM))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func ablation(sizes []int) {
+	nc := sizes[len(sizes)-1]
+	fmt.Printf("== Ablations at |C| = %d ==\n", nc)
+
+	fig4, naive, pairs, err := bench.ReachAblation(nc, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm Reach (Fig.4): %v vs per-node DFS: %v  (|M| = %d)\n",
+		fig4.Round(time.Microsecond), naive.Round(time.Microsecond), pairs)
+
+	smaller := nc
+	if smaller > 5000 {
+		smaller = 5000 // the unfolded tree explodes beyond this
+	}
+	dagT, treeT, dagN, treeN, err := bench.DAGvsTree(smaller, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XPath on DAG (%d nodes): %v vs on unfolded tree (%d nodes): %v  [|C| = %d]\n",
+		dagN, dagT.Round(time.Microsecond), treeN, treeT.Round(time.Microsecond), smaller)
+
+	full, fast, err := bench.SideEffectAblation(nc, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XPath eval with exact side-effect detection: %v vs selection-only: %v\n",
+		full.Round(time.Microsecond), fast.Round(time.Microsecond))
+
+	nfaT, frT, err := bench.EvalStrategyAblation(nc, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Evaluation strategy: NFA state-sets %v vs frontier-with-M (paper-literal) %v\n",
+		nfaT.Round(time.Microsecond), frT.Round(time.Microsecond))
+
+	gT, eT, gN, eN, err := bench.MinDeleteAblation(nc, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Minimal deletion: greedy %v (|ΔR| = %d) vs exact branch&bound %v (|ΔR| = %d)\n",
+		gT.Round(time.Microsecond), gN, eT.Round(time.Microsecond), eN)
+	fmt.Println()
+}

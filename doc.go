@@ -1,0 +1,14 @@
+// Package rxview is a from-scratch Go implementation of "Updating Recursive
+// XML Views of Relations" (Choi, Cong, Fan, Viglas; ICDE 2007 / JCST 2008):
+// schema-directed XML publishing of relational data (ATGs) with DAG
+// compression, XPath evaluation with side-effect detection over the DAG,
+// and translation of XML view updates to relational updates under key
+// preservation (PTIME deletions, SAT-based insertions).
+//
+// The implementation lives under internal/; internal/core is the facade.
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation. The root
+// bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem .
+package rxview

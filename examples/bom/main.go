@@ -1,0 +1,212 @@
+// Bill-of-materials example: a second recursive view built from scratch with
+// the public ATG builder — parts contain subparts (shared subassemblies!)
+// and have suppliers. Demonstrates defining your own σ : R → D, key
+// preservation, shared-subtree updates and the revised side-effect
+// semantics on a domain other than the paper's registrar.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rxview/internal/atg"
+	"rxview/internal/core"
+	"rxview/internal/dtd"
+	"rxview/internal/relational"
+)
+
+func buildATG() (*atg.Compiled, *relational.Database, error) {
+	intK, str := relational.KindInt, relational.KindString
+	bit := []relational.Value{relational.Int(0), relational.Int(1)}
+	schema, err := relational.NewSchema(
+		relational.MustTableSchema("part", []relational.Column{
+			{Name: "pno", Type: str},
+			{Name: "pname", Type: str},
+			{Name: "top", Type: intK, Domain: bit},
+		}, "pno"),
+		relational.MustTableSchema("contains", []relational.Column{
+			{Name: "parent", Type: str},
+			{Name: "child", Type: str},
+		}, "parent", "child"),
+		relational.MustTableSchema("supplier", []relational.Column{
+			{Name: "sid", Type: str},
+			{Name: "sname", Type: str},
+		}, "sid"),
+		relational.MustTableSchema("supplies", []relational.Column{
+			{Name: "sid", Type: str},
+			{Name: "pno", Type: str},
+		}, "sid", "pno"),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := dtd.Parse(`
+<!ELEMENT catalog (part*)>
+<!ELEMENT part (pno, pname, subparts, suppliers)>
+<!ELEMENT subparts (part*)>
+<!ELEMENT suppliers (supplier*)>
+<!ELEMENT supplier (sid, sname)>
+<!ELEMENT pno (#PCDATA)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT sname (#PCDATA)>
+`)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	qTop := &relational.SPJ{
+		Name: "Qcatalog_part",
+		From: []relational.TableRef{{Table: "part"}},
+		Where: []relational.EqPred{
+			{Left: relational.Col(0, 2), Right: relational.Const(relational.Int(1))},
+		},
+		Selects: []relational.SelectItem{
+			{As: "pno", Src: relational.Col(0, 0)},
+			{As: "pname", Src: relational.Col(0, 1)},
+		},
+	}
+	qSub := &relational.SPJ{
+		Name:    "Qsubparts_part",
+		NParams: 1,
+		From:    []relational.TableRef{{Table: "contains"}, {Table: "part"}},
+		Where: []relational.EqPred{
+			{Left: relational.Col(0, 0), Right: relational.Param(0)},
+			{Left: relational.Col(0, 1), Right: relational.Col(1, 0)},
+		},
+		Selects: []relational.SelectItem{
+			{As: "pno", Src: relational.Col(1, 0)},
+			{As: "pname", Src: relational.Col(1, 1)},
+		},
+	}
+	qSup := &relational.SPJ{
+		Name:    "Qsuppliers_supplier",
+		NParams: 1,
+		From:    []relational.TableRef{{Table: "supplies"}, {Table: "supplier"}},
+		Where: []relational.EqPred{
+			{Left: relational.Col(0, 1), Right: relational.Param(0)},
+			{Left: relational.Col(0, 0), Right: relational.Col(1, 0)},
+		},
+		Selects: []relational.SelectItem{
+			{As: "sid", Src: relational.Col(1, 0)},
+			{As: "sname", Src: relational.Col(1, 1)},
+		},
+	}
+	compiled, err := atg.NewBuilder(d, schema).
+		Attr("part", atg.Field("pno", str), atg.Field("pname", str)).
+		Attr("subparts", atg.Field("pno", str)).
+		Attr("suppliers", atg.Field("pno", str)).
+		Attr("supplier", atg.Field("sid", str), atg.Field("sname", str)).
+		Attr("pno", atg.Field("v", str)).
+		Attr("pname", atg.Field("v", str)).
+		Attr("sid", atg.Field("v", str)).
+		Attr("sname", atg.Field("v", str)).
+		QueryRule("catalog", "part", qTop).
+		ProjRule("part", "pno", atg.FromParent(0)).
+		ProjRule("part", "pname", atg.FromParent(1)).
+		ProjRule("part", "subparts", atg.FromParent(0)).
+		ProjRule("part", "suppliers", atg.FromParent(0)).
+		QueryRule("subparts", "part", qSub).
+		QueryRule("suppliers", "supplier", qSup).
+		ProjRule("supplier", "sid", atg.FromParent(0)).
+		ProjRule("supplier", "sname", atg.FromParent(1)).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	db := relational.NewDatabase(schema)
+	str2 := relational.Str
+	one, zero := relational.Int(1), relational.Int(0)
+	for _, p := range [][3]relational.Value{
+		{str2("P1"), str2("car"), one},
+		{str2("P2"), str2("cart"), one},
+		{str2("P3"), str2("wheel"), zero},
+		{str2("P4"), str2("axle"), zero},
+		{str2("P5"), str2("hub"), zero},
+		{str2("P6"), str2("engine"), zero},
+	} {
+		if err := db.Insert("part", relational.Tuple{p[0], p[1], p[2]}); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, c := range [][2]string{
+		{"P1", "P3"}, {"P1", "P6"}, // car: wheel + engine
+		{"P2", "P3"},               // cart: wheel (shared subassembly!)
+		{"P3", "P4"}, {"P3", "P5"}, // wheel: axle + hub
+	} {
+		if err := db.Insert("contains", relational.Tuple{str2(c[0]), str2(c[1])}); err != nil {
+			return nil, nil, err
+		}
+	}
+	db.Insert("supplier", relational.Tuple{str2("S1"), str2("Acme")})
+	db.Insert("supplier", relational.Tuple{str2("S2"), str2("Globex")})
+	db.Insert("supplies", relational.Tuple{str2("S1"), str2("P3")})
+	db.Insert("supplies", relational.Tuple{str2("S2"), str2("P6")})
+	return compiled, db, nil
+}
+
+func main() {
+	compiled, db, err := buildATG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Open(compiled, db, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== bill-of-materials view ==")
+	xml, err := sys.XML(10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xml)
+	st := sys.Stats()
+	fmt.Printf("the wheel subassembly is stored once: %d DAG nodes vs %.0f tree nodes (%.2fx)\n\n",
+		st.Nodes, st.TreeSize, st.Compression)
+
+	// Adding a tire to the wheel of the CAR only is a side effect: the cart
+	// shares the same wheel.
+	stmt := `insert part(pno="P7", pname="tire") into part[pno="P1"]/subparts/part[pno="P3"]/subparts`
+	fmt.Println("==", stmt, "==")
+	_, err = sys.Execute(stmt)
+	if core.IsSideEffect(err) {
+		fmt.Println("  side effect detected: the cart's wheel would change too")
+	} else if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adding it to every wheel occurrence is clean.
+	stmt = `insert part(pno="P7", pname="tire") into //part[pno="P3"]/subparts`
+	fmt.Println("==", stmt, "==")
+	sysF, err := core.Open(compiled, db, core.Options{ForceSideEffects: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sysF.Execute(stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  applied; ΔR: %v\n", rep.DR)
+	if err := sysF.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  consistency verified ✓")
+
+	// Dropping the engine from the car translates to a contains deletion.
+	stmt = `delete part[pno="P1"]/subparts/part[pno="P6"]`
+	fmt.Println("==", stmt, "==")
+	rep, err = sysF.Execute(stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  applied; ΔR: %v (engine part survives: %d gc'd nodes are its view remnants)\n",
+		rep.DR, rep.Removed)
+	if err := sysF.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  consistency verified ✓")
+	fmt.Println()
+	xml, _ = sysF.XML(10000)
+	fmt.Println(xml)
+}

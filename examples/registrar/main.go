@@ -1,0 +1,96 @@
+// Registrar walk-through: exercises the parts of the pipeline the quickstart
+// skips — DTD validation rejections (§2.4), SAT-derived column values
+// (§4.3), relational-side rejections, and group updates whose ΔR covers
+// several view edges at once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rxview/internal/core"
+	"rxview/internal/relational"
+	"rxview/internal/workload"
+)
+
+func main() {
+	reg, err := workload.NewRegistrar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(stmt string) {
+		fmt.Println("==", stmt, "==")
+		rep, err := sys.Execute(stmt)
+		switch {
+		case err != nil:
+			fmt.Println("  rejected:", err)
+		case !rep.Applied:
+			fmt.Println("  no-op (nothing matched / edge already present)")
+		default:
+			fmt.Printf("  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d\n",
+				rep.RP, rep.EP, rep.DVInserts, rep.DVDeletes, rep.Removed)
+			for _, m := range rep.DR {
+				fmt.Println("   ΔR:", m)
+			}
+		}
+		if err := sys.CheckConsistency(); err != nil {
+			log.Fatal("INVARIANT BROKEN: ", err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Initial view:", sys.Stats())
+	fmt.Println()
+
+	// --- DTD validation (§2.4): structurally illegal updates are rejected
+	// at the schema level, before touching any data.
+	show(`insert student(ssn="S07", name="Eve") into //course[cno="CS650"]/prereq`)
+	show(`delete //course/cno`)
+
+	// --- SAT-derived values (§4.3): inserting a brand-new course as a
+	// prerequisite leaves its dept column undetermined. Choosing "CS" would
+	// surface the course at the top level of the view (an unrequested
+	// change), so the solver picks a fresh non-CS department.
+	show(`insert course(cno="CS301", title="Operating Systems") into //course[cno="CS650"]/prereq`)
+	if row, ok := sys.DB.Rel("course").LookupKey(relational.Tuple{relational.Str("CS301")}); ok {
+		fmt.Printf("   -> SAT chose dept = %q for CS301 (anything but CS)\n\n", row[2].S)
+	}
+
+	// --- Required conditions: inserting at the top level FORCES dept=CS.
+	show(`insert course(cno="CS105", title="Discrete Math") into .`)
+	if row, ok := sys.DB.Rel("course").LookupKey(relational.Tuple{relational.Str("CS105")}); ok {
+		fmt.Printf("   -> the root rule requires dept = %q\n\n", row[2].S)
+	}
+
+	// --- Relational-side rejection: EE100 exists with dept=EE; it cannot
+	// be made a top-level course of the CS view without a side effect on
+	// the base data the user did not request.
+	show(`insert course(cno="EE100", title="Circuits") into .`)
+
+	// --- Group deletion translated to a single base deletion: removing a
+	// student from every course deletes the student tuple (Algorithm
+	// delete prefers the covering source).
+	show(`insert student(ssn="S05", name="Max") into //takenBy`) // enroll everywhere first
+	show(`delete //student[ssn="S05"]`)
+
+	// --- Deleting a shared course from one prerequisite list only: the
+	// prereq tuple goes, the course itself survives.
+	show(`delete course[cno="CS650"]/prereq/course[cno="CS320"]`)
+	left, _ := sys.Query(`//course[cno="CS320"]`)
+	fmt.Printf("CS320 still published %d time(s) (top level)\n\n", len(left))
+
+	// --- Recursive deletion with cascade garbage collection: removing
+	// CS650 entirely strands its prereq/takenBy subtrees.
+	show(`delete //course[cno="CS650"]`)
+
+	fmt.Println("Final view:", sys.Stats())
+	xml, err := sys.XML(10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xml)
+}

@@ -1,0 +1,169 @@
+package rxview_test
+
+// End-to-end integration tests: long, randomized update sequences over both
+// datasets, with the full system invariant ΔX(T) = σ(ΔR(I)) (re-publish and
+// compare; L and M revalidated) checked along the way.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rxview/internal/core"
+	"rxview/internal/workload"
+)
+
+func TestIntegrationRegistrarRandomSequences(t *testing.T) {
+	courses := []string{"CS650", "CS320", "CS240", "CS501", "CS502", "CS503"}
+	students := []string{"S01", "S02", "S11", "S12"}
+
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			reg := workload.MustRegistrar()
+			sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied, rejected := 0, 0
+			for step := 0; step < 30; step++ {
+				var stmt string
+				c := courses[rng.Intn(len(courses))]
+				c2 := courses[rng.Intn(len(courses))]
+				s := students[rng.Intn(len(students))]
+				switch rng.Intn(6) {
+				case 0:
+					stmt = fmt.Sprintf(`insert course(cno="%s", title="T%s") into .`, c, c)
+				case 1:
+					stmt = fmt.Sprintf(`insert course(cno="%s", title="T%s") into //course[cno="%s"]/prereq`, c, c, c2)
+				case 2:
+					stmt = fmt.Sprintf(`insert student(ssn="%s", name="N%s") into //course[cno="%s"]/takenBy`, s, s, c)
+				case 3:
+					stmt = fmt.Sprintf(`delete //course[cno="%s"]/prereq/course[cno="%s"]`, c2, c)
+				case 4:
+					stmt = fmt.Sprintf(`delete //course[cno="%s"]//student[ssn="%s"]`, c, s)
+				case 5:
+					stmt = fmt.Sprintf(`delete //course[cno="%s"]`, c)
+				}
+				rep, err := sys.Execute(stmt)
+				switch {
+				case err == nil:
+					if rep.Applied {
+						applied++
+					}
+				case core.IsRejected(err):
+					rejected++ // legitimate: the update is untranslatable
+				default:
+					// Structural rejections (cycles, pre-existing titles
+					// with different attrs) are fine too; anything else is
+					// a bug.
+					if !isBenign(err) {
+						t.Fatalf("step %d (%s): %v", step, stmt, err)
+					}
+				}
+				if err := sys.CheckConsistency(); err != nil {
+					t.Fatalf("step %d (%s): invariant broken: %v", step, stmt, err)
+				}
+			}
+			if applied == 0 {
+				t.Error("sequence applied nothing")
+			}
+			t.Logf("applied=%d rejected=%d", applied, rejected)
+		})
+	}
+}
+
+func isBenign(err error) bool {
+	for _, sub := range []string{"cycle", "cannot insert", "attribute has"} {
+		if containsStr(err.Error(), sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIntegrationSyntheticLongSequence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sequence")
+	}
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: 220, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Open(syn.ATG, syn.DB, core.Options{ForceSideEffects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	applied := 0
+	for round := 0; round < 8; round++ {
+		var ops []workload.Op
+		class := workload.Class(1 + rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			ops = syn.DeleteWorkload(class, 2, rng.Int63())
+		} else {
+			ops = syn.InsertWorkload(class, 2, rng.Int63())
+		}
+		for _, op := range ops {
+			rep, err := sys.Execute(op.Stmt)
+			if err != nil && !core.IsRejected(err) {
+				t.Fatalf("%s: %v", op.Stmt, err)
+			}
+			if err == nil && rep.Applied {
+				applied++
+			}
+		}
+		if err := sys.CheckConsistency(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if applied == 0 {
+		t.Error("nothing applied")
+	}
+}
+
+func TestIntegrationDeleteEverything(t *testing.T) {
+	// Tear the whole registrar view down course by course; the database
+	// and auxiliary structures must stay consistent at each step, ending
+	// with an empty view.
+	reg := workload.MustRegistrar()
+	sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cno := range []string{"CS650", "CS320", "CS240"} {
+		if _, err := sys.Execute(fmt.Sprintf(`delete //course[cno="%s"]`, cno)); err != nil {
+			t.Fatalf("delete %s: %v", cno, err)
+		}
+		if err := sys.CheckConsistency(); err != nil {
+			t.Fatalf("after %s: %v", cno, err)
+		}
+	}
+	if got, _ := sys.Query(`//course`); len(got) != 0 {
+		t.Errorf("courses left: %v", got)
+	}
+	st := sys.Stats()
+	if st.Nodes != 1 { // just the root
+		t.Errorf("nodes left = %d", st.Nodes)
+	}
+	// Rebuild on the emptied view.
+	if _, err := sys.Execute(`insert course(cno="CS900", title="Rebirth") into .`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sys.Query(`//course`); len(got) != 1 {
+		t.Errorf("rebuild failed: %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package atg
+
+import (
+	"fmt"
+
+	"rxview/internal/dag"
+	"rxview/internal/dtd"
+	"rxview/internal/relational"
+)
+
+// PublishDAG materializes the DAG compression of σ(I) (§2.3): the view is
+// generated top-down with reference to the DTD, but each subtree ST(A, $A)
+// is expanded exactly once — gen_id memoization turns repeated occurrences
+// into shared references.
+func (c *Compiled) PublishDAG(db *relational.Database) (*dag.DAG, error) {
+	d := dag.New(c.DTD.Root)
+	if err := c.expand(d, db, d.Root(), make(map[dag.NodeID]int8)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// PublishSubtree publishes ST(A, t) into an existing DAG: the subtree of
+// type typ with semantic attribute t, generated from the current database.
+// Already-present nodes are reused without re-expansion (their subtrees are
+// consistent by the system invariant). It returns the subtree root.
+//
+// Callers that may reject the enclosing update should wrap the call in
+// d.Begin()/d.Rollback(); the new nodes and edges are available from
+// d.Changes().
+func (c *Compiled) PublishSubtree(d *dag.DAG, db *relational.Database, typ string, attr relational.Tuple) (dag.NodeID, error) {
+	if _, ok := c.DTD.Elems[typ]; !ok {
+		return dag.InvalidNode, fmt.Errorf("atg: unknown element type %s", typ)
+	}
+	if err := c.checkAttr(typ, attr); err != nil {
+		return dag.InvalidNode, err
+	}
+	root, created := d.AddNode(typ, attr)
+	if !created {
+		return root, nil
+	}
+	if err := c.expand(d, db, root, make(map[dag.NodeID]int8)); err != nil {
+		return dag.InvalidNode, err
+	}
+	return root, nil
+}
+
+func (c *Compiled) checkAttr(typ string, attr relational.Tuple) error {
+	decl := c.Attrs[typ]
+	if len(attr) != len(decl) {
+		return fmt.Errorf("atg: %s attribute has %d fields, want %d", typ, len(attr), len(decl))
+	}
+	for i, v := range attr {
+		if v.K != decl[i].Type && !v.IsNull() {
+			return fmt.Errorf("atg: %s.%s: kind %v, want %v", typ, decl[i].Name, v.K, decl[i].Type)
+		}
+	}
+	return nil
+}
+
+// expand generates the children of node and recurses. state guards against
+// cyclic source data (e.g. a prereq cycle), which would make the view
+// infinite: 1 = in progress, 2 = done.
+func (c *Compiled) expand(d *dag.DAG, db *relational.Database, node dag.NodeID, state map[dag.NodeID]int8) error {
+	if state[node] == 2 {
+		return nil
+	}
+	if state[node] == 1 {
+		return fmt.Errorf("atg: cyclic source data: %s%s is its own descendant",
+			d.Type(node), d.Attr(node))
+	}
+	state[node] = 1
+	typ := d.Type(node)
+	attr := d.Attr(node)
+	prod := c.DTD.Elems[typ]
+
+	addChild := func(childType string, childAttr relational.Tuple) error {
+		id, created := d.AddNode(childType, childAttr)
+		if state[id] == 1 {
+			return fmt.Errorf("atg: cyclic source data: %s%s is its own descendant", childType, childAttr)
+		}
+		d.AddEdge(node, id)
+		if created {
+			return c.expand(d, db, id, state)
+		}
+		// Pre-existing node: its subtree is already complete (publishing
+		// expands every new node exactly once, and updates keep the DAG
+		// consistent), so do not re-expand.
+		return nil
+	}
+
+	switch prod.Kind {
+	case dtd.PCData, dtd.Empty:
+		// leaves
+	case dtd.Seq:
+		for _, child := range prod.Children {
+			r := c.rules[typ][child]
+			childAttr := make(relational.Tuple, len(r.Proj))
+			for i, it := range r.Proj {
+				if it.FromParent >= 0 {
+					childAttr[i] = attr[it.FromParent]
+				} else {
+					childAttr[i] = it.Const
+				}
+			}
+			if err := addChild(child, childAttr); err != nil {
+				return err
+			}
+		}
+	case dtd.Star:
+		child := prod.Children[0]
+		r := c.rules[typ][child]
+		rows, err := r.Query.Eval(db, []relational.Value(attr))
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := addChild(child, relational.Tuple(row)); err != nil {
+				return err
+			}
+		}
+	case dtd.Alt:
+		total := 0
+		for _, child := range distinct(prod.Children) {
+			r := c.rules[typ][child]
+			rows, err := r.Query.Eval(db, []relational.Value(attr))
+			if err != nil {
+				return err
+			}
+			total += len(rows)
+			if total > 1 {
+				return fmt.Errorf("atg: alternation %s: more than one alternative produced", typ)
+			}
+			for _, row := range rows {
+				if err := addChild(child, relational.Tuple(row)); err != nil {
+					return err
+				}
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("atg: alternation %s%s: no alternative produced", typ, attr)
+		}
+	}
+	state[node] = 2
+	return nil
+}
+
+// Text returns the node-text function for the published view: PCDATA
+// elements render their designated attribute component; other elements have
+// no text. This is what XPath value filters p = "s" compare against.
+func (c *Compiled) Text(d *dag.DAG) func(dag.NodeID) (string, bool) {
+	return func(id dag.NodeID) (string, bool) {
+		typ := d.Type(id)
+		if c.DTD.Elems[typ].Kind != dtd.PCData {
+			return "", false
+		}
+		attr := d.Attr(id)
+		idx := c.TextIndex[typ]
+		if idx >= len(attr) {
+			return "", false
+		}
+		return attr[idx].String(), true
+	}
+}

@@ -1,0 +1,492 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§5): the dataset statistics of
+// Fig.10(b), the update-performance series of Fig.11(a)–(h), the
+// incremental-vs-recomputation comparison of Table 1, and the ablations
+// called out in DESIGN.md. It is shared by the root bench_test.go
+// (testing.B entry points) and cmd/benchrunner (paper-style tables).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rxview/internal/core"
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+	"rxview/internal/viewupdate"
+	"rxview/internal/workload"
+	"rxview/internal/xpath"
+)
+
+// Phases accumulates the per-phase times of Fig.11: (a) XPath evaluation,
+// (b) translation + execution, (c) maintenance.
+type Phases struct {
+	Eval     time.Duration
+	XToDV    time.Duration
+	DVToDR   time.Duration
+	Apply    time.Duration
+	Maintain time.Duration
+}
+
+func (p *Phases) add(t core.Timings) {
+	p.Eval += t.Eval
+	p.XToDV += t.XToDV
+	p.DVToDR += t.DVToDR
+	p.Apply += t.Apply
+	p.Maintain += t.Maintain
+}
+
+// Translate returns the (b) component.
+func (p Phases) Translate() time.Duration { return p.XToDV + p.DVToDR + p.Apply }
+
+// Total sums everything.
+func (p Phases) Total() time.Duration { return p.Eval + p.Translate() + p.Maintain }
+
+// RunResult is the outcome of one workload run.
+type RunResult struct {
+	Size    int
+	Class   workload.Class
+	Ops     int
+	Applied int
+	NoOps   int
+	Phases  Phases
+}
+
+// NewSystem generates the synthetic dataset at size nc and opens it.
+func NewSystem(nc int, seed int64) (*workload.Synthetic, *core.System, error) {
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := core.Open(syn.ATG, syn.DB, core.Options{ForceSideEffects: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return syn, sys, nil
+}
+
+// RunWorkload executes a delete or insert workload of the given class on a
+// fresh system and accumulates the phase breakdown (Fig.11(a)–(f)).
+func RunWorkload(nc int, class workload.Class, deletes bool, nops int, seed int64) (RunResult, error) {
+	syn, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var ops []workload.Op
+	if deletes {
+		ops = syn.DeleteWorkload(class, nops, seed+100)
+	} else {
+		ops = syn.InsertWorkload(class, nops, seed+200)
+	}
+	res := RunResult{Size: nc, Class: class, Ops: len(ops)}
+	for _, op := range ops {
+		rep, err := sys.Execute(op.Stmt)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", op.Stmt, err)
+		}
+		if rep.Applied {
+			res.Applied++
+		} else {
+			res.NoOps++
+		}
+		res.Phases.add(rep.Timings)
+	}
+	return res, nil
+}
+
+// DatasetStats generates the dataset and reports the Fig.10(b) statistics
+// plus the generation and publication wall time.
+func DatasetStats(nc int, seed int64) (core.Stats, time.Duration, error) {
+	t0 := time.Now()
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return core.Stats{}, 0, err
+	}
+	return sys.Stats(), time.Since(t0), nil
+}
+
+// SelResult is one point of the Fig.11(g) sweep.
+type SelResult struct {
+	Targets int // requested |r[[p]]| / |Ep(r)| scale
+	RP, EP  int // measured
+	Del     Phases
+	Ins     Phases
+}
+
+// VarySelection reproduces Fig.11(g): fix |C| and vary the number of nodes
+// selected by the update path (and hence |r[[p]]| for insertions and
+// |Ep(r)| for deletions), keeping the subtree ST(A,t) a single fresh C.
+// Each point targets exactly `target` published C nodes through a
+// disjunctive key filter //C[key=k1 or key=k2 or ...].
+func VarySelection(nc int, targets []int, seed int64) ([]SelResult, error) {
+	syn, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Deepest-first published keys make good targets (small subtrees).
+	var keys []int64
+	ids := sys.DAG.NodesOfType("C")
+	for i := len(ids) - 1; i >= 0 && len(keys) < 256; i-- {
+		keys = append(keys, sys.DAG.Attr(ids[i])[0].I)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
+
+	pathFor := func(k int) string {
+		var b []string
+		for i := 0; i < k && i < len(keys); i++ {
+			b = append(b, fmt.Sprintf(`key="%d"`, keys[i]))
+		}
+		return fmt.Sprintf("//C[%s]", joinOr(b))
+	}
+
+	var out []SelResult
+	for _, k := range targets {
+		sr := SelResult{Targets: k}
+		path := pathFor(k)
+
+		// Deletion on a fresh clone.
+		delSys, err := core.Open(syn.ATG, syn.DB.Clone(), core.Options{ForceSideEffects: true})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := delSys.Execute("delete " + path)
+		if err != nil {
+			return nil, err
+		}
+		sr.RP, sr.EP = rep.RP, rep.EP
+		sr.Del.add(rep.Timings)
+
+		// Insertion on a fresh clone.
+		insSys, err := core.Open(syn.ATG, syn.DB.Clone(), core.Options{ForceSideEffects: true})
+		if err != nil {
+			return nil, err
+		}
+		key := syn.NextKey
+		syn.NextKey++
+		rep, err = insSys.Execute(fmt.Sprintf(
+			`insert C(c1=%d, c6="w%d") into %s/sub`, key, key, path))
+		if err != nil {
+			return nil, err
+		}
+		sr.Ins.add(rep.Timings)
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+func joinOr(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " or "
+		}
+		out += p
+	}
+	return out
+}
+
+// SubtreeResult is one point of the Fig.11(h) sweep.
+type SubtreeResult struct {
+	STEdges int // edges of the inserted subtree ST(A,t)
+	Ins     Phases
+	Del     Phases
+}
+
+// VarySubtree reproduces Fig.11(h): |Ep(r)| = |r[[p]]| = 1 while the size of
+// the inserted subtree ST(A,t) varies. Fresh keys are pre-linked (via H
+// rows) to existing leaf-level subtrees before publication, so the inserted
+// C brings a subtree of the requested breadth.
+func VarySubtree(nc int, fanouts []int, seed int64) ([]SubtreeResult, error) {
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// Deepest-level keys (largest) serve as ready-made children.
+	leaves := make([]int64, 0, 64)
+	for k := int64(nc); k > 0 && len(leaves) < 64; k-- {
+		if syn.Pass[k] {
+			leaves = append(leaves, k)
+		}
+	}
+	// One fresh key per sweep point, pre-linked to `fanout` leaves.
+	keys := make([]int64, len(fanouts))
+	for i, f := range fanouts {
+		key := syn.NextKey
+		syn.NextKey++
+		keys[i] = key
+		for j := 0; j < f && j < len(leaves); j++ {
+			if err := syn.DB.Insert("H", relational.Tuple{
+				relational.Int(key), relational.Int(leaves[j]),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A single-occurrence target: a published root (db is its only parent).
+	target := syn.Roots[0]
+
+	var out []SubtreeResult
+	for i, f := range fanouts {
+		sys, err := core.Open(syn.ATG, syn.DB.Clone(), core.Options{ForceSideEffects: true})
+		if err != nil {
+			return nil, err
+		}
+		sr := SubtreeResult{}
+		rep, err := sys.Execute(fmt.Sprintf(
+			`insert C(c1=%d, c6="big%d") into //C[key="%d"]/sub`, keys[i], keys[i], target))
+		if err != nil {
+			return nil, fmt.Errorf("fanout %d: %w", f, err)
+		}
+		sr.STEdges = rep.DVInserts
+		sr.Ins.add(rep.Timings)
+
+		// Matching deletion: remove the just-inserted subtree again
+		// (|Ep| = 1; the subtree cascades in maintenance).
+		rep, err = sys.Execute(fmt.Sprintf(
+			`delete //C[key="%d"]/sub/C[key="%d"]`, target, keys[i]))
+		if err != nil {
+			return nil, err
+		}
+		sr.Del.add(rep.Timings)
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// Table1Result compares incremental maintenance of L and M against full
+// recomputation (Table 1 of the paper).
+type Table1Result struct {
+	Size       int
+	IncrInsert time.Duration // ∆(M,L)insert for one representative insertion
+	IncrDelete time.Duration // ∆(M,L)delete for one representative deletion
+	RecomputeL time.Duration
+	RecomputeM time.Duration
+}
+
+// Table1 measures one point of the comparison.
+func Table1(nc int, seed int64) (Table1Result, error) {
+	syn, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	res := Table1Result{Size: nc}
+
+	// Single-edge (W2) operations: Table 1 compares the per-update
+	// maintenance cost against recomputing L and M from scratch.
+	ins := syn.InsertWorkload(workload.W2, 1, seed+1)
+	rep, err := sys.Execute(ins[0].Stmt)
+	if err != nil {
+		return res, err
+	}
+	res.IncrInsert = rep.Timings.Maintain
+
+	del := syn.DeleteWorkload(workload.W2, 1, seed+2)
+	rep, err = sys.Execute(del[0].Stmt)
+	if err != nil {
+		return res, err
+	}
+	res.IncrDelete = rep.Timings.Maintain
+
+	t0 := time.Now()
+	topo := reach.ComputeTopo(sys.DAG)
+	res.RecomputeL = time.Since(t0)
+	t0 = time.Now()
+	reach.Compute(sys.DAG, topo)
+	res.RecomputeM = time.Since(t0)
+	return res, nil
+}
+
+// ReachAblation compares Algorithm Reach (Fig.4) against the per-node DFS
+// baseline on the same DAG.
+func ReachAblation(nc int, seed int64) (fig4, naive time.Duration, pairs int, err error) {
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	topo := reach.ComputeTopo(sys.DAG)
+	t0 := time.Now()
+	m := reach.Compute(sys.DAG, topo)
+	fig4 = time.Since(t0)
+	t0 = time.Now()
+	m2 := reach.ComputeNaive(sys.DAG)
+	naive = time.Since(t0)
+	if !m.Equal(m2) {
+		return 0, 0, 0, fmt.Errorf("bench: Reach implementations disagree")
+	}
+	return fig4, naive, m.Size(), nil
+}
+
+// DAGvsTree evaluates the same recursive query on the DAG compression and on
+// the fully unfolded tree (materialized as an unshared DAG): the point of
+// §2.3's compression.
+func DAGvsTree(nc int, seed int64) (dagTime, treeTime time.Duration, dagNodes, treeNodes int, err error) {
+	syn, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	_ = syn
+	path := xpath.MustParse(`//C[val="v3"]//C[sub/C]`)
+
+	ev := &xpath.Evaluator{D: sys.DAG, Topo: sys.Index.Topo, Text: sys.ATG.Text(sys.DAG)}
+	t0 := time.Now()
+	if _, err := ev.Eval(path); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	dagTime = time.Since(t0)
+	dagNodes = sys.DAG.NumNodes()
+
+	tree, n, err := unfoldToTreeDAG(sys.DAG, 2_000_000)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	treeNodes = n
+	treeTopo := reach.ComputeTopo(tree)
+	// Text for the tree copies: attr layout is (original attr..., occ),
+	// and PCDATA types render their first field, so reuse position 0.
+	treeText := func(id dag.NodeID) (string, bool) {
+		typ := tree.Type(id)
+		if typ == "key" || typ == "val" || typ == "item" {
+			a := tree.Attr(id)
+			return a[0].String(), true
+		}
+		return "", false
+	}
+	evTree := &xpath.Evaluator{D: tree, Topo: treeTopo, Text: treeText}
+	t0 = time.Now()
+	if _, err := evTree.Eval(path); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	treeTime = time.Since(t0)
+	return dagTime, treeTime, dagNodes, treeNodes, nil
+}
+
+// unfoldToTreeDAG materializes the tree view as a DAG without sharing: every
+// occurrence becomes a distinct node (attr extended with an occurrence id).
+func unfoldToTreeDAG(d *dag.DAG, budget int) (*dag.DAG, int, error) {
+	out := dag.New(d.Type(d.Root()))
+	count := 1
+	occ := int64(0)
+	var copyTree func(src dag.NodeID, dstParent dag.NodeID) error
+	copyTree = func(src dag.NodeID, dstParent dag.NodeID) error {
+		for _, c := range d.Children(src) {
+			if count >= budget {
+				return dag.ErrTreeTooLarge
+			}
+			occ++
+			attr := append(d.Attr(c).Clone(), relational.Int(occ))
+			id, _ := out.AddNode(d.Type(c), attr)
+			out.AddEdge(dstParent, id)
+			count++
+			if err := copyTree(c, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := copyTree(d.Root(), out.Root()); err != nil {
+		return nil, 0, err
+	}
+	return out, count, nil
+}
+
+// SideEffectAblation compares full evaluation (exact side-effect detection
+// via per-path state-sets) against the selection-only union-mask fast path
+// on the same recursive query — the cost of the paper's side-effect
+// analysis on top of plain selection.
+func SideEffectAblation(nc int, seed int64) (full, selectOnly time.Duration, err error) {
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	path := xpath.MustParse(`//C[val="v1"]//C[sub/C]`)
+	ev := &xpath.Evaluator{D: sys.DAG, Topo: sys.Index.Topo, Text: sys.ATG.Text(sys.DAG)}
+	t0 := time.Now()
+	fullRes, err := ev.Eval(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	full = time.Since(t0)
+	t0 = time.Now()
+	fastRes, err := ev.EvalSelect(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	selectOnly = time.Since(t0)
+	if len(fullRes.Selected) != len(fastRes.Selected) {
+		return 0, 0, fmt.Errorf("bench: selection disagreement between Eval and EvalSelect")
+	}
+	return full, selectOnly, nil
+}
+
+// EvalStrategyAblation compares the NFA-based evaluator (exact side
+// effects) with the paper-literal frontier evaluator (per-step Ci sets, //
+// expanded through the reachability matrix M) on the same recursive query.
+func EvalStrategyAblation(nc int, seed int64) (nfa, frontier time.Duration, err error) {
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	path := xpath.MustParse(`//C[val="v1"]//C[sub/C]`)
+	text := sys.ATG.Text(sys.DAG)
+
+	ev := &xpath.Evaluator{D: sys.DAG, Topo: sys.Index.Topo, Text: text}
+	t0 := time.Now()
+	a, err := ev.Eval(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	nfa = time.Since(t0)
+
+	fe := &xpath.FrontierEvaluator{D: sys.DAG, Topo: sys.Index.Topo, Matrix: sys.Index.Matrix, Text: text}
+	t0 = time.Now()
+	b, err := fe.Eval(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	frontier = time.Since(t0)
+	if len(a.Selected) != len(b.Selected) {
+		return 0, 0, fmt.Errorf("bench: evaluators disagree on selection")
+	}
+	return nfa, frontier, nil
+}
+
+// MinDeleteAblation times the greedy vs exact minimal-deletion algorithms on
+// a group deletion (Theorem 3's tractability gap in practice).
+func MinDeleteAblation(nc int, seed int64) (greedyT, exactT time.Duration, greedyN, exactN int, err error) {
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return
+	}
+	// Group-delete every edge into the children of the first root's sub.
+	var dv []dag.Edge
+	for _, id := range sys.DAG.NodesOfType("sub") {
+		for _, c := range sys.DAG.Children(id) {
+			dv = append(dv, dag.Edge{Parent: id, Child: c})
+			if len(dv) >= 14 {
+				break
+			}
+		}
+		if len(dv) >= 14 {
+			break
+		}
+	}
+	m, err := viewupdate.NewMinimalDelete(sys.Translator, dv)
+	if err != nil {
+		return
+	}
+	t0 := time.Now()
+	g, err := m.Greedy()
+	if err != nil {
+		return
+	}
+	greedyT = time.Since(t0)
+	t0 = time.Now()
+	e, err := m.Exact()
+	if err != nil {
+		return
+	}
+	exactT = time.Since(t0)
+	return greedyT, exactT, len(g), len(e), nil
+}

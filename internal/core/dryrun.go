@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"rxview/internal/update"
+	"rxview/internal/viewupdate"
+)
+
+// DryRun answers the updatability question for ΔX without changing anything:
+// it runs DTD validation, XPath evaluation, side-effect detection and the
+// full relational translation, then rolls everything back. The report shows
+// what Apply would have done (including ΔR); the returned error is exactly
+// what Apply would have returned.
+//
+// This is the paper's updatability problem (§4.1) as an API: for deletions
+// it decides in PTIME (Theorem 1), for insertions it runs the heuristic
+// SAT analysis (Theorem 2 makes the exact question NP-complete).
+func (s *System) DryRun(op *update.Op) (*Report, error) {
+	rep := &Report{Op: op.String()}
+
+	t0 := time.Now()
+	if err := update.ValidateAgainstDTD(s.ATG.DTD, op); err != nil {
+		return rep, err
+	}
+	rep.Timings.Validate = time.Since(t0)
+
+	t0 = time.Now()
+	res, err := s.evaluator().Eval(op.Path)
+	if err != nil {
+		return rep, err
+	}
+	rep.Timings.Eval = time.Since(t0)
+	rep.RP, rep.EP = len(res.Selected), len(res.Edges)
+
+	switch op.Kind {
+	case update.OpInsert:
+		rep.SideEffects = res.HasInsertSideEffects()
+		if rep.SideEffects && !s.opts.ForceSideEffects {
+			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.InsertWitnesses)}
+		}
+		if len(res.Selected) == 0 {
+			return rep, nil
+		}
+		s.DAG.Begin()
+		defer s.DAG.Rollback()
+		dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
+		if err != nil {
+			return rep, err
+		}
+		if len(dv.Inserts) == 0 {
+			return rep, nil
+		}
+		dr, _, err := s.Translator.TranslateInsert(dv.Inserts, dv.NewNodes)
+		if err != nil {
+			return rep, err
+		}
+		rep.DR = dr
+		rep.DVInserts = len(dv.Inserts)
+		rep.Applied = true // would apply
+		return rep, nil
+	default:
+		rep.SideEffects = res.HasDeleteSideEffects()
+		if rep.SideEffects && !s.opts.ForceSideEffects {
+			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.DeleteWitnesses)}
+		}
+		if len(res.Edges) == 0 {
+			return rep, nil
+		}
+		dr, err := s.Translator.TranslateDelete(res.Edges)
+		if err != nil {
+			return rep, err
+		}
+		rep.DR = dr
+		rep.DVDeletes = len(res.Edges)
+		rep.Applied = true
+		return rep, nil
+	}
+}
+
+// Updatable reports whether ΔX can be carried out without relational side
+// effects (and, unless ForceSideEffects is set, without XML side effects).
+func (s *System) Updatable(op *update.Op) bool {
+	_, err := s.DryRun(op)
+	return err == nil
+}
+
+// ensure viewupdate stays linked for the doc reference above
+var _ = viewupdate.RejectedError{}

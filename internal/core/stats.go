@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// Stats summarizes the view and its auxiliary structures — the quantities of
+// Fig.10(b) in the paper: DAG size, uncompressed tree size, sharing, |M|
+// and |L|.
+type Stats struct {
+	BaseRows    int     // total tuples in the published database
+	Nodes       int     // DAG nodes (n)
+	Edges       int     // DAG edges (|V|, the size of the relational views)
+	TreeSize    float64 // uncompressed |T|
+	Compression float64 // TreeSize / Nodes
+	SharedNodes int     // nodes with >1 parent
+	SharedFrac  float64 // SharedNodes / Nodes
+	TopoLen     int     // |L|
+	MatrixPairs int     // |M|
+}
+
+// Stats computes current statistics.
+func (s *System) Stats() Stats {
+	n := s.DAG.NumNodes()
+	ts := s.DAG.TreeSize()
+	shared := s.DAG.SharedNodeCount()
+	st := Stats{
+		BaseRows:    s.DB.TotalRows(),
+		Nodes:       n,
+		Edges:       s.DAG.NumEdges(),
+		TreeSize:    ts,
+		SharedNodes: shared,
+		TopoLen:     s.Index.Topo.Len(),
+		MatrixPairs: s.Index.Matrix.Size(),
+	}
+	if n > 0 {
+		st.Compression = ts / float64(n)
+		st.SharedFrac = float64(shared) / float64(n)
+	}
+	return st
+}
+
+// String renders the statistics in a Fig.10(b)-style line.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"rows=%d nodes=%d edges=%d tree=%.0f compression=%.2fx shared=%.1f%% |L|=%d |M|=%d",
+		st.BaseRows, st.Nodes, st.Edges, st.TreeSize, st.Compression,
+		100*st.SharedFrac, st.TopoLen, st.MatrixPairs)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rxview/internal/workload"
+)
+
+// TestSyntheticStress runs a longer mixed workload at a moderate scale and
+// validates the full invariant at checkpoints (every op would be O(n²)-ish
+// in test time; checkpoints keep it tractable while still covering long
+// mutation chains).
+func TestSyntheticStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: 600, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Open(syn.ATG, syn.DB, Options{ForceSideEffects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	applied, noops := 0, 0
+	var ops []workload.Op
+	for round := 0; round < 6; round++ {
+		class := workload.Class(1 + rng.Intn(3))
+		ops = append(ops, syn.InsertWorkload(class, 2, rng.Int63())...)
+		ops = append(ops, syn.DeleteWorkload(class, 2, rng.Int63())...)
+	}
+	for i, op := range ops {
+		rep, err := sys.Execute(op.Stmt)
+		if err != nil {
+			if IsRejected(err) {
+				continue
+			}
+			t.Fatalf("op %d (%s): %v", i, op.Stmt, err)
+		}
+		if rep.Applied {
+			applied++
+		} else {
+			noops++
+		}
+		if i%6 == 5 {
+			if err := sys.CheckConsistency(); err != nil {
+				t.Fatalf("op %d (%s): %v", i, op.Stmt, err)
+			}
+		}
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if applied < 5 {
+		t.Errorf("only %d ops applied (%d no-ops)", applied, noops)
+	}
+	t.Logf("applied=%d noops=%d final=%s", applied, noops, sys.Stats())
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"rxview/internal/workload"
+)
+
+func openSynthetic(t testing.TB, nc int, seed int64) (*workload.Synthetic, *System) {
+	t.Helper()
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(syn.ATG, syn.DB, Options{ForceSideEffects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn, s
+}
+
+func TestSyntheticPublishAndStats(t *testing.T) {
+	_, s := openSynthetic(t, 240, 1)
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Nodes == 0 || st.Edges == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The view is recursive and shares subtrees: the unfolded tree must be
+	// strictly larger than the DAG (Fig.10(b)'s compression).
+	if st.TreeSize <= float64(st.Nodes) {
+		t.Errorf("no compression: tree %.0f vs %d nodes", st.TreeSize, st.Nodes)
+	}
+	if st.SharedNodes == 0 {
+		t.Error("no shared subtrees generated")
+	}
+	if st.MatrixPairs == 0 || st.TopoLen != st.Nodes {
+		t.Errorf("auxiliary structures: %+v", st)
+	}
+}
+
+func TestSyntheticSharingNearTarget(t *testing.T) {
+	syn, s := openSynthetic(t, 1200, 2)
+	// Count shared C instances (the paper reports 31.4% for its dataset).
+	shared, total := 0, 0
+	for _, id := range s.DAG.NodesOfType("C") {
+		total++
+		if len(s.DAG.Parents(id)) > 1 {
+			shared++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no C nodes")
+	}
+	frac := float64(shared) / float64(total)
+	if frac < 0.10 || frac > 0.60 {
+		t.Errorf("shared C fraction = %.2f, want near the paper's 0.31 (config %f)",
+			frac, syn.Config.ShareFrac)
+	}
+}
+
+func TestSyntheticWorkloadsEndToEnd(t *testing.T) {
+	for _, class := range []workload.Class{workload.W1, workload.W2, workload.W3} {
+		class := class
+		t.Run("delete-"+class.String(), func(t *testing.T) {
+			syn, s := openSynthetic(t, 180, 3)
+			ops := syn.DeleteWorkload(class, 3, 17)
+			if len(ops) == 0 {
+				t.Fatal("no ops generated")
+			}
+			applied := 0
+			for _, op := range ops {
+				rep, err := s.Execute(op.Stmt)
+				if err != nil {
+					t.Fatalf("%s: %v", op.Stmt, err)
+				}
+				if rep.Applied {
+					applied++
+				}
+				if err := s.CheckConsistency(); err != nil {
+					t.Fatalf("%s: %v", op.Stmt, err)
+				}
+			}
+			if applied == 0 {
+				t.Error("no op applied")
+			}
+		})
+		t.Run("insert-"+class.String(), func(t *testing.T) {
+			syn, s := openSynthetic(t, 180, 4)
+			ops := syn.InsertWorkload(class, 3, 23)
+			if len(ops) == 0 {
+				t.Fatal("no ops generated")
+			}
+			applied := 0
+			for _, op := range ops {
+				rep, err := s.Execute(op.Stmt)
+				if err != nil {
+					t.Fatalf("%s: %v", op.Stmt, err)
+				}
+				if rep.Applied {
+					applied++
+				}
+				if err := s.CheckConsistency(); err != nil {
+					t.Fatalf("%s: %v", op.Stmt, err)
+				}
+			}
+			if applied == 0 {
+				t.Error("no op applied")
+			}
+		})
+	}
+}
+
+func TestSyntheticMixedRandomSequence(t *testing.T) {
+	// Interleave inserts and deletes; the invariant must hold throughout.
+	syn, s := openSynthetic(t, 150, 5)
+	dels := syn.DeleteWorkload(workload.W2, 4, 31)
+	inss := syn.InsertWorkload(workload.W1, 4, 37)
+	for i := 0; i < 4; i++ {
+		for _, op := range []workload.Op{inss[i], dels[i]} {
+			if _, err := s.Execute(op.Stmt); err != nil {
+				t.Fatalf("%s: %v", op.Stmt, err)
+			}
+			if err := s.CheckConsistency(); err != nil {
+				t.Fatalf("after %s: %v", op.Stmt, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,428 @@
+// Package core is the public facade of the system: it wires together the
+// full update-processing framework of Fig.3 in the paper. A System holds the
+// published database I, the DAG compression of the XML view T = σ(I) with
+// its relational coding V, the auxiliary structures L and M, and the source
+// index of the relational translator. XML updates go through the three
+// phases of §2.4: DTD validation, ΔX → ΔV translation (with XPath evaluation
+// and side-effect detection on the DAG), and ΔV → ΔR translation; then ΔR is
+// applied to I, ΔV to V, and the maintenance algorithms repair L and M.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"rxview/internal/atg"
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+	"rxview/internal/update"
+	"rxview/internal/viewupdate"
+	"rxview/internal/xpath"
+)
+
+// Options configures update processing.
+type Options struct {
+	// ForceSideEffects carries out updates that have XML side effects
+	// under the revised semantics of §2.1 (the change applies to every
+	// occurrence of the affected shared subtree). When false, such updates
+	// return a *SideEffectError so the caller can consult the user.
+	ForceSideEffects bool
+	// MaskLimit bounds the per-node state-set count in side-effect
+	// detection; see xpath.Evaluator.
+	MaskLimit int
+}
+
+// SideEffectError reports that an update would touch unselected occurrences
+// of a shared subtree. Retry with ForceSideEffects to proceed under the
+// revised semantics.
+type SideEffectError struct {
+	Op        string
+	Witnesses int
+}
+
+func (e *SideEffectError) Error() string {
+	return fmt.Sprintf("core: %s has XML side effects (%d witness occurrence(s)); re-run with ForceSideEffects to apply at every occurrence", e.Op, e.Witnesses)
+}
+
+// Timings breaks an update into the phases the paper's Fig.11 reports:
+// (a) XPath evaluation, (b) translation ΔX→ΔV→ΔR plus execution, and
+// (c) maintenance of the auxiliary structures (background in the paper).
+type Timings struct {
+	Validate  time.Duration
+	Eval      time.Duration // (a)
+	Translate time.Duration // (b): ΔX→ΔV and ΔV→ΔR (= XToDV + DVToDR)
+	XToDV     time.Duration // Algorithm Xinsert / Xdelete (Figs.5–6)
+	DVToDR    time.Duration // Algorithm insert / delete (§4)
+	Apply     time.Duration // (b): executing ΔR and ΔV
+	Maintain  time.Duration // (c): ∆(M,L)insert / ∆(M,L)delete
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.Validate + t.Eval + t.Translate + t.Apply + t.Maintain
+}
+
+// Report describes one processed update.
+type Report struct {
+	Op          string
+	Applied     bool
+	RP          int // |r[[p]]|
+	EP          int // |Ep(r)|
+	SideEffects bool
+	DVInserts   int
+	DVDeletes   int
+	DR          []relational.Mutation
+	Removed     int // garbage-collected nodes
+	Timings     Timings
+}
+
+// System is a published XML view with update support.
+type System struct {
+	ATG        *atg.Compiled
+	DB         *relational.Database
+	DAG        *dag.DAG
+	Index      *reach.Index
+	Translator *viewupdate.Translator
+
+	opts Options
+	text func(dag.NodeID) (string, bool)
+}
+
+// Open publishes σ(I) as a DAG, builds L, M and the source index, and
+// returns the system.
+func Open(c *atg.Compiled, db *relational.Database, opts Options) (*System, error) {
+	d, err := c.PublishDAG(db)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		ATG:        c,
+		DB:         db,
+		DAG:        d,
+		Index:      reach.BuildIndex(d),
+		Translator: viewupdate.NewTranslator(c, db, d),
+		opts:       opts,
+		text:       c.Text(d),
+	}
+	s.warmIndexes()
+	return s, nil
+}
+
+// warmIndexes pre-builds the secondary hash indexes on every column that a
+// rule query can join through, so the first update does not pay the build.
+func (s *System) warmIndexes() {
+	for _, r := range s.ATG.QueryRules() {
+		q := r.Query
+		for _, p := range q.Where {
+			for _, o := range []relational.Operand{p.Left, p.Right} {
+				if o.IsCol() {
+					if rel := s.DB.Rel(q.From[o.Tab].Table); rel != nil {
+						rel.BuildIndex(o.Col)
+					}
+				}
+			}
+		}
+	}
+}
+
+// evaluator returns a fresh XPath evaluator over the current view.
+func (s *System) evaluator() *xpath.Evaluator {
+	return &xpath.Evaluator{
+		D:         s.DAG,
+		Topo:      s.Index.Topo,
+		Text:      s.text,
+		MaskLimit: s.opts.MaskLimit,
+	}
+}
+
+// Query evaluates an XPath expression and returns r[[p]].
+func (s *System) Query(path string) ([]dag.NodeID, error) {
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.evaluator().Eval(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Selected, nil
+}
+
+// Eval evaluates a parsed path, returning the full result (selection, Ep,
+// side-effect witnesses).
+func (s *System) Eval(p *xpath.Path) (*xpath.Result, error) {
+	return s.evaluator().Eval(p)
+}
+
+// Execute parses and applies a textual update statement.
+func (s *System) Execute(stmt string) (*Report, error) {
+	op, err := update.ParseStatement(s.ATG, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Apply(op)
+}
+
+// Insert applies insert (elemType, attr) into path.
+func (s *System) Insert(path string, elemType string, attr relational.Tuple) (*Report, error) {
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Apply(&update.Op{Kind: update.OpInsert, Path: p, Type: elemType, Attr: attr})
+}
+
+// Delete applies delete path.
+func (s *System) Delete(path string) (*Report, error) {
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Apply(&update.Op{Kind: update.OpDelete, Path: p})
+}
+
+// Apply runs the full pipeline for one XML update ΔX.
+func (s *System) Apply(op *update.Op) (*Report, error) {
+	rep := &Report{Op: op.String()}
+
+	t0 := time.Now()
+	if err := update.ValidateAgainstDTD(s.ATG.DTD, op); err != nil {
+		return rep, err
+	}
+	rep.Timings.Validate = time.Since(t0)
+
+	t0 = time.Now()
+	res, err := s.evaluator().Eval(op.Path)
+	if err != nil {
+		return rep, err
+	}
+	rep.Timings.Eval = time.Since(t0)
+	rep.RP, rep.EP = len(res.Selected), len(res.Edges)
+
+	switch op.Kind {
+	case update.OpInsert:
+		rep.SideEffects = res.HasInsertSideEffects()
+		if rep.SideEffects && !s.opts.ForceSideEffects {
+			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.InsertWitnesses)}
+		}
+		if len(res.Selected) == 0 {
+			return rep, nil // nothing matched: a no-op, not an error
+		}
+		return rep, s.applyInsert(op, res, rep)
+	default:
+		rep.SideEffects = res.HasDeleteSideEffects()
+		if rep.SideEffects && !s.opts.ForceSideEffects {
+			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.DeleteWitnesses)}
+		}
+		if len(res.Edges) == 0 {
+			return rep, nil
+		}
+		return rep, s.applyDelete(op, res, rep)
+	}
+}
+
+func (s *System) applyInsert(op *update.Op, res *xpath.Result, rep *Report) error {
+	t0 := time.Now()
+	s.DAG.Begin()
+	dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
+	if err != nil {
+		s.DAG.Rollback()
+		return err
+	}
+	rep.Timings.XToDV = time.Since(t0)
+	if len(dv.Inserts) == 0 {
+		s.DAG.Rollback() // the edge(s) already exist: nothing to do
+		rep.Timings.Translate = rep.Timings.XToDV
+		return nil
+	}
+	t0 = time.Now()
+	dr, induced, err := s.Translator.TranslateInsert(dv.Inserts, dv.NewNodes)
+	if err != nil {
+		s.DAG.Rollback()
+		return err
+	}
+	rep.Timings.DVToDR = time.Since(t0)
+	rep.Timings.Translate = rep.Timings.XToDV + rep.Timings.DVToDR
+
+	t0 = time.Now()
+	if err := s.DB.Apply(dr); err != nil {
+		s.DAG.Rollback()
+		return err
+	}
+	// Materialize induced content (children the new base tuples generate
+	// under freshly published nodes) from the post-ΔR database.
+	for _, ie := range induced {
+		croot, err := s.ATG.PublishSubtree(s.DAG, s.DB, ie.ChildType, ie.Attr)
+		if err != nil {
+			// ΔR already applied; a failure here is an internal
+			// inconsistency, not a user rejection.
+			s.DAG.Rollback()
+			return fmt.Errorf("core: publishing induced %s%s: %w", ie.ChildType, ie.Attr, err)
+		}
+		s.DAG.AddEdge(ie.Parent, croot)
+	}
+	newNodes, edgeAdds, _ := s.DAG.Changes()
+	s.DAG.Commit()
+	for _, e := range edgeAdds {
+		s.Translator.NoteEdgeInserted(e)
+	}
+	rep.DR = dr
+	rep.DVInserts = len(edgeAdds)
+	rep.Applied = true
+	rep.Timings.Apply = time.Since(t0)
+
+	// Maintenance of L and M (background in the paper's framework).
+	t0 = time.Now()
+	s.Index.InsertUpdate(s.DAG, newNodes, edgeAdds)
+	rep.Timings.Maintain = time.Since(t0)
+	return nil
+}
+
+func (s *System) applyDelete(op *update.Op, res *xpath.Result, rep *Report) error {
+	t0 := time.Now()
+	dv := update.Xdelete(res.Edges)
+	rep.Timings.XToDV = time.Since(t0)
+	t0 = time.Now()
+	dr, err := s.Translator.TranslateDelete(dv.Deletes)
+	if err != nil {
+		return err
+	}
+	rep.Timings.DVToDR = time.Since(t0)
+	rep.Timings.Translate = rep.Timings.XToDV + rep.Timings.DVToDR
+
+	t0 = time.Now()
+	if err := s.DB.Apply(dr); err != nil {
+		return err
+	}
+	for _, e := range dv.Deletes {
+		s.DAG.RemoveEdge(e.Parent, e.Child)
+		s.Translator.NoteEdgeDeleted(e)
+	}
+	rep.DR = dr
+	rep.DVDeletes = len(dv.Deletes)
+	rep.Applied = true
+	rep.Timings.Apply = time.Since(t0)
+
+	t0 = time.Now()
+	cascade, removed := s.Index.DeleteUpdate(s.DAG, res.Selected, dv.Deletes)
+	for _, e := range cascade {
+		s.Translator.NoteEdgeDeleted(e)
+	}
+	rep.Removed = len(removed)
+	rep.DVDeletes += len(cascade)
+	rep.Timings.Maintain = time.Since(t0)
+	return nil
+}
+
+// CheckConsistency verifies the system invariant ΔX(T) = σ(ΔR(I)): the
+// incrementally maintained DAG must be isomorphic to a fresh publication of
+// the current database, L must be a valid topological order and M the exact
+// transitive closure, and the translator's source index must match a
+// rebuild.
+func (s *System) CheckConsistency() error {
+	fresh, err := s.ATG.PublishDAG(s.DB)
+	if err != nil {
+		return fmt.Errorf("core: republish: %w", err)
+	}
+	if err := EquivalentDAGs(s.DAG, fresh); err != nil {
+		return fmt.Errorf("core: view drift: %w", err)
+	}
+	if err := s.Index.Validate(s.DAG); err != nil {
+		return fmt.Errorf("core: index drift: %w", err)
+	}
+	return nil
+}
+
+// EquivalentDAGs compares two DAGs up to node identity (type, attribute):
+// same node set, same edge set.
+func EquivalentDAGs(a, b *dag.DAG) error {
+	keyOf := func(d *dag.DAG, id dag.NodeID) string {
+		return d.Type(id) + "(" + d.Attr(id).String() + ")"
+	}
+	aN := map[string]bool{}
+	for _, id := range a.Nodes() {
+		aN[keyOf(a, id)] = true
+	}
+	bN := map[string]bool{}
+	for _, id := range b.Nodes() {
+		bN[keyOf(b, id)] = true
+	}
+	for k := range aN {
+		if !bN[k] {
+			return fmt.Errorf("node %s missing from republished view", k)
+		}
+	}
+	for k := range bN {
+		if !aN[k] {
+			return fmt.Errorf("node %s missing from maintained view", k)
+		}
+	}
+	edges := func(d *dag.DAG) map[string]bool {
+		out := map[string]bool{}
+		for _, u := range d.Nodes() {
+			for _, v := range d.Children(u) {
+				out[keyOf(d, u)+"→"+keyOf(d, v)] = true
+			}
+		}
+		return out
+	}
+	aE, bE := edges(a), edges(b)
+	for k := range aE {
+		if !bE[k] {
+			return fmt.Errorf("edge %s missing from republished view", k)
+		}
+	}
+	for k := range bE {
+		if !aE[k] {
+			return fmt.Errorf("edge %s missing from maintained view", k)
+		}
+	}
+	return nil
+}
+
+// ErrTreeTooLarge re-exports the unfolding budget error.
+var ErrTreeTooLarge = dag.ErrTreeTooLarge
+
+// WriteXML serializes the (unfolded) XML view; maxNodes bounds the tree size
+// (recursive views can be exponentially larger than their DAG).
+func (s *System) WriteXML(w io.Writer, maxNodes int) error {
+	tree, err := s.DAG.Unfold(s.DAG.Root(), s.text, maxNodes)
+	if err != nil {
+		return err
+	}
+	return tree.WriteXML(w)
+}
+
+// XML returns the serialized view, or an error string if it exceeds the
+// budget.
+func (s *System) XML(maxNodes int) (string, error) {
+	var b writerBuilder
+	if err := s.WriteXML(&b, maxNodes); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type writerBuilder struct{ data []byte }
+
+func (w *writerBuilder) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+func (w *writerBuilder) String() string { return string(w.data) }
+
+// IsRejected reports whether an error means the update was rejected by the
+// relational translation (as opposed to an internal failure).
+func IsRejected(err error) bool {
+	var rej *viewupdate.RejectedError
+	return errors.As(err, &rej)
+}
+
+// IsSideEffect reports whether an error is a side-effect consultation.
+func IsSideEffect(err error) bool {
+	var se *SideEffectError
+	return errors.As(err, &se)
+}

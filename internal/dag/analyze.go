@@ -1,0 +1,177 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rxview/internal/xtree"
+)
+
+// CheckAcyclic verifies the structure is a DAG (the h1 < h2 style constraint
+// of the paper's dataset guarantees this by construction; publishing enforces
+// it because gen_id memoization cannot create back edges to in-progress
+// nodes only in acyclic inputs). Returns an error naming a cycle member.
+func (d *DAG) CheckAcyclic() error {
+	state := make([]int8, d.Cap()) // 0 unseen, 1 in-progress, 2 done
+	var visit func(id NodeID) error
+	visit = func(id NodeID) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("dag: cycle through node %d (%s)", id, d.types[id])
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		for _, c := range d.children[id] {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		state[id] = 2
+		return nil
+	}
+	for _, id := range d.Nodes() {
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reachable returns a Cap()-sized bitmap marking nodes reachable from the
+// root (including it).
+func (d *DAG) Reachable() []bool {
+	seen := make([]bool, d.Cap())
+	if !d.Alive(d.root) {
+		return seen
+	}
+	stack := []NodeID{d.root}
+	seen[d.root] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range d.children[u] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+// GarbageCollect removes every node unreachable from the root, together with
+// its edges, and returns the removed node ids. This is the background step
+// of §2.3 that clears gen_B entries "no longer linked to any node".
+func (d *DAG) GarbageCollect() []NodeID {
+	seen := d.Reachable()
+	var removed []NodeID
+	for _, id := range d.Nodes() {
+		if !seen[id] {
+			removed = append(removed, id)
+		}
+	}
+	for _, id := range removed {
+		d.RemoveNode(id)
+	}
+	return removed
+}
+
+// OccurrenceCounts returns, per node, the number of occurrences the node has
+// in the uncompressed tree view (the number of root-to-node paths). Counts
+// saturate at MaxFloat64 scale via float64: recursive views can be
+// exponentially larger than their DAG (§1), which is the point of the
+// compression.
+func (d *DAG) OccurrenceCounts() []float64 {
+	occ := make([]float64, d.Cap())
+	state := make([]int8, d.Cap())
+	var visit func(id NodeID) float64
+	visit = func(id NodeID) float64 {
+		if state[id] == 2 {
+			return occ[id]
+		}
+		state[id] = 2
+		var total float64
+		if id == d.root {
+			total = 1
+		}
+		for _, p := range d.parents[id] {
+			if d.alive[p] {
+				total += visit(p)
+			}
+		}
+		occ[id] = total
+		return total
+	}
+	for _, id := range d.Nodes() {
+		visit(id)
+	}
+	return occ
+}
+
+// TreeSize returns the number of element nodes of the uncompressed tree view
+// |T|. The compression ratio |T| / NumNodes is what Fig.10(b) reports.
+func (d *DAG) TreeSize() float64 {
+	var total float64
+	for _, c := range d.OccurrenceCounts() {
+		total += c
+	}
+	return total
+}
+
+// SharedNodeCount returns how many live nodes have more than one parent —
+// the subtree-sharing statistic of §5 (31.4% of C instances in the paper's
+// dataset).
+func (d *DAG) SharedNodeCount() int {
+	n := 0
+	for _, id := range d.Nodes() {
+		live := 0
+		for _, p := range d.parents[id] {
+			if d.alive[p] {
+				live++
+			}
+		}
+		if live > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrTreeTooLarge is returned by Unfold when the uncompressed tree exceeds
+// the node budget.
+var ErrTreeTooLarge = errors.New("dag: uncompressed tree exceeds node budget")
+
+// Unfold materializes the uncompressed tree view rooted at id, formatting
+// PCDATA content with textOf (nil means elements carry no text). maxNodes
+// bounds the output size; recursive views can be exponentially larger than
+// the DAG.
+func (d *DAG) Unfold(id NodeID, textOf func(NodeID) (string, bool), maxNodes int) (*xtree.Node, error) {
+	if maxNodes <= 0 {
+		maxNodes = math.MaxInt
+	}
+	budget := maxNodes
+	var build func(id NodeID) (*xtree.Node, error)
+	build = func(id NodeID) (*xtree.Node, error) {
+		if budget <= 0 {
+			return nil, ErrTreeTooLarge
+		}
+		budget--
+		n := &xtree.Node{Type: d.types[id]}
+		if textOf != nil {
+			if s, ok := textOf(id); ok {
+				n.Text = s
+			}
+		}
+		for _, c := range d.children[id] {
+			child, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		}
+		return n, nil
+	}
+	return build(id)
+}

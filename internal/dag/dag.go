@@ -1,0 +1,277 @@
+// Package dag implements the DAG compression of XML views (§2.3 of the
+// paper): every subtree ST(A, $A) shared by multiple nodes of the tree view
+// is stored once. Nodes are identified by the Skolem function gen_id over
+// (element type, semantic-attribute tuple); edges are grouped per
+// (parent type, child type) pair, which is exactly the relational coding
+// V_σ = { edge_A_B } of the view. The per-type node sets are the gen_A
+// relations the paper maintains in the background.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/relational"
+)
+
+// NodeID identifies a node of the DAG. IDs are dense and never reused within
+// one DAG, so slices indexed by NodeID serve as node-keyed maps.
+type NodeID int32
+
+// InvalidNode is returned by lookups that fail.
+const InvalidNode NodeID = -1
+
+// Edge is a parent→child edge; the tuple (gen_id($A), gen_id($B)) of an
+// edge_A_B relation.
+type Edge struct {
+	Parent, Child NodeID
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d→%d)", e.Parent, e.Child) }
+
+// DAG is the compressed XML view.
+type DAG struct {
+	types    []string           // node -> element type
+	attrs    []relational.Tuple // node -> semantic attribute $A
+	children [][]NodeID         // ordered adjacency
+	parents  [][]NodeID
+	alive    []bool
+	root     NodeID
+
+	gen       map[string]NodeID   // Skolem registry: (type, attr) -> id
+	byType    map[string][]NodeID // gen_A sets (may contain dead ids; filtered on read)
+	edgeCount int
+	liveCount int
+
+	journal *journal
+}
+
+// New creates an empty DAG and its root node of the given type. The root's
+// semantic attribute is the empty tuple (the paper's $r is fixed).
+func New(rootType string) *DAG {
+	d := &DAG{
+		gen:    make(map[string]NodeID),
+		byType: make(map[string][]NodeID),
+		root:   InvalidNode,
+	}
+	d.root, _ = d.AddNode(rootType, nil)
+	return d
+}
+
+// Root returns the root node id.
+func (d *DAG) Root() NodeID { return d.root }
+
+// NumNodes returns the number of live nodes (n in the paper's analysis).
+func (d *DAG) NumNodes() int { return d.liveCount }
+
+// NumEdges returns the number of live edges (|V| in the paper's analysis:
+// the size of the relational views).
+func (d *DAG) NumEdges() int { return d.edgeCount }
+
+// Cap returns the id upper bound: every live NodeID is < Cap. Use it to size
+// node-indexed slices.
+func (d *DAG) Cap() int { return len(d.types) }
+
+// Alive reports whether the id refers to a live node.
+func (d *DAG) Alive(id NodeID) bool {
+	return id >= 0 && int(id) < len(d.alive) && d.alive[id]
+}
+
+// Type returns the element type of the node.
+func (d *DAG) Type(id NodeID) string { return d.types[id] }
+
+// Attr returns the semantic attribute tuple $A of the node.
+func (d *DAG) Attr(id NodeID) relational.Tuple { return d.attrs[id] }
+
+// Children returns the ordered child list of the node. Callers must not
+// mutate the returned slice.
+func (d *DAG) Children(id NodeID) []NodeID { return d.children[id] }
+
+// Parents returns the parent list of the node. Callers must not mutate it.
+func (d *DAG) Parents(id NodeID) []NodeID { return d.parents[id] }
+
+func genKey(typ string, attr relational.Tuple) string {
+	return typ + "\x00" + attr.Encode()
+}
+
+// Lookup returns the node with the given type and attribute, if present and
+// alive. This is gen_id as a partial lookup.
+func (d *DAG) Lookup(typ string, attr relational.Tuple) (NodeID, bool) {
+	id, ok := d.gen[genKey(typ, attr)]
+	if !ok || !d.alive[id] {
+		return InvalidNode, false
+	}
+	return id, true
+}
+
+// AddNode returns the node for (typ, attr), creating it if needed; created
+// reports whether a new node was allocated. This is the Skolem function
+// gen_id of §2.3: the id is unique per (type, attribute value).
+func (d *DAG) AddNode(typ string, attr relational.Tuple) (id NodeID, created bool) {
+	k := genKey(typ, attr)
+	if id, ok := d.gen[k]; ok {
+		if d.alive[id] {
+			return id, false
+		}
+		// Resurrect a previously deleted identity, reusing its id so the
+		// Skolem function stays a function.
+		d.alive[id] = true
+		d.liveCount++
+		d.byType[typ] = append(d.byType[typ], id)
+		d.logOp(jop{kind: jNodeAdd, node: id})
+		return id, true
+	}
+	id = NodeID(len(d.types))
+	d.types = append(d.types, typ)
+	d.attrs = append(d.attrs, attr.Clone())
+	d.children = append(d.children, nil)
+	d.parents = append(d.parents, nil)
+	d.alive = append(d.alive, true)
+	d.gen[k] = id
+	d.byType[typ] = append(d.byType[typ], id)
+	d.liveCount++
+	d.logOp(jop{kind: jNodeAdd, node: id})
+	return id, true
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (d *DAG) HasEdge(u, v NodeID) bool {
+	for _, c := range d.children[u] {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the edge (u,v) at the end of u's child list (the paper's
+// insertions add the new subtree as the rightmost child). It reports whether
+// the edge was new; edge relations have set semantics, so duplicates are
+// ignored.
+func (d *DAG) AddEdge(u, v NodeID) bool {
+	if !d.Alive(u) || !d.Alive(v) {
+		return false
+	}
+	if d.HasEdge(u, v) {
+		return false
+	}
+	d.children[u] = append(d.children[u], v)
+	d.parents[v] = append(d.parents[v], u)
+	d.edgeCount++
+	d.logOp(jop{kind: jEdgeAdd, edge: Edge{u, v}})
+	return true
+}
+
+// RemoveEdge deletes the edge (u,v); it reports whether the edge existed.
+// The child node is not removed even if orphaned: garbage collection of
+// unreachable nodes is the background maintenance step of §2.3.
+func (d *DAG) RemoveEdge(u, v NodeID) bool {
+	cpos := removeFrom(&d.children[u], v)
+	if cpos < 0 {
+		return false
+	}
+	ppos := removeFrom(&d.parents[v], u)
+	d.edgeCount--
+	d.logOp(jop{kind: jEdgeDel, edge: Edge{u, v}, childPos: cpos, parentPos: ppos})
+	return true
+}
+
+func removeFrom(list *[]NodeID, x NodeID) int {
+	s := *list
+	for i, v := range s {
+		if v == x {
+			copy(s[i:], s[i+1:])
+			*list = s[:len(s)-1]
+			return i
+		}
+	}
+	return -1
+}
+
+func insertAt(list *[]NodeID, pos int, x NodeID) {
+	s := *list
+	if pos < 0 || pos > len(s) {
+		pos = len(s)
+	}
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = x
+	*list = s
+}
+
+// RemoveNode deletes a node and all its incident edges. Used by garbage
+// collection when a node becomes unreachable from the root.
+func (d *DAG) RemoveNode(id NodeID) {
+	if !d.Alive(id) {
+		return
+	}
+	for _, c := range append([]NodeID(nil), d.children[id]...) {
+		d.RemoveEdge(id, c)
+	}
+	for _, p := range append([]NodeID(nil), d.parents[id]...) {
+		d.RemoveEdge(p, id)
+	}
+	d.alive[id] = false
+	d.liveCount--
+	d.logOp(jop{kind: jNodeDel, node: id})
+}
+
+// NodesOfType returns the live nodes of an element type in id order: the
+// gen_A relation of §2.3.
+func (d *DAG) NodesOfType(typ string) []NodeID {
+	raw := d.byType[typ]
+	out := make([]NodeID, 0, len(raw))
+	for _, id := range raw {
+		if d.alive[id] {
+			out = append(out, id)
+		}
+	}
+	// The raw list can accumulate dead ids and duplicates after
+	// resurrections; compact it opportunistically.
+	if len(out) < len(raw) {
+		d.byType[typ] = append([]NodeID(nil), out...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupe(out)
+}
+
+func dedupe(ids []NodeID) []NodeID {
+	out := ids[:0]
+	var last NodeID = -1
+	for _, id := range ids {
+		if id != last {
+			out = append(out, id)
+			last = id
+		}
+	}
+	return out
+}
+
+// Nodes returns all live node ids in id order.
+func (d *DAG) Nodes() []NodeID {
+	out := make([]NodeID, 0, d.liveCount)
+	for id := range d.types {
+		if d.alive[id] {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// Edges returns all live edges grouped by (parent type, child type) — the
+// edge_A_B relations of the relational coding V_σ. Keys are "A→B".
+func (d *DAG) Edges() map[string][]Edge {
+	out := make(map[string][]Edge)
+	for _, u := range d.Nodes() {
+		for _, v := range d.children[u] {
+			k := d.types[u] + "→" + d.types[v]
+			out[k] = append(out[k], Edge{u, v})
+		}
+	}
+	return out
+}
+
+// EdgeRelationName returns the paper's edge_A_B relation name for an edge.
+func (d *DAG) EdgeRelationName(e Edge) string {
+	return "edge_" + d.types[e.Parent] + "_" + d.types[e.Child]
+}

@@ -1,0 +1,115 @@
+package dag
+
+// journal records DAG mutations so a speculative update (e.g. publishing a
+// subtree ST(A,t) before the relational translation is accepted) can be
+// rolled back if the update is rejected — the paper's framework rejects ΔX
+// "as early as possible" and must leave the view untouched.
+//
+// Mutations are kept as a single chronological log and undone in reverse, so
+// arbitrary interleavings of node/edge adds and removes restore exactly.
+type journal struct {
+	ops []jop
+}
+
+type jop struct {
+	kind                jopKind
+	node                NodeID
+	edge                Edge
+	childPos, parentPos int // original positions for jEdgeDel undo
+}
+
+type jopKind uint8
+
+const (
+	jNodeAdd jopKind = iota
+	jNodeDel
+	jEdgeAdd
+	jEdgeDel
+)
+
+func (d *DAG) logOp(op jop) {
+	if d.journal != nil {
+		d.journal.ops = append(d.journal.ops, op)
+	}
+}
+
+// Begin starts recording mutations. Nested transactions are not supported;
+// Begin panics if one is already open (programming error).
+func (d *DAG) Begin() {
+	if d.journal != nil {
+		panic("dag: nested Begin")
+	}
+	d.journal = &journal{}
+}
+
+// InTxn reports whether a journal is open.
+func (d *DAG) InTxn() bool { return d.journal != nil }
+
+// Commit discards the journal, keeping all mutations.
+func (d *DAG) Commit() {
+	if d.journal == nil {
+		panic("dag: Commit without Begin")
+	}
+	d.journal = nil
+}
+
+// Changes returns the mutations recorded so far: added nodes, added edges and
+// removed edges. Valid only inside a transaction.
+func (d *DAG) Changes() (nodeAdds []NodeID, edgeAdds, edgeDels []Edge) {
+	if d.journal == nil {
+		panic("dag: Changes without Begin")
+	}
+	for _, op := range d.journal.ops {
+		switch op.kind {
+		case jNodeAdd:
+			nodeAdds = append(nodeAdds, op.node)
+		case jEdgeAdd:
+			edgeAdds = append(edgeAdds, op.edge)
+		case jEdgeDel:
+			edgeDels = append(edgeDels, op.edge)
+		}
+	}
+	return nodeAdds, edgeAdds, edgeDels
+}
+
+// Rollback undoes every mutation recorded since Begin, in reverse
+// chronological order.
+func (d *DAG) Rollback() {
+	if d.journal == nil {
+		panic("dag: Rollback without Begin")
+	}
+	ops := d.journal.ops
+	d.journal = nil // avoid re-journaling the undo operations
+
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		switch op.kind {
+		case jEdgeAdd:
+			d.RemoveEdge(op.edge.Parent, op.edge.Child)
+		case jEdgeDel:
+			// Re-insert at the original positions so sibling order (which
+			// the XML view semantics exposes) is restored exactly.
+			insertAt(&d.children[op.edge.Parent], op.childPos, op.edge.Child)
+			insertAt(&d.parents[op.edge.Child], op.parentPos, op.edge.Parent)
+			d.edgeCount++
+		case jNodeAdd:
+			// Incident edges were necessarily added after the node and
+			// have already been removed above.
+			if d.alive[op.node] {
+				d.alive[op.node] = false
+				d.liveCount--
+			}
+		case jNodeDel:
+			d.resurrect(op.node)
+		}
+	}
+}
+
+func (d *DAG) resurrect(id NodeID) {
+	if d.alive[id] {
+		return
+	}
+	d.alive[id] = true
+	d.liveCount++
+	d.byType[d.types[id]] = append(d.byType[d.types[id]], id)
+}

@@ -1,0 +1,294 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements footnote ① of the paper: "An arbitrary DTD can be
+// normalized into a DTD in the form defined by introducing additional
+// element types in linear time." ParseGeneral accepts full content models —
+// nested groups, mixed ',' and '|', and the *, +, ? operators — and rewrites
+// them into the normalized productions (PCDATA | ε | sequence | alternation
+// | star) that the publishing and update machinery require. Auxiliary types
+// are named <parent>.grpN; a post-publishing step can erase them when
+// serializing for consumers of the original DTD.
+
+// contentExpr is the AST of a general content model.
+type contentExpr struct {
+	kind     exprKind
+	name     string // for exprName
+	children []*contentExpr
+}
+
+type exprKind uint8
+
+const (
+	exprName exprKind = iota
+	exprSeq
+	exprAlt
+	exprStar
+	exprPlus
+	exprOpt
+	exprPCData
+	exprEmpty
+)
+
+// ParseGeneral parses a DTD whose content models may use nested groups and
+// the ?, +, * operators, and returns the normalized DTD. The first declared
+// element is the root.
+func ParseGeneral(text string) (*DTD, error) {
+	elems := make(map[string]Production)
+	root := ""
+	aux := &auxAllocator{elems: elems}
+
+	rest := text
+	for {
+		start := strings.Index(rest, "<!ELEMENT")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(rest[start:], ">")
+		if end < 0 {
+			return nil, fmt.Errorf("dtd: unterminated <!ELEMENT near %q", clip(rest[start:]))
+		}
+		decl := rest[start+len("<!ELEMENT") : start+end]
+		rest = rest[start+end+1:]
+
+		fields := strings.Fields(decl)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dtd: malformed declaration %q", clip(decl))
+		}
+		name := fields[0]
+		spec := strings.TrimSpace(strings.Join(fields[1:], " "))
+		if _, dup := elems[name]; dup {
+			return nil, fmt.Errorf("dtd: element %s declared twice", name)
+		}
+		expr, err := parseContentExpr(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %w", name, err)
+		}
+		prod, err := aux.normalizeTop(name, expr)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %w", name, err)
+		}
+		elems[name] = prod
+		if root == "" {
+			root = name
+		}
+	}
+	if root == "" {
+		return nil, fmt.Errorf("dtd: no <!ELEMENT declarations found")
+	}
+	return New(root, elems)
+}
+
+// auxAllocator introduces auxiliary element types for nested sub-expressions.
+type auxAllocator struct {
+	elems map[string]Production
+	next  int
+}
+
+func (a *auxAllocator) fresh(parent string, prod Production) string {
+	a.next++
+	name := fmt.Sprintf("%s.grp%d", parent, a.next)
+	a.elems[name] = prod
+	return name
+}
+
+// normalizeTop rewrites an expression into a single normalized production
+// for the declared element.
+func (a *auxAllocator) normalizeTop(parent string, e *contentExpr) (Production, error) {
+	switch e.kind {
+	case exprPCData:
+		return Production{Kind: PCData}, nil
+	case exprEmpty:
+		return Production{Kind: Empty}, nil
+	case exprName:
+		// A single child is a one-element sequence.
+		return Production{Kind: Seq, Children: []string{e.name}}, nil
+	case exprSeq:
+		kids := make([]string, 0, len(e.children))
+		for _, c := range e.children {
+			n, err := a.typeFor(parent, c)
+			if err != nil {
+				return Production{}, err
+			}
+			kids = append(kids, n)
+		}
+		return Production{Kind: Seq, Children: kids}, nil
+	case exprAlt:
+		kids := make([]string, 0, len(e.children))
+		for _, c := range e.children {
+			n, err := a.typeFor(parent, c)
+			if err != nil {
+				return Production{}, err
+			}
+			kids = append(kids, n)
+		}
+		return Production{Kind: Alt, Children: kids}, nil
+	case exprStar:
+		n, err := a.typeFor(parent, e.children[0])
+		if err != nil {
+			return Production{}, err
+		}
+		return Production{Kind: Star, Children: []string{n}}, nil
+	case exprPlus:
+		// e+ ≡ e, e*
+		n, err := a.typeFor(parent, e.children[0])
+		if err != nil {
+			return Production{}, err
+		}
+		star := a.fresh(parent, Production{Kind: Star, Children: []string{n}})
+		return Production{Kind: Seq, Children: []string{n, star}}, nil
+	case exprOpt:
+		// e? ≡ (e | ε): an alternation with an EMPTY auxiliary.
+		n, err := a.typeFor(parent, e.children[0])
+		if err != nil {
+			return Production{}, err
+		}
+		empty := a.fresh(parent, Production{Kind: Empty})
+		return Production{Kind: Alt, Children: []string{n, empty}}, nil
+	default:
+		return Production{}, fmt.Errorf("unknown content expression")
+	}
+}
+
+// typeFor returns an element type generating the expression, introducing an
+// auxiliary type when the expression is not a plain name.
+func (a *auxAllocator) typeFor(parent string, e *contentExpr) (string, error) {
+	if e.kind == exprName {
+		return e.name, nil
+	}
+	if e.kind == exprPCData {
+		return "", fmt.Errorf("#PCDATA may only appear alone")
+	}
+	prod, err := a.normalizeTop(parent, e)
+	if err != nil {
+		return "", err
+	}
+	return a.fresh(parent, prod), nil
+}
+
+// parseContentExpr parses a general content model.
+func parseContentExpr(spec string) (*contentExpr, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "EMPTY" {
+		return &contentExpr{kind: exprEmpty}, nil
+	}
+	p := &exprParser{src: spec}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("trailing content at %d in %q", p.pos, p.src)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parse reads one unit (group or name) with a possible trailing operator.
+func (p *exprParser) parse() (*contentExpr, error) {
+	p.skip()
+	var e *contentExpr
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expected ')' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		e = inner
+	case strings.HasPrefix(p.src[p.pos:], "#PCDATA"):
+		p.pos += len("#PCDATA")
+		e = &contentExpr{kind: exprPCData}
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("expected name or group at %d in %q", p.pos, p.src)
+		}
+		e = &contentExpr{kind: exprName, name: p.src[start:p.pos]}
+	}
+	switch p.peek() {
+	case '*':
+		p.pos++
+		return &contentExpr{kind: exprStar, children: []*contentExpr{e}}, nil
+	case '+':
+		p.pos++
+		return &contentExpr{kind: exprPlus, children: []*contentExpr{e}}, nil
+	case '?':
+		p.pos++
+		return &contentExpr{kind: exprOpt, children: []*contentExpr{e}}, nil
+	}
+	return e, nil
+}
+
+// parseGroup reads a parenthesized body: units separated consistently by ','
+// or '|'.
+func (p *exprParser) parseGroup() (*contentExpr, error) {
+	var parts []*contentExpr
+	sep := byte(0)
+	for {
+		e, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+		p.skip()
+		c := p.peek()
+		if c != ',' && c != '|' {
+			break
+		}
+		if sep == 0 {
+			sep = c
+		} else if sep != c {
+			return nil, fmt.Errorf("mixed ',' and '|' at the same level at %d in %q (use nested groups)", p.pos, p.src)
+		}
+		p.pos++
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	kind := exprSeq
+	if sep == '|' {
+		kind = exprAlt
+	}
+	return &contentExpr{kind: kind, children: parts}, nil
+}
+
+func isNameChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_' || c == '-' || c == '.':
+		return true
+	}
+	return false
+}

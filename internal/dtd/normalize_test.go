@@ -1,0 +1,179 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests cover footnote ① of the paper: normalizing arbitrary DTDs
+// into the restricted production forms by introducing auxiliary types.
+
+func TestParseGeneralAlreadyNormal(t *testing.T) {
+	d, err := ParseGeneral(`
+<!ELEMENT db (course*)>
+<!ELEMENT course (cno, title)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elems["db"].Kind != Star || d.Elems["course"].Kind != Seq {
+		t.Errorf("productions: %v %v", d.Elems["db"], d.Elems["course"])
+	}
+	// No auxiliary types needed.
+	for _, typ := range d.Types() {
+		if strings.Contains(typ, ".grp") {
+			t.Errorf("unnecessary auxiliary type %s", typ)
+		}
+	}
+}
+
+func TestParseGeneralOptional(t *testing.T) {
+	// a? ≡ (a | ε) via an auxiliary EMPTY type.
+	d, err := ParseGeneral(`
+<!ELEMENT doc (a?)>
+<!ELEMENT a (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Elems["doc"]
+	if p.Kind != Alt || len(p.Children) != 2 {
+		t.Fatalf("doc = %v", p)
+	}
+	hasEmptyAux := false
+	for _, c := range p.Children {
+		if d.Elems[c].Kind == Empty && strings.Contains(c, ".grp") {
+			hasEmptyAux = true
+		}
+	}
+	if !hasEmptyAux {
+		t.Errorf("expected an auxiliary EMPTY alternative: %v", p)
+	}
+}
+
+func TestParseGeneralPlus(t *testing.T) {
+	// a+ ≡ a, a* via an auxiliary star type.
+	d, err := ParseGeneral(`
+<!ELEMENT doc (a+)>
+<!ELEMENT a (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Elems["doc"]
+	if p.Kind != Seq || len(p.Children) != 2 || p.Children[0] != "a" {
+		t.Fatalf("doc = %v", p)
+	}
+	star := d.Elems[p.Children[1]]
+	if star.Kind != Star || star.Children[0] != "a" {
+		t.Errorf("aux star = %v", star)
+	}
+}
+
+func TestParseGeneralNestedGroups(t *testing.T) {
+	// (a, (b | c)*) needs an auxiliary type for the starred alternation.
+	d, err := ParseGeneral(`
+<!ELEMENT doc (a, (b | c)*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Elems["doc"]
+	if p.Kind != Seq || len(p.Children) != 2 {
+		t.Fatalf("doc = %v", p)
+	}
+	starAux := d.Elems[p.Children[1]]
+	if starAux.Kind != Star {
+		t.Fatalf("second child should be a star aux: %v", starAux)
+	}
+	altAux := d.Elems[starAux.Children[0]]
+	if altAux.Kind != Alt || len(altAux.Children) != 2 {
+		t.Errorf("starred alternation = %v", altAux)
+	}
+	// The result is a valid normalized DTD.
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGeneralDeeplyNested(t *testing.T) {
+	d, err := ParseGeneral(`
+<!ELEMENT doc ((a, b)+ | (c?, d)*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Elems["doc"].Kind != Alt {
+		t.Errorf("doc = %v", d.Elems["doc"])
+	}
+	// All introduced types are well-formed normalized productions.
+	for _, typ := range d.Types() {
+		switch d.Elems[typ].Kind {
+		case PCData, Empty, Seq, Alt, Star:
+		default:
+			t.Errorf("type %s has non-normalized production", typ)
+		}
+	}
+}
+
+func TestParseGeneralRecursive(t *testing.T) {
+	d, err := ParseGeneral(`
+<!ELEMENT part (pno, part*)>
+<!ELEMENT pno (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRecursive() {
+		t.Error("recursive general DTD should stay recursive")
+	}
+	p := d.Elems["part"]
+	if p.Kind != Seq || len(p.Children) != 2 {
+		t.Fatalf("part = %v", p)
+	}
+	if aux := d.Elems[p.Children[1]]; aux.Kind != Star || aux.Children[0] != "part" {
+		t.Errorf("aux = %v", aux)
+	}
+}
+
+func TestParseGeneralErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"<!ELEMENT a (b,)> <!ELEMENT b EMPTY>",
+		"<!ELEMENT a (b | c, d)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>", // mixed at one level
+		"<!ELEMENT a (#PCDATA, b)> <!ELEMENT b EMPTY>",                                     // PCDATA not alone
+		"<!ELEMENT a ((b)> <!ELEMENT b EMPTY>",                                             // unbalanced
+		"<!ELEMENT a (b)) > <!ELEMENT b EMPTY>",                                            // trailing
+		"<!ELEMENT a (b)> <!ELEMENT a (b)> <!ELEMENT b EMPTY>",                             // duplicate
+		"<!ELEMENT a (undeclared)>",                                                        // unknown type
+	} {
+		if _, err := ParseGeneral(text); err == nil {
+			t.Errorf("ParseGeneral(%q) accepted", text)
+		}
+	}
+}
+
+func TestParseGeneralSingleName(t *testing.T) {
+	d, err := ParseGeneral(`
+<!ELEMENT doc (a)>
+<!ELEMENT a EMPTY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Elems["doc"]; p.Kind != Seq || len(p.Children) != 1 {
+		t.Errorf("doc = %v", p)
+	}
+}

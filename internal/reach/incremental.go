@@ -1,0 +1,201 @@
+package reach
+
+import "rxview/internal/dag"
+
+// Index bundles the two auxiliary structures that are maintained together —
+// the paper maintains M and L "at once" because each update needs the other
+// (§3.4: "we follow a hybrid approach by maintaining both auxiliary
+// structures at once").
+type Index struct {
+	Topo   *Topo
+	Matrix *Matrix
+}
+
+// BuildIndex computes L and M from scratch (used at publish time; Table 1's
+// "recomputation" column re-runs exactly this).
+func BuildIndex(d *dag.DAG) *Index {
+	t := ComputeTopo(d)
+	return &Index{Topo: t, Matrix: Compute(d, t)}
+}
+
+// Validate checks both structures against the DAG: L is a topological order
+// covering the live nodes, and M equals the recomputed transitive closure.
+func (ix *Index) Validate(d *dag.DAG) error {
+	if err := ix.Topo.Validate(d); err != nil {
+		return err
+	}
+	want := Compute(d, ix.Topo)
+	if !ix.Matrix.Equal(want) {
+		return errMatrix(ix.Matrix.Diff(want))
+	}
+	return nil
+}
+
+type errMatrix string
+
+func (e errMatrix) Error() string { return "reach: matrix mismatch: " + string(e) }
+
+// InsertUpdate is Algorithm ∆(M,L)insert (Fig.7): it maintains L and M after
+// an insertion that added newNodes (the fresh nodes of the published subtree
+// ST(A,t), in creation order) and newEdges (the subtree's internal edges plus
+// the connection edges (u_i, r_A) for u_i ∈ r[[p]]).
+//
+// The implementation composes the paper's primitives:
+//   - new nodes are appended to L in children-first order (their local
+//     topological order L_A), then every inserted edge is repaired with
+//     swap(L, u, v) — the alignment of Fig.7 lines 6..14;
+//   - M gains, per inserted edge (u,v), the pairs
+//     ({u} ∪ anc(u)) × ({v} ∪ desc(v)) — for a fresh subtree this is
+//     exactly Reach on ST(A,t) plus the anc(r[[p]]) × N_A pairs of
+//     Fig.7 lines 3..5.
+//
+// Edges must already be present in the DAG.
+func (ix *Index) InsertUpdate(d *dag.DAG, newNodes []dag.NodeID, newEdges []dag.Edge) {
+	// L_A: order the fresh nodes children-first among themselves, so most
+	// appends need no repair.
+	la := localTopo(d, newNodes)
+	for _, id := range la {
+		ix.Topo.Append(id)
+		ix.Matrix.ensure(id)
+	}
+	for _, e := range newEdges {
+		ix.Topo.FixEdge(d, e.Parent, e.Child)
+	}
+	for _, e := range newEdges {
+		ix.addEdgeClosure(e.Parent, e.Child)
+	}
+}
+
+// addEdgeClosure adds to M every pair created by edge (u,v):
+// ({u} ∪ anc(u)) × ({v} ∪ desc(v)).
+func (ix *Index) addEdgeClosure(u, v dag.NodeID) {
+	m := ix.Matrix
+	m.ensure(u)
+	m.ensure(v)
+	ancs := append(sortedKeys(m.Ancestors(u)), u)
+	descs := append(sortedKeys(m.Descendants(v)), v)
+	for _, a := range ancs {
+		for _, dd := range descs {
+			m.AddPair(a, dd)
+		}
+	}
+}
+
+// localTopo orders the given nodes children-first using only edges among
+// them (the order L_A of Fig.7 line 2).
+func localTopo(d *dag.DAG, nodes []dag.NodeID) []dag.NodeID {
+	in := make(map[dag.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		in[id] = true
+	}
+	state := make(map[dag.NodeID]int8, len(nodes))
+	out := make([]dag.NodeID, 0, len(nodes))
+	var visit func(id dag.NodeID)
+	visit = func(id dag.NodeID) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		for _, c := range d.Children(id) {
+			if in[c] {
+				visit(c)
+			}
+		}
+		state[id] = 2
+		out = append(out, id) // post-order: children before parents
+	}
+	for _, id := range nodes {
+		visit(id)
+	}
+	return out
+}
+
+// DeleteUpdate is Algorithm ∆(M,L)delete (Fig.8): given the deletion targets
+// rp = r[[p]] and the already-removed parent-child edges ep = Ep(r), it
+// repairs M, removes newly unreachable nodes from L and the DAG (the paper's
+// keep(d) := false path), and returns ∆'V — the cascade of edges removed
+// from the view because their parent node died — plus the garbage-collected
+// nodes themselves.
+//
+// The traversal works on L_R = desc(r[[p]]) sorted by L and walked backwards
+// (ancestors first), so each node's surviving parents have final ancestor
+// sets when it is processed.
+func (ix *Index) DeleteUpdate(d *dag.DAG, rp []dag.NodeID, ep []dag.Edge) (cascade []dag.Edge, removed []dag.NodeID) {
+	m, topo := ix.Matrix, ix.Topo
+
+	// L_R: descendants-or-self of the deletion targets, per the (stale,
+	// hence superset) matrix — exactly the nodes that can lose ancestors.
+	seen := make(map[dag.NodeID]bool)
+	var lr []dag.NodeID
+	add := func(id dag.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			lr = append(lr, id)
+		}
+	}
+	for _, v := range rp {
+		add(v)
+		for dd := range m.Descendants(v) {
+			add(dd)
+		}
+	}
+	topo.SortDescending(lr) // backward traversal: ancestors first
+
+	keep := make(map[dag.NodeID]bool, len(lr))
+	for _, id := range lr {
+		keep[id] = true
+	}
+	root := d.Root()
+
+	for _, n := range lr {
+		if !keep[n] {
+			continue // already processed as dead via cascade bookkeeping
+		}
+		// P_d: surviving parents (edges in ep are already gone from the
+		// DAG; parents killed earlier in this traversal had their child
+		// edges removed too, so Parents() is already clean — but guard via
+		// keep anyway, matching Fig.8 line 7).
+		var pd []dag.NodeID
+		for _, p := range d.Parents(n) {
+			if d.Alive(p) && keepOf(keep, p) {
+				pd = append(pd, p)
+			}
+		}
+		if n == root {
+			continue // the root needs no parents
+		}
+		if len(pd) == 0 {
+			// keep(d) := false — the node is unreachable: drop it from L,
+			// cascade-delete its outgoing edges (∆'V), clear its M pairs.
+			keep[n] = false
+			topo.Delete(n)
+			for _, c := range append([]dag.NodeID(nil), d.Children(n)...) {
+				d.RemoveEdge(n, c)
+				cascade = append(cascade, dag.Edge{Parent: n, Child: c})
+			}
+			d.RemoveNode(n)
+			m.DropNode(n)
+			removed = append(removed, n)
+			continue
+		}
+		// A_d = ⋃_{a ∈ P_d} ({a} ∪ anc(a)); remove anc(d) \ A_d from M.
+		ad := make(map[dag.NodeID]struct{})
+		for _, p := range pd {
+			ad[p] = struct{}{}
+			for a := range m.Ancestors(p) {
+				ad[a] = struct{}{}
+			}
+		}
+		for _, a := range m.AncestorList(n) {
+			if _, ok := ad[a]; !ok {
+				m.RemovePair(a, n)
+			}
+		}
+	}
+	return cascade, removed
+}
+
+func keepOf(keep map[dag.NodeID]bool, id dag.NodeID) bool {
+	v, ok := keep[id]
+	return !ok || v // nodes outside L_R are untouched, hence kept
+}

@@ -1,0 +1,224 @@
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/dag"
+)
+
+// Matrix is the reachability matrix M of §3.1. Conceptually an n×n bit
+// matrix, it is stored sparsely — the paper stores it as a relation
+// M(anc, desc) because |M| ≪ n² in practice. Both directions are indexed so
+// that anc(d) and desc(a) are O(1) set lookups, as the maintenance and
+// evaluation algorithms require both.
+//
+// Self-pairs are not stored: M records proper ancestor/descendant pairs.
+type Matrix struct {
+	anc   []map[dag.NodeID]struct{} // node -> its ancestors
+	desc  []map[dag.NodeID]struct{} // node -> its descendants
+	pairs int
+}
+
+// NewMatrix returns an empty matrix sized for the DAG.
+func NewMatrix(capacity int) *Matrix {
+	return &Matrix{
+		anc:  make([]map[dag.NodeID]struct{}, capacity),
+		desc: make([]map[dag.NodeID]struct{}, capacity),
+	}
+}
+
+func (m *Matrix) ensure(id dag.NodeID) {
+	for int(id) >= len(m.anc) {
+		m.anc = append(m.anc, nil)
+		m.desc = append(m.desc, nil)
+	}
+}
+
+// Size returns |M|, the number of (anc, desc) pairs.
+func (m *Matrix) Size() int { return m.pairs }
+
+// IsAncestor reports whether a is a proper ancestor of d.
+func (m *Matrix) IsAncestor(a, d dag.NodeID) bool {
+	if int(d) >= len(m.anc) || m.anc[d] == nil {
+		return false
+	}
+	_, ok := m.anc[d][a]
+	return ok
+}
+
+// Ancestors returns the ancestor set of d. The returned map is live; callers
+// must not mutate it.
+func (m *Matrix) Ancestors(d dag.NodeID) map[dag.NodeID]struct{} {
+	if int(d) >= len(m.anc) {
+		return nil
+	}
+	return m.anc[d]
+}
+
+// Descendants returns the descendant set of a. The returned map is live;
+// callers must not mutate it.
+func (m *Matrix) Descendants(a dag.NodeID) map[dag.NodeID]struct{} {
+	if int(a) >= len(m.desc) {
+		return nil
+	}
+	return m.desc[a]
+}
+
+// AncestorList returns the ancestors of d as a sorted slice (for
+// deterministic iteration in tests and reports).
+func (m *Matrix) AncestorList(d dag.NodeID) []dag.NodeID {
+	return sortedKeys(m.Ancestors(d))
+}
+
+// DescendantList returns the descendants of a as a sorted slice.
+func (m *Matrix) DescendantList(a dag.NodeID) []dag.NodeID {
+	return sortedKeys(m.Descendants(a))
+}
+
+func sortedKeys(s map[dag.NodeID]struct{}) []dag.NodeID {
+	out := make([]dag.NodeID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddPair records that a is an ancestor of d.
+func (m *Matrix) AddPair(a, d dag.NodeID) {
+	if a == d {
+		return
+	}
+	m.ensure(a)
+	m.ensure(d)
+	if m.anc[d] == nil {
+		m.anc[d] = make(map[dag.NodeID]struct{})
+	}
+	if _, dup := m.anc[d][a]; dup {
+		return
+	}
+	m.anc[d][a] = struct{}{}
+	if m.desc[a] == nil {
+		m.desc[a] = make(map[dag.NodeID]struct{})
+	}
+	m.desc[a][d] = struct{}{}
+	m.pairs++
+}
+
+// RemovePair deletes the (a, d) pair if present.
+func (m *Matrix) RemovePair(a, d dag.NodeID) {
+	if int(d) >= len(m.anc) || m.anc[d] == nil {
+		return
+	}
+	if _, ok := m.anc[d][a]; !ok {
+		return
+	}
+	delete(m.anc[d], a)
+	delete(m.desc[a], d)
+	m.pairs--
+}
+
+// DropNode removes every pair mentioning the node (used when a node is
+// garbage collected).
+func (m *Matrix) DropNode(id dag.NodeID) {
+	if int(id) >= len(m.anc) {
+		return
+	}
+	for a := range m.anc[id] {
+		delete(m.desc[a], id)
+		m.pairs--
+	}
+	m.anc[id] = nil
+	for d := range m.desc[id] {
+		delete(m.anc[d], id)
+		m.pairs--
+	}
+	m.desc[id] = nil
+}
+
+// Equal reports whether two matrices contain exactly the same pairs.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.pairs != o.pairs {
+		return false
+	}
+	for d := range m.anc {
+		for a := range m.anc[d] {
+			if !o.IsAncestor(a, dag.NodeID(d)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns a short description of the first few pair differences, for
+// test failure messages.
+func (m *Matrix) Diff(o *Matrix) string {
+	var out []string
+	limit := 8
+	for d := range m.anc {
+		for a := range m.anc[d] {
+			if !o.IsAncestor(a, dag.NodeID(d)) && len(out) < limit {
+				out = append(out, fmt.Sprintf("-(%d,%d)", a, d))
+			}
+		}
+	}
+	for d := range o.anc {
+		for a := range o.anc[d] {
+			if !m.IsAncestor(a, dag.NodeID(d)) && len(out) < limit {
+				out = append(out, fmt.Sprintf("+(%d,%d)", a, d))
+			}
+		}
+	}
+	return fmt.Sprintf("pairs %d vs %d: %v", m.pairs, o.pairs, out)
+}
+
+// Compute is Algorithm Reach (Fig.4 of the paper): it fills M from the edge
+// relations in O(n·|V|) time by dynamic programming along the backward
+// topological order — when node d is processed, the ancestor sets of all its
+// parents are already complete, so anc(d) = ⋃_{p ∈ parent(d)} ({p} ∪ anc(p)).
+//
+// (Fig.4 line 4 as printed omits the parents themselves; including them is
+// evidently intended, otherwise M would be empty. See DESIGN.md.)
+func Compute(d *dag.DAG, topo *Topo) *Matrix {
+	m := NewMatrix(d.Cap())
+	list := topo.Nodes()
+	for k := len(list) - 1; k >= 0; k-- { // backward: ancestors first
+		node := list[k]
+		for _, p := range d.Parents(node) {
+			if !d.Alive(p) {
+				continue
+			}
+			m.AddPair(p, node)
+			for a := range m.Ancestors(p) {
+				m.AddPair(a, node)
+			}
+		}
+	}
+	return m
+}
+
+// ComputeNaive builds M by a full DFS from every node — the O(n·|V|) bound
+// is the same but without sharing ancestor sets, it re-walks overlapping
+// regions and is slower in practice. Kept as the ablation baseline and as a
+// test oracle for Compute.
+func ComputeNaive(d *dag.DAG) *Matrix {
+	m := NewMatrix(d.Cap())
+	for _, src := range d.Nodes() {
+		stack := []dag.NodeID{src}
+		seen := map[dag.NodeID]bool{src: true}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, c := range d.Children(x) {
+				if !seen[c] {
+					seen[c] = true
+					m.AddPair(src, c)
+					stack = append(stack, c)
+				}
+			}
+		}
+	}
+	return m
+}

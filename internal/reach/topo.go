@@ -1,0 +1,230 @@
+// Package reach implements the auxiliary structures of §3.1 of the paper —
+// the topological order L and the reachability matrix M — plus Algorithm
+// Reach (Fig.4) and the incremental maintenance algorithms ∆(M,L)insert and
+// ∆(M,L)delete of §3.4 (Figs.7–8).
+//
+// Order convention (§3.1): "u precedes v in L only if u is not an ancestor of
+// v". Descendants therefore come first; for every edge (parent u → child v),
+// pos(v) < pos(u). Algorithm Reach walks L backwards (ancestors first), and
+// the bottom-up XPath pass walks it forwards (children first).
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/dag"
+)
+
+// Topo is the topological order L over the live nodes of a DAG. Deletions
+// leave tombstones that are compacted once they outnumber live entries;
+// positions only ever shrink relative to each other during compaction, so
+// callers must compare positions, not store them across mutations.
+type Topo struct {
+	list  []dag.NodeID // entries; InvalidNode marks a tombstone
+	pos   []int32      // node id -> index into list; -1 when absent
+	holes int
+}
+
+// ComputeTopo builds L for the DAG with Kahn's algorithm over reversed edges
+// (leaves first), which directly yields the children-first order.
+func ComputeTopo(d *dag.DAG) *Topo {
+	t := &Topo{pos: make([]int32, d.Cap())}
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+	outdeg := make([]int32, d.Cap())
+	var queue []dag.NodeID
+	for _, id := range d.Nodes() {
+		n := int32(len(d.Children(id)))
+		outdeg[id] = n
+		if n == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		t.pos[id] = int32(len(t.list))
+		t.list = append(t.list, id)
+		for _, p := range d.Parents(id) {
+			outdeg[p]--
+			if outdeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	if len(t.list) != d.NumNodes() {
+		// Impossible for acyclic input; surface loudly rather than return a
+		// partial order.
+		panic(fmt.Sprintf("reach: topological sort covered %d of %d nodes (cycle?)",
+			len(t.list), d.NumNodes()))
+	}
+	return t
+}
+
+// Len returns the number of live entries.
+func (t *Topo) Len() int { return len(t.list) - t.holes }
+
+// Pos returns the position of a node, or -1 if absent. Positions order nodes
+// (smaller = closer to the leaves); absolute values are meaningless.
+func (t *Topo) Pos(id dag.NodeID) int32 {
+	if int(id) >= len(t.pos) || id < 0 {
+		return -1
+	}
+	return t.pos[id]
+}
+
+// Contains reports whether the node is in L.
+func (t *Topo) Contains(id dag.NodeID) bool { return t.Pos(id) >= 0 }
+
+// Nodes returns the live entries in order (descendants first).
+func (t *Topo) Nodes() []dag.NodeID {
+	out := make([]dag.NodeID, 0, t.Len())
+	for _, id := range t.list {
+		if id != dag.InvalidNode {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (t *Topo) ensure(id dag.NodeID) {
+	for int(id) >= len(t.pos) {
+		t.pos = append(t.pos, -1)
+	}
+}
+
+// Append places a (new) node at the end of L — the ancestor-most position,
+// which is always safe for a node with no parents yet. Edge insertions then
+// repair any violated constraints via FixEdge.
+func (t *Topo) Append(id dag.NodeID) {
+	t.ensure(id)
+	if t.pos[id] >= 0 {
+		return
+	}
+	t.pos[id] = int32(len(t.list))
+	t.list = append(t.list, id)
+}
+
+// Delete tombstones a node. Per §3.4, "an element removal does not affect the
+// topological order of the rest of its elements".
+func (t *Topo) Delete(id dag.NodeID) {
+	if !t.Contains(id) {
+		return
+	}
+	t.list[t.pos[id]] = dag.InvalidNode
+	t.pos[id] = -1
+	t.holes++
+	if t.holes > 64 && t.holes*2 > len(t.list) {
+		t.compact()
+	}
+}
+
+func (t *Topo) compact() {
+	out := t.list[:0]
+	for _, id := range t.list {
+		if id != dag.InvalidNode {
+			t.pos[id] = int32(len(out))
+			out = append(out, id)
+		}
+	}
+	t.list = out
+	t.holes = 0
+}
+
+// FixEdge restores the order after inserting edge (u,v) into d: if v already
+// precedes u nothing changes; otherwise the nodes of L[u:v] that are
+// descendants-or-self of v are moved immediately in front of u — the
+// procedure swap(L, u, v) of §3.4. The move preserves the relative order of
+// both groups, which keeps every previously valid constraint valid.
+func (t *Topo) FixEdge(d *dag.DAG, u, v dag.NodeID) {
+	pu, pv := t.pos[u], t.pos[v]
+	if pv < pu {
+		return
+	}
+	lo, hi := pu, pv
+	// Mark descendants-or-self of v that sit inside the window.
+	inWindow := func(id dag.NodeID) bool {
+		p := t.pos[id]
+		return p >= lo && p <= hi
+	}
+	mark := make(map[dag.NodeID]bool)
+	stack := []dag.NodeID{v}
+	seen := map[dag.NodeID]bool{v: true}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if inWindow(x) {
+			mark[x] = true
+		}
+		for _, c := range d.Children(x) {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	// Rebuild the window: descendants of v first (in relative order), then
+	// the rest (starting with u). Tombstones ride along with the rest.
+	segment := make([]dag.NodeID, 0, hi-lo+1)
+	var descs, others []dag.NodeID
+	for i := lo; i <= hi; i++ {
+		id := t.list[i]
+		if id != dag.InvalidNode && mark[id] {
+			descs = append(descs, id)
+		} else {
+			others = append(others, id)
+		}
+	}
+	segment = append(segment, descs...)
+	segment = append(segment, others...)
+	for i, id := range segment {
+		t.list[lo+int32(i)] = id
+		if id != dag.InvalidNode {
+			t.pos[id] = lo + int32(i)
+		}
+	}
+}
+
+// Validate checks the order invariant against the DAG: every live node is
+// present exactly once and every edge satisfies pos(child) < pos(parent).
+func (t *Topo) Validate(d *dag.DAG) error {
+	count := 0
+	for i, id := range t.list {
+		if id == dag.InvalidNode {
+			continue
+		}
+		count++
+		if t.pos[id] != int32(i) {
+			return fmt.Errorf("reach: pos[%d]=%d but found at %d", id, t.pos[id], i)
+		}
+		if !d.Alive(id) {
+			return fmt.Errorf("reach: dead node %d in L", id)
+		}
+	}
+	if count != d.NumNodes() {
+		return fmt.Errorf("reach: L has %d entries, DAG has %d nodes", count, d.NumNodes())
+	}
+	for _, u := range d.Nodes() {
+		for _, v := range d.Children(u) {
+			if t.pos[v] >= t.pos[u] {
+				return fmt.Errorf("reach: edge (%d→%d) violates order: pos %d ≥ %d",
+					u, v, t.pos[v], t.pos[u])
+			}
+		}
+	}
+	return nil
+}
+
+// SortDescending orders ids by position, ancestors first (the backward
+// traversal order of Algorithm ∆(M,L)delete).
+func (t *Topo) SortDescending(ids []dag.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return t.pos[ids[i]] > t.pos[ids[j]] })
+}
+
+// SortAscending orders ids by position, descendants first.
+func (t *Topo) SortAscending(ids []dag.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return t.pos[ids[i]] < t.pos[ids[j]] })
+}

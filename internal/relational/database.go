@@ -1,0 +1,103 @@
+package relational
+
+import "fmt"
+
+// Database is an instance I of a schema R: one relation per table.
+type Database struct {
+	Schema *Schema
+	rels   map[string]*Relation
+}
+
+// NewDatabase creates an empty instance of the schema.
+func NewDatabase(s *Schema) *Database {
+	db := &Database{Schema: s, rels: make(map[string]*Relation)}
+	for _, name := range s.TableNames() {
+		db.rels[name] = NewRelation(s.Table(name))
+	}
+	return db
+}
+
+// Rel returns the relation for the named table, or nil.
+func (db *Database) Rel(name string) *Relation { return db.rels[name] }
+
+// Insert adds a tuple to the named table.
+func (db *Database) Insert(table string, t Tuple) error {
+	r := db.rels[table]
+	if r == nil {
+		return fmt.Errorf("relational: no table %s", table)
+	}
+	return r.Insert(t)
+}
+
+// Delete removes the tuple with the same key as t from the named table.
+func (db *Database) Delete(table string, t Tuple) bool {
+	r := db.rels[table]
+	if r == nil {
+		return false
+	}
+	return r.DeleteTuple(t)
+}
+
+// Clone deep-copies the database; used by what-if analyses and tests.
+func (db *Database) Clone() *Database {
+	out := &Database{Schema: db.Schema, rels: make(map[string]*Relation, len(db.rels))}
+	for name, r := range db.rels {
+		out.rels[name] = r.Clone()
+	}
+	return out
+}
+
+// TotalRows returns the number of tuples across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Mutation is a single base-table change; a group update ΔR is a []Mutation.
+type Mutation struct {
+	Table  string
+	Insert bool // true = insert, false = delete
+	Tuple  Tuple
+}
+
+// String renders the mutation for logs and reports.
+func (m Mutation) String() string {
+	op := "delete"
+	if m.Insert {
+		op = "insert"
+	}
+	return fmt.Sprintf("%s %s %s", op, m.Table, m.Tuple)
+}
+
+// Apply performs a group update ΔR. It fails atomically: on error, already
+// applied mutations are rolled back.
+func (db *Database) Apply(dr []Mutation) error {
+	done := 0
+	var err error
+	for i, m := range dr {
+		if m.Insert {
+			err = db.Insert(m.Table, m.Tuple)
+		} else if !db.Delete(m.Table, m.Tuple) {
+			err = fmt.Errorf("relational: delete %s %s: no such tuple", m.Table, m.Tuple)
+		}
+		if err != nil {
+			done = i
+			break
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	for i := done - 1; i >= 0; i-- {
+		m := dr[i]
+		if m.Insert {
+			db.Delete(m.Table, m.Tuple)
+		} else if e := db.Insert(m.Table, m.Tuple); e != nil {
+			return fmt.Errorf("relational: rollback failed after %v: %v", err, e)
+		}
+	}
+	return err
+}

@@ -1,0 +1,218 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory instance of a table: a set of tuples with a
+// primary-key hash index and lazily built secondary hash indexes.
+type Relation struct {
+	Schema *TableSchema
+
+	rows  []Tuple // slot-addressed; nil means deleted slot
+	byKey map[string]int
+	free  []int // reusable slots
+	count int
+
+	// secondary indexes: column -> (encoded value -> row slots). Built on
+	// demand by IndexLookup and maintained incrementally by Insert/Delete.
+	secondary map[int]map[string][]int
+	version   uint64
+}
+
+// NewRelation returns an empty relation for the schema.
+func NewRelation(ts *TableSchema) *Relation {
+	return &Relation{Schema: ts, byKey: make(map[string]int)}
+}
+
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return r.count }
+
+// Version increases on every mutation; used to detect staleness.
+func (r *Relation) Version() uint64 { return r.version }
+
+func (r *Relation) keyOf(t Tuple) string { return t.EncodeCols(r.Schema.Key) }
+
+// Insert adds a tuple. It returns an error if the arity is wrong, a value
+// kind does not match the column type, or a tuple with the same key exists.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != len(r.Schema.Columns) {
+		return fmt.Errorf("relational: %s: insert arity %d, want %d", r.Schema.Name, len(t), len(r.Schema.Columns))
+	}
+	for i, v := range t {
+		if v.K != r.Schema.Columns[i].Type && !v.IsNull() {
+			return fmt.Errorf("relational: %s.%s: insert kind %v, want %v",
+				r.Schema.Name, r.Schema.Columns[i].Name, v.K, r.Schema.Columns[i].Type)
+		}
+	}
+	k := r.keyOf(t)
+	if _, dup := r.byKey[k]; dup {
+		return fmt.Errorf("relational: %s: duplicate key %s", r.Schema.Name, Tuple(t).String())
+	}
+	slot := -1
+	if n := len(r.free); n > 0 {
+		slot = r.free[n-1]
+		r.free = r.free[:n-1]
+		r.rows[slot] = t.Clone()
+	} else {
+		slot = len(r.rows)
+		r.rows = append(r.rows, t.Clone())
+	}
+	r.byKey[k] = slot
+	r.count++
+	r.version++
+	for col, idx := range r.secondary {
+		ek := string(t[col].appendEncoded(nil))
+		idx[ek] = append(idx[ek], slot)
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; for statically known test data.
+func (r *Relation) MustInsert(vals ...Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// DeleteKey removes the tuple whose key columns equal key (given in key-column
+// order). It reports whether a tuple was removed.
+func (r *Relation) DeleteKey(key Tuple) bool {
+	if len(key) != len(r.Schema.Key) {
+		return false
+	}
+	var buf []byte
+	for _, v := range key {
+		buf = v.appendEncoded(buf)
+	}
+	return r.deleteEncoded(string(buf))
+}
+
+// DeleteTuple removes the tuple with the same key as t (t must be full-arity).
+func (r *Relation) DeleteTuple(t Tuple) bool {
+	if len(t) != len(r.Schema.Columns) {
+		return false
+	}
+	return r.deleteEncoded(r.keyOf(t))
+}
+
+func (r *Relation) deleteEncoded(k string) bool {
+	slot, ok := r.byKey[k]
+	if !ok {
+		return false
+	}
+	row := r.rows[slot]
+	delete(r.byKey, k)
+	r.rows[slot] = nil
+	r.free = append(r.free, slot)
+	r.count--
+	r.version++
+	for col, idx := range r.secondary {
+		ek := string(row[col].appendEncoded(nil))
+		bucket := idx[ek]
+		for i, s := range bucket {
+			if s == slot {
+				bucket[i] = bucket[len(bucket)-1]
+				idx[ek] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+	}
+	return true
+}
+
+// LookupKey returns the tuple with the given key values (in key-column order).
+func (r *Relation) LookupKey(key Tuple) (Tuple, bool) {
+	if len(key) != len(r.Schema.Key) {
+		return nil, false
+	}
+	var buf []byte
+	for _, v := range key {
+		buf = v.appendEncoded(buf)
+	}
+	slot, ok := r.byKey[string(buf)]
+	if !ok {
+		return nil, false
+	}
+	return r.rows[slot], true
+}
+
+// ContainsKeyOf reports whether a tuple with the same key as t exists.
+func (r *Relation) ContainsKeyOf(t Tuple) bool {
+	_, ok := r.byKey[r.keyOf(t)]
+	return ok
+}
+
+// Scan calls fn for every live tuple; iteration stops if fn returns false.
+// The callback must not mutate the relation.
+func (r *Relation) Scan(fn func(t Tuple) bool) {
+	for _, row := range r.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Tuples returns a snapshot of all live tuples in deterministic (sorted)
+// order. Intended for tests and small relations.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.count)
+	r.Scan(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Schema)
+	r.Scan(func(t Tuple) bool {
+		if err := out.Insert(t); err != nil {
+			panic(err) // impossible: source relation has unique keys
+		}
+		return true
+	})
+	return out
+}
+
+// BuildIndex materializes the secondary hash index on a column (indexes are
+// otherwise built on first lookup). Subsequent mutations maintain it
+// incrementally.
+func (r *Relation) BuildIndex(col int) {
+	if r.secondary == nil {
+		r.secondary = make(map[int]map[string][]int)
+	}
+	if _, ok := r.secondary[col]; ok {
+		return
+	}
+	idx := make(map[string][]int)
+	for slot, row := range r.rows {
+		if row == nil {
+			continue
+		}
+		k := string(row[col].appendEncoded(nil))
+		idx[k] = append(idx[k], slot)
+	}
+	r.secondary[col] = idx
+}
+
+// IndexLookup returns the tuples whose column col equals v, using the
+// secondary hash index (built on demand).
+func (r *Relation) IndexLookup(col int, v Value) []Tuple {
+	r.BuildIndex(col)
+	idx := r.secondary[col]
+	slots := idx[string(v.appendEncoded(nil))]
+	out := make([]Tuple, 0, len(slots))
+	for _, s := range slots {
+		if row := r.rows[s]; row != nil {
+			out = append(out, row)
+		}
+	}
+	return out
+}

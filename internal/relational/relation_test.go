@@ -1,0 +1,342 @@
+package relational
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func studentSchema(t *testing.T) *TableSchema {
+	t.Helper()
+	ts, err := NewTableSchema("student",
+		[]Column{{Name: "ssn", Type: KindString}, {Name: "name", Type: KindString}}, "ssn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestTableSchemaValidation(t *testing.T) {
+	if _, err := NewTableSchema("", nil, "x"); err == nil {
+		t.Error("empty table name accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Type: KindInt}}); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Type: KindInt}}, "b"); err == nil {
+		t.Error("unknown key column accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Type: KindInt}, {Name: "a", Type: KindInt}}, "a"); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "", Type: KindInt}}, ""); err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestTableSchemaAccessors(t *testing.T) {
+	ts := MustTableSchema("enroll",
+		[]Column{{Name: "ssn", Type: KindString}, {Name: "cno", Type: KindString}}, "ssn", "cno")
+	if got := ts.ColIndex("cno"); got != 1 {
+		t.Errorf("ColIndex(cno) = %d", got)
+	}
+	if got := ts.ColIndex("nope"); got != -1 {
+		t.Errorf("ColIndex(nope) = %d", got)
+	}
+	if !ts.IsKeyCol(0) || !ts.IsKeyCol(1) {
+		t.Error("both columns should be key columns")
+	}
+	if got := ts.KeyNames(); !reflect.DeepEqual(got, []string{"ssn", "cno"}) {
+		t.Errorf("KeyNames = %v", got)
+	}
+	if got := ts.String(); got != "enroll(ssn*, cno*)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRelationInsertLookupDelete(t *testing.T) {
+	r := NewRelation(studentSchema(t))
+	if err := r.Insert(Tuple{Str("S01"), Str("Ann")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(Tuple{Str("S02"), Str("Bob")}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.Insert(Tuple{Str("S01"), Str("Dup")}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if err := r.Insert(Tuple{Str("S03")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := r.Insert(Tuple{Int(3), Str("X")}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	got, ok := r.LookupKey(Tuple{Str("S02")})
+	if !ok || got[1].S != "Bob" {
+		t.Errorf("LookupKey(S02) = %v, %v", got, ok)
+	}
+	if _, ok := r.LookupKey(Tuple{Str("S09")}); ok {
+		t.Error("LookupKey(S09) should miss")
+	}
+	if !r.DeleteKey(Tuple{Str("S01")}) {
+		t.Error("DeleteKey(S01) failed")
+	}
+	if r.DeleteKey(Tuple{Str("S01")}) {
+		t.Error("double delete succeeded")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
+	// Slot reuse must not corrupt lookups.
+	if err := r.Insert(Tuple{Str("S04"), Str("Eve")}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = r.LookupKey(Tuple{Str("S04")})
+	if !ok || got[1].S != "Eve" {
+		t.Errorf("after reuse LookupKey(S04) = %v, %v", got, ok)
+	}
+}
+
+func TestRelationDeleteTupleAndContains(t *testing.T) {
+	r := NewRelation(studentSchema(t))
+	tp := Tuple{Str("S01"), Str("Ann")}
+	r.MustInsert(tp...)
+	if !r.ContainsKeyOf(tp) {
+		t.Error("ContainsKeyOf should be true")
+	}
+	if !r.DeleteTuple(tp) {
+		t.Error("DeleteTuple failed")
+	}
+	if r.ContainsKeyOf(tp) {
+		t.Error("ContainsKeyOf after delete")
+	}
+	if r.DeleteTuple(Tuple{Str("only-key")}) {
+		t.Error("DeleteTuple with wrong arity succeeded")
+	}
+}
+
+func TestRelationScanStopsEarly(t *testing.T) {
+	r := NewRelation(studentSchema(t))
+	r.MustInsert(Str("a"), Str("1"))
+	r.MustInsert(Str("b"), Str("2"))
+	r.MustInsert(Str("c"), Str("3"))
+	n := 0
+	r.Scan(func(t Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("scan visited %d, want 2", n)
+	}
+}
+
+func TestRelationTuplesSortedAndClone(t *testing.T) {
+	r := NewRelation(studentSchema(t))
+	r.MustInsert(Str("b"), Str("2"))
+	r.MustInsert(Str("a"), Str("1"))
+	tps := r.Tuples()
+	if len(tps) != 2 || tps[0][0].S != "a" {
+		t.Errorf("Tuples = %v", tps)
+	}
+	c := r.Clone()
+	c.MustInsert(Str("z"), Str("9"))
+	if r.Len() != 2 || c.Len() != 3 {
+		t.Errorf("clone not independent: %d %d", r.Len(), c.Len())
+	}
+}
+
+func TestIndexLookupAndInvalidation(t *testing.T) {
+	r := NewRelation(studentSchema(t))
+	r.MustInsert(Str("S01"), Str("Ann"))
+	r.MustInsert(Str("S02"), Str("Ann"))
+	r.MustInsert(Str("S03"), Str("Bob"))
+	if got := r.IndexLookup(1, Str("Ann")); len(got) != 2 {
+		t.Errorf("IndexLookup(Ann) = %v", got)
+	}
+	r.MustInsert(Str("S04"), Str("Ann"))
+	if got := r.IndexLookup(1, Str("Ann")); len(got) != 3 {
+		t.Errorf("after insert IndexLookup(Ann) = %v", got)
+	}
+	r.DeleteKey(Tuple{Str("S01")})
+	if got := r.IndexLookup(1, Str("Ann")); len(got) != 2 {
+		t.Errorf("after delete IndexLookup(Ann) = %v", got)
+	}
+	if got := r.IndexLookup(1, Str("Zed")); len(got) != 0 {
+		t.Errorf("IndexLookup(Zed) = %v", got)
+	}
+}
+
+func TestDatabaseApplyRollback(t *testing.T) {
+	s := MustSchema(studentSchema(t))
+	db := NewDatabase(s)
+	if err := db.Insert("student", Tuple{Str("S01"), Str("Ann")}); err != nil {
+		t.Fatal(err)
+	}
+	// Second mutation fails (duplicate key): the first must be rolled back.
+	err := db.Apply([]Mutation{
+		{Table: "student", Insert: true, Tuple: Tuple{Str("S02"), Str("Bob")}},
+		{Table: "student", Insert: true, Tuple: Tuple{Str("S01"), Str("Dup")}},
+	})
+	if err == nil {
+		t.Fatal("Apply should fail")
+	}
+	if db.Rel("student").Len() != 1 {
+		t.Errorf("rollback left %d rows", db.Rel("student").Len())
+	}
+	// A valid group update applies fully.
+	err = db.Apply([]Mutation{
+		{Table: "student", Insert: true, Tuple: Tuple{Str("S02"), Str("Bob")}},
+		{Table: "student", Insert: false, Tuple: Tuple{Str("S01"), Str("Ann")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("student").Len() != 1 {
+		t.Errorf("after apply %d rows", db.Rel("student").Len())
+	}
+	if _, ok := db.Rel("student").LookupKey(Tuple{Str("S02")}); !ok {
+		t.Error("S02 missing after apply")
+	}
+	if db.TotalRows() != 1 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+}
+
+func TestDatabaseCloneIndependence(t *testing.T) {
+	s := MustSchema(studentSchema(t))
+	db := NewDatabase(s)
+	db.Insert("student", Tuple{Str("S01"), Str("Ann")})
+	c := db.Clone()
+	c.Insert("student", Tuple{Str("S02"), Str("Bob")})
+	if db.Rel("student").Len() != 1 || c.Rel("student").Len() != 2 {
+		t.Error("clone shares state")
+	}
+}
+
+func TestMutationString(t *testing.T) {
+	m := Mutation{Table: "t", Insert: true, Tuple: Tuple{Int(1)}}
+	if m.String() != "insert t (1)" {
+		t.Errorf("String = %q", m.String())
+	}
+	m.Insert = false
+	if m.String() != "delete t (1)" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+// Property: a random interleaving of inserts and deletes keeps the key index
+// consistent with a model map.
+func TestRelationMatchesModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRelation(MustTableSchema("t",
+			[]Column{{Name: "k", Type: KindInt}, {Name: "v", Type: KindInt}}, "k"))
+		model := map[int64]int64{}
+		for op := 0; op < 200; op++ {
+			k := int64(rng.Intn(30))
+			if rng.Intn(2) == 0 {
+				v := int64(rng.Intn(1000))
+				err := r.Insert(Tuple{Int(k), Int(v)})
+				if _, exists := model[k]; exists {
+					if err == nil {
+						return false // duplicate accepted
+					}
+				} else if err != nil {
+					return false
+				} else {
+					model[k] = v
+				}
+			} else {
+				got := r.DeleteKey(Tuple{Int(k)})
+				_, exists := model[k]
+				if got != exists {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if r.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			row, ok := r.LookupKey(Tuple{Int(k)})
+			if !ok || row[1].I != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0].I != 1 {
+		t.Error("Clone aliases storage")
+	}
+	if a.Equal(b) {
+		t.Error("Equal on different tuples")
+	}
+	if !a.Equal(Tuple{Int(1), Str("x")}) {
+		t.Error("Equal on same tuples")
+	}
+	if a.Equal(Tuple{Int(1)}) {
+		t.Error("Equal on different arity")
+	}
+	if a.Compare(b) >= 0 {
+		t.Error("Compare ordering")
+	}
+	if (Tuple{Int(1)}).Compare(Tuple{Int(1), Int(2)}) >= 0 {
+		t.Error("shorter tuple should order first")
+	}
+	if !(Tuple{Var(1)}).HasVar() || (Tuple{Int(1)}).HasVar() {
+		t.Error("HasVar")
+	}
+	if a.String() != "(1, x)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.Encode() == b.Encode() {
+		t.Error("Encode not injective")
+	}
+	if a.EncodeCols([]int{1}) != b.EncodeCols([]int{1}) {
+		t.Error("EncodeCols on equal projections differ")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := MustSchema(
+		MustTableSchema("b", []Column{{Name: "k", Type: KindInt}}, "k"),
+		MustTableSchema("a", []Column{{Name: "k", Type: KindInt}}, "k"),
+	)
+	if got := s.TableNames(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("TableNames = %v", got)
+	}
+	if s.Table("a") == nil || s.Table("zz") != nil {
+		t.Error("Table lookup")
+	}
+	if _, err := NewSchema(s.Table("a"), s.Table("a")); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestColumnFiniteDomain(t *testing.T) {
+	c := Column{Name: "b", Type: KindBool}
+	d, ok := c.FiniteDomain()
+	if !ok || len(d) != 2 {
+		t.Errorf("bool domain = %v, %v", d, ok)
+	}
+	c = Column{Name: "i", Type: KindInt, Domain: []Value{Int(0), Int(1), Int(2)}}
+	d, ok = c.FiniteDomain()
+	if !ok || len(d) != 3 {
+		t.Errorf("enum domain = %v, %v", d, ok)
+	}
+	c = Column{Name: "s", Type: KindString}
+	if _, ok = c.FiniteDomain(); ok {
+		t.Error("string domain should be infinite")
+	}
+}

@@ -1,0 +1,300 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operand is one side of an equality predicate or a projection source: a
+// column of a FROM entry, a constant, or a query parameter. Parameters carry
+// the parent semantic attribute $A into ATG rule queries (§2.2).
+type Operand struct {
+	kind  opKind
+	Tab   int   // FROM index for OpCol
+	Col   int   // column index for OpCol
+	Const Value // for OpConst
+	Param int   // parameter index for OpParam
+}
+
+type opKind uint8
+
+const (
+	opCol opKind = iota
+	opConst
+	opParam
+)
+
+// Col references column col of the tab-th FROM entry.
+func Col(tab, col int) Operand { return Operand{kind: opCol, Tab: tab, Col: col} }
+
+// Const references a literal value.
+func Const(v Value) Operand { return Operand{kind: opConst, Const: v} }
+
+// Param references the i-th query parameter.
+func Param(i int) Operand { return Operand{kind: opParam, Param: i} }
+
+// IsCol reports whether the operand is a column reference.
+func (o Operand) IsCol() bool { return o.kind == opCol }
+
+// IsConst reports whether the operand is a constant.
+func (o Operand) IsConst() bool { return o.kind == opConst }
+
+// IsParam reports whether the operand is a parameter reference.
+func (o Operand) IsParam() bool { return o.kind == opParam }
+
+func (o Operand) String() string {
+	switch o.kind {
+	case opCol:
+		return fmt.Sprintf("t%d.c%d", o.Tab, o.Col)
+	case opConst:
+		return o.Const.String()
+	default:
+		return fmt.Sprintf("$%d", o.Param)
+	}
+}
+
+// EqPred is an equality predicate Left = Right. The paper's SPJ class uses
+// conjunctions of equalities (conjunctive queries).
+type EqPred struct {
+	Left, Right Operand
+}
+
+func (p EqPred) String() string { return p.Left.String() + " = " + p.Right.String() }
+
+// SelectItem is one projected column of an SPJ query.
+type SelectItem struct {
+	As  string
+	Src Operand
+}
+
+// TableRef names a FROM entry; Alias is informational (self-joins repeat the
+// table under different aliases).
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// SPJ is a select-project-join query:
+//
+//	SELECT items FROM tables WHERE conjunction-of-equalities
+//
+// with optional parameters bound at evaluation time. This is exactly the
+// query class the paper's ATGs and relational views use.
+type SPJ struct {
+	Name    string
+	From    []TableRef
+	Where   []EqPred
+	Selects []SelectItem
+	NParams int
+}
+
+// Validate checks the query against a schema: tables exist, column indexes
+// are in range, parameter indexes are within NParams.
+func (q *SPJ) Validate(s *Schema) error {
+	if len(q.From) == 0 {
+		return fmt.Errorf("relational: query %s: empty FROM", q.Name)
+	}
+	check := func(o Operand) error {
+		switch o.kind {
+		case opCol:
+			if o.Tab < 0 || o.Tab >= len(q.From) {
+				return fmt.Errorf("relational: query %s: FROM index %d out of range", q.Name, o.Tab)
+			}
+			ts := s.Table(q.From[o.Tab].Table)
+			if ts == nil {
+				return fmt.Errorf("relational: query %s: unknown table %s", q.Name, q.From[o.Tab].Table)
+			}
+			if o.Col < 0 || o.Col >= len(ts.Columns) {
+				return fmt.Errorf("relational: query %s: column %d out of range for %s", q.Name, o.Col, ts.Name)
+			}
+		case opParam:
+			if o.Param < 0 || o.Param >= q.NParams {
+				return fmt.Errorf("relational: query %s: parameter $%d out of range (NParams=%d)", q.Name, o.Param, q.NParams)
+			}
+		}
+		return nil
+	}
+	for _, t := range q.From {
+		if s.Table(t.Table) == nil {
+			return fmt.Errorf("relational: query %s: unknown table %s", q.Name, t.Table)
+		}
+	}
+	for _, p := range q.Where {
+		if err := check(p.Left); err != nil {
+			return err
+		}
+		if err := check(p.Right); err != nil {
+			return err
+		}
+	}
+	if len(q.Selects) == 0 {
+		return fmt.Errorf("relational: query %s: empty SELECT", q.Name)
+	}
+	for _, it := range q.Selects {
+		if err := check(it.Src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the query in SQL-ish form for diagnostics.
+func (q *SPJ) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	for i, it := range q.Selects {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s as %s", it.Src, it.As)
+	}
+	b.WriteString(" from ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s t%d", t.Table, i)
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" where ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	return b.String()
+}
+
+// Eval evaluates the query against db with the given parameter values and
+// returns the projected result, de-duplicated (set semantics, as the paper's
+// relational views use set semantics for edge relations). Result order is the
+// scan/join order and is deterministic for a given database state.
+//
+// The plan is a left-deep nested-loop join that binds tables in FROM order
+// and uses secondary hash indexes whenever a join column is already bound by
+// the partial assignment, a constant, or a parameter. ATG rule queries are
+// key-joined, so in practice every step after the first is an index lookup.
+func (q *SPJ) Eval(db *Database, params []Value) ([]Tuple, error) {
+	if len(params) != q.NParams {
+		return nil, fmt.Errorf("relational: query %s: got %d params, want %d", q.Name, len(params), q.NParams)
+	}
+	rels := make([]*Relation, len(q.From))
+	for i, t := range q.From {
+		rels[i] = db.Rel(t.Table)
+		if rels[i] == nil {
+			return nil, fmt.Errorf("relational: query %s: no table %s", q.Name, t.Table)
+		}
+	}
+
+	// Pre-split predicates by the highest FROM index they mention, so each
+	// predicate is checked as soon as both sides are bound.
+	predsAt := make([][]EqPred, len(q.From))
+	resolveLevel := func(o Operand) int {
+		if o.kind == opCol {
+			return o.Tab
+		}
+		return -1 // constants and params are always bound
+	}
+	for _, p := range q.Where {
+		lv := resolveLevel(p.Left)
+		if r := resolveLevel(p.Right); r > lv {
+			lv = r
+		}
+		if lv < 0 {
+			// Constant-only predicate: evaluate once up front.
+			l := evalConstOperand(p.Left, params)
+			r := evalConstOperand(p.Right, params)
+			if !l.Equal(r) {
+				return nil, nil
+			}
+			continue
+		}
+		predsAt[lv] = append(predsAt[lv], p)
+	}
+
+	current := make([]Tuple, len(q.From))
+	var out []Tuple
+	seen := make(map[string]struct{})
+
+	valueOf := func(o Operand) Value {
+		switch o.kind {
+		case opCol:
+			return current[o.Tab][o.Col]
+		case opConst:
+			return o.Const
+		default:
+			return params[o.Param]
+		}
+	}
+
+	var join func(level int) error
+	join = func(level int) error {
+		if level == len(q.From) {
+			row := make(Tuple, len(q.Selects))
+			for i, it := range q.Selects {
+				row[i] = valueOf(it.Src)
+			}
+			k := row.Encode()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, row)
+			}
+			return nil
+		}
+
+		// Find an equality that binds a column of this level to an
+		// already-known value, to drive an index lookup.
+		var idxCol = -1
+		var idxVal Value
+		for _, p := range predsAt[level] {
+			l, r := p.Left, p.Right
+			if r.kind == opCol && r.Tab == level && (l.kind != opCol || l.Tab < level) {
+				l, r = r, l
+			}
+			if l.kind == opCol && l.Tab == level && (r.kind != opCol || r.Tab < level) {
+				idxCol = l.Col
+				idxVal = valueOf(r)
+				break
+			}
+		}
+
+		try := func(row Tuple) error {
+			current[level] = row
+			for _, p := range predsAt[level] {
+				if !valueOf(p.Left).Equal(valueOf(p.Right)) {
+					return nil
+				}
+			}
+			return join(level + 1)
+		}
+
+		if idxCol >= 0 {
+			for _, row := range rels[level].IndexLookup(idxCol, idxVal) {
+				if err := try(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var scanErr error
+		rels[level].Scan(func(row Tuple) bool {
+			scanErr = try(row)
+			return scanErr == nil
+		})
+		return scanErr
+	}
+
+	if err := join(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func evalConstOperand(o Operand, params []Value) Value {
+	if o.kind == opConst {
+		return o.Const
+	}
+	return params[o.Param]
+}

@@ -1,0 +1,344 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// registrarDB builds the running example of the paper (Example 1).
+func registrarDB(t *testing.T) (*Schema, *Database) {
+	t.Helper()
+	course := MustTableSchema("course", []Column{
+		{Name: "cno", Type: KindString},
+		{Name: "title", Type: KindString},
+		{Name: "dept", Type: KindString},
+	}, "cno")
+	student := MustTableSchema("student", []Column{
+		{Name: "ssn", Type: KindString},
+		{Name: "name", Type: KindString},
+	}, "ssn")
+	enroll := MustTableSchema("enroll", []Column{
+		{Name: "ssn", Type: KindString},
+		{Name: "cno", Type: KindString},
+	}, "ssn", "cno")
+	prereq := MustTableSchema("prereq", []Column{
+		{Name: "cno1", Type: KindString},
+		{Name: "cno2", Type: KindString},
+	}, "cno1", "cno2")
+	s := MustSchema(course, student, enroll, prereq)
+	db := NewDatabase(s)
+	db.Rel("course").MustInsert(Str("CS650"), Str("Advanced Topics"), Str("CS"))
+	db.Rel("course").MustInsert(Str("CS320"), Str("Databases"), Str("CS"))
+	db.Rel("course").MustInsert(Str("CS240"), Str("Algorithms"), Str("CS"))
+	db.Rel("course").MustInsert(Str("EE100"), Str("Circuits"), Str("EE"))
+	db.Rel("prereq").MustInsert(Str("CS650"), Str("CS320"))
+	db.Rel("prereq").MustInsert(Str("CS320"), Str("CS240"))
+	db.Rel("student").MustInsert(Str("S01"), Str("Ann"))
+	db.Rel("student").MustInsert(Str("S02"), Str("Bob"))
+	db.Rel("enroll").MustInsert(Str("S01"), Str("CS650"))
+	db.Rel("enroll").MustInsert(Str("S02"), Str("CS320"))
+	db.Rel("enroll").MustInsert(Str("S02"), Str("CS240"))
+	return s, db
+}
+
+// Q_db_course of Fig.2: select c.cno, c.title from course c where c.dept='CS'.
+func qDBCourse() *SPJ {
+	return &SPJ{
+		Name: "Qdb_course",
+		From: []TableRef{{Table: "course", Alias: "c"}},
+		Where: []EqPred{
+			{Left: Col(0, 2), Right: Const(Str("CS"))},
+		},
+		Selects: []SelectItem{
+			{As: "cno", Src: Col(0, 0)},
+			{As: "title", Src: Col(0, 1)},
+		},
+	}
+}
+
+// Q_prereq_course of Fig.2: select c.cno, c.title from prereq p, course c
+// where p.cno1 = $1 and p.cno2 = c.cno.
+func qPrereqCourse() *SPJ {
+	return &SPJ{
+		Name:    "Qprereq_course",
+		NParams: 1,
+		From:    []TableRef{{Table: "prereq", Alias: "p"}, {Table: "course", Alias: "c"}},
+		Where: []EqPred{
+			{Left: Col(0, 0), Right: Param(0)},
+			{Left: Col(0, 1), Right: Col(1, 0)},
+		},
+		Selects: []SelectItem{
+			{As: "cno", Src: Col(1, 0)},
+			{As: "title", Src: Col(1, 1)},
+		},
+	}
+}
+
+func TestSPJSelectionAndProjection(t *testing.T) {
+	s, db := registrarDB(t)
+	q := qDBCourse()
+	if err := q.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := q.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CS courses = %v", rows)
+	}
+	for _, r := range rows {
+		if r[0].S == "EE100" {
+			t.Error("EE course leaked through selection")
+		}
+	}
+}
+
+func TestSPJParameterizedJoin(t *testing.T) {
+	s, db := registrarDB(t)
+	q := qPrereqCourse()
+	if err := q.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := q.Eval(db, []Value{Str("CS650")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S != "CS320" {
+		t.Fatalf("prereq(CS650) = %v", rows)
+	}
+	rows, err = q.Eval(db, []Value{Str("CS240")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("prereq(CS240) = %v", rows)
+	}
+	if _, err := q.Eval(db, nil); err == nil {
+		t.Error("missing params accepted")
+	}
+}
+
+func TestSPJThreeWayJoin(t *testing.T) {
+	_, db := registrarDB(t)
+	// Students with their enrolled course titles:
+	// select s.name, c.title from enroll e, student s, course c
+	// where e.ssn = s.ssn and e.cno = c.cno
+	q := &SPJ{
+		Name: "q3",
+		From: []TableRef{{Table: "enroll"}, {Table: "student"}, {Table: "course"}},
+		Where: []EqPred{
+			{Left: Col(0, 0), Right: Col(1, 0)},
+			{Left: Col(0, 1), Right: Col(2, 0)},
+		},
+		Selects: []SelectItem{
+			{As: "name", Src: Col(1, 1)},
+			{As: "title", Src: Col(2, 1)},
+		},
+	}
+	rows, err := q.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("join rows = %v", rows)
+	}
+}
+
+func TestSPJSetSemantics(t *testing.T) {
+	_, db := registrarDB(t)
+	// Projecting only dept duplicates rows; result must be deduplicated.
+	q := &SPJ{
+		Name:    "depts",
+		From:    []TableRef{{Table: "course"}},
+		Selects: []SelectItem{{As: "dept", Src: Col(0, 2)}},
+	}
+	rows, err := q.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("distinct depts = %v", rows)
+	}
+}
+
+func TestSPJCartesianAndConstPredicate(t *testing.T) {
+	_, db := registrarDB(t)
+	q := &SPJ{
+		Name:    "cart",
+		From:    []TableRef{{Table: "student"}, {Table: "student"}},
+		Selects: []SelectItem{{As: "a", Src: Col(0, 0)}, {As: "b", Src: Col(1, 0)}},
+	}
+	rows, err := q.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("cartesian = %d rows", len(rows))
+	}
+	// A false constant predicate empties the result without scanning.
+	q.Where = []EqPred{{Left: Const(Int(1)), Right: Const(Int(2))}}
+	rows, err = q.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("false-const rows = %v", rows)
+	}
+	// A true constant predicate keeps them.
+	q.Where = []EqPred{{Left: Const(Int(1)), Right: Const(Int(1))}}
+	rows, _ = q.Eval(db, nil)
+	if len(rows) != 4 {
+		t.Fatalf("true-const rows = %d", len(rows))
+	}
+}
+
+func TestSPJSelfJoinPrereqChain(t *testing.T) {
+	_, db := registrarDB(t)
+	// Second-level prerequisites: select p2.cno2 from prereq p1, prereq p2
+	// where p1.cno2 = p2.cno1 and p1.cno1 = $0
+	q := &SPJ{
+		Name:    "chain",
+		NParams: 1,
+		From:    []TableRef{{Table: "prereq", Alias: "p1"}, {Table: "prereq", Alias: "p2"}},
+		Where: []EqPred{
+			{Left: Col(0, 1), Right: Col(1, 0)},
+			{Left: Col(0, 0), Right: Param(0)},
+		},
+		Selects: []SelectItem{{As: "cno", Src: Col(1, 1)}},
+	}
+	rows, err := q.Eval(db, []Value{Str("CS650")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S != "CS240" {
+		t.Fatalf("chain = %v", rows)
+	}
+}
+
+func TestSPJValidateErrors(t *testing.T) {
+	s, _ := registrarDB(t)
+	cases := []*SPJ{
+		{Name: "noFrom", Selects: []SelectItem{{As: "x", Src: Const(Int(1))}}},
+		{Name: "badTable", From: []TableRef{{Table: "nope"}}, Selects: []SelectItem{{As: "x", Src: Const(Int(1))}}},
+		{Name: "noSelect", From: []TableRef{{Table: "course"}}},
+		{Name: "badCol", From: []TableRef{{Table: "course"}}, Selects: []SelectItem{{As: "x", Src: Col(0, 99)}}},
+		{Name: "badTab", From: []TableRef{{Table: "course"}}, Selects: []SelectItem{{As: "x", Src: Col(5, 0)}}},
+		{Name: "badParam", From: []TableRef{{Table: "course"}}, Selects: []SelectItem{{As: "x", Src: Param(0)}}},
+		{Name: "badWhere", From: []TableRef{{Table: "course"}},
+			Where:   []EqPred{{Left: Col(0, 99), Right: Const(Int(1))}},
+			Selects: []SelectItem{{As: "x", Src: Col(0, 0)}}},
+	}
+	for _, q := range cases {
+		if err := q.Validate(s); err == nil {
+			t.Errorf("query %s: expected validation error", q.Name)
+		}
+	}
+}
+
+func TestSPJString(t *testing.T) {
+	q := qPrereqCourse()
+	str := q.String()
+	for _, want := range []string{"select", "from prereq", "course", "where", "$0"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestEqualityClosureDerivations(t *testing.T) {
+	q := qPrereqCourse()
+	cl := EqualityClosure(q)
+	// c.cno (tab 1, col 0) is projected -> FromSelect 0.
+	if d, ok := cl[[2]int{1, 0}]; !ok || d.Kind != FromSelect || d.Index != 0 {
+		t.Errorf("c.cno derivation = %+v, %v", d, ok)
+	}
+	// p.cno1 (tab 0, col 0) = $0 -> FromParam 0.
+	if d, ok := cl[[2]int{0, 0}]; !ok || d.Kind != FromParam || d.Index != 0 {
+		t.Errorf("p.cno1 derivation = %+v, %v", d, ok)
+	}
+	// p.cno2 (tab 0, col 1) = c.cno -> derivable via closure.
+	if d, ok := cl[[2]int{0, 1}]; !ok || d.Kind != FromSelect || d.Index != 0 {
+		t.Errorf("p.cno2 derivation = %+v, %v", d, ok)
+	}
+	// course.dept (tab 1, col 2) is underivable.
+	if _, ok := cl[[2]int{1, 2}]; ok {
+		t.Error("dept should be underivable")
+	}
+}
+
+func TestEqualityClosureConstSeed(t *testing.T) {
+	q := qDBCourse()
+	cl := EqualityClosure(q)
+	if d, ok := cl[[2]int{0, 2}]; !ok || d.Kind != FromConst || d.Const.S != "CS" {
+		t.Errorf("dept derivation = %+v, %v", d, ok)
+	}
+	if d := cl[[2]int{0, 0}]; d.Resolve(Tuple{Str("CS650"), Str("T")}, nil).S != "CS650" {
+		t.Error("Resolve of select derivation")
+	}
+}
+
+func TestCheckKeyPreservation(t *testing.T) {
+	s, _ := registrarDB(t)
+	// Qprereq_course is key preserving: prereq keys (cno1=$0, cno2=out0),
+	// course key (cno=out0).
+	kp, err := CheckKeyPreservation(s, qPrereqCourse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Preserved() {
+		t.Fatalf("Qprereq_course should be key preserving: %v", kp.Missing)
+	}
+	// Resolve the prereq key of a concrete view tuple.
+	out := Tuple{Str("CS320"), Str("Databases")}
+	params := []Value{Str("CS650")}
+	k0 := kp.KeySources[0][0].Resolve(out, params)
+	k1 := kp.KeySources[0][1].Resolve(out, params)
+	if k0.S != "CS650" || k1.S != "CS320" {
+		t.Errorf("prereq key = %v, %v", k0, k1)
+	}
+
+	// Q3 of Fig.2 without the e.cno extension is NOT key preserving:
+	// select s.ssn, s.name from enroll e, student s where e.cno=$0 is absent
+	// here — we drop the parameter equality to force a missing key.
+	q3 := &SPJ{
+		Name: "QtakenBy_student_broken",
+		From: []TableRef{{Table: "enroll"}, {Table: "student"}},
+		Where: []EqPred{
+			{Left: Col(0, 0), Right: Col(1, 0)}, // e.ssn = s.ssn
+		},
+		Selects: []SelectItem{{As: "ssn", Src: Col(1, 0)}, {As: "name", Src: Col(1, 1)}},
+	}
+	kp, err = CheckKeyPreservation(s, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp.Preserved() {
+		t.Error("broken Q3 should not be key preserving")
+	}
+	if miss := kp.Missing[0]; len(miss) != 1 || miss[0] != "cno" {
+		t.Errorf("missing = %v", kp.Missing)
+	}
+	// The paper's fix: bind e.cno to the parameter (i.e. extend the query).
+	q3.NParams = 1
+	q3.Where = append(q3.Where, EqPred{Left: Col(0, 1), Right: Param(0)})
+	kp, err = CheckKeyPreservation(s, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Preserved() {
+		t.Errorf("fixed Q3 should be key preserving: %v", kp.Missing)
+	}
+}
+
+func TestDerivationSourceString(t *testing.T) {
+	if (DerivationSource{Kind: FromSelect, Index: 2}).String() != "out[2]" {
+		t.Error("FromSelect string")
+	}
+	if (DerivationSource{Kind: FromParam, Index: 1}).String() != "$1" {
+		t.Error("FromParam string")
+	}
+	if (DerivationSource{Kind: FromConst, Const: Str("x")}).String() != "x" {
+		t.Error("FromConst string")
+	}
+}

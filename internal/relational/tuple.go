@@ -1,0 +1,90 @@
+package relational
+
+import "strings"
+
+// Tuple is a row of values. Tuples are positional; the schema gives names.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// HasVar reports whether any component is a symbolic variable.
+func (t Tuple) HasVar() bool {
+	for _, v := range t {
+		if v.IsVar() {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode returns an injective string encoding of the whole tuple, usable as a
+// map key. It is the Skolem-function input representation for gen_id (§2.3).
+func (t Tuple) Encode() string {
+	var buf []byte
+	for _, v := range t {
+		buf = v.appendEncoded(buf)
+	}
+	return string(buf)
+}
+
+// EncodeCols returns an injective encoding of the projection of t onto the
+// given column indices; used for key lookups and join hashing.
+func (t Tuple) EncodeCols(cols []int) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = t[c].appendEncoded(buf)
+	}
+	return string(buf)
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package relational
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if Int(7).IsNull() {
+		t.Error("Int(7) should not be null")
+	}
+	if v := Int(42); v.K != KindInt || v.I != 42 {
+		t.Errorf("Int(42) = %+v", v)
+	}
+	if v := Str("x"); v.K != KindString || v.S != "x" {
+		t.Errorf("Str(x) = %+v", v)
+	}
+	if v := Bool(true); !v.AsBool() {
+		t.Error("Bool(true).AsBool() = false")
+	}
+	if v := Bool(false); v.AsBool() {
+		t.Error("Bool(false).AsBool() = true")
+	}
+	if v := Var(3); !v.IsVar() || v.VarID() != 3 {
+		t.Errorf("Var(3) = %+v", v)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Str("1"), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Null(), Null(), true},
+		{Null(), Int(0), false},
+		{Var(1), Var(1), true},
+		{Var(1), Var(2), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{Null(), Int(-5), Int(0), Int(5), Bool(false), Bool(true), Str(""), Str("a"), Str("ab")}
+	for i, a := range vals {
+		for j, b := range vals {
+			c := a.Compare(b)
+			switch {
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", a, b, c)
+			case c != -b.Compare(a):
+				t.Errorf("Compare not antisymmetric on %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(12), "12"},
+		{Int(-3), "-3"},
+		{Str("hello"), "hello"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Null(), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	for _, v := range []Value{Int(99), Int(-1), Str("abc"), Bool(true), Bool(false)} {
+		got, err := ParseValue(v.K, v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.K, v.String(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := ParseValue(KindInt, "xyz"); err == nil {
+		t.Error("ParseValue int xyz should fail")
+	}
+	if _, err := ParseValue(KindNull, "x"); err == nil {
+		t.Error("ParseValue null should fail")
+	}
+}
+
+// Property: the binary encoding is injective — equal encodings imply equal
+// values. Uses testing/quick over randomized value pairs.
+func TestValueEncodingInjective(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(4) {
+		case 0:
+			return Int(int64(r.Intn(1000) - 500))
+		case 1:
+			return Str(string(rune('a' + r.Intn(26))))
+		case 2:
+			return Bool(r.Intn(2) == 0)
+		default:
+			return Null()
+		}
+	}
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(gen(r))
+			args[1] = reflect.ValueOf(gen(r))
+		},
+	}
+	prop := func(a, b Value) bool {
+		ea := string(a.appendEncoded(nil))
+		eb := string(b.appendEncoded(nil))
+		return (ea == eb) == a.Equal(b)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "null", KindInt: "int", KindBool: "bool", KindString: "string", KindVar: "var",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	p, n := Pos(3), Neg(3)
+	if p.Var() != 3 || n.Var() != 3 {
+		t.Error("Var")
+	}
+	if p.Negated() || !n.Negated() {
+		t.Error("Negated")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Error("Not")
+	}
+	assign := []bool{false, false, false, true}
+	if !p.Satisfied(assign) || n.Satisfied(assign) {
+		t.Error("Satisfied")
+	}
+	if p.String() != "x3" || n.String() != "¬x3" {
+		t.Errorf("String: %s %s", p, n)
+	}
+}
+
+func TestCNFBuilders(t *testing.T) {
+	f := NewCNF()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.AddExactlyOne(Pos(a), Pos(b), Pos(c))
+	// 1 at-least-one + 3 pairwise at-most-one clauses
+	if len(f.Clauses) != 4 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	if f.NumVars != 3 {
+		t.Fatalf("NumVars = %d", f.NumVars)
+	}
+	if !f.Satisfied([]bool{true, false, false}) {
+		t.Error("one-hot assignment should satisfy")
+	}
+	if f.Satisfied([]bool{true, true, false}) {
+		t.Error("two-hot assignment should not satisfy")
+	}
+	if f.Satisfied([]bool{false, false, false}) {
+		t.Error("zero-hot assignment should not satisfy")
+	}
+	g := f.Clone()
+	g.AddClause(Neg(a))
+	if len(f.Clauses) == len(g.Clauses) {
+		t.Error("Clone aliases clause slice")
+	}
+	if f.String() == "" || NewCNF().String() != "⊤" {
+		t.Error("String")
+	}
+	if (Clause{}).String() != "⊥" {
+		t.Error("empty clause string")
+	}
+}
+
+func TestCNFAddClauseGrowsVars(t *testing.T) {
+	f := NewCNF()
+	f.AddClause(Pos(9))
+	if f.NumVars != 10 {
+		t.Errorf("NumVars = %d", f.NumVars)
+	}
+}
+
+func TestDPLLSimple(t *testing.T) {
+	// (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b ∨ c) — satisfiable, forces b, c.
+	f := NewCNF()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.AddClause(Pos(a), Pos(b))
+	f.AddClause(Neg(a), Pos(b))
+	f.AddClause(Neg(b), Pos(c))
+	m, ok := DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !f.Satisfied(m) {
+		t.Fatal("model does not satisfy")
+	}
+	if !m[b] || !m[c] {
+		t.Errorf("model = %v, want b,c true", m)
+	}
+}
+
+func TestDPLLUnsat(t *testing.T) {
+	// (a) ∧ (¬a)
+	f := NewCNF()
+	a := f.NewVar()
+	f.AddClause(Pos(a))
+	f.AddClause(Neg(a))
+	if _, ok := DPLL(f); ok {
+		t.Error("should be UNSAT")
+	}
+	// Empty clause.
+	g := NewCNF()
+	g.AddClause()
+	if _, ok := DPLL(g); ok {
+		t.Error("empty clause should be UNSAT")
+	}
+	// Pigeonhole PHP(2,1): two pigeons one hole.
+	h := NewCNF()
+	p1, p2 := h.NewVar(), h.NewVar()
+	h.AddClause(Pos(p1))
+	h.AddClause(Pos(p2))
+	h.AddClause(Neg(p1), Neg(p2))
+	if _, ok := DPLL(h); ok {
+		t.Error("PHP should be UNSAT")
+	}
+}
+
+func TestDPLLEmptyFormula(t *testing.T) {
+	f := NewCNF()
+	f.NumVars = 2
+	if _, ok := DPLL(f); !ok {
+		t.Error("empty formula should be SAT")
+	}
+}
+
+func TestWalkSATFindsModels(t *testing.T) {
+	f := NewCNF()
+	vars := make([]int, 6)
+	for i := range vars {
+		vars[i] = f.NewVar()
+	}
+	// Chain of implications plus an exactly-one block.
+	f.AddClause(Neg(vars[0]), Pos(vars[1]))
+	f.AddClause(Neg(vars[1]), Pos(vars[2]))
+	f.AddExactlyOne(Pos(vars[3]), Pos(vars[4]), Pos(vars[5]))
+	m, ok := WalkSAT(f, WalkSATOptions{Seed: 1})
+	if !ok {
+		t.Fatal("WalkSAT failed on easy SAT instance")
+	}
+	if !f.Satisfied(m) {
+		t.Fatal("WalkSAT returned non-model")
+	}
+}
+
+func TestWalkSATTrivialAndContradiction(t *testing.T) {
+	f := NewCNF()
+	f.NumVars = 3
+	if m, ok := WalkSAT(f, WalkSATOptions{Seed: 1}); !ok || len(m) != 3 {
+		t.Error("empty formula should be SAT")
+	}
+	f.AddClause()
+	if _, ok := WalkSAT(f, WalkSATOptions{Seed: 1}); ok {
+		t.Error("empty clause should fail fast")
+	}
+}
+
+// randomCNF generates a random 3-CNF with the given clause/variable ratio.
+func randomCNF(rng *rand.Rand, nVars, nClauses int) *CNF {
+	f := &CNF{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		c := make(Clause, 3)
+		for j := range c {
+			v := rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				c[j] = Pos(v)
+			} else {
+				c[j] = Neg(v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Property: on random instances, WalkSAT never returns a wrong model, and
+// whenever DPLL says SAT on an easy (underconstrained) instance, WalkSAT
+// finds a model too.
+func TestWalkSATAgreesWithDPLL(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomCNF(rng, 10, 25) // ratio 2.5: almost surely SAT
+		mDPLL, satDPLL := DPLL(f)
+		if satDPLL && !f.Satisfied(mDPLL) {
+			return false
+		}
+		mWalk, satWalk := WalkSAT(f, WalkSATOptions{Seed: seed, MaxFlips: 20000, MaxRestarts: 20})
+		if satWalk && !f.Satisfied(mWalk) {
+			return false
+		}
+		if satWalk && !satDPLL {
+			return false // WalkSAT found a model DPLL says cannot exist
+		}
+		if satDPLL && !satWalk {
+			return false // easy instance: WalkSAT should find it
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkSATNeverClaimsUnsatModels(t *testing.T) {
+	// Over-constrained instances: WalkSAT must never return ok with a
+	// non-satisfying assignment.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		f := randomCNF(rng, 8, 60) // ratio 7.5: almost surely UNSAT
+		m, ok := WalkSAT(f, WalkSATOptions{Seed: int64(i), MaxFlips: 2000, MaxRestarts: 3})
+		if ok && !f.Satisfied(m) {
+			t.Fatal("WalkSAT returned non-model")
+		}
+	}
+}
+
+func TestTautology(t *testing.T) {
+	// x ∨ ¬x is a tautology.
+	if !Tautology(1, [][]Lit{{Pos(0)}, {Neg(0)}}) {
+		t.Error("x ∨ ¬x should be a tautology")
+	}
+	// x ∨ y is not.
+	if Tautology(2, [][]Lit{{Pos(0)}, {Pos(1)}}) {
+		t.Error("x ∨ y should not be a tautology")
+	}
+	// (x∧y) ∨ (¬x) ∨ (¬y) is a tautology.
+	if !Tautology(2, [][]Lit{{Pos(0), Pos(1)}, {Neg(0)}, {Neg(1)}}) {
+		t.Error("(x∧y) ∨ ¬x ∨ ¬y should be a tautology")
+	}
+	// (x∧y) ∨ (¬x∧¬y) is not (x=T,y=F escapes).
+	if Tautology(2, [][]Lit{{Pos(0), Pos(1)}, {Neg(0), Neg(1)}}) {
+		t.Error("xor-ish DNF should not be a tautology")
+	}
+}
+
+func TestWalkSATOptionsDefaults(t *testing.T) {
+	o := WalkSATOptions{}.withDefaults()
+	if o.MaxFlips <= 0 || o.MaxRestarts <= 0 || o.Noise <= 0 || o.Noise > 1 {
+		t.Errorf("bad defaults: %+v", o)
+	}
+	o = WalkSATOptions{Noise: 2}.withDefaults()
+	if o.Noise != 0.5 {
+		t.Errorf("out-of-range noise not clamped: %v", o.Noise)
+	}
+}

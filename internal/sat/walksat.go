@@ -1,0 +1,160 @@
+package sat
+
+import "math/rand"
+
+// WalkSATOptions tunes the local-search solver.
+type WalkSATOptions struct {
+	MaxFlips    int     // flips per try (default 10000)
+	MaxRestarts int     // independent tries (default 10)
+	Noise       float64 // probability of a random walk move (default 0.5)
+	Seed        int64   // RNG seed; fixed for reproducibility
+}
+
+func (o WalkSATOptions) withDefaults() WalkSATOptions {
+	if o.MaxFlips <= 0 {
+		o.MaxFlips = 10000
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 10
+	}
+	if o.Noise <= 0 || o.Noise > 1 {
+		o.Noise = 0.5
+	}
+	return o
+}
+
+// WalkSAT runs the classic WalkSAT procedure (Selman, Kautz & Cohen): start
+// from a random assignment; while some clause is unsatisfied, pick one at
+// random and flip either a random variable in it (with probability Noise) or
+// the variable with minimal "break count" (the number of currently satisfied
+// clauses the flip would falsify).
+//
+// It returns a satisfying assignment and true, or nil and false if none was
+// found within the budget. Like the paper's Walksat, it is incomplete: false
+// does not prove unsatisfiability (the paper accepts this, rejecting the view
+// update when the solver fails; §4.3).
+func WalkSAT(f *CNF, opts WalkSATOptions) ([]bool, bool) {
+	opts = opts.withDefaults()
+	if len(f.Clauses) == 0 {
+		return make([]bool, f.NumVars), true
+	}
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, false
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// occurrence lists: clauses containing each literal polarity
+	occPos := make([][]int32, f.NumVars)
+	occNeg := make([][]int32, f.NumVars)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Negated() {
+				occNeg[l.Var()] = append(occNeg[l.Var()], int32(ci))
+			} else {
+				occPos[l.Var()] = append(occPos[l.Var()], int32(ci))
+			}
+		}
+	}
+
+	assign := make([]bool, f.NumVars)
+	numSat := make([]int32, len(f.Clauses)) // satisfied-literal count per clause
+	unsat := make([]int32, 0, len(f.Clauses))
+	unsatPos := make([]int32, len(f.Clauses)) // position of clause in unsat, -1 if absent
+
+	recompute := func() {
+		unsat = unsat[:0]
+		for ci, c := range f.Clauses {
+			n := int32(0)
+			for _, l := range c {
+				if l.Satisfied(assign) {
+					n++
+				}
+			}
+			numSat[ci] = n
+			if n == 0 {
+				unsatPos[ci] = int32(len(unsat))
+				unsat = append(unsat, int32(ci))
+			} else {
+				unsatPos[ci] = -1
+			}
+		}
+	}
+
+	// flip updates assignment and incremental clause state.
+	flip := func(v int) {
+		assign[v] = !assign[v]
+		var nowTrue, nowFalse [][]int32
+		if assign[v] {
+			nowTrue, nowFalse = occPos, occNeg
+		} else {
+			nowTrue, nowFalse = occNeg, occPos
+		}
+		for _, ci := range nowTrue[v] {
+			numSat[ci]++
+			if numSat[ci] == 1 { // leaves unsat set
+				p := unsatPos[ci]
+				last := unsat[len(unsat)-1]
+				unsat[p] = last
+				unsatPos[last] = p
+				unsat = unsat[:len(unsat)-1]
+				unsatPos[ci] = -1
+			}
+		}
+		for _, ci := range nowFalse[v] {
+			numSat[ci]--
+			if numSat[ci] == 0 { // enters unsat set
+				unsatPos[ci] = int32(len(unsat))
+				unsat = append(unsat, ci)
+			}
+		}
+	}
+
+	breakCount := func(v int) int {
+		// Clauses that are satisfied only by v's current polarity would
+		// break if we flip v.
+		var satLits [][]int32
+		if assign[v] {
+			satLits = occPos
+		} else {
+			satLits = occNeg
+		}
+		b := 0
+		for _, ci := range satLits[v] {
+			if numSat[ci] == 1 {
+				b++
+			}
+		}
+		return b
+	}
+
+	for try := 0; try < opts.MaxRestarts; try++ {
+		for v := range assign {
+			assign[v] = rng.Intn(2) == 0
+		}
+		recompute()
+		for fl := 0; fl < opts.MaxFlips; fl++ {
+			if len(unsat) == 0 {
+				out := make([]bool, len(assign))
+				copy(out, assign)
+				return out, true
+			}
+			c := f.Clauses[unsat[rng.Intn(len(unsat))]]
+			var v int
+			if rng.Float64() < opts.Noise {
+				v = c[rng.Intn(len(c))].Var()
+			} else {
+				best, bestBreak := -1, int(^uint(0)>>1)
+				for _, l := range c {
+					if b := breakCount(l.Var()); b < bestBreak {
+						best, bestBreak = l.Var(), b
+					}
+				}
+				v = best
+			}
+			flip(v)
+		}
+	}
+	return nil, false
+}

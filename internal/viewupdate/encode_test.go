@@ -1,0 +1,256 @@
+package viewupdate
+
+// White-box tests of the SAT encoding (§4.3): variable domains, atom
+// literals (including var=var equality over shared domains and fresh
+// slots), required/forbidden conjunctions and guarded match disjunctions.
+//
+// Note: under key preservation an edge has a unique derivation, which makes
+// the guarded-with-feasible-match case unreachable through the public
+// pipeline (the match would have to coincide with the edge's own
+// determined template). The encoder still implements it defensively; these
+// tests exercise it directly.
+
+import (
+	"testing"
+
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+	"rxview/internal/sat"
+)
+
+func bitDomain() []relational.Value {
+	return []relational.Value{relational.Int(0), relational.Int(1)}
+}
+
+func newState(t *testing.T) *insertState {
+	t.Helper()
+	return &insertState{
+		templates: map[string]*template{},
+		byTable:   map[string][]*template{},
+		newNodes:  map[dag.NodeID]bool{},
+	}
+}
+
+func (st *insertState) addVar(name string, dom []relational.Value, kind relational.Kind) relational.Value {
+	st.vars = append(st.vars, varInfo{name: name, typ: kind, domain: dom})
+	return relational.Var(len(st.vars) - 1)
+}
+
+func solveState(t *testing.T, st *insertState) ([]bool, bool) {
+	t.Helper()
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if ok && !f.Satisfied(m) {
+		t.Fatal("DPLL returned a non-model")
+	}
+	return m, ok
+}
+
+func TestEncodeRequiredForcesValue(t *testing.T) {
+	st := newState(t)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	st.required = append(st.required, []symAtom{{L: x, R: relational.Int(1)}})
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	// x's selector for value 1 must be true.
+	if !e.sel[0][1].Satisfied(m) {
+		t.Error("required atom did not force x=1")
+	}
+}
+
+func TestEncodeForbiddenConjunction(t *testing.T) {
+	st := newState(t)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	y := st.addVar("y", bitDomain(), relational.KindInt)
+	// Forbid (x=1 ∧ y=1); require x=1 — so y must be 0.
+	st.required = append(st.required, []symAtom{{L: x, R: relational.Int(1)}})
+	st.forbidden = append(st.forbidden, []symAtom{
+		{L: x, R: relational.Int(1)},
+		{L: y, R: relational.Int(1)},
+	})
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !e.sel[1][0].Satisfied(m) {
+		t.Error("y should be forced to 0")
+	}
+}
+
+func TestEncodeUnsatisfiableRequirements(t *testing.T) {
+	st := newState(t)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	st.required = append(st.required,
+		[]symAtom{{L: x, R: relational.Int(0)}},
+		[]symAtom{{L: x, R: relational.Int(1)}},
+	)
+	if _, ok := solveState(t, st); ok {
+		t.Error("conflicting requirements should be UNSAT")
+	}
+}
+
+func TestEncodeVarVarEquality(t *testing.T) {
+	st := newState(t)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	y := st.addVar("y", bitDomain(), relational.KindInt)
+	// x = y required, x = 1 required → y = 1.
+	st.required = append(st.required,
+		[]symAtom{{L: x, R: y}},
+		[]symAtom{{L: x, R: relational.Int(1)}},
+	)
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !e.sel[1][1].Satisfied(m) {
+		t.Error("x=y with x=1 should force y=1")
+	}
+	// Self-equality is trivially true; fresh-vs-fresh never equal.
+	if e.atomLit(symAtom{L: x, R: x}) != e.litTrue {
+		t.Error("x=x should be litTrue")
+	}
+}
+
+func TestEncodeVarVarWithInfiniteDomains(t *testing.T) {
+	st := newState(t)
+	// Two string (infinite-domain) vars: their domains are the mentioned
+	// constants plus a fresh slot; fresh slots never coincide.
+	x := st.addVar("x", nil, relational.KindString)
+	y := st.addVar("y", nil, relational.KindString)
+	st.required = append(st.required,
+		[]symAtom{{L: x, R: y}},
+		[]symAtom{{L: x, R: relational.Str("hello")}},
+	)
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	// Both must select "hello" (the only shared concrete value).
+	if !e.sel[0][e.domainIndex(0, relational.Str("hello"))].Satisfied(m) {
+		t.Error("x != hello")
+	}
+	if !e.sel[1][e.domainIndex(1, relational.Str("hello"))].Satisfied(m) {
+		t.Error("y != hello")
+	}
+
+	// Requiring x=y but forbidding every shared constant → UNSAT (fresh
+	// slots cannot be equal).
+	st2 := newState(t)
+	a := st2.addVar("a", nil, relational.KindString)
+	b := st2.addVar("b", nil, relational.KindString)
+	st2.required = append(st2.required, []symAtom{{L: a, R: b}})
+	st2.forbidden = append(st2.forbidden,
+		[]symAtom{{L: a, R: relational.Str("only")}},
+	)
+	// Mention "only" for b too so domains share it.
+	st2.forbidden = append(st2.forbidden,
+		[]symAtom{{L: b, R: relational.Str("only")}},
+	)
+	if _, ok := solveState(t, st2); ok {
+		t.Error("a=b with the only shared constant forbidden should be UNSAT")
+	}
+}
+
+func TestEncodeConstOutsideDomainIsFalse(t *testing.T) {
+	st := newState(t)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	e := newEncoder(st)
+	if got := e.atomLit(symAtom{L: x, R: relational.Int(7)}); got != e.litFalse {
+		t.Error("value outside the finite domain should yield litFalse")
+	}
+	if got := e.atomLit(symAtom{L: relational.Int(3), R: relational.Int(3)}); got != e.litTrue {
+		t.Error("equal constants should yield litTrue")
+	}
+	if got := e.atomLit(symAtom{L: relational.Int(3), R: relational.Int(4)}); got != e.litFalse {
+		t.Error("unequal constants should yield litFalse")
+	}
+}
+
+func TestEncodeGuardedRowPicksMatch(t *testing.T) {
+	// Guarded: ¬(g=1) ∨ (x matches an expected value). Require g=1 so the
+	// guard cannot be discharged by falsifying the condition: the match
+	// conjunction must then hold.
+	st := newState(t)
+	g := st.addVar("g", bitDomain(), relational.KindInt)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	st.required = append(st.required, []symAtom{{L: g, R: relational.Int(1)}})
+	st.guarded = append(st.guarded, guardedRow{
+		conds:   []symAtom{{L: g, R: relational.Int(1)}},
+		matches: [][]symAtom{{{L: x, R: relational.Int(0)}}},
+	})
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !e.sel[1][0].Satisfied(m) {
+		t.Error("guarded match should force x=0")
+	}
+}
+
+func TestEncodeGuardedRowFalsifiesCondition(t *testing.T) {
+	// Same guarded row but the match is impossible (empty domain overlap):
+	// the solver must falsify the condition instead.
+	st := newState(t)
+	g := st.addVar("g", bitDomain(), relational.KindInt)
+	x := st.addVar("x", bitDomain(), relational.KindInt)
+	st.guarded = append(st.guarded, guardedRow{
+		conds:   []symAtom{{L: g, R: relational.Int(1)}},
+		matches: [][]symAtom{{{L: x, R: relational.Int(7)}}}, // outside domain
+	})
+	e := newEncoder(st)
+	f := e.encode()
+	m, ok := sat.DPLL(f)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if e.sel[0][1].Satisfied(m) {
+		t.Error("condition g=1 should be falsified (match impossible)")
+	}
+}
+
+func TestFreshValueKinds(t *testing.T) {
+	st := &insertState{tr: &Translator{}}
+	v, err := st.freshValue(relational.KindString)
+	if err != nil || v.K != relational.KindString {
+		t.Errorf("fresh string: %v %v", v, err)
+	}
+	v2, err := st.freshValue(relational.KindString)
+	if err != nil || v2.Equal(v) {
+		t.Error("fresh values must be distinct")
+	}
+	iv, err := st.freshValue(relational.KindInt)
+	if err != nil || iv.K != relational.KindInt {
+		t.Errorf("fresh int: %v %v", iv, err)
+	}
+	if _, err := st.freshValue(relational.KindBool); err == nil {
+		t.Error("fresh bool should fail (finite domain)")
+	}
+}
+
+func TestSymAtomAndVarHelpers(t *testing.T) {
+	a := symAtom{L: relational.Var(0), R: relational.Int(1)}
+	if a.String() != "?z0=1" {
+		t.Errorf("String = %q", a.String())
+	}
+	atoms := []symAtom{
+		{L: relational.Var(1), R: relational.Int(0)},
+		{L: relational.Var(0), R: relational.Int(1)},
+	}
+	sortAtoms(atoms)
+	if atoms[0].L.VarID() != 0 {
+		t.Error("sortAtoms order")
+	}
+}

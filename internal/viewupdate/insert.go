@@ -1,0 +1,279 @@
+package viewupdate
+
+import (
+	"fmt"
+
+	"rxview/internal/atg"
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+)
+
+// varInfo describes one symbolic variable of the insertion analysis: either
+// an undetermined column of a tuple template (Appendix A's z variables) or a
+// rule-query parameter during side-effect enumeration.
+type varInfo struct {
+	name    string
+	typ     relational.Kind
+	domain  []relational.Value // finite domain; nil = infinite
+	isParam bool
+}
+
+// symAtom is an equality between two terms, each a concrete Value or a
+// variable (KindVar). Conjunctions of atoms are the conditions φt of §4.3.
+type symAtom struct {
+	L, R relational.Value
+}
+
+func (a symAtom) String() string { return a.L.String() + "=" + a.R.String() }
+
+// template is a base tuple to be inserted, possibly containing variables.
+type template struct {
+	table string
+	row   relational.Tuple
+}
+
+// guardedRow encodes "if this combination's conditions hold, the produced
+// edge must coincide with one of the expected edges": ¬φ ∨ ⋁ match_k.
+type guardedRow struct {
+	conds   []symAtom
+	matches [][]symAtom // each match is a conjunction var=value
+}
+
+// inducedRow is a row produced under a NEW parent node (one created by this
+// update's ST(A,t) publication). It is not a side effect: it is part of the
+// final content of the inserted subtree once ΔR is applied — the subtree of
+// the paper's semantics is defined against the post-update database. The
+// caller materializes it after the SAT assignment fixes the variables.
+type inducedRow struct {
+	parent    dag.NodeID
+	childType string
+	attr      relational.Tuple // may contain vars
+	conds     []symAtom
+}
+
+// InducedEdge is a concrete induced child to be published under a new node
+// after ΔR is applied.
+type InducedEdge struct {
+	Parent    dag.NodeID
+	ChildType string
+	Attr      relational.Tuple
+}
+
+// insertState is the working state of Algorithm insert for one ΔV.
+type insertState struct {
+	tr        *Translator
+	vars      []varInfo
+	templates map[string]*template // table \x00 keyEnc -> template
+	byTable   map[string][]*template
+	newNodes  map[dag.NodeID]bool
+
+	required  [][]symAtom
+	forbidden [][]symAtom
+	guarded   []guardedRow
+	induced   []inducedRow
+}
+
+func (st *insertState) newVar(name string, col relational.Column) relational.Value {
+	dom, _ := col.FiniteDomain()
+	st.vars = append(st.vars, varInfo{name: name, typ: col.Type, domain: dom})
+	return relational.Var(len(st.vars) - 1)
+}
+
+func (st *insertState) newParamVar(name string) relational.Value {
+	st.vars = append(st.vars, varInfo{name: name, typ: relational.KindNull, isParam: true})
+	return relational.Var(len(st.vars) - 1)
+}
+
+// TranslateInsert is Algorithm insert (§4.3): given the edges ΔV inserted
+// into the view (already present in the DAG, inside a transaction), it
+// computes base-table insertions ΔR such that ΔV(V(I)) = V(ΔR(I)), or
+// rejects. The steps follow the paper:
+//
+//  1. derive tuple templates (with variables for undetermined columns) that
+//     must exist for every ΔV edge to be produced by its rule query;
+//  2. assert the production conditions of every ΔV edge (φt conjuncts);
+//  3. symbolically evaluate every rule query over I ∪ X to find potential
+//     type-1/type-2 side-effect rows; concrete unexpected rows reject ΔV,
+//     conditional ones contribute ¬φt conjuncts (or guarded disjunctions
+//     when the produced attribute still contains variables);
+//  4. encode to SAT, solve with WalkSAT (DPLL fallback), and instantiate
+//     the templates from the model. Unconstrained infinite-domain
+//     variables get fresh values outside the active domain.
+func (tr *Translator) TranslateInsert(dv []dag.Edge, newNodes []dag.NodeID) ([]relational.Mutation, []InducedEdge, error) {
+	st := &insertState{
+		tr:        tr,
+		templates: make(map[string]*template),
+		byTable:   make(map[string][]*template),
+		newNodes:  make(map[dag.NodeID]bool, len(newNodes)),
+	}
+	for _, n := range newNodes {
+		st.newNodes[n] = true
+	}
+	// Step 1: templates for missing sources.
+	type pending struct {
+		edge dag.Edge
+		rule *atg.CompiledRule
+	}
+	var work []pending
+	for _, e := range dv {
+		r := tr.C.Rule(tr.D.Type(e.Parent), tr.D.Type(e.Child))
+		if r == nil {
+			return nil, nil, fmt.Errorf("viewupdate: no rule for edge %s (%s→%s)",
+				e, tr.D.Type(e.Parent), tr.D.Type(e.Child))
+		}
+		if r.Prov == nil {
+			continue // projection-rule edge: exists with its parent
+		}
+		work = append(work, pending{edge: e, rule: r})
+		if err := st.buildTemplates(e, r); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Step 2: required production conditions.
+	for _, w := range work {
+		if err := st.requireProduction(w.edge, w.rule); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Step 3: side-effect enumeration.
+	if err := st.findSideEffects(); err != nil {
+		return nil, nil, err
+	}
+	// Step 4: solve and instantiate.
+	return st.solve()
+}
+
+// buildTemplates creates/merges templates for every missing source tuple of
+// edge e.
+func (st *insertState) buildTemplates(e dag.Edge, r *atg.CompiledRule) error {
+	tr := st.tr
+	parentAttr, childAttr := tr.D.Attr(e.Parent), tr.D.Attr(e.Child)
+	srcs := r.SourceTuples(parentAttr, childAttr)
+	closure := relational.EqualityClosure(r.Query)
+	for pos, s := range srcs {
+		rel := tr.DB.Rel(s.Table)
+		if rel == nil {
+			return fmt.Errorf("viewupdate: no base table %s", s.Table)
+		}
+		if _, exists := rel.LookupKey(s.Key); exists {
+			continue
+		}
+		enc := s.Encode()
+		ts := rel.Schema
+		tmpl := st.templates[enc]
+		if tmpl == nil {
+			tmpl = &template{table: s.Table, row: make(relational.Tuple, len(ts.Columns))}
+			for c := range ts.Columns {
+				tmpl.row[c] = relational.Value{} // placeholder
+			}
+			st.templates[enc] = tmpl
+			st.byTable[s.Table] = append(st.byTable[s.Table], tmpl)
+		}
+		// Fill determined columns (keys + any column derivable from the
+		// edge's attributes through the equality closure).
+		for c := range ts.Columns {
+			var det relational.Value
+			have := false
+			if ki := keyIndex(ts, c); ki >= 0 {
+				det, have = s.Key[ki], true
+			} else if d, ok := closure[[2]int{pos, c}]; ok {
+				det, have = d.Resolve(childAttr, []relational.Value(parentAttr)), true
+			}
+			cur := tmpl.row[c]
+			switch {
+			case have && cur.IsNull():
+				tmpl.row[c] = det
+			case have && !cur.IsVar() && !cur.Equal(det):
+				return &RejectedError{Reason: fmt.Sprintf(
+					"conflicting requirements on %s.%s: %s vs %s",
+					s.Table, ts.Columns[c].Name, cur, det)}
+			case have && cur.IsVar():
+				tmpl.row[c] = det // a later edge determined it
+			case !have && cur.IsNull():
+				tmpl.row[c] = st.newVar(
+					fmt.Sprintf("%s[%s].%s", s.Table, s.Key, ts.Columns[c].Name),
+					ts.Columns[c])
+			}
+		}
+	}
+	return nil
+}
+
+func keyIndex(ts *relational.TableSchema, col int) int {
+	for i, k := range ts.Key {
+		if k == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowFor returns the combination row for a source: the existing base tuple
+// or the template.
+func (st *insertState) rowFor(s atg.SourceKey) (relational.Tuple, error) {
+	if row, ok := st.tr.DB.Rel(s.Table).LookupKey(s.Key); ok {
+		return row, nil
+	}
+	if tmpl := st.templates[s.Encode()]; tmpl != nil {
+		return tmpl.row, nil
+	}
+	return nil, fmt.Errorf("viewupdate: source %s neither exists nor is templated", s)
+}
+
+// requireProduction asserts the WHERE conditions of the edge's unique
+// derivation (key preservation): concrete violations reject; variable-
+// involving equalities become required atoms.
+func (st *insertState) requireProduction(e dag.Edge, r *atg.CompiledRule) error {
+	tr := st.tr
+	parentAttr, childAttr := tr.D.Attr(e.Parent), tr.D.Attr(e.Child)
+	srcs := r.SourceTuples(parentAttr, childAttr)
+	rows := make([]relational.Tuple, len(srcs))
+	for i, s := range srcs {
+		row, err := st.rowFor(s)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+	}
+	resolve := func(o relational.Operand) relational.Value {
+		switch {
+		case o.IsCol():
+			return rows[o.Tab][o.Col]
+		case o.IsConst():
+			return o.Const
+		default:
+			return parentAttr[o.Param]
+		}
+	}
+	var atoms []symAtom
+	for _, p := range r.Query.Where {
+		l, rv := resolve(p.Left), resolve(p.Right)
+		if !l.IsVar() && !rv.IsVar() {
+			if !l.Equal(rv) {
+				return &RejectedError{Reason: fmt.Sprintf(
+					"edge %s cannot be produced: condition %s=%s fails on existing data",
+					e, l, rv)}
+			}
+			continue
+		}
+		atoms = append(atoms, symAtom{L: l, R: rv})
+	}
+	// The query outputs must equal the child attribute.
+	for i, it := range r.Query.Selects {
+		v := resolve(it.Src)
+		want := childAttr[i]
+		if !v.IsVar() {
+			if !v.Equal(want) {
+				return &RejectedError{Reason: fmt.Sprintf(
+					"edge %s cannot be produced: output %s is %s, want %s",
+					e, it.As, v, want)}
+			}
+			continue
+		}
+		atoms = append(atoms, symAtom{L: v, R: want})
+	}
+	if len(atoms) > 0 {
+		st.required = append(st.required, atoms)
+	}
+	return nil
+}

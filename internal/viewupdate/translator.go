@@ -1,0 +1,190 @@
+// Package viewupdate implements the relational side of the paper (§4):
+// translating group updates ΔV over the (key-preserving, SPJ-defined) edge
+// views into base-table updates ΔR.
+//
+//   - Deletions: Algorithm delete (Fig.9) — PTIME under key preservation
+//     (Theorem 1), plus the minimal-deletion variants of Theorem 3 (exact
+//     branch-and-bound and a greedy set-cover heuristic).
+//   - Insertions: the heuristic Algorithm insert of §4.3/Appendix A — tuple
+//     templates with variables, symbolic evaluation to find type-1/type-2
+//     side effects, a SAT encoding, and a WalkSAT solve.
+package viewupdate
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/atg"
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+)
+
+// Translator maintains the source index over the edge views: for every base
+// tuple, how many live view edges it derives. With key preservation this
+// makes the deletable source Sr(Q, t) of any edge an O(1) lookup, which is
+// what turns the updatability analysis PTIME (Theorem 1).
+type Translator struct {
+	C  *atg.Compiled
+	DB *relational.Database
+	D  *dag.DAG
+
+	// srcCount: SourceKey.Encode() -> number of live edges derived from it.
+	srcCount map[string]int
+	fresh    int64 // counter for fresh values (infinite-domain variables)
+}
+
+// NewTranslator builds the translator and its source index by scanning the
+// live edges of the view.
+func NewTranslator(c *atg.Compiled, db *relational.Database, d *dag.DAG) *Translator {
+	tr := &Translator{C: c, DB: db, D: d, srcCount: make(map[string]int)}
+	for _, u := range d.Nodes() {
+		for _, v := range d.Children(u) {
+			tr.bump(dag.Edge{Parent: u, Child: v}, +1)
+		}
+	}
+	return tr
+}
+
+// sources returns the deletable source Sr(Q, t) of an edge, or nil for
+// projection-rule edges (which have no independent source).
+func (tr *Translator) sources(e dag.Edge) []atg.SourceKey {
+	r := tr.C.Rule(tr.D.Type(e.Parent), tr.D.Type(e.Child))
+	if r == nil || r.Prov == nil {
+		return nil
+	}
+	return r.SourceTuples(tr.D.Attr(e.Parent), tr.D.Attr(e.Child))
+}
+
+func (tr *Translator) bump(e dag.Edge, delta int) {
+	for _, s := range tr.sources(e) {
+		tr.srcCount[s.Encode()] += delta
+	}
+}
+
+// NoteEdgeInserted / NoteEdgeDeleted keep the source index current as the
+// system applies ΔV to the view.
+func (tr *Translator) NoteEdgeInserted(e dag.Edge) { tr.bump(e, +1) }
+
+// NoteEdgeDeleted decrements the index for a removed edge.
+func (tr *Translator) NoteEdgeDeleted(e dag.Edge) { tr.bump(e, -1) }
+
+// RejectedError reports that ΔV is not translatable: carrying it out would
+// necessarily cause relational view side effects.
+type RejectedError struct{ Reason string }
+
+func (e *RejectedError) Error() string { return "viewupdate: rejected: " + e.Reason }
+
+// TranslateDelete is Algorithm delete (Fig.9). For each view deletion it
+// finds a source tuple (Sj, tj) whose removal deletes the edge without side
+// effects — i.e. (Sj, tj) is not in the deletable source of any view tuple
+// that survives ΔV. It returns the group deletion ΔR, or a *RejectedError
+// if some edge has no side-effect-free source (the updatability answer is
+// then "no", decided in PTIME).
+//
+// Among valid sources it greedily prefers those covering the most not-yet-
+// covered ΔV edges, so ΔR also tends to be small (exact minimality is
+// NP-complete — Theorem 3; see MinimalDelete).
+func (tr *Translator) TranslateDelete(dv []dag.Edge) ([]relational.Mutation, error) {
+	type edgeInfo struct {
+		edge dag.Edge
+		srcs []atg.SourceKey
+	}
+	infos := make([]edgeInfo, 0, len(dv))
+	// uses[s]: how many ΔV edges list s among their sources.
+	uses := make(map[string]int)
+	for _, e := range dv {
+		srcs := tr.sources(e)
+		if len(srcs) == 0 {
+			return nil, &RejectedError{Reason: fmt.Sprintf(
+				"edge %s of relation %s has no deletable source (sequence-child edge)",
+				e, tr.D.EdgeRelationName(e))}
+		}
+		for _, s := range srcs {
+			uses[s.Encode()]++
+		}
+		infos = append(infos, edgeInfo{edge: e, srcs: srcs})
+	}
+
+	// A source is valid iff every edge it derives is being deleted.
+	valid := func(s atg.SourceKey) bool {
+		enc := s.Encode()
+		return tr.srcCount[enc] == uses[enc]
+	}
+
+	chosen := make(map[string]atg.SourceKey) // ΔR, deduped
+	covered := make([]bool, len(infos))
+	// coverage count per source over ΔV edges, for the greedy preference.
+	cover := make(map[string][]int)
+	for i, inf := range infos {
+		for _, s := range inf.srcs {
+			cover[s.Encode()] = append(cover[s.Encode()], i)
+		}
+	}
+
+	for i, inf := range infos {
+		if covered[i] {
+			continue
+		}
+		var best atg.SourceKey
+		bestCover := -1
+		found := false
+		for _, s := range inf.srcs {
+			if !valid(s) {
+				continue
+			}
+			n := 0
+			for _, j := range cover[s.Encode()] {
+				if !covered[j] {
+					n++
+				}
+			}
+			if n > bestCover {
+				best, bestCover, found = s, n, true
+			}
+		}
+		if !found {
+			return nil, &RejectedError{Reason: fmt.Sprintf(
+				"edge %s: every source tuple also derives a surviving view tuple (deletion has relational side effects)",
+				inf.edge)}
+		}
+		enc := best.Encode()
+		if _, dup := chosen[enc]; !dup {
+			chosen[enc] = best
+			for _, j := range cover[enc] {
+				covered[j] = true
+			}
+		}
+	}
+
+	return tr.sourcesToDeletions(chosen)
+}
+
+func (tr *Translator) sourcesToDeletions(chosen map[string]atg.SourceKey) ([]relational.Mutation, error) {
+	keys := make([]string, 0, len(chosen))
+	for k := range chosen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]relational.Mutation, 0, len(keys))
+	for _, k := range keys {
+		s := chosen[k]
+		rel := tr.DB.Rel(s.Table)
+		if rel == nil {
+			return nil, fmt.Errorf("viewupdate: no base table %s", s.Table)
+		}
+		row, ok := rel.LookupKey(s.Key)
+		if !ok {
+			return nil, fmt.Errorf("viewupdate: source tuple %s missing from %s (index out of sync)",
+				s.Key, s.Table)
+		}
+		out = append(out, relational.Mutation{Table: s.Table, Tuple: row.Clone()})
+	}
+	return out, nil
+}
+
+// Updatable decides the SPJ view updatability problem for group deletions
+// (Theorem 1: PTIME) without constructing ΔR.
+func (tr *Translator) Updatable(dv []dag.Edge) bool {
+	_, err := tr.TranslateDelete(dv)
+	return err == nil
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rxview/internal/relational"
+)
+
+// Class identifies the update workload classes of §5: W1 uses "//" with
+// value-based filters, W2 uses "/" with value-based filters, W3 uses "/"
+// with both structural and value filters.
+type Class int
+
+// Workload classes.
+const (
+	W1 Class = iota + 1
+	W2
+	W3
+)
+
+func (c Class) String() string {
+	switch c {
+	case W1:
+		return "W1"
+	case W2:
+		return "W2"
+	case W3:
+		return "W3"
+	default:
+		return fmt.Sprintf("W?%d", int(c))
+	}
+}
+
+// Op is one update of a workload, as a textual statement for
+// update.ParseStatement / core.System.Execute.
+type Op struct {
+	Class  Class
+	Delete bool
+	Stmt   string
+}
+
+// viewIndex caches which keys are published and one canonical root-to-key
+// parent chain, for building child-axis (W2/W3) paths.
+type viewIndex struct {
+	published map[int64]bool
+	parent    map[int64]int64 // canonical parent; roots map to 0
+	vals      map[int64]string
+	pubEdges  [][2]int64 // edges (u,c) with u published and c passing
+	pubKeys   []int64
+}
+
+func (s *Synthetic) buildIndex() *viewIndex {
+	ix := &viewIndex{
+		published: map[int64]bool{},
+		parent:    map[int64]int64{},
+		vals:      map[int64]string{},
+	}
+	children := map[int64][]int64{}
+	for _, e := range s.Edges {
+		children[e[0]] = append(children[e[0]], e[1])
+	}
+	queue := []int64{}
+	for _, r := range s.Roots {
+		if !ix.published[r] {
+			ix.published[r] = true
+			ix.parent[r] = 0
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ix.pubKeys = append(ix.pubKeys, u)
+		for _, c := range children[u] {
+			if !s.Pass[c] {
+				continue
+			}
+			ix.pubEdges = append(ix.pubEdges, [2]int64{u, c})
+			if !ix.published[c] {
+				ix.published[c] = true
+				ix.parent[c] = u
+				queue = append(queue, c)
+			}
+		}
+	}
+	return ix
+}
+
+// chainPath renders the canonical root-to-key path with per-step key
+// filters: C[key="k0"]/sub/C[key="k1"]/.../sub/C[key="kn"].
+func (ix *viewIndex) chainPath(key int64, structural bool) string {
+	var keys []int64
+	for k := key; k != 0; k = ix.parent[k] {
+		keys = append(keys, k)
+	}
+	// reverse
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString("/sub/")
+		}
+		if structural && i < len(keys)-1 {
+			fmt.Fprintf(&b, `C[key="%d" and sub/C]`, k)
+		} else if structural {
+			fmt.Fprintf(&b, `C[key="%d" and info/item]`, k)
+		} else {
+			fmt.Fprintf(&b, `C[key="%d"]`, k)
+		}
+	}
+	return b.String()
+}
+
+// DeleteWorkload generates n deletion statements of the given class over the
+// current dataset. W1 deletes every occurrence of C's with a chosen value
+// (recursive, no XML side effects); W2/W3 delete one edge addressed by an
+// explicit chain (side effects possible on shared chains; run the system
+// with ForceSideEffects).
+func (s *Synthetic) DeleteWorkload(class Class, n int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ix := s.buildIndex()
+	vals := s.valsFor(ix.pubKeys)
+	var ops []Op
+	usedVals := map[string]bool{}
+	usedEdges := map[[2]int64]bool{}
+	for len(ops) < n {
+		switch class {
+		case W1:
+			if len(ix.pubKeys) == 0 {
+				return ops
+			}
+			k := ix.pubKeys[rng.Intn(len(ix.pubKeys))]
+			v := vals[k]
+			if usedVals[v] {
+				if len(usedVals) >= len(vals) {
+					return ops
+				}
+				continue
+			}
+			usedVals[v] = true
+			ops = append(ops, Op{Class: class, Delete: true,
+				Stmt: fmt.Sprintf(`delete //C[val="%s"]`, v)})
+		default:
+			if len(ix.pubEdges) == 0 {
+				return ops
+			}
+			e := ix.pubEdges[rng.Intn(len(ix.pubEdges))]
+			if usedEdges[e] {
+				if len(usedEdges) >= len(ix.pubEdges) {
+					return ops
+				}
+				continue
+			}
+			usedEdges[e] = true
+			chain := ix.chainPath(e[0], class == W3)
+			var leaf string
+			if class == W3 {
+				leaf = fmt.Sprintf(`C[key="%d" and info/item]`, e[1])
+			} else {
+				leaf = fmt.Sprintf(`C[key="%d"]`, e[1])
+			}
+			ops = append(ops, Op{Class: class, Delete: true,
+				Stmt: fmt.Sprintf("delete %s/sub/%s", chain, leaf)})
+		}
+	}
+	return ops
+}
+
+// InsertWorkload generates n insertion statements: each inserts a fresh C
+// subtree. W1 targets //C[val=...]/sub (every occurrence, no side effects);
+// W2/W3 target a chain-addressed sub node.
+func (s *Synthetic) InsertWorkload(class Class, n int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ix := s.buildIndex()
+	vals := s.valsFor(ix.pubKeys)
+	var ops []Op
+	for len(ops) < n {
+		key := s.NextKey
+		s.NextKey++
+		attr := fmt.Sprintf(`c1=%d, c6="w%d"`, key, key)
+		switch class {
+		case W1:
+			if len(ix.pubKeys) == 0 {
+				return ops
+			}
+			k := ix.pubKeys[rng.Intn(len(ix.pubKeys))]
+			ops = append(ops, Op{Class: class,
+				Stmt: fmt.Sprintf(`insert C(%s) into //C[val="%s"]/sub`, attr, vals[k])})
+		default:
+			if len(ix.pubKeys) == 0 {
+				return ops
+			}
+			k := ix.pubKeys[rng.Intn(len(ix.pubKeys))]
+			chain := ix.chainPath(k, class == W3)
+			ops = append(ops, Op{Class: class,
+				Stmt: fmt.Sprintf("insert C(%s) into %s/sub", attr, chain)})
+		}
+	}
+	return ops
+}
+
+// valsFor returns the c6 value of each key.
+func (s *Synthetic) valsFor(keys []int64) map[int64]string {
+	out := make(map[int64]string, len(keys))
+	rel := s.DB.Rel("C")
+	for _, k := range keys {
+		if row, ok := rel.LookupKey(relational.Tuple{relational.Int(k)}); ok {
+			out[k] = row[5].S
+		}
+	}
+	return out
+}

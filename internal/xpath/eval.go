@@ -1,0 +1,375 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+)
+
+// Evaluator evaluates paths of the fragment over a DAG-compressed view.
+//
+// The evaluation is the two-pass scheme of §3.2:
+//
+//   - a bottom-up pass computes, for every filter sub-expression q and node
+//     v, whether q holds at v — dynamic programming along the topological
+//     order L (children first), with the desc(q,·) recurrence for //;
+//   - a top-down pass runs the normalized path as an NFA over root-to-node
+//     paths: every node accumulates the set of distinct NFA state-sets that
+//     tree occurrences (root paths) can arrive with. A node is in r[[p]] iff
+//     some occurrence accepts; an update has side effects iff some
+//     occurrence of an updated node does not accept — exactly the paper's
+//     tree-unfolding semantics, computed on the DAG.
+//
+// Both passes are O(|p|·|V|) for the practical case of few distinct
+// state-sets, matching the paper's complexity claim.
+type Evaluator struct {
+	D    *dag.DAG
+	Topo *reach.Topo
+	// Text returns the text value of a node (PCDATA elements); nil means no
+	// node has text, making all value comparisons false.
+	Text func(dag.NodeID) (string, bool)
+	// MaskLimit caps the number of distinct state-sets kept per node before
+	// collapsing to their union. Selection and Ep(r) stay exact under
+	// collapse; side-effect detection becomes conservative and the result's
+	// Overflow flag is set. Default 1024.
+	MaskLimit int
+}
+
+// Result is the outcome of evaluating a path p from the root.
+type Result struct {
+	// Selected is r[[p]]: nodes with at least one accepting occurrence, in
+	// id order.
+	Selected []dag.NodeID
+	// Edges is Ep(r): edges (u,v) with v ∈ Selected such that p reaches v
+	// through u (§3.2); deletions remove exactly these edges.
+	Edges []dag.Edge
+	// InsertWitnesses are the selected nodes that also have a non-accepting
+	// occurrence: inserting under them changes unselected tree occurrences
+	// too (the paper's side-effect set S for insertions).
+	InsertWitnesses []dag.NodeID
+	// DeleteWitnesses are the Ep(r) edges some of whose tree occurrences
+	// are not selected: removing the shared edge changes those occurrences
+	// as well.
+	DeleteWitnesses []dag.Edge
+	// Overflow reports that mask collapsing kicked in; side-effect
+	// witnesses are then conservative (possibly over-reported).
+	Overflow bool
+}
+
+// HasInsertSideEffects reports whether an insertion at r[[p]] would have XML
+// side effects per §2.1.
+func (r *Result) HasInsertSideEffects() bool {
+	return len(r.InsertWitnesses) > 0 || r.Overflow
+}
+
+// HasDeleteSideEffects reports whether deleting the Ep(r) edges would have
+// XML side effects per §2.1.
+func (r *Result) HasDeleteSideEffects() bool {
+	return len(r.DeleteWitnesses) > 0 || r.Overflow
+}
+
+// Eval evaluates the path and returns the selection, parent edges and
+// side-effect witnesses.
+func (ev *Evaluator) Eval(p *Path) (*Result, error) {
+	steps := Normalize(p)
+	n := len(steps)
+	if n > 62 {
+		return nil, fmt.Errorf("xpath: path too long: %d normalized steps (max 62)", n)
+	}
+	filterVals := ev.evalFilters(steps)
+	return ev.topDown(steps, filterVals), nil
+}
+
+// EvalSelect computes only r[[p]] and Ep(r), skipping side-effect
+// bookkeeping: state-sets collapse to a single union mask per node, which
+// keeps selection and Ep exact (transitions are bit-linear) while touching
+// every node at most once per pass. Use it for read-only queries; updates
+// need Eval's side-effect detection. The result's side-effect fields are
+// meaningless here.
+func (ev *Evaluator) EvalSelect(p *Path) (*Result, error) {
+	steps := Normalize(p)
+	n := len(steps)
+	if n > 62 {
+		return nil, fmt.Errorf("xpath: path too long: %d normalized steps (max 62)", n)
+	}
+	filterVals := ev.evalFilters(steps)
+	saved := ev.MaskLimit
+	ev.MaskLimit = 1 // collapse eagerly: one union mask per node
+	res := ev.topDown(steps, filterVals)
+	ev.MaskLimit = saved
+	res.InsertWitnesses, res.DeleteWitnesses = nil, nil
+	return res, nil
+}
+
+// ---------- bottom-up pass ----------
+
+// evalFilters computes the truth table (per node) of every filter
+// sub-expression, in dependency order.
+func (ev *Evaluator) evalFilters(steps []NStep) map[Expr][]bool {
+	tables := make(map[Expr][]bool)
+	for _, q := range collectFilters(steps) {
+		tables[q] = ev.filterTable(q, tables)
+	}
+	return tables
+}
+
+func (ev *Evaluator) filterTable(q Expr, tables map[Expr][]bool) []bool {
+	capn := ev.D.Cap()
+	out := make([]bool, capn)
+	switch t := q.(type) {
+	case *ExprLabel:
+		for _, v := range ev.Topo.Nodes() {
+			out[v] = ev.D.Type(v) == t.Label
+		}
+	case *ExprAnd:
+		l, r := tables[t.L], tables[t.R]
+		for i := range out {
+			out[i] = l[i] && r[i]
+		}
+	case *ExprOr:
+		l, r := tables[t.L], tables[t.R]
+		for i := range out {
+			out[i] = l[i] || r[i]
+		}
+	case *ExprNot:
+		e := tables[t.E]
+		for _, v := range ev.Topo.Nodes() {
+			out[v] = !e[v]
+		}
+	case *ExprPath:
+		out = ev.pathFilterTable(t, tables)
+	}
+	return out
+}
+
+// pathFilterTable computes val(p, v) (or val(p="s", v)) for all nodes by the
+// suffix recurrence of §3.2.
+func (ev *Evaluator) pathFilterTable(f *ExprPath, tables map[Expr][]bool) []bool {
+	steps := Normalize(f.Path)
+	capn := ev.D.Cap()
+	nodes := ev.Topo.Nodes() // forward order: children before parents
+
+	// Terminal table: the path has been fully consumed at v.
+	cur := make([]bool, capn)
+	if f.Cmp != nil {
+		if ev.Text != nil {
+			for _, v := range nodes {
+				if s, ok := ev.Text(v); ok {
+					cur[v] = s == *f.Cmp
+				}
+			}
+		}
+	} else {
+		for _, v := range nodes {
+			cur[v] = true
+		}
+	}
+
+	for i := len(steps) - 1; i >= 0; i-- {
+		next := make([]bool, capn)
+		switch steps[i].Kind {
+		case StepSelf:
+			if steps[i].Filter == nil {
+				copy(next, cur)
+			} else {
+				fv := tables[steps[i].Filter]
+				for _, v := range nodes {
+					next[v] = fv[v] && cur[v]
+				}
+			}
+		case StepLabel:
+			for _, v := range nodes {
+				for _, u := range ev.D.Children(v) {
+					if ev.D.Type(u) == steps[i].Label && cur[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		case StepWild:
+			for _, v := range nodes {
+				for _, u := range ev.D.Children(v) {
+					if cur[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		case StepDescOrSelf:
+			// desc recurrence: val(//rest, v) = val(rest, v) ∨ ∃child u:
+			// val(//rest, u). Forward L order makes children available.
+			for _, v := range nodes {
+				if cur[v] {
+					next[v] = true
+					continue
+				}
+				for _, u := range ev.D.Children(v) {
+					if next[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ---------- top-down pass ----------
+
+type maskSet map[uint64]struct{}
+
+func (ev *Evaluator) topDown(steps []NStep, filterVals map[Expr][]bool) *Result {
+	n := len(steps)
+	accept := uint64(1) << uint(n)
+	limit := ev.MaskLimit
+	if limit <= 0 {
+		limit = 1024
+	}
+
+	filterAt := func(q Expr, v dag.NodeID) bool {
+		if q == nil {
+			return true
+		}
+		return filterVals[q][v]
+	}
+	// closure adds states reachable by ε moves at node v: a satisfied ε[q]
+	// step and the self part of //. Bits only propagate upward, so one
+	// low-to-high sweep suffices.
+	closure := func(mask uint64, v dag.NodeID) uint64 {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			switch steps[i].Kind {
+			case StepSelf:
+				if filterAt(steps[i].Filter, v) {
+					mask |= 1 << uint(i+1)
+				}
+			case StepDescOrSelf:
+				mask |= 1 << uint(i+1)
+			}
+		}
+		return mask
+	}
+	// move consumes the child step into node u.
+	move := func(mask uint64, u dag.NodeID) uint64 {
+		var out uint64
+		for i := 0; i <= n; i++ {
+			if mask&(1<<uint(i)) == 0 || i == n {
+				continue
+			}
+			switch steps[i].Kind {
+			case StepLabel:
+				if ev.D.Type(u) == steps[i].Label {
+					out |= 1 << uint(i+1)
+				}
+			case StepWild:
+				out |= 1 << uint(i+1)
+			case StepDescOrSelf:
+				out |= 1 << uint(i) // descend, stay before //
+			}
+		}
+		return closure(out, u)
+	}
+
+	res := &Result{}
+	capn := ev.D.Cap()
+	D := make([]maskSet, capn)
+	root := ev.D.Root()
+	D[root] = maskSet{closure(1, root): {}}
+
+	addMask := func(v dag.NodeID, m uint64) {
+		if D[v] == nil {
+			D[v] = maskSet{}
+		}
+		D[v][m] = struct{}{}
+		if len(D[v]) > limit {
+			// Collapse to the union: transitions are bit-linear, so
+			// selection and Ep stay exact; side effects become
+			// conservative.
+			var union uint64
+			for mm := range D[v] {
+				union |= mm
+			}
+			D[v] = maskSet{union: {}}
+			res.Overflow = true
+		}
+	}
+
+	type edgeInfo struct {
+		acc, rej bool
+	}
+	edgeAcc := make(map[dag.Edge]*edgeInfo)
+
+	list := ev.Topo.Nodes()
+	for k := len(list) - 1; k >= 0; k-- { // backward order: ancestors first
+		u := list[k]
+		if D[u] == nil {
+			continue // unreachable from root
+		}
+		for m := range D[u] {
+			for _, c := range ev.D.Children(u) {
+				m2 := move(m, c)
+				addMask(c, m2)
+				e := dag.Edge{Parent: u, Child: c}
+				info := edgeAcc[e]
+				if info == nil {
+					info = &edgeInfo{}
+					edgeAcc[e] = info
+				}
+				if m2&accept != 0 {
+					info.acc = true
+				} else {
+					info.rej = true
+				}
+			}
+		}
+	}
+
+	for _, v := range list {
+		if D[v] == nil {
+			continue
+		}
+		sel, rej := false, false
+		for m := range D[v] {
+			if m&accept != 0 {
+				sel = true
+			} else {
+				rej = true
+			}
+		}
+		if sel {
+			res.Selected = append(res.Selected, v)
+			if rej {
+				res.InsertWitnesses = append(res.InsertWitnesses, v)
+			}
+		}
+	}
+	sort.Slice(res.Selected, func(i, j int) bool { return res.Selected[i] < res.Selected[j] })
+	sort.Slice(res.InsertWitnesses, func(i, j int) bool { return res.InsertWitnesses[i] < res.InsertWitnesses[j] })
+
+	for e, info := range edgeAcc {
+		if info.acc {
+			res.Edges = append(res.Edges, e)
+			if info.rej {
+				res.DeleteWitnesses = append(res.DeleteWitnesses, e)
+			}
+		}
+	}
+	sortEdges(res.Edges)
+	sortEdges(res.DeleteWitnesses)
+	return res
+}
+
+func sortEdges(es []dag.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Parent != es[j].Parent {
+			return es[i].Parent < es[j].Parent
+		}
+		return es[i].Child < es[j].Child
+	})
+}

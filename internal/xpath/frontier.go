@@ -1,0 +1,228 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+)
+
+// FrontierEvaluator is the paper-literal top-down evaluation of §3.2:
+// starting from the root it computes the node set Ci reached after each
+// normalized step ηi, pruning with the bottom-up filter values, and uses the
+// reachability matrix M to expand "//" steps ("these nodes can be easily
+// found ... by means of the reachability matrix M when ηi is //").
+//
+// Selection (r[[p]]) and Ep(r) agree with Evaluator.Eval; side effects are
+// detected with the paper's per-step approximation — S collects the Ci
+// nodes whose parents (child steps) or ancestors (// steps) are not reached
+// via p. S flags the intermediate nodes where sharing occurs, so it relates
+// to the exact occurrence-level detector as a boolean screen: an empty S
+// guarantees the update has no side effects, while a non-empty S may
+// over-report (the shared region may not reach an actual target). The
+// NFA-based Evaluator is the default; this one exists for fidelity to the
+// paper's use of M during evaluation and for the strategy ablation.
+type FrontierEvaluator struct {
+	D      *dag.DAG
+	Topo   *reach.Topo
+	Matrix *reach.Matrix
+	Text   func(dag.NodeID) (string, bool)
+}
+
+// Eval runs the two passes and returns selection, Ep(r), and the
+// approximate side-effect set S (as InsertWitnesses; DeleteWitnesses mirror
+// the edges of over-shared parents).
+func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
+	steps := Normalize(p)
+	if len(steps) > 62 {
+		return nil, fmt.Errorf("xpath: path too long: %d normalized steps", len(steps))
+	}
+	// Reuse the shared bottom-up machinery for filter tables and compute
+	// suffix-satisfiability tables for the main path, used for pruning Ci.
+	ev := &Evaluator{D: fe.D, Topo: fe.Topo, Text: fe.Text}
+	filterVals := ev.evalFilters(steps)
+	sat := fe.suffixSat(ev, steps, filterVals)
+
+	capn := fe.D.Cap()
+	cur := make([]bool, capn)
+	cur[fe.D.Root()] = true
+	if !sat[0][fe.D.Root()] {
+		return &Result{}, nil
+	}
+	sideEffect := make(map[dag.NodeID]bool)
+	var lastParents []bool // frontier before the last child-consuming step
+	var lastClosure []bool // descendant closure of the pre-// frontier, for trailing //
+
+	for i, st := range steps {
+		next := make([]bool, capn)
+		switch st.Kind {
+		case StepSelf:
+			fv := filterVals[st.Filter]
+			for id := range cur {
+				if !cur[id] {
+					continue
+				}
+				if st.Filter == nil || fv[id] {
+					next[id] = true
+				}
+			}
+		case StepLabel, StepWild:
+			lastParents, lastClosure = cur, nil
+			for id := range cur {
+				if !cur[id] {
+					continue
+				}
+				v := dag.NodeID(id)
+				for _, u := range fe.D.Children(v) {
+					if st.Kind == StepLabel && fe.D.Type(u) != st.Label {
+						continue
+					}
+					if sat[i+1][u] {
+						next[u] = true
+					}
+				}
+			}
+			// Paper's S for "/": parents of Ci not reached via p.
+			for id := range next {
+				if !next[id] {
+					continue
+				}
+				for _, w := range fe.D.Parents(dag.NodeID(id)) {
+					if !cur[w] {
+						sideEffect[dag.NodeID(id)] = true
+					}
+				}
+			}
+		case StepDescOrSelf:
+			lastParents = nil
+			// Expand descendants-or-self via M (the paper's use of the
+			// reachability matrix for //), pruned by satisfiability.
+			inClosure := make([]bool, capn)
+			for id := range cur {
+				if !cur[id] {
+					continue
+				}
+				v := dag.NodeID(id)
+				if sat[i+1][v] {
+					next[v] = true
+				}
+				inClosure[v] = true
+				for d := range fe.Matrix.Descendants(v) {
+					inClosure[d] = true
+					if sat[i+1][d] {
+						next[d] = true
+					}
+				}
+			}
+			// Paper's S for "//": ancestors of Ci not inside the matched
+			// closure.
+			for id := range next {
+				if !next[id] {
+					continue
+				}
+				for a := range fe.Matrix.Ancestors(dag.NodeID(id)) {
+					if !inClosure[a] && !cur[a] {
+						sideEffect[dag.NodeID(id)] = true
+					}
+				}
+			}
+			lastClosure = inClosure
+		}
+		cur = next
+	}
+
+	res := &Result{}
+	for id := range cur {
+		if cur[id] {
+			res.Selected = append(res.Selected, dag.NodeID(id))
+		}
+	}
+	sort.Slice(res.Selected, func(i, j int) bool { return res.Selected[i] < res.Selected[j] })
+
+	// Ep(r): parents through which p reaches each selected node — the
+	// pre-step frontier for a child step, the descendant closure of the
+	// pre-// frontier for a trailing //.
+	for _, v := range res.Selected {
+		for _, u := range fe.D.Parents(v) {
+			switch {
+			case lastParents != nil && lastParents[u]:
+				res.Edges = append(res.Edges, dag.Edge{Parent: u, Child: v})
+			case lastParents == nil && lastClosure != nil && lastClosure[u]:
+				res.Edges = append(res.Edges, dag.Edge{Parent: u, Child: v})
+			}
+		}
+	}
+	sortEdges(res.Edges)
+
+	for id := range sideEffect {
+		res.InsertWitnesses = append(res.InsertWitnesses, id)
+	}
+	sort.Slice(res.InsertWitnesses, func(i, j int) bool {
+		return res.InsertWitnesses[i] < res.InsertWitnesses[j]
+	})
+	return res, nil
+}
+
+// suffixSat computes, for every step index i (0..n), whether the remaining
+// path ηi..ηn can be matched starting at each node — the bottom-up val
+// tables of §3.2 for the main path, used to prune the top-down frontier.
+func (fe *FrontierEvaluator) suffixSat(ev *Evaluator, steps []NStep, filterVals map[Expr][]bool) [][]bool {
+	capn := fe.D.Cap()
+	nodes := fe.Topo.Nodes()
+	n := len(steps)
+	out := make([][]bool, n+1)
+	cur := make([]bool, capn)
+	for _, v := range nodes {
+		cur[v] = true
+	}
+	out[n] = cur
+	for i := n - 1; i >= 0; i-- {
+		next := make([]bool, capn)
+		switch steps[i].Kind {
+		case StepSelf:
+			if steps[i].Filter == nil {
+				copy(next, cur)
+			} else {
+				fv := filterVals[steps[i].Filter]
+				for _, v := range nodes {
+					next[v] = fv[v] && cur[v]
+				}
+			}
+		case StepLabel:
+			for _, v := range nodes {
+				for _, u := range fe.D.Children(v) {
+					if fe.D.Type(u) == steps[i].Label && cur[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		case StepWild:
+			for _, v := range nodes {
+				for _, u := range fe.D.Children(v) {
+					if cur[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		case StepDescOrSelf:
+			for _, v := range nodes { // forward L: children first
+				if cur[v] {
+					next[v] = true
+					continue
+				}
+				for _, u := range fe.D.Children(v) {
+					if next[u] {
+						next[v] = true
+						break
+					}
+				}
+			}
+		}
+		out[i] = next
+		cur = next
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package xpath
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+)
+
+func newFrontier(t testing.TB, d *dag.DAG, text func(dag.NodeID) (string, bool)) *FrontierEvaluator {
+	t.Helper()
+	ix := reach.BuildIndex(d)
+	return &FrontierEvaluator{D: d, Topo: ix.Topo, Matrix: ix.Matrix, Text: text}
+}
+
+func TestFrontierMatchesNFAOnFig1(t *testing.T) {
+	d, _, text := fig1DAG(t)
+	nfa := newEval(t, d, text)
+	fr := newFrontier(t, d, text)
+	paths := []string{
+		"course", "//course", "//student", "*", "//*",
+		`course[cno="CS650"]`, `//course[cno="CS320"]`,
+		`course[cno="CS650"]//course[cno="CS320"]/prereq`,
+		`//course[cno="CS320"]//student[sid="S02"]`,
+		`//student[sid="S02"]`, `//takenBy/student`,
+		`//course[prereq/course]`, `//course[not(prereq/course)]`,
+		"course/prereq//course", "//prereq/course", "course//student",
+		`course[cno="CS320"]/prereq/course[cno="CS240"]`,
+	}
+	for _, ps := range paths {
+		p := MustParse(ps)
+		a, err := nfa.Eval(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fr.Eval(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Selected, b.Selected) {
+			t.Errorf("%s: selection %v vs %v", ps, a.Selected, b.Selected)
+		}
+		if !reflect.DeepEqual(a.Edges, b.Edges) {
+			t.Errorf("%s: Ep %v vs %v", ps, a.Edges, b.Edges)
+		}
+		// The frontier S flags the intermediate nodes where sharing occurs
+		// (the paper's granularity), so it is a boolean over-approximation:
+		// an empty S guarantees no exact witnesses exist.
+		if len(b.InsertWitnesses) == 0 && len(a.InsertWitnesses) > 0 {
+			t.Errorf("%s: frontier S empty but exact witnesses %v",
+				ps, a.InsertWitnesses)
+		}
+	}
+}
+
+// Property: frontier and NFA evaluators agree on selection and Ep over
+// random DAGs and random paths, and the frontier's per-step S contains the
+// exact witnesses.
+func TestFrontierMatchesNFARandom(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dag.New("db")
+		ids := []dag.NodeID{d.Root()}
+		for i := 1; i <= 14; i++ {
+			id, _ := d.AddNode(labels[rng.Intn(3)], relational.Tuple{relational.Int(int64(i))})
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				d.AddEdge(ids[rng.Intn(len(ids))], id)
+			}
+			ids = append(ids, id)
+		}
+		nfa := newEval(t, d, nil)
+		fr := newFrontier(t, d, nil)
+		for _, ps := range []string{
+			"//a", "//a//b", "a/b", "a//b/c", "//*[a]", "a[not(b)]/c",
+			"//a[b and c]", "a/b/c", "//b[label()=b]",
+		} {
+			p := MustParse(ps)
+			a, e1 := nfa.Eval(p)
+			b, e2 := fr.Eval(p)
+			if e1 != nil || e2 != nil {
+				return false
+			}
+			if !reflect.DeepEqual(a.Selected, b.Selected) || !reflect.DeepEqual(a.Edges, b.Edges) {
+				t.Logf("seed %d path %s: %v|%v vs %v|%v", seed, ps,
+					a.Selected, a.Edges, b.Selected, b.Edges)
+				return false
+			}
+			if len(b.InsertWitnesses) == 0 && len(a.InsertWitnesses) > 0 {
+				t.Logf("seed %d path %s: frontier S empty but exact witnesses %v",
+					seed, ps, a.InsertWitnesses)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontierPathTooLong(t *testing.T) {
+	d, _, text := fig1DAG(t)
+	fr := newFrontier(t, d, text)
+	long := "a"
+	for i := 0; i < 70; i++ {
+		long += "/a"
+	}
+	if _, err := fr.Eval(MustParse(long)); err == nil {
+		t.Error("over-long path accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package xpath
+
+// The tree oracle: evaluate the paper's XPath fragment over the *unfolded*
+// tree view with plain recursive semantics, tracking which DAG node each
+// tree occurrence came from. The DAG evaluator must agree on r[[p]], Ep(r)
+// and side effects — that is the definition of correctness in §2.1/§3.2.
+
+import (
+	"sort"
+
+	"rxview/internal/dag"
+)
+
+type occ struct {
+	id       dag.NodeID
+	parent   *occ
+	children []*occ
+}
+
+func unfoldOcc(d *dag.DAG, id dag.NodeID, parent *occ, budget *int) *occ {
+	if *budget <= 0 {
+		panic("oracle: tree too large")
+	}
+	*budget--
+	o := &occ{id: id, parent: parent}
+	for _, c := range d.Children(id) {
+		o.children = append(o.children, unfoldOcc(d, c, o, budget))
+	}
+	return o
+}
+
+func collectOccs(o *occ, into map[dag.NodeID][]*occ) {
+	into[o.id] = append(into[o.id], o)
+	for _, c := range o.children {
+		collectOccs(c, into)
+	}
+}
+
+type oracle struct {
+	d    *dag.DAG
+	text func(dag.NodeID) (string, bool)
+	root *occ
+	all  map[dag.NodeID][]*occ
+}
+
+func newOracle(d *dag.DAG, text func(dag.NodeID) (string, bool)) *oracle {
+	budget := 300000
+	root := unfoldOcc(d, d.Root(), nil, &budget)
+	all := map[dag.NodeID][]*occ{}
+	collectOccs(root, all)
+	return &oracle{d: d, text: text, root: root, all: all}
+}
+
+func (or *oracle) evalSteps(steps []NStep, ctx []*occ) []*occ {
+	cur := map[*occ]bool{}
+	for _, o := range ctx {
+		cur[o] = true
+	}
+	for _, s := range steps {
+		next := map[*occ]bool{}
+		switch s.Kind {
+		case StepSelf:
+			for o := range cur {
+				if s.Filter == nil || or.evalFilter(s.Filter, o) {
+					next[o] = true
+				}
+			}
+		case StepLabel:
+			for o := range cur {
+				for _, c := range o.children {
+					if or.d.Type(c.id) == s.Label {
+						next[c] = true
+					}
+				}
+			}
+		case StepWild:
+			for o := range cur {
+				for _, c := range o.children {
+					next[c] = true
+				}
+			}
+		case StepDescOrSelf:
+			var stack []*occ
+			for o := range cur {
+				stack = append(stack, o)
+			}
+			for len(stack) > 0 {
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if !next[o] {
+					next[o] = true
+					stack = append(stack, o.children...)
+				}
+			}
+		}
+		cur = next
+	}
+	out := make([]*occ, 0, len(cur))
+	for o := range cur {
+		out = append(out, o)
+	}
+	return out
+}
+
+func (or *oracle) evalFilter(q Expr, o *occ) bool {
+	switch t := q.(type) {
+	case *ExprLabel:
+		return or.d.Type(o.id) == t.Label
+	case *ExprAnd:
+		return or.evalFilter(t.L, o) && or.evalFilter(t.R, o)
+	case *ExprOr:
+		return or.evalFilter(t.L, o) || or.evalFilter(t.R, o)
+	case *ExprNot:
+		return !or.evalFilter(t.E, o)
+	case *ExprPath:
+		matches := or.evalSteps(Normalize(t.Path), []*occ{o})
+		if t.Cmp == nil {
+			return len(matches) > 0
+		}
+		for _, m := range matches {
+			if or.text != nil {
+				if s, ok := or.text(m.id); ok && s == *t.Cmp {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// oracleResult mirrors Result computed over the tree.
+type oracleResult struct {
+	selected        []dag.NodeID
+	edges           []dag.Edge
+	insertWitnesses []dag.NodeID
+	deleteWitnesses []dag.Edge
+}
+
+func (or *oracle) eval(p *Path) *oracleResult {
+	matched := or.evalSteps(Normalize(p), []*occ{or.root})
+	matchedSet := map[*occ]bool{}
+	for _, o := range matched {
+		matchedSet[o] = true
+	}
+	selIDs := map[dag.NodeID]bool{}
+	for _, o := range matched {
+		selIDs[o.id] = true
+	}
+	res := &oracleResult{}
+	for id := range selIDs {
+		res.selected = append(res.selected, id)
+		// Insert side effect: some occurrence of id is not matched.
+		for _, o := range or.all[id] {
+			if !matchedSet[o] {
+				res.insertWitnesses = append(res.insertWitnesses, id)
+				break
+			}
+		}
+	}
+	// Ep: edges through which a match is reached.
+	edgeSet := map[dag.Edge]bool{}
+	for _, o := range matched {
+		if o.parent != nil {
+			edgeSet[dag.Edge{Parent: o.parent.id, Child: o.id}] = true
+		}
+	}
+	for e := range edgeSet {
+		res.edges = append(res.edges, e)
+		// Delete side effect: some occurrence of the edge is not matched.
+		for _, o := range or.all[e.Child] {
+			if o.parent != nil && o.parent.id == e.Parent && !matchedSet[o] {
+				res.deleteWitnesses = append(res.deleteWitnesses, e)
+				break
+			}
+		}
+	}
+	sortIDs(res.selected)
+	sortIDs(res.insertWitnesses)
+	sortEdges(res.edges)
+	sortEdges(res.deleteWitnesses)
+	return res
+}
+
+func sortIDs(ids []dag.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

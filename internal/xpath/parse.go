@@ -1,0 +1,334 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an XPath expression of the paper's fragment. Both quoted and
+// bare comparison values are accepted (`cno="CS650"` and the paper's
+// `cno=CS650`), and ∧/∨/¬ may be written and/or/not( ) or &&/||/!.
+func Parse(input string) (*Path, error) {
+	p := &parser{src: input}
+	path, err := p.parsePath(false)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: empty expression")
+	}
+	return path, nil
+}
+
+// MustParse parses or panics; for statically known paths in tests/examples.
+func MustParse(input string) *Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' && false || // '.' excluded: it is the self step
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) name() string {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// parsePath parses a path; when inFilter is set, ']' and comparison/boolean
+// operators terminate it.
+func (p *parser) parsePath(inFilter bool) (*Path, error) {
+	path := &Path{}
+	first := true
+	for {
+		p.skipSpace()
+		// Separators.
+		if p.hasPrefix("//") {
+			p.pos += 2
+			path.Steps = append(path.Steps, Step{Kind: StepDescOrSelf})
+		} else if p.peek() == '/' {
+			p.pos++
+			if first && len(path.Steps) == 0 {
+				// Leading '/' (absolute path): evaluation is root-anchored
+				// anyway, so it is a no-op marker.
+			}
+		} else if !first {
+			break
+		}
+		first = false
+		p.skipSpace()
+
+		// A step after a separator (or at the start).
+		c := p.peek()
+		switch {
+		case c == '*':
+			p.pos++
+			st := Step{Kind: StepWild}
+			if err := p.parseFilters(&st); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		case c == '.':
+			p.pos++
+			st := Step{Kind: StepSelf}
+			if err := p.parseFilters(&st); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		case c != 0 && isNameByte(c):
+			// Guard: don't swallow boolean keywords inside filters.
+			if inFilter && (p.keywordAhead("and") || p.keywordAhead("or")) {
+				return path, nil
+			}
+			name := p.name()
+			if name == "" {
+				return nil, fmt.Errorf("xpath: expected step at %d", p.pos)
+			}
+			st := Step{Kind: StepLabel, Label: name}
+			if err := p.parseFilters(&st); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		case c == '[':
+			// Filter directly on the current context: an ε[q] step.
+			st := Step{Kind: StepSelf}
+			if err := p.parseFilters(&st); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		default:
+			// '//' at end of path means descendant-or-self with no further
+			// test; allow it (e.g. "course//" ≡ course/descendants).
+			if len(path.Steps) > 0 && path.Steps[len(path.Steps)-1].Kind == StepDescOrSelf {
+				return path, nil
+			}
+			return nil, fmt.Errorf("xpath: expected step at %d in %q", p.pos, p.src)
+		}
+	}
+	return path, nil
+}
+
+func (p *parser) keywordAhead(kw string) bool {
+	if !p.hasPrefix(kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	return after >= len(p.src) || !isNameByte(p.src[after])
+}
+
+func (p *parser) parseFilters(st *Step) error {
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return nil
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return fmt.Errorf("xpath: expected ']' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		st.Filters = append(st.Filters, e)
+	}
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.keywordAhead("or"):
+			p.pos += 2
+		case p.hasPrefix("||"):
+			p.pos += 2
+		case p.hasPrefix("∨"):
+			p.pos += len("∨")
+		default:
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprOr{L: l, R: r}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.keywordAhead("and"):
+			p.pos += 3
+		case p.hasPrefix("&&"):
+			p.pos += 2
+		case p.hasPrefix("∧"):
+			p.pos += len("∧")
+		default:
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprAnd{L: l, R: r}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.keywordAhead("not"):
+		p.pos += 3
+		p.skipSpace()
+		if p.peek() != '(' {
+			return nil, fmt.Errorf("xpath: expected '(' after not at %d", p.pos)
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("xpath: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return &ExprNot{E: e}, nil
+	case p.hasPrefix("!"):
+		p.pos++
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNot{E: e}, nil
+	case p.hasPrefix("¬"):
+		p.pos += len("¬")
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNot{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("xpath: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	}
+	// label() = A
+	if p.hasPrefix("label()") {
+		p.pos += len("label()")
+		p.skipSpace()
+		if p.peek() != '=' {
+			return nil, fmt.Errorf("xpath: expected '=' after label() at %d", p.pos)
+		}
+		p.pos++
+		p.skipSpace()
+		name := p.name()
+		if name == "" {
+			return nil, fmt.Errorf("xpath: expected type name after label()= at %d", p.pos)
+		}
+		return &ExprLabel{Label: name}, nil
+	}
+	// A relative path, optionally compared to a value.
+	path, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: expected filter expression at %d in %q", p.pos, p.src)
+	}
+	p.skipSpace()
+	if p.peek() == '=' {
+		p.pos++
+		p.skipSpace()
+		val, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprPath{Path: path, Cmp: &val}, nil
+	}
+	return &ExprPath{Path: path}, nil
+}
+
+func (p *parser) value() (string, error) {
+	p.skipSpace()
+	if c := p.peek(); c == '"' || c == '\'' {
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("xpath: unterminated string at %d", start)
+		}
+		v := p.src[start:p.pos]
+		p.pos++
+		return v, nil
+	}
+	// Bare value, as in the paper's cno=CS650.
+	v := p.name()
+	if v == "" {
+		return "", fmt.Errorf("xpath: expected comparison value at %d", p.pos)
+	}
+	return v, nil
+}

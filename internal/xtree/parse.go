@@ -1,0 +1,76 @@
+package xtree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document into a Node tree using the standard decoder.
+// Element content is either nested elements or text (the views this system
+// publishes never mix the two); attributes are not part of the paper's data
+// model and are rejected.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xtree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(t.Attr) > 0 {
+				return nil, fmt.Errorf("xtree: element %s has attributes; the view data model has none", t.Name.Local)
+			}
+			n := &Node{Type: t.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xtree: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xtree: unbalanced end element %s", t.Name.Local)
+			}
+			n := stack[len(stack)-1]
+			if n.Text != "" && len(n.Children) > 0 {
+				return nil, fmt.Errorf("xtree: element %s mixes text and children", n.Type)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xtree: text outside the root element")
+			}
+			stack[len(stack)-1].Text += text
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// ignored
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xtree: unterminated element %s", stack[len(stack)-1].Type)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xtree: empty document")
+	}
+	return root, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
