@@ -11,16 +11,17 @@ package rxview_test
 // prints paper-style tables (use -sizes up to 1000000).
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
-	"rxview/internal/bench"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 var benchSizes = []int{1000, 5000, 20000}
 
-func reportPhases(b *testing.B, p bench.Phases, ops int) {
+func reportPhases(b *testing.B, p rxview.Phases, ops int) {
 	if ops == 0 {
 		return
 	}
@@ -35,7 +36,7 @@ func BenchmarkFig10bStats(b *testing.B) {
 	for _, nc := range benchSizes {
 		b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				st, _, err := bench.DatasetStats(nc, 42)
+				st, _, err := rxview.DatasetStats(nc, 42)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -52,11 +53,11 @@ func BenchmarkFig10bStats(b *testing.B) {
 
 func benchWorkload(b *testing.B, deletes bool) {
 	for _, nc := range benchSizes {
-		for _, class := range []workload.Class{workload.W1, workload.W2, workload.W3} {
+		for _, class := range []rxview.WorkloadClass{rxview.W1, rxview.W2, rxview.W3} {
 			b.Run(fmt.Sprintf("C=%d/%s", nc, class), func(b *testing.B) {
-				var last bench.RunResult
+				var last rxview.RunResult
 				for i := 0; i < b.N; i++ {
-					res, err := bench.RunWorkload(nc, class, deletes, 5, int64(42+i))
+					res, err := rxview.RunWorkload(nc, class, deletes, 5, int64(42+i))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -82,9 +83,9 @@ func BenchmarkFig11gVarySelection(b *testing.B) {
 	nc := benchSizes[len(benchSizes)-1]
 	for _, target := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("targets=%d", target), func(b *testing.B) {
-			var pts []bench.SelResult
+			var pts []rxview.SelectionPoint
 			for i := 0; i < b.N; i++ {
-				out, err := bench.VarySelection(nc, []int{target}, int64(42+i))
+				out, err := rxview.VarySelection(nc, []int{target}, int64(42+i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -106,9 +107,9 @@ func BenchmarkFig11hVarySubtree(b *testing.B) {
 	nc := benchSizes[len(benchSizes)-1]
 	for _, fanout := range []int{0, 8, 32} {
 		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
-			var pts []bench.SubtreeResult
+			var pts []rxview.SubtreePoint
 			for i := 0; i < b.N; i++ {
-				out, err := bench.VarySubtree(nc, []int{fanout}, int64(42+i))
+				out, err := rxview.VarySubtree(nc, []int{fanout}, int64(42+i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -128,9 +129,9 @@ func BenchmarkFig11hVarySubtree(b *testing.B) {
 func BenchmarkTable1Incremental(b *testing.B) {
 	for _, nc := range benchSizes {
 		b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
-			var last bench.Table1Result
+			var last rxview.MaintenanceResult
 			for i := 0; i < b.N; i++ {
-				res, err := bench.Table1(nc, int64(42+i))
+				res, err := rxview.MaintenanceTable(nc, int64(42+i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -150,7 +151,7 @@ func BenchmarkAblationReachVsNaive(b *testing.B) {
 	nc := benchSizes[0]
 	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			fig4, naive, _, err := bench.ReachAblation(nc, 42)
+			fig4, naive, _, err := rxview.ReachAblation(nc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -168,7 +169,7 @@ func BenchmarkAblationDAGvsTree(b *testing.B) {
 	nc := benchSizes[0]
 	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dagT, treeT, dagN, treeN, err := bench.DAGvsTree(nc, 42)
+			dagT, treeT, dagN, treeN, err := rxview.DAGvsTree(nc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -187,7 +188,7 @@ func BenchmarkAblationGreedyVsExactMinDelete(b *testing.B) {
 	nc := benchSizes[0]
 	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			gT, eT, _, _, err := bench.MinDeleteAblation(nc, 42)
+			gT, eT, _, _, err := rxview.MinDeleteAblation(nc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -205,7 +206,7 @@ func BenchmarkAblationSideEffectDetection(b *testing.B) {
 	nc := benchSizes[0]
 	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			full, fast, err := bench.SideEffectAblation(nc, 42)
+			full, fast, err := rxview.SideEffectAblation(nc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -223,7 +224,7 @@ func BenchmarkAblationEvalStrategy(b *testing.B) {
 	nc := benchSizes[0]
 	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			nfa, frontier, err := bench.EvalStrategyAblation(nc, 42)
+			nfa, frontier, err := rxview.EvalStrategyAblation(nc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -233,4 +234,85 @@ func BenchmarkAblationEvalStrategy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchChainView opens a registrar view extended with a prereq chain of the
+// given depth, so the insertion target sits under a long ancestor path (the
+// regime where per-update ∆(M,L)insert is dominated by recomputing sorted
+// ancestor sets).
+func benchChainView(b *testing.B, depth int) *rxview.View {
+	b.Helper()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := view.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CH000"), rxview.Str("chain"))); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < depth; i++ {
+		u := rxview.Insert(fmt.Sprintf(`//course[cno="CH%03d"]/prereq`, i-1),
+			"course", rxview.Str(fmt.Sprintf("CH%03d", i)), rxview.Str("chain"))
+		if _, err := view.Apply(ctx, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return view
+}
+
+func benchChainInserts(n int, tail string) []rxview.Update {
+	us := make([]rxview.Update, n)
+	for i := range us {
+		us[i] = rxview.Insert(tail, "student",
+			rxview.Str(fmt.Sprintf("B%03d", i)), rxview.Str(fmt.Sprintf("Bench %d", i)))
+	}
+	return us
+}
+
+// BenchmarkBatchVsSequential compares N single Apply calls against one
+// Batch of the same N insertions: identical final state, but Batch pays the
+// matrix half of ∆(M,L)insert once per flush instead of once per update.
+// The reported metrics are the summed Timings.Maintain of the N updates.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	const depth, n = 30, 100
+	tail := fmt.Sprintf(`//course[cno="CH%03d"]/takenBy`, depth-1)
+
+	for _, mode := range []string{"sequential", "batch"} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+			ctx := context.Background()
+			var maintain, total time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				view := benchChainView(b, depth)
+				updates := benchChainInserts(n, tail)
+				b.StartTimer()
+
+				t0 := time.Now()
+				if mode == "sequential" {
+					for _, u := range updates {
+						rep, err := view.Apply(ctx, u)
+						if err != nil {
+							b.Fatal(err)
+						}
+						maintain += rep.Timings.Maintain
+					}
+				} else {
+					reps, err := view.Batch(ctx, updates...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, rep := range reps {
+						maintain += rep.Timings.Maintain
+					}
+				}
+				total += time.Since(t0)
+			}
+			b.ReportMetric(float64(maintain.Nanoseconds())/float64(b.N), "maintain-ns")
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "wall-ns")
+		})
+	}
 }

@@ -1,0 +1,129 @@
+package rxview
+
+import (
+	"fmt"
+
+	"rxview/internal/atg"
+	"rxview/internal/dtd"
+	"rxview/internal/relational"
+)
+
+// ATG is a compiled attribute translation grammar: the publishing mapping
+// σ : R → D of §2.2 that defines the recursive XML view of a relational
+// schema. Build one with Builder (or use a bundled dataset such as
+// NewRegistrar / NewSynthetic) and pass it to Open.
+type ATG struct {
+	c *atg.Compiled
+}
+
+// AttrField is one field of an element type's attribute tuple.
+type AttrField struct {
+	Name string
+	Type Kind
+}
+
+// Field builds an AttrField.
+func Field(name string, typ Kind) AttrField { return AttrField{Name: name, Type: typ} }
+
+// ProjItem defines how one field of a child's attribute is produced by a
+// projection rule.
+type ProjItem struct {
+	fromParent int
+	constVal   Value
+}
+
+// FromParent copies field i of the parent's attribute.
+func FromParent(i int) ProjItem { return ProjItem{fromParent: i} }
+
+// ConstItem supplies a constant.
+func ConstItem(v Value) ProjItem { return ProjItem{fromParent: -1, constVal: v} }
+
+// Builder assembles an ATG over a DTD and a schema. The zero Builder is not
+// usable; start with NewBuilder. Methods chain; errors surface at Build.
+type Builder struct {
+	b   *atg.Builder
+	err error
+}
+
+// NewBuilder starts an ATG definition: dtdSrc is the view DTD (a sequence of
+// <!ELEMENT ...> declarations; the first element is the root), schema the
+// base relational schema.
+func NewBuilder(dtdSrc string, schema *Schema) *Builder {
+	d, err := dtd.Parse(dtdSrc)
+	if err != nil {
+		return &Builder{err: fmt.Errorf("rxview: DTD: %w", err)}
+	}
+	return &Builder{b: atg.NewBuilder(d, schema.s)}
+}
+
+// Attr declares the attribute tuple of an element type.
+func (b *Builder) Attr(typ string, fields ...AttrField) *Builder {
+	if b.err != nil {
+		return b
+	}
+	fs := make([]atg.AttrField, len(fields))
+	for i, f := range fields {
+		fs[i] = atg.Field(f.Name, relational.Kind(f.Type))
+	}
+	b.b.Attr(typ, fs...)
+	return b
+}
+
+// QueryRule generates the children of type child under parent from an SPJ
+// query; the parent's attribute fields bind the query's parameters.
+func (b *Builder) QueryRule(parent, child string, q Query) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.b.QueryRule(parent, child, q.spj())
+	return b
+}
+
+// ProjRule generates a single child whose attribute is projected from the
+// parent's attribute (and constants).
+func (b *Builder) ProjRule(parent, child string, items ...ProjItem) *Builder {
+	if b.err != nil {
+		return b
+	}
+	is := make([]atg.ProjItem, len(items))
+	for i, it := range items {
+		if it.fromParent >= 0 {
+			is[i] = atg.FromParent(it.fromParent)
+		} else {
+			is[i] = atg.ConstItem(it.constVal.v)
+		}
+	}
+	b.b.ProjRule(parent, child, is...)
+	return b
+}
+
+// Text declares which attribute field carries the text content of a PCDATA
+// element type (field 0 by default).
+func (b *Builder) Text(typ string, attrIndex int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.b.Text(typ, attrIndex)
+	return b
+}
+
+// Build validates and compiles the grammar.
+func (b *Builder) Build() (*ATG, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &ATG{c: c}, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *ATG {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

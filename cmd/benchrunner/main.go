@@ -18,8 +18,7 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"rxview/internal/bench"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 var (
@@ -74,7 +73,7 @@ func fig10b(sizes []int) {
 	w := newTab()
 	fmt.Fprintln(w, "|C|\trows\tDAG nodes\tDAG edges\ttree |T|\tcompr.\tshared\t|L|\t|M|\tbuild")
 	for _, nc := range sizes {
-		st, took, err := bench.DatasetStats(nc, *seedFlag)
+		st, took, err := rxview.DatasetStats(nc, *seedFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,8 +94,8 @@ func fig11(sizes []int, deletes bool) {
 	w := newTab()
 	fmt.Fprintln(w, "|C|\tclass\tops\tapplied\t(a) eval\t(b) translate+exec\t(c) maintain\ttotal")
 	for _, nc := range sizes {
-		for _, class := range []workload.Class{workload.W1, workload.W2, workload.W3} {
-			res, err := bench.RunWorkload(nc, class, deletes, *opsFlag, *seedFlag)
+		for _, class := range []rxview.WorkloadClass{rxview.W1, rxview.W2, rxview.W3} {
+			res, err := rxview.RunWorkload(nc, class, deletes, *opsFlag, *seedFlag)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -121,7 +120,7 @@ func fig11g(sizes []int) {
 	nc := sizes[len(sizes)-1]
 	fmt.Printf("== Fig.11(g): varying |r[[p]]| / |Ep(r)| at |C| = %d ==\n", nc)
 	targets := []int{1, 2, 4, 8, 16, 32, 64}
-	points, err := bench.VarySelection(nc, targets, *seedFlag)
+	points, err := rxview.VarySelection(nc, targets, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,7 +140,7 @@ func fig11h(sizes []int) {
 	nc := sizes[len(sizes)-1]
 	fmt.Printf("== Fig.11(h): varying |ST(A,t)| at |C| = %d, |r[[p]]| = |Ep(r)| = 1 ==\n", nc)
 	fanouts := []int{0, 2, 4, 8, 16, 32}
-	points, err := bench.VarySubtree(nc, fanouts, *seedFlag)
+	points, err := rxview.VarySubtree(nc, fanouts, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -162,7 +161,7 @@ func table1(sizes []int) {
 	w := newTab()
 	fmt.Fprintln(w, "|C|\tincr. insertion\tincr. deletion\trecompute L\trecompute M")
 	for _, nc := range sizes {
-		res, err := bench.Table1(nc, *seedFlag)
+		res, err := rxview.MaintenanceTable(nc, *seedFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -177,7 +176,7 @@ func ablation(sizes []int) {
 	nc := sizes[len(sizes)-1]
 	fmt.Printf("== Ablations at |C| = %d ==\n", nc)
 
-	fig4, naive, pairs, err := bench.ReachAblation(nc, *seedFlag)
+	fig4, naive, pairs, err := rxview.ReachAblation(nc, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -188,28 +187,28 @@ func ablation(sizes []int) {
 	if smaller > 5000 {
 		smaller = 5000 // the unfolded tree explodes beyond this
 	}
-	dagT, treeT, dagN, treeN, err := bench.DAGvsTree(smaller, *seedFlag)
+	dagT, treeT, dagN, treeN, err := rxview.DAGvsTree(smaller, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("XPath on DAG (%d nodes): %v vs on unfolded tree (%d nodes): %v  [|C| = %d]\n",
 		dagN, dagT.Round(time.Microsecond), treeN, treeT.Round(time.Microsecond), smaller)
 
-	full, fast, err := bench.SideEffectAblation(nc, *seedFlag)
+	full, fast, err := rxview.SideEffectAblation(nc, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("XPath eval with exact side-effect detection: %v vs selection-only: %v\n",
 		full.Round(time.Microsecond), fast.Round(time.Microsecond))
 
-	nfaT, frT, err := bench.EvalStrategyAblation(nc, *seedFlag)
+	nfaT, frT, err := rxview.EvalStrategyAblation(nc, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Evaluation strategy: NFA state-sets %v vs frontier-with-M (paper-literal) %v\n",
 		nfaT.Round(time.Microsecond), frT.Round(time.Microsecond))
 
-	gT, eT, gN, eN, err := bench.MinDeleteAblation(nc, *seedFlag)
+	gT, eT, gN, eN, err := rxview.MinDeleteAblation(nc, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	xviewctl [-dataset registrar|synthetic] [-nc 1000] [-force]
+//	xviewctl [-dataset registrar|synthetic] [-nc 1000] [-force] [-e "<cmd>"]
 //
-// Commands (one per line on stdin):
+// Commands (one per line on stdin, or semicolon-separated via -e):
 //
 //	query <xpath>                  evaluate and list r[[p]]
 //	insert <type>(f=v, ...) into <xpath>
@@ -20,14 +20,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
-	"rxview/internal/core"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 var (
@@ -35,15 +35,26 @@ var (
 	nc      = flag.Int("nc", 1000, "synthetic dataset size |C|")
 	seed    = flag.Int64("seed", 42, "synthetic generator seed")
 	force   = flag.Bool("force", false, "carry out updates with XML side effects (revised semantics)")
+	exec    = flag.String("e", "", "one-shot mode: execute the given command(s) (semicolon-separated) and exit")
 )
 
 func main() {
 	flag.Parse()
-	sys, err := open()
+	view, err := open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rxview: %s view loaded — %s\n", *dataset, sys.Stats())
+
+	if *exec != "" {
+		for _, cmd := range splitCommands(*exec) {
+			if err := dispatch(view, cmd); err != nil {
+				log.Fatalf("%s: %v", cmd, err)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("rxview: %s view loaded — %s\n", *dataset, view.Stats())
 	fmt.Println(`type "help" for commands`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -60,33 +71,69 @@ func main() {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		if err := dispatch(sys, line); err != nil {
+		if err := dispatch(view, line); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
 }
 
-func open() (*core.System, error) {
-	opts := core.Options{ForceSideEffects: *force}
+// splitCommands splits a -e argument on semicolons, except inside quoted
+// strings — the XPath grammar accepts both '...' and "..." literals, and
+// update statements take arbitrary quoted values.
+func splitCommands(s string) []string {
+	var out []string
+	var quote rune // the open quote character, or 0
+	start := 0
+	flush := func(end int) {
+		if cmd := strings.TrimSpace(s[start:end]); cmd != "" {
+			out = append(out, cmd)
+		}
+	}
+	for i, r := range s {
+		switch {
+		case quote != 0:
+			if r == quote {
+				quote = 0
+			}
+		case r == '"' || r == '\'':
+			quote = r
+		case r == ';':
+			flush(i)
+			start = i + 1
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+func open() (*rxview.View, error) {
+	var opts []rxview.Option
+	if *force {
+		opts = append(opts, rxview.WithForceSideEffects())
+	}
 	switch *dataset {
 	case "registrar":
-		reg, err := workload.NewRegistrar()
+		atg, db, err := rxview.NewRegistrar()
 		if err != nil {
 			return nil, err
 		}
-		return core.Open(reg.ATG, reg.DB, opts)
+		return rxview.Open(atg, db, opts...)
 	case "synthetic":
-		syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: *nc, Seed: *seed})
+		syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: *nc, Seed: *seed})
 		if err != nil {
 			return nil, err
 		}
-		return core.Open(syn.ATG, syn.DB, opts)
+		return rxview.Open(syn.ATG, syn.DB, opts...)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", *dataset)
 	}
 }
 
-func dispatch(sys *core.System, line string) error {
+func dispatch(view *rxview.View, line string) error {
+	ctx := context.Background()
 	switch {
 	case line == "help":
 		fmt.Println(`  query <xpath>
@@ -95,42 +142,42 @@ func dispatch(sys *core.System, line string) error {
   xml | stats | check | tables | quit`)
 		return nil
 	case line == "xml":
-		xml, err := sys.XML(200000)
+		xml, err := view.XML(200000)
 		if err != nil {
 			return err
 		}
 		fmt.Print(xml)
 		return nil
 	case line == "stats":
-		fmt.Println(" ", sys.Stats())
+		fmt.Println(" ", view.Stats())
 		return nil
 	case line == "check":
-		if err := sys.CheckConsistency(); err != nil {
+		if err := view.CheckConsistency(); err != nil {
 			return err
 		}
 		fmt.Println("  consistent: view equals a fresh publication; L and M verified")
 		return nil
 	case line == "tables":
-		for _, name := range sys.DB.Schema.TableNames() {
-			fmt.Printf("  %-12s %d rows\n", name, sys.DB.Rel(name).Len())
+		for _, t := range view.DB().Tables() {
+			fmt.Printf("  %-12s %d rows\n", t.Name, t.Rows)
 		}
 		return nil
 	case strings.HasPrefix(line, "query "):
-		ids, err := sys.Query(strings.TrimSpace(strings.TrimPrefix(line, "query")))
+		nodes, err := view.Query(ctx, strings.TrimSpace(strings.TrimPrefix(line, "query")))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %d node(s)\n", len(ids))
-		for i, id := range ids {
+		fmt.Printf("  %d node(s)\n", len(nodes))
+		for i, n := range nodes {
 			if i == 20 {
-				fmt.Printf("  ... and %d more\n", len(ids)-20)
+				fmt.Printf("  ... and %d more\n", len(nodes)-20)
 				break
 			}
-			fmt.Printf("  %s%s\n", sys.DAG.Type(id), sys.DAG.Attr(id))
+			fmt.Printf("  %s%s\n", n.Type, n.Attr)
 		}
 		return nil
 	case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete "):
-		rep, err := sys.Execute(line)
+		rep, err := view.Execute(ctx, line)
 		if err != nil {
 			return err
 		}
@@ -139,8 +186,8 @@ func dispatch(sys *core.System, line string) error {
 			return nil
 		}
 		fmt.Printf("  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d side-effects=%v\n",
-			rep.RP, rep.EP, rep.DVInserts, rep.DVDeletes, rep.Removed, rep.SideEffects)
-		for _, m := range rep.DR {
+			rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, rep.Removed, rep.SideEffects)
+		for _, m := range rep.Changes {
 			fmt.Println("  ΔR:", m)
 		}
 		fmt.Printf("  timings: eval=%v translate=%v apply=%v maintain=%v\n",

@@ -1,0 +1,93 @@
+package rxview
+
+import "rxview/internal/workload"
+
+// NewRegistrar builds the paper's running example (Example 1): the registrar
+// schema R0, the recursive course/prereq DTD D0, the ATG σ0 of Fig.2, and
+// the instance used throughout the examples (courses CS650 → CS320 → CS240,
+// students S01/S02). Open the returned pair to get the view of Fig.1.
+func NewRegistrar() (*ATG, *DB, error) {
+	reg, err := workload.NewRegistrar()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ATG{c: reg.ATG}, &DB{db: reg.DB}, nil
+}
+
+// MustRegistrar is NewRegistrar that panics on error.
+func MustRegistrar() (*ATG, *DB) {
+	a, db, err := NewRegistrar()
+	if err != nil {
+		panic(err)
+	}
+	return a, db
+}
+
+// SyntheticConfig parameterizes the synthetic dataset of the paper's
+// evaluation (§5): a recursive hierarchy over base relations C, F, H, CU
+// with tunable size, depth, fanout and subtree sharing.
+type SyntheticConfig struct {
+	NC        int     // |C| (the size reported on the x-axes of Fig.11)
+	Levels    int     // hierarchy depth; default 6
+	Fanout    int     // H children per published C; default 3
+	ShareFrac float64 // probability a child pick reuses a linked child; default 0.31
+	Seed      int64
+}
+
+// WorkloadClass is one of the paper's three update-workload classes (§5):
+// W1 targets nodes by value (//C[val=...]), W2 by a rooted child path, W3 by
+// a mixed descendant path.
+type WorkloadClass int
+
+// Workload classes.
+const (
+	W1 WorkloadClass = WorkloadClass(workload.W1)
+	W2 WorkloadClass = WorkloadClass(workload.W2)
+	W3 WorkloadClass = WorkloadClass(workload.W3)
+)
+
+// String names the class.
+func (c WorkloadClass) String() string { return workload.Class(c).String() }
+
+// Synthetic bundles a generated §5 dataset with its workload generator.
+type Synthetic struct {
+	syn *workload.Synthetic
+	// ATG and DB are the generated grammar and instance; Open them to
+	// publish the view the workloads address.
+	ATG *ATG
+	DB  *DB
+}
+
+// NewSynthetic generates the dataset.
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
+	syn, err := workload.NewSynthetic(workload.SyntheticConfig{
+		NC:        cfg.NC,
+		Levels:    cfg.Levels,
+		Fanout:    cfg.Fanout,
+		ShareFrac: cfg.ShareFrac,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Synthetic{syn: syn, ATG: &ATG{c: syn.ATG}, DB: &DB{db: syn.DB}}, nil
+}
+
+// InsertWorkload generates n insertion statements of the given class
+// (for View.Execute), addressed at the initial view.
+func (s *Synthetic) InsertWorkload(class WorkloadClass, n int, seed int64) []string {
+	return stmtsOf(s.syn.InsertWorkload(workload.Class(class), n, seed))
+}
+
+// DeleteWorkload generates n deletion statements of the given class.
+func (s *Synthetic) DeleteWorkload(class WorkloadClass, n int, seed int64) []string {
+	return stmtsOf(s.syn.DeleteWorkload(workload.Class(class), n, seed))
+}
+
+func stmtsOf(ops []workload.Op) []string {
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = op.Stmt
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package rxview
+
+import (
+	"fmt"
+
+	"rxview/internal/relational"
+)
+
+// DB is a relational database instance I — the base data a view publishes.
+// A DB stays attached to the View opened over it: update translations ΔR
+// produced by Apply and Batch are executed against it in place.
+type DB struct {
+	db *relational.Database
+}
+
+// NewDB creates an empty instance of the schema.
+func NewDB(s *Schema) *DB { return &DB{db: relational.NewDatabase(s.s)} }
+
+// Insert adds a tuple (given column by column, in schema order) to the named
+// table.
+func (d *DB) Insert(table string, vals ...Value) error {
+	return d.db.Insert(table, tupleOf(vals))
+}
+
+// MustInsert is Insert that panics on error; convenient when seeding.
+func (d *DB) MustInsert(table string, vals ...Value) {
+	if err := d.Insert(table, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds the tuple with the given primary key in the named table.
+func (d *DB) Lookup(table string, key ...Value) ([]Value, bool) {
+	r := d.db.Rel(table)
+	if r == nil {
+		return nil, false
+	}
+	t, ok := r.LookupKey(tupleOf(key))
+	if !ok {
+		return nil, false
+	}
+	return valuesOf(t), true
+}
+
+// Rows returns the number of tuples in the named table (0 if absent).
+func (d *DB) Rows(table string) int {
+	r := d.db.Rel(table)
+	if r == nil {
+		return 0
+	}
+	return r.Len()
+}
+
+// TotalRows returns the number of tuples across all tables.
+func (d *DB) TotalRows() int { return d.db.TotalRows() }
+
+// TableInfo summarizes one base relation.
+type TableInfo struct {
+	Name string
+	Rows int
+}
+
+// Tables lists every table with its current row count, sorted by name.
+func (d *DB) Tables() []TableInfo {
+	names := d.db.Schema.TableNames()
+	out := make([]TableInfo, len(names))
+	for i, n := range names {
+		out[i] = TableInfo{Name: n, Rows: d.db.Rel(n).Len()}
+	}
+	return out
+}
+
+// Clone deep-copies the instance; useful for what-if runs against the same
+// ATG.
+func (d *DB) Clone() *DB { return &DB{db: d.db.Clone()} }
+
+// String summarizes the instance.
+func (d *DB) String() string {
+	return fmt.Sprintf("db(%d tables, %d rows)", len(d.db.Schema.TableNames()), d.db.TotalRows())
+}

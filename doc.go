@@ -5,10 +5,19 @@
 // and translation of XML view updates to relational updates under key
 // preservation (PTIME deletions, SAT-based insertions).
 //
-// The implementation lives under internal/; internal/core is the facade.
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation. The root
-// bench_test.go regenerates every table and figure:
+// This root package is the public API. Open publishes a database through an
+// ATG and returns a View; View.Query, View.Apply, View.DryRun and View.Batch
+// are the context-aware entry points to the paper's pipeline, with
+// functional options (WithForceSideEffects, WithMaskLimit,
+// WithSideEffectPolicy) and typed errors (ErrSideEffect, ErrNotUpdatable,
+// ErrParse). Batch coalesces the maintenance of the auxiliary structures L
+// and M across consecutive insertions. NewRegistrar and NewSynthetic bundle
+// the paper's datasets; Builder defines new views from scratch.
+//
+// The implementation lives under internal/; internal/core wires it together
+// behind this package. See README.md for a tour and for how to run the
+// benchmarks. The root bench_test.go regenerates every table and figure of
+// the paper's evaluation:
 //
 //	go test -bench=. -benchmem .
 package rxview

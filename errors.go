@@ -1,0 +1,99 @@
+package rxview
+
+import (
+	"errors"
+	"fmt"
+
+	"rxview/internal/core"
+	"rxview/internal/viewupdate"
+)
+
+// Sentinel errors. Concrete errors returned by View methods match them under
+// errors.Is; the concrete types carry detail and are reachable with
+// errors.As.
+var (
+	// ErrSideEffect marks an update that would touch unselected
+	// occurrences of a shared subtree (§2.1). The concrete type is
+	// *SideEffectError.
+	ErrSideEffect = errors.New("rxview: update has XML side effects")
+	// ErrNotUpdatable marks an update the relational translation rejects:
+	// no side-effect-free ΔR exists (§4). The concrete type is
+	// *NotUpdatableError.
+	ErrNotUpdatable = errors.New("rxview: update is not translatable to the base relations")
+	// ErrParse marks a malformed XPath expression or update statement.
+	// The concrete type is *ParseError.
+	ErrParse = errors.New("rxview: parse error")
+)
+
+// SideEffectError reports that an update would change occurrences of a
+// shared subtree beyond the selected ones. Re-run with WithForceSideEffects
+// (or decide via WithSideEffectPolicy) to apply at every occurrence under
+// the revised semantics of §2.1.
+type SideEffectError struct {
+	Op        string // the update, rendered
+	Witnesses int    // occurrences outside r[[p]] that would change
+}
+
+func (e *SideEffectError) Error() string {
+	return fmt.Sprintf("rxview: %s has XML side effects (%d witness occurrence(s))", e.Op, e.Witnesses)
+}
+
+// Is matches ErrSideEffect.
+func (e *SideEffectError) Is(target error) bool { return target == ErrSideEffect }
+
+// NotUpdatableError reports that the relational translation rejected the
+// update: every candidate ΔR would cause relational side effects (changes to
+// the view beyond the requested ΔX), violate a key, or require deleting
+// tuples other sources still need.
+type NotUpdatableError struct {
+	Op     string
+	Reason string
+}
+
+func (e *NotUpdatableError) Error() string {
+	return fmt.Sprintf("rxview: %s is not updatable: %s", e.Op, e.Reason)
+}
+
+// Is matches ErrNotUpdatable.
+func (e *NotUpdatableError) Is(target error) bool { return target == ErrNotUpdatable }
+
+// ParseError reports a malformed XPath expression or update statement.
+type ParseError struct {
+	Input string
+	Err   error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rxview: parsing %q: %v", e.Input, e.Err)
+}
+
+// Is matches ErrParse.
+func (e *ParseError) Is(target error) bool { return target == ErrParse }
+
+// Unwrap exposes the underlying parser error.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// wrapErr translates implementation-layer errors into the public taxonomy.
+// Context errors and anything unrecognized pass through unchanged.
+func wrapErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *core.SideEffectError
+	if errors.As(err, &se) {
+		return &SideEffectError{Op: op, Witnesses: se.Witnesses}
+	}
+	var rej *viewupdate.RejectedError
+	if errors.As(err, &rej) {
+		return &NotUpdatableError{Op: op, Reason: rej.Reason}
+	}
+	return err
+}
+
+// parseErr wraps a parser failure.
+func parseErr(input string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ParseError{Input: input, Err: err}
+}

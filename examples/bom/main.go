@@ -1,46 +1,84 @@
 // Bill-of-materials example: a second recursive view built from scratch with
-// the public ATG builder — parts contain subparts (shared subassemblies!)
-// and have suppliers. Demonstrates defining your own σ : R → D, key
-// preservation, shared-subtree updates and the revised side-effect
-// semantics on a domain other than the paper's registrar.
+// the public schema and ATG builders — parts contain subparts (shared
+// subassemblies!) and have suppliers. Demonstrates defining your own
+// σ : R → D, key preservation, shared-subtree updates, a programmable
+// side-effect policy, and batched updates on a domain other than the
+// paper's registrar.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"rxview/internal/atg"
-	"rxview/internal/core"
-	"rxview/internal/dtd"
-	"rxview/internal/relational"
+	"rxview"
 )
 
-func buildATG() (*atg.Compiled, *relational.Database, error) {
-	intK, str := relational.KindInt, relational.KindString
-	bit := []relational.Value{relational.Int(0), relational.Int(1)}
-	schema, err := relational.NewSchema(
-		relational.MustTableSchema("part", []relational.Column{
+func buildView() (*rxview.ATG, *rxview.DB, error) {
+	str, intK := rxview.KindString, rxview.KindInt
+	bit := []rxview.Value{rxview.Int(0), rxview.Int(1)}
+	schema, err := rxview.NewSchema(
+		rxview.Table{Name: "part", Columns: []rxview.Column{
 			{Name: "pno", Type: str},
 			{Name: "pname", Type: str},
 			{Name: "top", Type: intK, Domain: bit},
-		}, "pno"),
-		relational.MustTableSchema("contains", []relational.Column{
+		}, Key: []string{"pno"}},
+		rxview.Table{Name: "contains", Columns: []rxview.Column{
 			{Name: "parent", Type: str},
 			{Name: "child", Type: str},
-		}, "parent", "child"),
-		relational.MustTableSchema("supplier", []relational.Column{
+		}, Key: []string{"parent", "child"}},
+		rxview.Table{Name: "supplier", Columns: []rxview.Column{
 			{Name: "sid", Type: str},
 			{Name: "sname", Type: str},
-		}, "sid"),
-		relational.MustTableSchema("supplies", []relational.Column{
+		}, Key: []string{"sid"}},
+		rxview.Table{Name: "supplies", Columns: []rxview.Column{
 			{Name: "sid", Type: str},
 			{Name: "pno", Type: str},
-		}, "sid", "pno"),
+		}, Key: []string{"sid", "pno"}},
 	)
 	if err != nil {
 		return nil, nil, err
 	}
-	d, err := dtd.Parse(`
+
+	qTop := rxview.Query{
+		Name: "Qcatalog_part",
+		From: []string{"part"},
+		Where: []rxview.Pred{
+			rxview.Eq(rxview.Col(0, 2), rxview.Const(rxview.Int(1))),
+		},
+		Select: []rxview.Sel{
+			{As: "pno", Src: rxview.Col(0, 0)},
+			{As: "pname", Src: rxview.Col(0, 1)},
+		},
+	}
+	qSub := rxview.Query{
+		Name:   "Qsubparts_part",
+		Params: 1,
+		From:   []string{"contains", "part"},
+		Where: []rxview.Pred{
+			rxview.Eq(rxview.Col(0, 0), rxview.Param(0)),
+			rxview.Eq(rxview.Col(0, 1), rxview.Col(1, 0)),
+		},
+		Select: []rxview.Sel{
+			{As: "pno", Src: rxview.Col(1, 0)},
+			{As: "pname", Src: rxview.Col(1, 1)},
+		},
+	}
+	qSup := rxview.Query{
+		Name:   "Qsuppliers_supplier",
+		Params: 1,
+		From:   []string{"supplies", "supplier"},
+		Where: []rxview.Pred{
+			rxview.Eq(rxview.Col(0, 1), rxview.Param(0)),
+			rxview.Eq(rxview.Col(0, 0), rxview.Col(1, 0)),
+		},
+		Select: []rxview.Sel{
+			{As: "sid", Src: rxview.Col(1, 0)},
+			{As: "sname", Src: rxview.Col(1, 1)},
+		},
+	}
+	atg, err := rxview.NewBuilder(`
 <!ELEMENT catalog (part*)>
 <!ELEMENT part (pno, pname, subparts, suppliers)>
 <!ELEMENT subparts (part*)>
@@ -50,83 +88,40 @@ func buildATG() (*atg.Compiled, *relational.Database, error) {
 <!ELEMENT pname (#PCDATA)>
 <!ELEMENT sid (#PCDATA)>
 <!ELEMENT sname (#PCDATA)>
-`)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	qTop := &relational.SPJ{
-		Name: "Qcatalog_part",
-		From: []relational.TableRef{{Table: "part"}},
-		Where: []relational.EqPred{
-			{Left: relational.Col(0, 2), Right: relational.Const(relational.Int(1))},
-		},
-		Selects: []relational.SelectItem{
-			{As: "pno", Src: relational.Col(0, 0)},
-			{As: "pname", Src: relational.Col(0, 1)},
-		},
-	}
-	qSub := &relational.SPJ{
-		Name:    "Qsubparts_part",
-		NParams: 1,
-		From:    []relational.TableRef{{Table: "contains"}, {Table: "part"}},
-		Where: []relational.EqPred{
-			{Left: relational.Col(0, 0), Right: relational.Param(0)},
-			{Left: relational.Col(0, 1), Right: relational.Col(1, 0)},
-		},
-		Selects: []relational.SelectItem{
-			{As: "pno", Src: relational.Col(1, 0)},
-			{As: "pname", Src: relational.Col(1, 1)},
-		},
-	}
-	qSup := &relational.SPJ{
-		Name:    "Qsuppliers_supplier",
-		NParams: 1,
-		From:    []relational.TableRef{{Table: "supplies"}, {Table: "supplier"}},
-		Where: []relational.EqPred{
-			{Left: relational.Col(0, 1), Right: relational.Param(0)},
-			{Left: relational.Col(0, 0), Right: relational.Col(1, 0)},
-		},
-		Selects: []relational.SelectItem{
-			{As: "sid", Src: relational.Col(1, 0)},
-			{As: "sname", Src: relational.Col(1, 1)},
-		},
-	}
-	compiled, err := atg.NewBuilder(d, schema).
-		Attr("part", atg.Field("pno", str), atg.Field("pname", str)).
-		Attr("subparts", atg.Field("pno", str)).
-		Attr("suppliers", atg.Field("pno", str)).
-		Attr("supplier", atg.Field("sid", str), atg.Field("sname", str)).
-		Attr("pno", atg.Field("v", str)).
-		Attr("pname", atg.Field("v", str)).
-		Attr("sid", atg.Field("v", str)).
-		Attr("sname", atg.Field("v", str)).
+`, schema).
+		Attr("part", rxview.Field("pno", str), rxview.Field("pname", str)).
+		Attr("subparts", rxview.Field("pno", str)).
+		Attr("suppliers", rxview.Field("pno", str)).
+		Attr("supplier", rxview.Field("sid", str), rxview.Field("sname", str)).
+		Attr("pno", rxview.Field("v", str)).
+		Attr("pname", rxview.Field("v", str)).
+		Attr("sid", rxview.Field("v", str)).
+		Attr("sname", rxview.Field("v", str)).
 		QueryRule("catalog", "part", qTop).
-		ProjRule("part", "pno", atg.FromParent(0)).
-		ProjRule("part", "pname", atg.FromParent(1)).
-		ProjRule("part", "subparts", atg.FromParent(0)).
-		ProjRule("part", "suppliers", atg.FromParent(0)).
+		ProjRule("part", "pno", rxview.FromParent(0)).
+		ProjRule("part", "pname", rxview.FromParent(1)).
+		ProjRule("part", "subparts", rxview.FromParent(0)).
+		ProjRule("part", "suppliers", rxview.FromParent(0)).
 		QueryRule("subparts", "part", qSub).
 		QueryRule("suppliers", "supplier", qSup).
-		ProjRule("supplier", "sid", atg.FromParent(0)).
-		ProjRule("supplier", "sname", atg.FromParent(1)).
+		ProjRule("supplier", "sid", rxview.FromParent(0)).
+		ProjRule("supplier", "sname", rxview.FromParent(1)).
 		Build()
 	if err != nil {
 		return nil, nil, err
 	}
 
-	db := relational.NewDatabase(schema)
-	str2 := relational.Str
-	one, zero := relational.Int(1), relational.Int(0)
-	for _, p := range [][3]relational.Value{
-		{str2("P1"), str2("car"), one},
-		{str2("P2"), str2("cart"), one},
-		{str2("P3"), str2("wheel"), zero},
-		{str2("P4"), str2("axle"), zero},
-		{str2("P5"), str2("hub"), zero},
-		{str2("P6"), str2("engine"), zero},
+	db := rxview.NewDB(schema)
+	s, n := rxview.Str, rxview.Int
+	for _, p := range [][]rxview.Value{
+		{s("P1"), s("car"), n(1)},
+		{s("P2"), s("cart"), n(1)},
+		{s("P3"), s("wheel"), n(0)},
+		{s("P4"), s("axle"), n(0)},
+		{s("P5"), s("hub"), n(0)},
+		{s("P6"), s("engine"), n(0)},
 	} {
-		if err := db.Insert("part", relational.Tuple{p[0], p[1], p[2]}); err != nil {
+		if err := db.Insert("part", p...); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -135,78 +130,95 @@ func buildATG() (*atg.Compiled, *relational.Database, error) {
 		{"P2", "P3"},               // cart: wheel (shared subassembly!)
 		{"P3", "P4"}, {"P3", "P5"}, // wheel: axle + hub
 	} {
-		if err := db.Insert("contains", relational.Tuple{str2(c[0]), str2(c[1])}); err != nil {
+		if err := db.Insert("contains", s(c[0]), s(c[1])); err != nil {
 			return nil, nil, err
 		}
 	}
-	db.Insert("supplier", relational.Tuple{str2("S1"), str2("Acme")})
-	db.Insert("supplier", relational.Tuple{str2("S2"), str2("Globex")})
-	db.Insert("supplies", relational.Tuple{str2("S1"), str2("P3")})
-	db.Insert("supplies", relational.Tuple{str2("S2"), str2("P6")})
-	return compiled, db, nil
+	db.MustInsert("supplier", s("S1"), s("Acme"))
+	db.MustInsert("supplier", s("S2"), s("Globex"))
+	db.MustInsert("supplies", s("S1"), s("P3"))
+	db.MustInsert("supplies", s("S2"), s("P6"))
+	return atg, db, nil
 }
 
 func main() {
-	compiled, db, err := buildATG()
+	ctx := context.Background()
+	atg, db, err := buildView()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.Open(compiled, db, core.Options{})
+	view, err := rxview.Open(atg, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== bill-of-materials view ==")
-	xml, err := sys.XML(10000)
+	xml, err := view.XML(10000)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(xml)
-	st := sys.Stats()
+	st := view.Stats()
 	fmt.Printf("the wheel subassembly is stored once: %d DAG nodes vs %.0f tree nodes (%.2fx)\n\n",
 		st.Nodes, st.TreeSize, st.Compression)
 
 	// Adding a tire to the wheel of the CAR only is a side effect: the cart
 	// shares the same wheel.
-	stmt := `insert part(pno="P7", pname="tire") into part[pno="P1"]/subparts/part[pno="P3"]/subparts`
-	fmt.Println("==", stmt, "==")
-	_, err = sys.Execute(stmt)
-	if core.IsSideEffect(err) {
+	tire := rxview.Insert(`part[pno="P1"]/subparts/part[pno="P3"]/subparts`,
+		"part", rxview.Str("P7"), rxview.Str("tire"))
+	fmt.Println("==", tire, "==")
+	_, err = view.Apply(ctx, tire)
+	if errors.Is(err, rxview.ErrSideEffect) {
 		fmt.Println("  side effect detected: the cart's wheel would change too")
 	} else if err != nil {
 		log.Fatal(err)
 	}
 
-	// Adding it to every wheel occurrence is clean.
-	stmt = `insert part(pno="P7", pname="tire") into //part[pno="P3"]/subparts`
-	fmt.Println("==", stmt, "==")
-	sysF, err := core.Open(compiled, db, core.Options{ForceSideEffects: true})
+	// A programmable strategy instead of all-or-nothing forcing: apply
+	// shared-subtree insertions everywhere, but never cascade deletions
+	// through shared subassemblies.
+	policy := rxview.WithSideEffectPolicy(func(info rxview.SideEffectInfo) rxview.Decision {
+		if info.Delete {
+			return rxview.Reject
+		}
+		return rxview.ApplyEverywhere
+	})
+	viewP, err := rxview.Open(atg, db, policy)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sysF.Execute(stmt)
+
+	// Adding the tire to every wheel occurrence is what the policy does.
+	every := rxview.Insert(`//part[pno="P3"]/subparts`, "part", rxview.Str("P7"), rxview.Str("tire"))
+	fmt.Println("==", every, "==")
+	rep, err := viewP.Apply(ctx, every)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  applied; ΔR: %v\n", rep.DR)
-	if err := sysF.CheckConsistency(); err != nil {
+	fmt.Printf("  applied; ΔR: %v\n", rep.Changes)
+	if err := viewP.CheckConsistency(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  consistency verified ✓")
 
-	// Dropping the engine from the car translates to a contains deletion.
-	stmt = `delete part[pno="P1"]/subparts/part[pno="P6"]`
-	fmt.Println("==", stmt, "==")
-	rep, err = sysF.Execute(stmt)
+	// A batch: drop the engine from the car and register two gearbox
+	// subparts, with one deferred maintenance pass over L and M.
+	fmt.Println("== batch: -engine, +gearbox, +clutch ==")
+	reps, err := viewP.Batch(ctx,
+		rxview.Delete(`part[pno="P1"]/subparts/part[pno="P6"]`),
+		rxview.Insert(`part[pno="P1"]/subparts`, "part", rxview.Str("P8"), rxview.Str("gearbox")),
+		rxview.Insert(`//part[pno="P8"]/subparts`, "part", rxview.Str("P9"), rxview.Str("clutch")),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  applied; ΔR: %v (engine part survives: %d gc'd nodes are its view remnants)\n",
-		rep.DR, rep.Removed)
-	if err := sysF.CheckConsistency(); err != nil {
+	for _, r := range reps {
+		fmt.Printf("  %s -> applied=%v ΔR=%v\n", r.Op, r.Applied, r.Changes)
+	}
+	if err := viewP.CheckConsistency(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  consistency verified ✓")
 	fmt.Println()
-	xml, _ = sysF.XML(10000)
+	xml, _ = viewP.XML(10000)
 	fmt.Println(xml)
 }

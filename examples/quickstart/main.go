@@ -5,40 +5,42 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"rxview/internal/core"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 func main() {
-	reg, err := workload.NewRegistrar()
+	ctx := context.Background()
+	atg, db, err := rxview.NewRegistrar()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.Open(reg.ATG, reg.DB, core.Options{})
+	view, err := rxview.Open(atg, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("== The registrar XML view (Fig.1 of the paper) ==")
-	xml, err := sys.XML(10000)
+	xml, err := view.XML(10000)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(xml)
-	fmt.Println("DAG statistics:", sys.Stats())
+	fmt.Println("DAG statistics:", view.Stats())
 	fmt.Println()
 
 	// Query with recursive XPath.
 	fmt.Println(`== Query: //course[cno="CS320"]//student ==`)
-	ids, err := sys.Query(`//course[cno="CS320"]//student`)
+	students, err := view.Query(ctx, `//course[cno="CS320"]//student`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, id := range ids {
-		fmt.Printf("  student %s\n", sys.DAG.Attr(id))
+	for _, n := range students {
+		fmt.Printf("  student %s\n", n.Attr)
 	}
 	fmt.Println()
 
@@ -46,16 +48,17 @@ func main() {
 	// First delete the existing CS320→CS240 prerequisite so the insert is
 	// meaningful, exactly as the paper's Example 1 assumes.
 	fmt.Println("== delete //course[cno=CS320]/prereq/course[cno=CS240] ==")
-	rep, err := sys.Execute(`delete //course[cno="CS320"]/prereq/course[cno="CS240"]`)
+	rep, err := view.Apply(ctx, rxview.Delete(`//course[cno="CS320"]/prereq/course[cno="CS240"]`))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  ΔV: %d edge deletion(s); ΔR: %v\n\n", rep.DVDeletes, rep.DR)
+	fmt.Printf("  ΔV: %d edge deletion(s); ΔR: %v\n\n", rep.DVDeletes, rep.Changes)
 
-	stmt := `insert course(cno="CS240", title="Algorithms") into course[cno="CS650"]//course[cno="CS320"]/prereq`
-	fmt.Println("==", stmt, "==")
-	_, err = sys.Execute(stmt)
-	if core.IsSideEffect(err) {
+	ins := rxview.Insert(`course[cno="CS650"]//course[cno="CS320"]/prereq`,
+		"course", rxview.Str("CS240"), rxview.Str("Algorithms"))
+	fmt.Println("==", ins, "==")
+	_, err = view.Apply(ctx, ins)
+	if errors.Is(err, rxview.ErrSideEffect) {
 		fmt.Println("  side effect detected (the CS320 subtree is shared):")
 		fmt.Println("   ", err)
 		fmt.Println("  proceeding under the revised semantics of §2.1 ...")
@@ -64,16 +67,16 @@ func main() {
 	}
 
 	// The user agrees: apply at every occurrence.
-	force, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+	force, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err = force.Execute(stmt)
+	rep, err = force.Apply(ctx, ins)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  applied: |r[[p]]|=%d, ΔV: %d edge insertion(s)\n", rep.RP, rep.DVInserts)
-	fmt.Printf("  ΔR: %v\n", rep.DR)
+	fmt.Printf("  applied: |r[[p]]|=%d, ΔV: %d edge insertion(s)\n", rep.Targets, rep.DVInserts)
+	fmt.Printf("  ΔR: %v\n", rep.Changes)
 	if err := force.CheckConsistency(); err != nil {
 		log.Fatal(err)
 	}
@@ -82,11 +85,11 @@ func main() {
 
 	// Example 5's deletion.
 	fmt.Println(`== delete //course[cno="CS320"]//student[ssn="S02"] ==`)
-	rep, err = force.Execute(`delete //course[cno="CS320"]//student[ssn="S02"]`)
+	rep, err = force.Apply(ctx, rxview.Delete(`//course[cno="CS320"]//student[ssn="S02"]`))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  Ep(r) had %d edge(s); ΔR: %v\n", rep.EP, rep.DR)
+	fmt.Printf("  Ep(r) had %d edge(s); ΔR: %v\n", rep.Edges, rep.Changes)
 	fmt.Println("  (the student node survives: it is still shared by CS650's takenBy)")
 	if err := force.CheckConsistency(); err != nil {
 		log.Fatal(err)

@@ -5,26 +5,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"rxview/internal/core"
-	"rxview/internal/relational"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 func main() {
-	reg, err := workload.NewRegistrar()
+	ctx := context.Background()
+	atg, db, err := rxview.NewRegistrar()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+	view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
 	if err != nil {
 		log.Fatal(err)
 	}
 	show := func(stmt string) {
 		fmt.Println("==", stmt, "==")
-		rep, err := sys.Execute(stmt)
+		rep, err := view.Execute(ctx, stmt)
 		switch {
 		case err != nil:
 			fmt.Println("  rejected:", err)
@@ -32,18 +32,18 @@ func main() {
 			fmt.Println("  no-op (nothing matched / edge already present)")
 		default:
 			fmt.Printf("  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d\n",
-				rep.RP, rep.EP, rep.DVInserts, rep.DVDeletes, rep.Removed)
-			for _, m := range rep.DR {
+				rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, rep.Removed)
+			for _, m := range rep.Changes {
 				fmt.Println("   ΔR:", m)
 			}
 		}
-		if err := sys.CheckConsistency(); err != nil {
+		if err := view.CheckConsistency(); err != nil {
 			log.Fatal("INVARIANT BROKEN: ", err)
 		}
 		fmt.Println()
 	}
 
-	fmt.Println("Initial view:", sys.Stats())
+	fmt.Println("Initial view:", view.Stats())
 	fmt.Println()
 
 	// --- DTD validation (§2.4): structurally illegal updates are rejected
@@ -56,14 +56,14 @@ func main() {
 	// surface the course at the top level of the view (an unrequested
 	// change), so the solver picks a fresh non-CS department.
 	show(`insert course(cno="CS301", title="Operating Systems") into //course[cno="CS650"]/prereq`)
-	if row, ok := sys.DB.Rel("course").LookupKey(relational.Tuple{relational.Str("CS301")}); ok {
-		fmt.Printf("   -> SAT chose dept = %q for CS301 (anything but CS)\n\n", row[2].S)
+	if row, ok := db.Lookup("course", rxview.Str("CS301")); ok {
+		fmt.Printf("   -> SAT chose dept = %q for CS301 (anything but CS)\n\n", row[2].Text())
 	}
 
 	// --- Required conditions: inserting at the top level FORCES dept=CS.
 	show(`insert course(cno="CS105", title="Discrete Math") into .`)
-	if row, ok := sys.DB.Rel("course").LookupKey(relational.Tuple{relational.Str("CS105")}); ok {
-		fmt.Printf("   -> the root rule requires dept = %q\n\n", row[2].S)
+	if row, ok := db.Lookup("course", rxview.Str("CS105")); ok {
+		fmt.Printf("   -> the root rule requires dept = %q\n\n", row[2].Text())
 	}
 
 	// --- Relational-side rejection: EE100 exists with dept=EE; it cannot
@@ -80,15 +80,15 @@ func main() {
 	// --- Deleting a shared course from one prerequisite list only: the
 	// prereq tuple goes, the course itself survives.
 	show(`delete course[cno="CS650"]/prereq/course[cno="CS320"]`)
-	left, _ := sys.Query(`//course[cno="CS320"]`)
+	left, _ := view.Query(ctx, `//course[cno="CS320"]`)
 	fmt.Printf("CS320 still published %d time(s) (top level)\n\n", len(left))
 
 	// --- Recursive deletion with cascade garbage collection: removing
 	// CS650 entirely strands its prereq/takenBy subtrees.
 	show(`delete //course[cno="CS650"]`)
 
-	fmt.Println("Final view:", sys.Stats())
-	xml, err := sys.XML(10000)
+	fmt.Println("Final view:", view.Stats())
+	xml, err := view.XML(10000)
 	if err != nil {
 		log.Fatal(err)
 	}

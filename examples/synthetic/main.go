@@ -4,32 +4,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"rxview/internal/core"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 func main() {
 	nc := flag.Int("nc", 2000, "|C|, the dataset scale")
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
+	ctx := context.Background()
 
-	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: *nc, Seed: *seed})
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: *nc, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.Open(syn.ATG, syn.DB, core.Options{ForceSideEffects: true})
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("== dataset statistics (|C| = %d), cf. Fig.10(b) ==\n", *nc)
-	st := sys.Stats()
+	st := view.Stats()
 	fmt.Printf("  base rows:          %d (C=F=CU=%d, H=%d)\n",
-		st.BaseRows, syn.DB.Rel("C").Len(), syn.DB.Rel("H").Len())
+		st.BaseRows, syn.DB.Rows("C"), syn.DB.Rows("H"))
 	fmt.Printf("  published subtrees: %.0f (tree nodes)\n", st.TreeSize)
 	fmt.Printf("  compressed DAG:     %d nodes, %d edges (%.2fx compression)\n",
 		st.Nodes, st.Edges, st.Compression)
@@ -37,19 +38,19 @@ func main() {
 		100*st.SharedFrac)
 	fmt.Printf("  |L| = %d, |M| = %d\n\n", st.TopoLen, st.MatrixPairs)
 
-	run := func(label string, ops []workload.Op) {
-		for _, op := range ops {
-			rep, err := sys.Execute(op.Stmt)
+	run := func(label string, stmts []string) {
+		for _, stmt := range stmts {
+			rep, err := view.Execute(ctx, stmt)
 			if err != nil {
-				fmt.Printf("  [%s] %s\n    rejected: %v\n", label, op.Stmt, err)
+				fmt.Printf("  [%s] %s\n    rejected: %v\n", label, stmt, err)
 				continue
 			}
-			fmt.Printf("  [%s] %s\n", label, clip(op.Stmt, 100))
+			fmt.Printf("  [%s] %s\n", label, clip(stmt, 100))
 			fmt.Printf("    |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d ΔR=%d mutation(s)\n",
-				rep.RP, rep.EP, rep.DVInserts, rep.DVDeletes, len(rep.DR))
+				rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, len(rep.Changes))
 			fmt.Printf("    (a) eval=%v  (b) translate+apply=%v  (c) maintain=%v\n",
 				rep.Timings.Eval, rep.Timings.Translate+rep.Timings.Apply, rep.Timings.Maintain)
-			if err := sys.CheckConsistency(); err != nil {
+			if err := view.CheckConsistency(); err != nil {
 				log.Fatal("INVARIANT BROKEN: ", err)
 			}
 		}
@@ -58,16 +59,16 @@ func main() {
 	// Insertions first: the workload generator addresses the initial view,
 	// and W1 deletions remove whole value classes.
 	fmt.Println("== one insertion per workload class (Fig.11 d–f) ==")
-	run("W1 ins", syn.InsertWorkload(workload.W1, 1, 4))
-	run("W2 ins", syn.InsertWorkload(workload.W2, 1, 5))
-	run("W3 ins", syn.InsertWorkload(workload.W3, 1, 6))
+	run("W1 ins", syn.InsertWorkload(rxview.W1, 1, 4))
+	run("W2 ins", syn.InsertWorkload(rxview.W2, 1, 5))
+	run("W3 ins", syn.InsertWorkload(rxview.W3, 1, 6))
 	fmt.Println()
 	fmt.Println("== one deletion per workload class (Fig.11 a–c) ==")
-	run("W1 del", syn.DeleteWorkload(workload.W1, 1, 1))
-	run("W2 del", syn.DeleteWorkload(workload.W2, 1, 2))
-	run("W3 del", syn.DeleteWorkload(workload.W3, 1, 3))
+	run("W1 del", syn.DeleteWorkload(rxview.W1, 1, 1))
+	run("W2 del", syn.DeleteWorkload(rxview.W2, 1, 2))
+	run("W3 del", syn.DeleteWorkload(rxview.W3, 1, 3))
 	fmt.Println()
-	fmt.Println("final:", sys.Stats())
+	fmt.Println("final:", view.Stats())
 	fmt.Println("every update verified against a from-scratch republication ✓")
 }
 

@@ -1,0 +1,3 @@
+module rxview
+
+go 1.24

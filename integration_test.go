@@ -2,18 +2,22 @@ package rxview_test
 
 // End-to-end integration tests: long, randomized update sequences over both
 // datasets, with the full system invariant ΔX(T) = σ(ΔR(I)) (re-publish and
-// compare; L and M revalidated) checked along the way.
+// compare; L and M revalidated) checked along the way. Everything here goes
+// through the public rxview API.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
-	"rxview/internal/core"
-	"rxview/internal/workload"
+	"rxview"
 )
 
 func TestIntegrationRegistrarRandomSequences(t *testing.T) {
+	ctx := context.Background()
 	courses := []string{"CS650", "CS320", "CS240", "CS501", "CS502", "CS503"}
 	students := []string{"S01", "S02", "S11", "S12"}
 
@@ -21,8 +25,8 @@ func TestIntegrationRegistrarRandomSequences(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
-			reg := workload.MustRegistrar()
-			sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+			atg, db := rxview.MustRegistrar()
+			view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,13 +50,13 @@ func TestIntegrationRegistrarRandomSequences(t *testing.T) {
 				case 5:
 					stmt = fmt.Sprintf(`delete //course[cno="%s"]`, c)
 				}
-				rep, err := sys.Execute(stmt)
+				rep, err := view.Execute(ctx, stmt)
 				switch {
 				case err == nil:
 					if rep.Applied {
 						applied++
 					}
-				case core.IsRejected(err):
+				case errors.Is(err, rxview.ErrNotUpdatable):
 					rejected++ // legitimate: the update is untranslatable
 				default:
 					// Structural rejections (cycles, pre-existing titles
@@ -62,7 +66,7 @@ func TestIntegrationRegistrarRandomSequences(t *testing.T) {
 						t.Fatalf("step %d (%s): %v", step, stmt, err)
 					}
 				}
-				if err := sys.CheckConsistency(); err != nil {
+				if err := view.CheckConsistency(); err != nil {
 					t.Fatalf("step %d (%s): invariant broken: %v", step, stmt, err)
 				}
 			}
@@ -76,16 +80,7 @@ func TestIntegrationRegistrarRandomSequences(t *testing.T) {
 
 func isBenign(err error) bool {
 	for _, sub := range []string{"cycle", "cannot insert", "attribute has"} {
-		if containsStr(err.Error(), sub) {
-			return true
-		}
-	}
-	return false
-}
-
-func containsStr(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
+		if strings.Contains(err.Error(), sub) {
 			return true
 		}
 	}
@@ -96,34 +91,35 @@ func TestIntegrationSyntheticLongSequence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long sequence")
 	}
-	syn, err := workload.NewSynthetic(workload.SyntheticConfig{NC: 220, Seed: 12})
+	ctx := context.Background()
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: 220, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := core.Open(syn.ATG, syn.DB, core.Options{ForceSideEffects: true})
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(99))
 	applied := 0
 	for round := 0; round < 8; round++ {
-		var ops []workload.Op
-		class := workload.Class(1 + rng.Intn(3))
+		var stmts []string
+		class := rxview.WorkloadClass(1 + rng.Intn(3))
 		if rng.Intn(2) == 0 {
-			ops = syn.DeleteWorkload(class, 2, rng.Int63())
+			stmts = syn.DeleteWorkload(class, 2, rng.Int63())
 		} else {
-			ops = syn.InsertWorkload(class, 2, rng.Int63())
+			stmts = syn.InsertWorkload(class, 2, rng.Int63())
 		}
-		for _, op := range ops {
-			rep, err := sys.Execute(op.Stmt)
-			if err != nil && !core.IsRejected(err) {
-				t.Fatalf("%s: %v", op.Stmt, err)
+		for _, stmt := range stmts {
+			rep, err := view.Execute(ctx, stmt)
+			if err != nil && !errors.Is(err, rxview.ErrNotUpdatable) {
+				t.Fatalf("%s: %v", stmt, err)
 			}
 			if err == nil && rep.Applied {
 				applied++
 			}
 		}
-		if err := sys.CheckConsistency(); err != nil {
+		if err := view.CheckConsistency(); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 	}
@@ -136,34 +132,35 @@ func TestIntegrationDeleteEverything(t *testing.T) {
 	// Tear the whole registrar view down course by course; the database
 	// and auxiliary structures must stay consistent at each step, ending
 	// with an empty view.
-	reg := workload.MustRegistrar()
-	sys, err := core.Open(reg.ATG, reg.DB, core.Options{ForceSideEffects: true})
+	ctx := context.Background()
+	atg, db := rxview.MustRegistrar()
+	view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, cno := range []string{"CS650", "CS320", "CS240"} {
-		if _, err := sys.Execute(fmt.Sprintf(`delete //course[cno="%s"]`, cno)); err != nil {
+		if _, err := view.Apply(ctx, rxview.Delete(fmt.Sprintf(`//course[cno="%s"]`, cno))); err != nil {
 			t.Fatalf("delete %s: %v", cno, err)
 		}
-		if err := sys.CheckConsistency(); err != nil {
+		if err := view.CheckConsistency(); err != nil {
 			t.Fatalf("after %s: %v", cno, err)
 		}
 	}
-	if got, _ := sys.Query(`//course`); len(got) != 0 {
+	if got, _ := view.Query(ctx, `//course`); len(got) != 0 {
 		t.Errorf("courses left: %v", got)
 	}
-	st := sys.Stats()
+	st := view.Stats()
 	if st.Nodes != 1 { // just the root
 		t.Errorf("nodes left = %d", st.Nodes)
 	}
 	// Rebuild on the emptied view.
-	if _, err := sys.Execute(`insert course(cno="CS900", title="Rebirth") into .`); err != nil {
+	if _, err := view.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS900"), rxview.Str("Rebirth"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.CheckConsistency(); err != nil {
+	if err := view.CheckConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := sys.Query(`//course`); len(got) != 1 {
+	if got, _ := view.Query(ctx, `//course`); len(got) != 1 {
 		t.Errorf("rebuild failed: %v", got)
 	}
 }

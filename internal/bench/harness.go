@@ -1,9 +1,10 @@
 // Package bench is the experiment harness that regenerates every table and
 // figure of the paper's evaluation (§5): the dataset statistics of
 // Fig.10(b), the update-performance series of Fig.11(a)–(h), the
-// incremental-vs-recomputation comparison of Table 1, and the ablations
-// called out in DESIGN.md. It is shared by the root bench_test.go
-// (testing.B entry points) and cmd/benchrunner (paper-style tables).
+// incremental-vs-recomputation comparison of Table 1, and the ablations.
+// The root package re-exports it (experiments.go); bench_test.go
+// (testing.B entry points) and cmd/benchrunner (paper-style tables) go
+// through those re-exports.
 package bench
 
 import (

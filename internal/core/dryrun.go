@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"rxview/internal/update"
 	"rxview/internal/viewupdate"
@@ -17,31 +17,21 @@ import (
 // it decides in PTIME (Theorem 1), for insertions it runs the heuristic
 // SAT analysis (Theorem 2 makes the exact question NP-complete).
 func (s *System) DryRun(op *update.Op) (*Report, error) {
+	return s.DryRunCtx(context.Background(), op)
+}
+
+// DryRunCtx is DryRun with cancellation checks between the phases, mirroring
+// ApplyCtx. It shares the validation/evaluation/gating prologue with Apply
+// (System.stage), so both reject, skip and no-op in exactly the same cases.
+func (s *System) DryRunCtx(ctx context.Context, op *update.Op) (*Report, error) {
 	rep := &Report{Op: op.String()}
-
-	t0 := time.Now()
-	if err := update.ValidateAgainstDTD(s.ATG.DTD, op); err != nil {
+	res, proceed, err := s.stage(ctx, op, rep)
+	if !proceed {
 		return rep, err
 	}
-	rep.Timings.Validate = time.Since(t0)
-
-	t0 = time.Now()
-	res, err := s.evaluator().Eval(op.Path)
-	if err != nil {
-		return rep, err
-	}
-	rep.Timings.Eval = time.Since(t0)
-	rep.RP, rep.EP = len(res.Selected), len(res.Edges)
 
 	switch op.Kind {
 	case update.OpInsert:
-		rep.SideEffects = res.HasInsertSideEffects()
-		if rep.SideEffects && !s.opts.ForceSideEffects {
-			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.InsertWitnesses)}
-		}
-		if len(res.Selected) == 0 {
-			return rep, nil
-		}
 		s.DAG.Begin()
 		defer s.DAG.Rollback()
 		dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
@@ -55,21 +45,20 @@ func (s *System) DryRun(op *update.Op) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		if err := ctx.Err(); err != nil {
+			return rep, err // mirrors ApplyCtx's post-translation check
+		}
 		rep.DR = dr
 		rep.DVInserts = len(dv.Inserts)
 		rep.Applied = true // would apply
 		return rep, nil
 	default:
-		rep.SideEffects = res.HasDeleteSideEffects()
-		if rep.SideEffects && !s.opts.ForceSideEffects {
-			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.DeleteWitnesses)}
-		}
-		if len(res.Edges) == 0 {
-			return rep, nil
-		}
 		dr, err := s.Translator.TranslateDelete(res.Edges)
 		if err != nil {
 			return rep, err
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err // mirrors ApplyCtx's post-translation check
 		}
 		rep.DR = dr
 		rep.DVDeletes = len(res.Edges)

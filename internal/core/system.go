@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +34,63 @@ type Options struct {
 	// MaskLimit bounds the per-node state-set count in side-effect
 	// detection; see xpath.Evaluator.
 	MaskLimit int
+	// SideEffectPolicy, when non-nil, decides side-effecting updates case
+	// by case and takes precedence over ForceSideEffects. It is the
+	// "consult the user" step of §2.1 as a programmable hook.
+	SideEffectPolicy func(SideEffectInfo) Decision
+}
+
+// Decision is a side-effect policy's verdict on one update.
+type Decision int
+
+// Policy decisions.
+const (
+	// DecisionReject refuses the update with a *SideEffectError.
+	DecisionReject Decision = iota
+	// DecisionApply carries the update out at every occurrence of the
+	// shared subtree (the revised semantics of §2.1).
+	DecisionApply
+	// DecisionSkip drops the update silently: no error, nothing applied.
+	DecisionSkip
+)
+
+// SideEffectInfo describes a detected XML side effect for a policy.
+type SideEffectInfo struct {
+	Op        string // the update, rendered
+	Delete    bool   // deletion (vs insertion)
+	Targets   int    // |r[[p]]|
+	Witnesses int    // occurrences of the shared subtree outside r[[p]]
+}
+
+// decide resolves a detected side effect against the configured policy.
+func (o Options) decide(info SideEffectInfo) Decision {
+	if o.SideEffectPolicy != nil {
+		return o.SideEffectPolicy(info)
+	}
+	if o.ForceSideEffects {
+		return DecisionApply
+	}
+	return DecisionReject
+}
+
+// gateSideEffect consults the policy for one detected side effect. It
+// returns skip=true for DecisionSkip (the caller no-ops) and a
+// *SideEffectError for DecisionReject; (false, nil) means carry on under
+// the revised semantics.
+func (s *System) gateSideEffect(op *update.Op, targets, witnesses int, del bool) (skip bool, err error) {
+	switch s.opts.decide(SideEffectInfo{
+		Op:        op.String(),
+		Delete:    del,
+		Targets:   targets,
+		Witnesses: witnesses,
+	}) {
+	case DecisionSkip:
+		return true, nil
+	case DecisionApply:
+		return false, nil
+	default:
+		return false, &SideEffectError{Op: op.String(), Witnesses: witnesses}
+	}
 }
 
 // SideEffectError reports that an update would touch unselected occurrences
@@ -186,45 +244,82 @@ func (s *System) Delete(path string) (*Report, error) {
 
 // Apply runs the full pipeline for one XML update ΔX.
 func (s *System) Apply(op *update.Op) (*Report, error) {
-	rep := &Report{Op: op.String()}
+	return s.ApplyCtx(context.Background(), op)
+}
 
-	t0 := time.Now()
-	if err := update.ValidateAgainstDTD(s.ATG.DTD, op); err != nil {
+// ApplyCtx is Apply with cancellation checks between the three phases of
+// §2.4: after DTD validation, after XPath evaluation (phase a), and after
+// translation + execution (phase b) before the maintenance of L and M
+// (phase c). Once ΔR has been executed the update is carried through —
+// cancellation never leaves the auxiliary structures stale.
+func (s *System) ApplyCtx(ctx context.Context, op *update.Op) (*Report, error) {
+	return s.apply(ctx, op, nil)
+}
+
+func (s *System) apply(ctx context.Context, op *update.Op, pending *reach.Pending) (*Report, error) {
+	rep := &Report{Op: op.String()}
+	res, proceed, err := s.stage(ctx, op, rep)
+	if !proceed {
 		return rep, err
 	}
+	if op.Kind == update.OpInsert {
+		return rep, s.applyInsert(ctx, op, res, rep, pending)
+	}
+	return rep, s.applyDelete(ctx, op, res, rep)
+}
+
+// stage runs the phases Apply and DryRun share — DTD validation, XPath
+// evaluation, side-effect gating, with cancellation checks in between —
+// filling rep as it goes. proceed=false means the caller returns (rep, err)
+// as is: a rejection when err is non-nil, a no-op otherwise. Keeping this
+// in one place is what makes DryRun's contract ("the error is exactly what
+// Apply would have returned") hold by construction.
+func (s *System) stage(ctx context.Context, op *update.Op, rep *Report) (res *xpath.Result, proceed bool, err error) {
+	t0 := time.Now()
+	if err := update.ValidateAgainstDTD(s.ATG.DTD, op); err != nil {
+		return nil, false, err
+	}
 	rep.Timings.Validate = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 
 	t0 = time.Now()
-	res, err := s.evaluator().Eval(op.Path)
+	res, err = s.evaluator().Eval(op.Path)
 	if err != nil {
-		return rep, err
+		return nil, false, err
 	}
 	rep.Timings.Eval = time.Since(t0)
 	rep.RP, rep.EP = len(res.Selected), len(res.Edges)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 
-	switch op.Kind {
-	case update.OpInsert:
+	if op.Kind == update.OpInsert {
 		rep.SideEffects = res.HasInsertSideEffects()
-		if rep.SideEffects && !s.opts.ForceSideEffects {
-			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.InsertWitnesses)}
+		if rep.SideEffects {
+			if skip, err := s.gateSideEffect(op, len(res.Selected), len(res.InsertWitnesses), false); skip || err != nil {
+				return nil, false, err
+			}
 		}
 		if len(res.Selected) == 0 {
-			return rep, nil // nothing matched: a no-op, not an error
+			return nil, false, nil // nothing matched: a no-op, not an error
 		}
-		return rep, s.applyInsert(op, res, rep)
-	default:
+	} else {
 		rep.SideEffects = res.HasDeleteSideEffects()
-		if rep.SideEffects && !s.opts.ForceSideEffects {
-			return rep, &SideEffectError{Op: op.String(), Witnesses: len(res.DeleteWitnesses)}
+		if rep.SideEffects {
+			if skip, err := s.gateSideEffect(op, len(res.Selected), len(res.DeleteWitnesses), true); skip || err != nil {
+				return nil, false, err
+			}
 		}
 		if len(res.Edges) == 0 {
-			return rep, nil
+			return nil, false, nil
 		}
-		return rep, s.applyDelete(op, res, rep)
 	}
+	return res, true, nil
 }
 
-func (s *System) applyInsert(op *update.Op, res *xpath.Result, rep *Report) error {
+func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report, pending *reach.Pending) error {
 	t0 := time.Now()
 	s.DAG.Begin()
 	dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
@@ -246,6 +341,10 @@ func (s *System) applyInsert(op *update.Op, res *xpath.Result, rep *Report) erro
 	}
 	rep.Timings.DVToDR = time.Since(t0)
 	rep.Timings.Translate = rep.Timings.XToDV + rep.Timings.DVToDR
+	if err := ctx.Err(); err != nil {
+		s.DAG.Rollback() // nothing executed yet: cancellation is clean
+		return err
+	}
 
 	t0 = time.Now()
 	if err := s.DB.Apply(dr); err != nil {
@@ -274,14 +373,21 @@ func (s *System) applyInsert(op *update.Op, res *xpath.Result, rep *Report) erro
 	rep.Applied = true
 	rep.Timings.Apply = time.Since(t0)
 
-	// Maintenance of L and M (background in the paper's framework).
+	// Maintenance of L and M (background in the paper's framework). In a
+	// batch the matrix half is deferred: L must be current for the next
+	// update's XPath evaluation, but no insert phase reads M, so its
+	// closure pairs are queued and flushed once per batch.
 	t0 = time.Now()
-	s.Index.InsertUpdate(s.DAG, newNodes, edgeAdds)
+	if pending != nil {
+		s.Index.DeferInsertUpdate(s.DAG, newNodes, edgeAdds, pending)
+	} else {
+		s.Index.InsertUpdate(s.DAG, newNodes, edgeAdds)
+	}
 	rep.Timings.Maintain = time.Since(t0)
 	return nil
 }
 
-func (s *System) applyDelete(op *update.Op, res *xpath.Result, rep *Report) error {
+func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report) error {
 	t0 := time.Now()
 	dv := update.Xdelete(res.Edges)
 	rep.Timings.XToDV = time.Since(t0)
@@ -292,6 +398,9 @@ func (s *System) applyDelete(op *update.Op, res *xpath.Result, rep *Report) erro
 	}
 	rep.Timings.DVToDR = time.Since(t0)
 	rep.Timings.Translate = rep.Timings.XToDV + rep.Timings.DVToDR
+	if err := ctx.Err(); err != nil {
+		return err // ΔR not executed yet: cancellation is clean
+	}
 
 	t0 = time.Now()
 	if err := s.DB.Apply(dr); err != nil {

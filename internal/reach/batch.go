@@ -1,0 +1,85 @@
+package reach
+
+import (
+	"sort"
+
+	"rxview/internal/dag"
+)
+
+// Pending accumulates the matrix half of ∆(M,L)insert across a batch of
+// insertions so it can be flushed in one pass. The topological order L is
+// always maintained eagerly (XPath evaluation between the updates of a batch
+// iterates L), but the transitive-closure pairs a new edge contributes to M
+// can be deferred: while they are pending, M is a subset of the true closure,
+// which no phase of insert processing reads. Deletions do read M (∆(M,L)delete
+// walks desc(r[[p]]) through it and requires a superset), so a batch must
+// Flush before processing a deletion.
+type Pending struct {
+	edges []dag.Edge
+}
+
+// Len reports the number of edges whose closure contribution is pending.
+func (p *Pending) Len() int { return len(p.edges) }
+
+// DeferInsertUpdate is ∆(M,L)insert (Fig.7) with the closure half postponed:
+// it appends the fresh nodes of ST(A,t) to L in children-first order, repairs
+// L for every inserted edge (swap alignment, Fig.7 lines 6..14), and queues
+// the edges on p instead of updating M. A later Flush completes the
+// maintenance.
+func (ix *Index) DeferInsertUpdate(d *dag.DAG, newNodes []dag.NodeID, newEdges []dag.Edge, p *Pending) {
+	la := localTopo(d, newNodes)
+	for _, id := range la {
+		ix.Topo.Append(id)
+		ix.Matrix.ensure(id)
+	}
+	for _, e := range newEdges {
+		ix.Topo.FixEdge(d, e.Parent, e.Child)
+	}
+	p.edges = append(p.edges, newEdges...)
+}
+
+// Flush applies the deferred closure updates for every pending edge and
+// empties p.
+//
+// Correctness of reordering: with M = closure(G) and an edge (u,v) of the
+// final (acyclic) DAG, the pairs the edge contributes are exactly
+// ({u} ∪ anc(u)) × ({v} ∪ desc(v)) computed from M — a path through (u,v)
+// cannot occur inside anc(u) or desc(v) without creating a cycle. Applying
+// the pending edges one at a time therefore keeps M equal to the closure of
+// "already-flushed graph", and the final M is the closure of the full DAG
+// regardless of the order the edges are processed in. That freedom is what
+// the batch win comes from: edges are grouped by parent, and one sorted
+// ancestor list anc(u) is shared by the whole group. (Processing (u,c1)
+// cannot change anc(u) or desc(c2) for a sibling edge (u,c2): either change
+// would require u or c2 to be a descendant of c1's subtree *and* an ancestor
+// of u — a cycle.) N single-edge ∆(M,L)insert calls recompute and re-sort
+// anc(u) N times; the flush does it once per distinct parent.
+func (ix *Index) Flush(p *Pending) {
+	if len(p.edges) == 0 {
+		return
+	}
+	edges := p.edges
+	p.edges = nil
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Parent < edges[j].Parent })
+
+	m := ix.Matrix
+	for i := 0; i < len(edges); {
+		u := edges[i].Parent
+		j := i
+		for j < len(edges) && edges[j].Parent == u {
+			j++
+		}
+		m.ensure(u)
+		ancs := append(sortedKeys(m.Ancestors(u)), u)
+		for ; i < j; i++ {
+			v := edges[i].Child
+			m.ensure(v)
+			descs := append(sortedKeys(m.Descendants(v)), v)
+			for _, a := range ancs {
+				for _, dd := range descs {
+					m.AddPair(a, dd)
+				}
+			}
+		}
+	}
+}

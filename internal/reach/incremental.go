@@ -49,36 +49,12 @@ func (e errMatrix) Error() string { return "reach: matrix mismatch: " + string(e
 //     exactly Reach on ST(A,t) plus the anc(r[[p]]) × N_A pairs of
 //     Fig.7 lines 3..5.
 //
-// Edges must already be present in the DAG.
+// Edges must already be present in the DAG. It is the batched primitive
+// applied eagerly: defer the closure half, then flush it immediately.
 func (ix *Index) InsertUpdate(d *dag.DAG, newNodes []dag.NodeID, newEdges []dag.Edge) {
-	// L_A: order the fresh nodes children-first among themselves, so most
-	// appends need no repair.
-	la := localTopo(d, newNodes)
-	for _, id := range la {
-		ix.Topo.Append(id)
-		ix.Matrix.ensure(id)
-	}
-	for _, e := range newEdges {
-		ix.Topo.FixEdge(d, e.Parent, e.Child)
-	}
-	for _, e := range newEdges {
-		ix.addEdgeClosure(e.Parent, e.Child)
-	}
-}
-
-// addEdgeClosure adds to M every pair created by edge (u,v):
-// ({u} ∪ anc(u)) × ({v} ∪ desc(v)).
-func (ix *Index) addEdgeClosure(u, v dag.NodeID) {
-	m := ix.Matrix
-	m.ensure(u)
-	m.ensure(v)
-	ancs := append(sortedKeys(m.Ancestors(u)), u)
-	descs := append(sortedKeys(m.Descendants(v)), v)
-	for _, a := range ancs {
-		for _, dd := range descs {
-			m.AddPair(a, dd)
-		}
-	}
+	var p Pending
+	ix.DeferInsertUpdate(d, newNodes, newEdges, &p)
+	ix.Flush(&p)
 }
 
 // localTopo orders the given nodes children-first using only edges among

@@ -1,0 +1,75 @@
+package rxview
+
+import "rxview/internal/core"
+
+// Option configures a View at Open time.
+type Option func(*config)
+
+type config struct {
+	opts core.Options
+}
+
+// WithForceSideEffects carries out updates that have XML side effects under
+// the revised semantics of §2.1: the change applies to every occurrence of
+// the affected shared subtree. Without it (and without a policy) such
+// updates fail with ErrSideEffect so the caller can consult the user.
+func WithForceSideEffects() Option {
+	return func(c *config) { c.opts.ForceSideEffects = true }
+}
+
+// WithMaskLimit bounds the per-node state-set count in XPath side-effect
+// detection; 0 means the built-in default. Raising it trades memory for
+// exactness on views with very heavy sharing.
+func WithMaskLimit(n int) Option {
+	return func(c *config) { c.opts.MaskLimit = n }
+}
+
+// Decision is a side-effect policy's verdict on one update.
+type Decision int
+
+// Policy decisions.
+const (
+	// Reject refuses the update with ErrSideEffect.
+	Reject Decision = iota
+	// ApplyEverywhere carries the update out at every occurrence of the
+	// shared subtree (the revised semantics of §2.1).
+	ApplyEverywhere
+	// Skip drops the update silently: no error, nothing applied.
+	Skip
+)
+
+// SideEffectInfo describes a detected XML side effect: applying the update
+// to the r[[p]] selected occurrences would also change Witnesses unselected
+// occurrences of the same shared subtree.
+type SideEffectInfo struct {
+	Op        string // the update, rendered
+	Delete    bool   // deletion (vs insertion)
+	Targets   int    // |r[[p]]|, the selected occurrences
+	Witnesses int    // unselected occurrences that would change
+}
+
+// WithSideEffectPolicy installs a programmable update strategy: instead of
+// the all-or-nothing WithForceSideEffects, the policy decides each
+// side-effecting update individually — reject it, apply it everywhere, or
+// skip it. The policy takes precedence over WithForceSideEffects. It is
+// consulted on Apply, Batch and DryRun alike, so a DryRun predicts exactly
+// what Apply would do under the same policy.
+func WithSideEffectPolicy(policy func(SideEffectInfo) Decision) Option {
+	return func(c *config) {
+		c.opts.SideEffectPolicy = func(info core.SideEffectInfo) core.Decision {
+			switch policy(SideEffectInfo{
+				Op:        info.Op,
+				Delete:    info.Delete,
+				Targets:   info.Targets,
+				Witnesses: info.Witnesses,
+			}) {
+			case ApplyEverywhere:
+				return core.DecisionApply
+			case Skip:
+				return core.DecisionSkip
+			default:
+				return core.DecisionReject
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package rxview_test
+
+// Tests of the public API surface: the typed-error taxonomy, the
+// side-effect policy hook, context cancellation, and the equivalence of
+// Batch with sequential Apply.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rxview"
+)
+
+func mustView(t *testing.T, opts ...rxview.Option) *rxview.View {
+	t.Helper()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// sharedInsert targets the CS320 occurrence below CS650 only; CS320's
+// subtree is shared with the top level, so the update has an XML side
+// effect (the quickstart's Example 1 situation).
+var sharedInsert = rxview.Insert(`course[cno="CS650"]//course[cno="CS320"]/prereq`,
+	"course", rxview.Str("CS777"), rxview.Str("Sharing"))
+
+func TestErrSideEffectRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t)
+
+	rep, err := view.Apply(ctx, sharedInsert)
+	if err == nil {
+		t.Fatal("side-effecting insert applied without error")
+	}
+	if !errors.Is(err, rxview.ErrSideEffect) {
+		t.Fatalf("errors.Is(err, ErrSideEffect) = false for %v", err)
+	}
+	var se *rxview.SideEffectError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As *SideEffectError failed for %v", err)
+	}
+	if se.Witnesses == 0 {
+		t.Error("side-effect error carries no witnesses")
+	}
+	if rep == nil || !rep.SideEffects {
+		t.Error("report does not flag side effects")
+	}
+	if rep.Applied {
+		t.Error("rejected update reported as applied")
+	}
+	// The same update must be distinguishable from the other sentinels.
+	if errors.Is(err, rxview.ErrNotUpdatable) || errors.Is(err, rxview.ErrParse) {
+		t.Errorf("side-effect error matches unrelated sentinels: %v", err)
+	}
+	// DryRun returns exactly the same class of error.
+	if _, err := view.DryRun(ctx, sharedInsert); !errors.Is(err, rxview.ErrSideEffect) {
+		t.Errorf("DryRun error = %v, want ErrSideEffect", err)
+	}
+	// Forcing applies it.
+	forced := mustView(t, rxview.WithForceSideEffects())
+	if rep, err := forced.Apply(ctx, sharedInsert); err != nil || !rep.Applied {
+		t.Fatalf("forced apply: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestErrNotUpdatableRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t, rxview.WithForceSideEffects())
+	// EE100 exists in the base data with dept=EE; publishing it at the
+	// top level of the CS view would require changing base data the
+	// update did not ask for — the translation rejects it (§4).
+	_, err := view.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("EE100"), rxview.Str("Circuits")))
+	if !errors.Is(err, rxview.ErrNotUpdatable) {
+		t.Fatalf("errors.Is(err, ErrNotUpdatable) = false for %v", err)
+	}
+	var nu *rxview.NotUpdatableError
+	if !errors.As(err, &nu) || nu.Reason == "" {
+		t.Fatalf("errors.As *NotUpdatableError failed for %v", err)
+	}
+}
+
+func TestErrParseRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t)
+	if _, err := view.Query(ctx, `//course[`); !errors.Is(err, rxview.ErrParse) {
+		t.Errorf("Query parse error = %v, want ErrParse", err)
+	}
+	if _, err := view.Apply(ctx, rxview.Delete(`//course[`)); !errors.Is(err, rxview.ErrParse) {
+		t.Errorf("Apply parse error = %v, want ErrParse", err)
+	}
+	if _, err := view.Execute(ctx, `frobnicate //course`); !errors.Is(err, rxview.ErrParse) {
+		t.Errorf("Execute parse error = %v, want ErrParse", err)
+	}
+}
+
+func TestSideEffectPolicySkip(t *testing.T) {
+	ctx := context.Background()
+	var consulted []rxview.SideEffectInfo
+	view := mustView(t, rxview.WithSideEffectPolicy(func(info rxview.SideEffectInfo) rxview.Decision {
+		consulted = append(consulted, info)
+		return rxview.Skip
+	}))
+	before, err := view.XML(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := view.Apply(ctx, sharedInsert)
+	if err != nil {
+		t.Fatalf("Skip decision must not error: %v", err)
+	}
+	if rep.Applied {
+		t.Error("skipped update reported as applied")
+	}
+	if len(consulted) != 1 || consulted[0].Witnesses == 0 || consulted[0].Delete {
+		t.Errorf("policy consultation = %+v", consulted)
+	}
+	after, err := view.XML(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Error("skipped update changed the view")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	view := mustView(t, rxview.WithForceSideEffects())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before, _ := view.XML(100000)
+
+	if _, err := view.Query(ctx, `//course`); !errors.Is(err, context.Canceled) {
+		t.Errorf("Query under cancelled ctx = %v", err)
+	}
+	u := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S41"), rxview.Str("Zed"))
+	if _, err := view.Apply(ctx, u); !errors.Is(err, context.Canceled) {
+		t.Errorf("Apply under cancelled ctx = %v", err)
+	}
+	if _, err := view.Batch(ctx, u, u); !errors.Is(err, context.Canceled) {
+		t.Errorf("Batch under cancelled ctx = %v", err)
+	}
+	after, _ := view.XML(100000)
+	if before != after {
+		t.Error("cancelled updates changed the view")
+	}
+	if err := view.CheckConsistency(); err != nil {
+		t.Errorf("view inconsistent after cancellations: %v", err)
+	}
+}
+
+// TestBatchEquivalence checks that Batch(u1..uN) produces exactly the final
+// state of Apply(u1)..Apply(uN) — including through a mid-batch deletion,
+// which forces the deferred maintenance to flush — and that the auxiliary
+// structures come out exact (CheckConsistency recomputes L and M from
+// scratch and compares).
+func TestBatchEquivalence(t *testing.T) {
+	ctx := context.Background()
+	var updates []rxview.Update
+	for i := 0; i < 20; i++ {
+		updates = append(updates, rxview.Insert(`//course[cno="CS650"]/takenBy`,
+			"student", rxview.Str(fmt.Sprintf("S6%02d", i)), rxview.Str(fmt.Sprintf("N%d", i))))
+	}
+	updates = append(updates,
+		rxview.Insert(`.`, "course", rxview.Str("CS901"), rxview.Str("Batching")),
+		rxview.Insert(`//course[cno="CS901"]/prereq`, "course", rxview.Str("CS902"), rxview.Str("Flushing")),
+		rxview.Delete(`//course[cno="CS650"]//student[ssn="S602"]`),
+		rxview.Insert(`//course[cno="CS902"]/takenBy`, "student", rxview.Str("S699"), rxview.Str("Last")),
+	)
+
+	seq := mustView(t, rxview.WithForceSideEffects())
+	for i, u := range updates {
+		if _, err := seq.Apply(ctx, u); err != nil {
+			t.Fatalf("sequential update %d (%s): %v", i, u, err)
+		}
+	}
+
+	bat := mustView(t, rxview.WithForceSideEffects())
+	reports, err := bat.Batch(ctx, updates...)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(reports) != len(updates) {
+		t.Fatalf("batch reports = %d, want %d", len(reports), len(updates))
+	}
+	for i, r := range reports {
+		if !r.Applied {
+			t.Errorf("batch update %d (%s) not applied", i, updates[i])
+		}
+	}
+
+	if err := bat.CheckConsistency(); err != nil {
+		t.Fatalf("batched view inconsistent: %v", err)
+	}
+	sx, err := seq.XML(1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := bat.XML(1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx != bx {
+		t.Errorf("batch and sequential views differ:\n--- sequential ---\n%s\n--- batch ---\n%s", sx, bx)
+	}
+	if s, b := seq.Stats(), bat.Stats(); s != b {
+		t.Errorf("stats differ: sequential %v vs batch %v", s, b)
+	}
+}
+
+// TestBatchStopsAtFirstError checks the documented prefix semantics.
+func TestBatchStopsAtFirstError(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t) // no forcing: the shared insert fails mid-batch
+	good := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S71"), rxview.Str("Pre"))
+	never := rxview.Insert(`//course[cno="CS240"]/takenBy`, "student", rxview.Str("S72"), rxview.Str("Post"))
+
+	reports, err := view.Batch(ctx, good, sharedInsert, never)
+	if !errors.Is(err, rxview.ErrSideEffect) {
+		t.Fatalf("batch error = %v, want ErrSideEffect", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (applied prefix + failed update)", len(reports))
+	}
+	if !reports[0].Applied || reports[1].Applied {
+		t.Errorf("prefix semantics violated: %+v", reports)
+	}
+	if err := view.CheckConsistency(); err != nil {
+		t.Fatalf("view inconsistent after failed batch: %v", err)
+	}
+	if got, _ := view.Query(ctx, `//student[ssn="S71"]`); len(got) == 0 {
+		t.Error("prefix update was rolled back")
+	}
+	if got, _ := view.Query(ctx, `//student[ssn="S72"]`); len(got) != 0 {
+		t.Error("suffix update ran after the failure")
+	}
+
+	// A malformed update mid-batch behaves the same way: the prefix before
+	// it applies, the rest does not.
+	pre := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S73"), rxview.Str("Pre2"))
+	reports, err = view.Batch(ctx, pre, rxview.Delete(`//course[`), never)
+	if !errors.Is(err, rxview.ErrParse) {
+		t.Fatalf("batch with malformed update error = %v, want ErrParse", err)
+	}
+	if len(reports) != 2 || !reports[0].Applied || reports[1].Applied {
+		t.Fatalf("parse-failure prefix semantics violated: %+v", reports)
+	}
+	if got, _ := view.Query(ctx, `//student[ssn="S73"]`); len(got) == 0 {
+		t.Error("prefix update before the malformed one was not applied")
+	}
+	if err := view.CheckConsistency(); err != nil {
+		t.Fatalf("view inconsistent after parse-failed batch: %v", err)
+	}
+}
+
+// TestBatchMaintainCheaper asserts the performance contract directionally:
+// the summed maintenance time of a batch of inserts must not exceed the
+// sequential cost (the batch benchmark in bench_test.go quantifies the win;
+// here we only guard against the deferred path being pathologically slower).
+func TestBatchMaintainCheaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	ctx := context.Background()
+	const n = 100
+	mk := func() []rxview.Update {
+		us := make([]rxview.Update, n)
+		for i := range us {
+			us[i] = rxview.Insert(`//course[cno="CS650"]/takenBy`, "student",
+				rxview.Str(fmt.Sprintf("S8%03d", i)), rxview.Str("T"))
+		}
+		return us
+	}
+	var seqM, batM int64
+	// Three rounds to smooth scheduler noise; 2x headroom on the assert.
+	for round := 0; round < 3; round++ {
+		seq := mustView(t, rxview.WithForceSideEffects())
+		for _, u := range mk() {
+			rep, err := seq.Apply(ctx, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqM += rep.Timings.Maintain.Nanoseconds()
+		}
+		bat := mustView(t, rxview.WithForceSideEffects())
+		reps, err := bat.Batch(ctx, mk()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range reps {
+			batM += rep.Timings.Maintain.Nanoseconds()
+		}
+	}
+	t.Logf("maintain: sequential=%dns batch=%dns", seqM, batM)
+	if batM > 2*seqM {
+		t.Errorf("batched maintenance (%dns) far exceeds sequential (%dns)", batM, seqM)
+	}
+}

@@ -1,0 +1,134 @@
+package rxview
+
+import "rxview/internal/relational"
+
+// Column describes one attribute of a base table.
+type Column struct {
+	Name string
+	Type Kind
+	// Domain enumerates the column's finite domain, if any. A nil Domain
+	// means the domain is (conceptually) infinite: the insertion
+	// translator may then always pick a fresh value for an unconstrained
+	// variable (§4.3, case (b)). Bool columns have an implicit
+	// {false, true} domain.
+	Domain []Value
+}
+
+// Table describes a base relation: its columns and primary key (the paper's
+// key-preservation condition is stated over primary keys).
+type Table struct {
+	Name    string
+	Columns []Column
+	// Key names the primary-key columns; they must exist in Columns.
+	Key []string
+}
+
+// Schema is a relational schema R: a set of tables.
+type Schema struct {
+	s *relational.Schema
+}
+
+// NewSchema builds and validates a schema.
+func NewSchema(tables ...Table) (*Schema, error) {
+	ts := make([]*relational.TableSchema, len(tables))
+	for i, t := range tables {
+		cols := make([]relational.Column, len(t.Columns))
+		for j, c := range t.Columns {
+			cols[j] = relational.Column{
+				Name:   c.Name,
+				Type:   relational.Kind(c.Type),
+				Domain: tupleOf(c.Domain),
+			}
+		}
+		s, err := relational.NewTableSchema(t.Name, cols, t.Key...)
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = s
+	}
+	s, err := relational.NewSchema(ts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{s: s}, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(tables ...Table) *Schema {
+	s, err := NewSchema(tables...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Tables lists the schema's table names in sorted order.
+func (s *Schema) Tables() []string { return s.s.TableNames() }
+
+// Operand is a term of an SPJ query: a column reference, a constant, or a
+// parameter bound at evaluation time.
+type Operand struct {
+	o relational.Operand
+}
+
+// Col references column col of the tab-th FROM entry (both 0-based).
+func Col(tab, col int) Operand { return Operand{relational.Col(tab, col)} }
+
+// Const embeds a constant.
+func Const(v Value) Operand { return Operand{relational.Const(v.v)} }
+
+// Param references the i-th query parameter (the parent's attribute fields
+// in an ATG query rule).
+func Param(i int) Operand { return Operand{relational.Param(i)} }
+
+// Pred is an equality predicate Left = Right; SPJ queries use conjunctions
+// of equalities (conjunctive queries).
+type Pred struct {
+	Left, Right Operand
+}
+
+// Eq builds an equality predicate.
+func Eq(l, r Operand) Pred { return Pred{Left: l, Right: r} }
+
+// Sel is one projected column of a query.
+type Sel struct {
+	As  string
+	Src Operand
+}
+
+// Query is a select-project-join query
+//
+//	SELECT Select FROM From WHERE conjunction-of-equalities
+//
+// with Params parameters bound at evaluation time — exactly the query class
+// the paper's ATGs and relational views use.
+type Query struct {
+	Name   string
+	Params int
+	From   []string // table names; repeat a table for self-joins
+	Where  []Pred
+	Select []Sel
+}
+
+// spj converts the query to its internal form.
+func (q Query) spj() *relational.SPJ {
+	from := make([]relational.TableRef, len(q.From))
+	for i, t := range q.From {
+		from[i] = relational.TableRef{Table: t}
+	}
+	where := make([]relational.EqPred, len(q.Where))
+	for i, p := range q.Where {
+		where[i] = relational.EqPred{Left: p.Left.o, Right: p.Right.o}
+	}
+	sel := make([]relational.SelectItem, len(q.Select))
+	for i, s := range q.Select {
+		sel[i] = relational.SelectItem{As: s.As, Src: s.Src.o}
+	}
+	return &relational.SPJ{
+		Name:    q.Name,
+		NParams: q.Params,
+		From:    from,
+		Where:   where,
+		Selects: sel,
+	}
+}

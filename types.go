@@ -1,0 +1,176 @@
+package rxview
+
+import (
+	"fmt"
+	"time"
+
+	"rxview/internal/core"
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+)
+
+// Node is one node of the DAG-compressed view, as returned by View.Query: a
+// shared subtree occurs once, however many times the unfolded XML tree
+// repeats it.
+type Node struct {
+	// Type is the element type (DTD tag).
+	Type string
+	// Attr renders the node's attribute tuple, e.g. ("CS320", "Compilers").
+	Attr string
+	// Text is the node's text content, if the element type carries PCDATA.
+	Text string
+}
+
+// String renders the node.
+func (n Node) String() string {
+	if n.Text != "" {
+		return fmt.Sprintf("%s%s=%q", n.Type, n.Attr, n.Text)
+	}
+	return n.Type + n.Attr
+}
+
+// Mutation is one base-table change; the translation ΔR of an update is a
+// []Mutation.
+type Mutation struct {
+	Table  string
+	Insert bool // true = insert, false = delete
+	Tuple  []Value
+}
+
+// String renders the mutation for logs and reports.
+func (m Mutation) String() string {
+	op := "delete"
+	if m.Insert {
+		op = "insert"
+	}
+	return fmt.Sprintf("%s %s %s", op, m.Table, tupleOf(m.Tuple))
+}
+
+func mutationsOf(dr []relational.Mutation) []Mutation {
+	if len(dr) == 0 {
+		return nil
+	}
+	out := make([]Mutation, len(dr))
+	for i, m := range dr {
+		out[i] = Mutation{Table: m.Table, Insert: m.Insert, Tuple: valuesOf(m.Tuple)}
+	}
+	return out
+}
+
+// Timings breaks an update into the phases the paper's Fig.11 reports:
+// (a) XPath evaluation, (b) translation ΔX→ΔV→ΔR plus execution, and
+// (c) maintenance of the auxiliary structures (background in the paper).
+type Timings struct {
+	Validate  time.Duration
+	Eval      time.Duration // (a)
+	Translate time.Duration // (b): ΔX→ΔV and ΔV→ΔR (= XToDV + DVToDR)
+	XToDV     time.Duration // Algorithm Xinsert / Xdelete (Figs.5–6)
+	DVToDR    time.Duration // Algorithm insert / delete (§4)
+	Apply     time.Duration // (b): executing ΔR and ΔV
+	Maintain  time.Duration // (c): ∆(M,L)insert / ∆(M,L)delete
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.Validate + t.Eval + t.Translate + t.Apply + t.Maintain
+}
+
+func timingsOf(t core.Timings) Timings {
+	return Timings{
+		Validate:  t.Validate,
+		Eval:      t.Eval,
+		Translate: t.Translate,
+		XToDV:     t.XToDV,
+		DVToDR:    t.DVToDR,
+		Apply:     t.Apply,
+		Maintain:  t.Maintain,
+	}
+}
+
+// Report describes one processed update.
+type Report struct {
+	Op          string     // the update, rendered
+	Applied     bool       // false for no-ops and rejections
+	Targets     int        // |r[[p]]|, nodes selected by the path
+	Edges       int        // |Ep(r)|, parent-child edges selected
+	SideEffects bool       // the update touched a shared subtree
+	DVInserts   int        // edges added to the view's edge relations
+	DVDeletes   int        // edges removed (including the GC cascade)
+	Changes     []Mutation // the relational translation ΔR, as executed
+	Removed     int        // garbage-collected nodes
+	Timings     Timings
+}
+
+func reportOf(r *core.Report) *Report {
+	if r == nil {
+		return nil
+	}
+	return &Report{
+		Op:          r.Op,
+		Applied:     r.Applied,
+		Targets:     r.RP,
+		Edges:       r.EP,
+		SideEffects: r.SideEffects,
+		DVInserts:   r.DVInserts,
+		DVDeletes:   r.DVDeletes,
+		Changes:     mutationsOf(r.DR),
+		Removed:     r.Removed,
+		Timings:     timingsOf(r.Timings),
+	}
+}
+
+func reportsOf(rs []*core.Report) []*Report {
+	out := make([]*Report, len(rs))
+	for i, r := range rs {
+		out[i] = reportOf(r)
+	}
+	return out
+}
+
+// Stats summarizes the view and its auxiliary structures — the quantities of
+// Fig.10(b) in the paper: DAG size, uncompressed tree size, sharing, |L|
+// and |M|.
+type Stats struct {
+	BaseRows    int     // total tuples in the published database
+	Nodes       int     // DAG nodes (n)
+	Edges       int     // DAG edges (|V|, the size of the relational views)
+	TreeSize    float64 // uncompressed |T|
+	Compression float64 // TreeSize / Nodes
+	SharedNodes int     // nodes with >1 parent
+	SharedFrac  float64 // SharedNodes / Nodes
+	TopoLen     int     // |L|
+	MatrixPairs int     // |M|
+}
+
+// String renders the statistics in a Fig.10(b)-style line.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"rows=%d nodes=%d edges=%d tree=%.0f compression=%.2fx shared=%.1f%% |L|=%d |M|=%d",
+		st.BaseRows, st.Nodes, st.Edges, st.TreeSize, st.Compression,
+		100*st.SharedFrac, st.TopoLen, st.MatrixPairs)
+}
+
+func statsOf(st core.Stats) Stats {
+	return Stats{
+		BaseRows:    st.BaseRows,
+		Nodes:       st.Nodes,
+		Edges:       st.Edges,
+		TreeSize:    st.TreeSize,
+		Compression: st.Compression,
+		SharedNodes: st.SharedNodes,
+		SharedFrac:  st.SharedFrac,
+		TopoLen:     st.TopoLen,
+		MatrixPairs: st.MatrixPairs,
+	}
+}
+
+// nodeOf renders a DAG node through the view's accessors.
+func nodeOf(d *dag.DAG, text func(dag.NodeID) (string, bool), id dag.NodeID) Node {
+	n := Node{Type: d.Type(id), Attr: d.Attr(id).String()}
+	if text != nil {
+		if s, ok := text(id); ok {
+			n.Text = s
+		}
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package rxview
+
+import "rxview/internal/relational"
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindBool
+	KindString
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string { return relational.Kind(k).String() }
+
+// Value is a single relational value: the typed constants that fill tuples,
+// column domains and query predicates. The zero Value is NULL.
+type Value struct {
+	v relational.Value
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{relational.Str(s)} }
+
+// Int returns an integer value.
+func Int(n int64) Value { return Value{relational.Int(n)} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{relational.Bool(b)} }
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return Kind(v.v.K) }
+
+// Text returns the payload of a string value ("" for other kinds).
+func (v Value) Text() string {
+	if v.v.K == relational.KindString {
+		return v.v.S
+	}
+	return ""
+}
+
+// Num returns the payload of an int or bool value (0 for other kinds).
+func (v Value) Num() int64 {
+	switch v.v.K {
+	case relational.KindInt, relational.KindBool:
+		return v.v.I
+	}
+	return 0
+}
+
+// String renders the value.
+func (v Value) String() string { return v.v.String() }
+
+// tupleOf converts public values to an internal tuple.
+func tupleOf(vals []Value) relational.Tuple {
+	t := make(relational.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = v.v
+	}
+	return t
+}
+
+// valuesOf converts an internal tuple to public values.
+func valuesOf(t relational.Tuple) []Value {
+	out := make([]Value, len(t))
+	for i, v := range t {
+		out[i] = Value{v}
+	}
+	return out
+}

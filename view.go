@@ -1,0 +1,171 @@
+package rxview
+
+import (
+	"context"
+	"io"
+
+	"rxview/internal/core"
+	"rxview/internal/update"
+	"rxview/internal/xpath"
+)
+
+// View is a published recursive XML view of a relational database, with
+// update support: the full pipeline of the paper — DAG-compressed
+// publication (§2.3), XPath evaluation with side-effect detection (§3),
+// ΔX→ΔV→ΔR update translation (§4), and incremental maintenance of the
+// auxiliary structures L and M (§3.4).
+//
+// A View is not safe for concurrent use.
+type View struct {
+	sys *core.System
+	db  *DB
+}
+
+// Open publishes σ(I): it evaluates the ATG over the database, compresses
+// the result into a DAG, builds the auxiliary structures L (topological
+// order) and M (reachability matrix) and the translator's source index, and
+// returns the live view. The database stays attached: updates applied to the
+// view execute their relational translation ΔR against it.
+func Open(a *ATG, db *DB, opts ...Option) (*View, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys, err := core.Open(a.c, db.db, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &View{sys: sys, db: db}, nil
+}
+
+// DB returns the database instance the view publishes.
+func (v *View) DB() *DB { return v.db }
+
+// Query evaluates an XPath expression over the view and returns the selected
+// nodes r[[p]]. Supported: child and descendant-or-self axes, wildcards,
+// and predicates on attribute fields / text content, per the fragment of
+// §2.1.
+func (v *View) Query(ctx context.Context, path string) ([]Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, parseErr(path, err)
+	}
+	res, err := v.sys.Eval(p)
+	if err != nil {
+		return nil, err
+	}
+	text := v.sys.ATG.Text(v.sys.DAG)
+	out := make([]Node, len(res.Selected))
+	for i, id := range res.Selected {
+		out[i] = nodeOf(v.sys.DAG, text, id)
+	}
+	return out, nil
+}
+
+// Apply runs the full pipeline for one update: DTD validation, XPath
+// evaluation with side-effect detection, ΔX→ΔV→ΔR translation, execution of
+// ΔR against the database and ΔV against the view, and maintenance of L and
+// M. Cancellation is honored between the phases; once ΔR has executed the
+// update is carried through, so a cancelled context never leaves the
+// auxiliary structures stale.
+//
+// The error, if any, matches ErrParse, ErrSideEffect or ErrNotUpdatable
+// under errors.Is when the update was rejected for the corresponding
+// reason; the report is always returned with whatever phases completed.
+func (v *View) Apply(ctx context.Context, u Update) (*Report, error) {
+	op, err := u.compile()
+	if err != nil {
+		return &Report{Op: u.String()}, err
+	}
+	rep, err := v.sys.ApplyCtx(ctx, op)
+	return reportOf(rep), wrapErr(op.String(), err)
+}
+
+// DryRun answers the updatability question for one update without changing
+// anything: it runs validation, evaluation, side-effect detection and the
+// full relational translation, then rolls everything back. The report shows
+// what Apply would have done (including ΔR) and the error is exactly what
+// Apply would have returned — the paper's updatability problem (§4.1) as an
+// API.
+func (v *View) DryRun(ctx context.Context, u Update) (*Report, error) {
+	op, err := u.compile()
+	if err != nil {
+		return &Report{Op: u.String()}, err
+	}
+	rep, err := v.sys.DryRunCtx(ctx, op)
+	return reportOf(rep), wrapErr(op.String(), err)
+}
+
+// Batch applies a sequence of updates with a single deferred maintenance
+// pass over L and M: each update is validated, evaluated and translated
+// individually (the result state is identical to the same sequence of Apply
+// calls), but the closure maintenance of M for consecutive insertions is
+// coalesced and flushed once, which is substantially cheaper than paying
+// ∆(M,L)insert per update.
+//
+// The batch is not atomic: it stops at the first failing update, with every
+// earlier update already applied and the auxiliary structures repaired. The
+// returned reports cover the processed prefix; summing Timings.Maintain over
+// them gives the batch's true total maintenance cost.
+func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) {
+	// Compile up to the first malformed update: the prefix before it still
+	// runs, preserving the Apply-sequence equivalence.
+	ops := make([]*update.Op, 0, len(updates))
+	var compileErr error
+	var failed Update
+	for _, u := range updates {
+		op, err := u.compile()
+		if err != nil {
+			compileErr, failed = err, u
+			break
+		}
+		ops = append(ops, op)
+	}
+	reps, err := v.sys.ApplyBatch(ctx, ops)
+	out := reportsOf(reps)
+	if err != nil {
+		if len(out) > 0 {
+			// The failing update is the last processed one.
+			err = wrapErr(out[len(out)-1].Op, err)
+		}
+		return out, err
+	}
+	if compileErr != nil {
+		return append(out, &Report{Op: failed.String()}), compileErr
+	}
+	return out, nil
+}
+
+// Execute parses and applies one textual update statement:
+//
+//	insert type(field=value, ...) into xpath
+//	delete xpath
+func (v *View) Execute(ctx context.Context, stmt string) (*Report, error) {
+	op, err := update.ParseStatement(v.sys.ATG, stmt)
+	if err != nil {
+		return &Report{Op: stmt}, parseErr(stmt, err)
+	}
+	rep, err := v.sys.ApplyCtx(ctx, op)
+	return reportOf(rep), wrapErr(op.String(), err)
+}
+
+// Stats computes current view statistics.
+func (v *View) Stats() Stats { return statsOf(v.sys.Stats()) }
+
+// CheckConsistency verifies the system invariant ΔX(T) = σ(ΔR(I)): the
+// incrementally maintained DAG must equal a fresh publication of the current
+// database, L must be a valid topological order, and M the exact transitive
+// closure.
+func (v *View) CheckConsistency() error { return v.sys.CheckConsistency() }
+
+// WriteXML serializes the unfolded XML view; maxNodes bounds the tree size
+// (recursive views can be exponentially larger than their DAG).
+func (v *View) WriteXML(w io.Writer, maxNodes int) error {
+	return v.sys.WriteXML(w, maxNodes)
+}
+
+// XML returns the serialized view, or an error if it exceeds the budget.
+func (v *View) XML(maxNodes int) (string, error) { return v.sys.XML(maxNodes) }
