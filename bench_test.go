@@ -163,6 +163,26 @@ func BenchmarkAblationReachVsNaive(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationMatrixRepresentation compares building M with bitset rows
+// (word-level unions) against the sparse relation layout (per-pair map
+// inserts) on the synthetic DAG.
+func BenchmarkAblationMatrixRepresentation(b *testing.B) {
+	nc := benchSizes[0]
+	b.Run(fmt.Sprintf("C=%d", nc), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bitset, sparse, pairs, err := rxview.MatrixAblation(nc, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(bitset.Microseconds())/1000, "bitset-ms")
+				b.ReportMetric(float64(sparse.Microseconds())/1000, "sparse-ms")
+				b.ReportMetric(float64(pairs), "M-pairs")
+			}
+		}
+	})
+}
+
 // BenchmarkAblationDAGvsTree compares XPath evaluation on the DAG
 // compression against the unfolded tree (§2.3's motivation).
 func BenchmarkAblationDAGvsTree(b *testing.B) {

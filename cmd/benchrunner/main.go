@@ -6,9 +6,18 @@
 // Usage:
 //
 //	benchrunner -exp all -sizes 1000,5000,20000 -ops 10
+//
+// The perf experiment additionally measures end-to-end ns/op for the four
+// hot paths (query, apply, batch, maintain) and, with -json, writes them to
+// a machine-readable file (CI stores BENCH_PR2.json per run, accumulating
+// the perf trajectory):
+//
+//	benchrunner -exp perf -sizes 1000 -json BENCH_PR2.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,10 +31,11 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
+	jsonFlag = flag.String("json", "", "write the perf experiment's ns/op summary to this file")
 )
 
 func main() {
@@ -46,6 +56,7 @@ func main() {
 	run("fig11h", fig11h)
 	run("table1", table1)
 	run("ablation", ablation)
+	run("perf", perf)
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -183,6 +194,13 @@ func ablation(sizes []int) {
 	fmt.Printf("Algorithm Reach (Fig.4): %v vs per-node DFS: %v  (|M| = %d)\n",
 		fig4.Round(time.Microsecond), naive.Round(time.Microsecond), pairs)
 
+	bitset, sparse, mpairs, err := rxview.MatrixAblation(nc, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M representation: bitset rows %v vs sparse relation %v  (|M| = %d)\n",
+		bitset.Round(time.Microsecond), sparse.Round(time.Microsecond), mpairs)
+
 	smaller := nc
 	if smaller > 5000 {
 		smaller = 5000 // the unfolded tree explodes beyond this
@@ -215,4 +233,118 @@ func ablation(sizes []int) {
 	fmt.Printf("Minimal deletion: greedy %v (|ΔR| = %d) vs exact branch&bound %v (|ΔR| = %d)\n",
 		gT.Round(time.Microsecond), gN, eT.Round(time.Microsecond), eN)
 	fmt.Println()
+}
+
+// perfPoint is one row of the machine-readable perf summary: end-to-end
+// ns/op for the hot paths at one dataset size.
+type perfPoint struct {
+	Size     int   `json:"size"`
+	Query    int64 `json:"query_ns_per_op"`    // //-heavy XPath evaluation
+	Apply    int64 `json:"apply_ns_per_op"`    // full single-update pipeline (W2 inserts)
+	Batch    int64 `json:"batch_ns_per_op"`    // per update inside View.Batch
+	Maintain int64 `json:"maintain_ns_per_op"` // ∆(M,L) share of the apply pipeline
+}
+
+// perfFile is the BENCH_PR2.json layout.
+type perfFile struct {
+	Seed   int64       `json:"seed"`
+	Points []perfPoint `json:"points"`
+}
+
+func perf(sizes []int) {
+	fmt.Println("== Perf summary: end-to-end ns/op ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tquery\tapply\tbatch\tmaintain")
+	out := perfFile{Seed: *seedFlag}
+	for _, nc := range sizes {
+		pt, err := measurePerf(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\n", pt.Size, pt.Query, pt.Apply, pt.Batch, pt.Maintain)
+	}
+	w.Flush()
+	fmt.Println()
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+func measurePerf(nc int, seed int64) (perfPoint, error) {
+	ctx := context.Background()
+	pt := perfPoint{Size: nc}
+
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return pt, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		return pt, err
+	}
+
+	// Query: a //-heavy recursive selection, the path the reachability
+	// matrix accelerates.
+	const qn = 32
+	t0 := time.Now()
+	for i := 0; i < qn; i++ {
+		if _, err := view.Query(ctx, `//C[sub/C]`); err != nil {
+			return pt, err
+		}
+	}
+	pt.Query = time.Since(t0).Nanoseconds() / qn
+
+	// Apply + maintain: the full single-update pipeline over a W2 insert
+	// workload; maintain is its ∆(M,L) share per the phase reports.
+	stmts := syn.InsertWorkload(rxview.W2, *opsFlag, seed+200)
+	if len(stmts) == 0 {
+		return pt, fmt.Errorf("perf: empty insert workload at |C| = %d", nc)
+	}
+	var maintain time.Duration
+	t0 = time.Now()
+	for _, s := range stmts {
+		rep, err := view.Execute(ctx, s)
+		if err != nil {
+			return pt, fmt.Errorf("%s: %w", s, err)
+		}
+		maintain += rep.Timings.Maintain
+	}
+	pt.Apply = time.Since(t0).Nanoseconds() / int64(len(stmts))
+	pt.Maintain = maintain.Nanoseconds() / int64(len(stmts))
+
+	// Batch: the same insertion shape through View.Batch on a fresh view —
+	// fresh keys under one published root, the deferred-flush fast path.
+	syn2, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return pt, err
+	}
+	view2, err := rxview.Open(syn2.ATG, syn2.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		return pt, err
+	}
+	roots := syn2.Roots()
+	if len(roots) == 0 {
+		return pt, fmt.Errorf("perf: synthetic dataset has no roots")
+	}
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	const bn = 64
+	updates := make([]rxview.Update, 0, bn)
+	for _, k := range syn2.FreshKeys(bn) {
+		updates = append(updates, rxview.Insert(target, "C",
+			rxview.Int(k), rxview.Str(fmt.Sprintf("b%d", k))))
+	}
+	t0 = time.Now()
+	if _, err := view2.Batch(ctx, updates...); err != nil {
+		return pt, err
+	}
+	pt.Batch = time.Since(t0).Nanoseconds() / bn
+	return pt, nil
 }

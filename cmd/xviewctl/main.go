@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -46,21 +47,38 @@ func main() {
 	}
 
 	if *exec != "" {
-		for _, cmd := range splitCommands(*exec) {
-			if err := dispatch(view, cmd); err != nil {
-				log.Fatalf("%s: %v", cmd, err)
-			}
+		if err := runOneShot(view, os.Stdout, *exec); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
 
 	fmt.Printf("rxview: %s view loaded — %s\n", *dataset, view.Stats())
 	fmt.Println(`type "help" for commands`)
+	if err := runREPL(view, os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+// runOneShot executes the -e argument: semicolon-separated commands, stopping
+// at the first failure.
+func runOneShot(view *rxview.View, out io.Writer, cmds string) error {
+	for _, cmd := range splitCommands(cmds) {
+		if err := dispatch(view, out, cmd); err != nil {
+			return fmt.Errorf("%s: %w", cmd, err)
+		}
+	}
+	return nil
+}
+
+// runREPL reads commands line by line until EOF or quit. Command failures
+// are reported to out and the loop continues; a reader (scanner) failure
+// ends the loop and is returned.
+func runREPL(view *rxview.View, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
-		fmt.Print("> ")
+		fmt.Fprint(out, "> ")
 		if !sc.Scan() {
 			break
 		}
@@ -71,13 +89,14 @@ func main() {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		if err := dispatch(view, line); err != nil {
-			fmt.Println("error:", err)
+		if err := dispatch(view, out, line); err != nil {
+			fmt.Fprintln(out, "error:", err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatalf("reading stdin: %v", err)
+		return fmt.Errorf("reading input: %w", err)
 	}
+	return nil
 }
 
 // splitCommands splits a -e argument on semicolons, except inside quoted
@@ -132,11 +151,11 @@ func open() (*rxview.View, error) {
 	}
 }
 
-func dispatch(view *rxview.View, line string) error {
+func dispatch(view *rxview.View, out io.Writer, line string) error {
 	ctx := context.Background()
 	switch {
 	case line == "help":
-		fmt.Println(`  query <xpath>
+		fmt.Fprintln(out, `  query <xpath>
   insert <type>(field=value, ...) into <xpath>
   delete <xpath>
   xml | stats | check | tables | quit`)
@@ -146,20 +165,20 @@ func dispatch(view *rxview.View, line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(xml)
+		fmt.Fprint(out, xml)
 		return nil
 	case line == "stats":
-		fmt.Println(" ", view.Stats())
+		fmt.Fprintln(out, " ", view.Stats())
 		return nil
 	case line == "check":
 		if err := view.CheckConsistency(); err != nil {
 			return err
 		}
-		fmt.Println("  consistent: view equals a fresh publication; L and M verified")
+		fmt.Fprintln(out, "  consistent: view equals a fresh publication; L and M verified")
 		return nil
 	case line == "tables":
 		for _, t := range view.DB().Tables() {
-			fmt.Printf("  %-12s %d rows\n", t.Name, t.Rows)
+			fmt.Fprintf(out, "  %-12s %d rows\n", t.Name, t.Rows)
 		}
 		return nil
 	case strings.HasPrefix(line, "query "):
@@ -167,13 +186,13 @@ func dispatch(view *rxview.View, line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %d node(s)\n", len(nodes))
+		fmt.Fprintf(out, "  %d node(s)\n", len(nodes))
 		for i, n := range nodes {
 			if i == 20 {
-				fmt.Printf("  ... and %d more\n", len(nodes)-20)
+				fmt.Fprintf(out, "  ... and %d more\n", len(nodes)-20)
 				break
 			}
-			fmt.Printf("  %s%s\n", n.Type, n.Attr)
+			fmt.Fprintf(out, "  %s%s\n", n.Type, n.Attr)
 		}
 		return nil
 	case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete "):
@@ -182,15 +201,15 @@ func dispatch(view *rxview.View, line string) error {
 			return err
 		}
 		if !rep.Applied {
-			fmt.Println("  no-op (nothing matched or edge already present)")
+			fmt.Fprintln(out, "  no-op (nothing matched or edge already present)")
 			return nil
 		}
-		fmt.Printf("  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d side-effects=%v\n",
+		fmt.Fprintf(out, "  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d side-effects=%v\n",
 			rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, rep.Removed, rep.SideEffects)
 		for _, m := range rep.Changes {
-			fmt.Println("  ΔR:", m)
+			fmt.Fprintln(out, "  ΔR:", m)
 		}
-		fmt.Printf("  timings: eval=%v translate=%v apply=%v maintain=%v\n",
+		fmt.Fprintf(out, "  timings: eval=%v translate=%v apply=%v maintain=%v\n",
 			rep.Timings.Eval, rep.Timings.Translate, rep.Timings.Apply, rep.Timings.Maintain)
 		return nil
 	default:

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rxview"
+)
+
+func testView(t *testing.T) *rxview.View {
+	t.Helper()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func TestSplitCommands(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{";;;", nil},
+		{"stats", []string{"stats"}},
+		{"stats; check", []string{"stats", "check"}},
+		{`query //course[cno="CS650"]; stats`,
+			[]string{`query //course[cno="CS650"]`, "stats"}},
+		// Semicolons inside quotes must not split.
+		{`query //course[cno="a;b"]; check`,
+			[]string{`query //course[cno="a;b"]`, "check"}},
+		{`query //course[cno='x;y;z']`,
+			[]string{`query //course[cno='x;y;z']`}},
+		// A double quote inside single quotes does not open a string.
+		{`query //course[cno='a"b;c']; stats`,
+			[]string{`query //course[cno='a"b;c']`, "stats"}},
+		// Unterminated quote: the rest is one command.
+		{`insert course(cno="C1; stats`, []string{`insert course(cno="C1; stats`}},
+	}
+	for _, tc := range cases {
+		if got := splitCommands(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitCommands(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunOneShot(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	err := runOneShot(view, &out,
+		`query //course[cno="CS650"]; insert student(ssn="S77", name="Test") into //course[cno="CS650"]/takenBy; check`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"1 node(s)", "applied:", "consistent"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunOneShotStopsAtFirstError(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	err := runOneShot(view, &out, "bogus; stats")
+	if err == nil {
+		t.Fatal("bogus command accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the failing command", err)
+	}
+	if strings.Contains(out.String(), "rows=") {
+		t.Error("commands after the failure still ran")
+	}
+}
+
+func TestRunREPL(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	in := strings.NewReader("stats\nnonsense\ntables\nquit\nstats\n")
+	if err := runREPL(view, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "rows=") {
+		t.Error("stats output missing")
+	}
+	if !strings.Contains(got, "error:") {
+		t.Error("command failure not reported to the output")
+	}
+	if !strings.Contains(got, "course") && !strings.Contains(got, "rows\n") {
+		t.Errorf("tables output missing:\n%s", got)
+	}
+	// Everything after quit is unread.
+	if strings.Count(got, "rows=") != 1 {
+		t.Error("REPL continued past quit")
+	}
+}
+
+// errReader fails after yielding its content — the scanner must surface the
+// read error instead of treating it as EOF.
+type errReader struct {
+	data string
+	err  error
+	done bool
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if !r.done {
+		r.done = true
+		return copy(p, r.data), nil
+	}
+	return 0, r.err
+}
+
+func TestRunREPLReportsScannerError(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	boom := errors.New("disk on fire")
+	err := runREPL(view, &errReader{data: "stats\n", err: boom}, &out)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "reading input") {
+		t.Errorf("error %q lacks the reading-input context", err)
+	}
+	if !strings.Contains(out.String(), "rows=") {
+		t.Error("lines before the failure were not processed")
+	}
+}
+
+// Plain EOF (no trailing newline) is a clean exit, not an error.
+func TestRunREPLCleanEOF(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	if err := runREPL(view, strings.NewReader("check"), &out); err != nil {
+		t.Fatalf("clean EOF returned %v", err)
+	}
+	if !strings.Contains(out.String(), "consistent") {
+		t.Error("final unterminated line was not processed")
+	}
+}

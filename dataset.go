@@ -84,6 +84,24 @@ func (s *Synthetic) DeleteWorkload(class WorkloadClass, n int, seed int64) []str
 	return stmtsOf(s.syn.DeleteWorkload(workload.Class(class), n, seed))
 }
 
+// Roots returns the level-0 C keys (published at the top level of the view)
+// — valid, single-occurrence targets for custom update workloads, e.g.
+// Insert into //C[key="<root>"]/sub.
+func (s *Synthetic) Roots() []int64 {
+	return append([]int64(nil), s.syn.Roots...)
+}
+
+// FreshKeys allocates n C keys no existing row uses, for custom insertions
+// (the generator's key counter advances, so later workloads stay disjoint).
+func (s *Synthetic) FreshKeys(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = s.syn.NextKey
+		s.syn.NextKey++
+	}
+	return out
+}
+
 func stmtsOf(ops []workload.Op) []string {
 	out := make([]string, len(ops))
 	for i, op := range ops {

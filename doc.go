@@ -14,6 +14,17 @@
 // and M across consecutive insertions. NewRegistrar and NewSynthetic bundle
 // the paper's datasets; Builder defines new views from scratch.
 //
+// The reachability matrix M — the structure behind // evaluation,
+// side-effect detection and the ∆(M,L) maintenance algorithms — is stored as
+// per-node bitset rows ([]uint64 over dense node ids) rather than the
+// paper's sparse M(anc, desc) relation: closure building, the insert outer
+// product and the delete subtraction are word-level row unions and masked
+// subtracts. The worst-case memory is 2·n² bits, i.e. n²/4 bytes (rows
+// truncate at their highest set word); the sparse layout is kept as a test
+// oracle behind
+// reach.NewSparse. See README.md ("The reachability matrix M") for the
+// break-even analysis.
+//
 // The implementation lives under internal/; internal/core wires it together
 // behind this package. See README.md for a tour and for how to run the
 // benchmarks. The root bench_test.go regenerates every table and figure of

@@ -1,6 +1,7 @@
 package rxview
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,7 +75,9 @@ func (e *ParseError) Is(target error) bool { return target == ErrParse }
 func (e *ParseError) Unwrap() error { return e.Err }
 
 // wrapErr translates implementation-layer errors into the public taxonomy.
-// Context errors and anything unrecognized pass through unchanged.
+// Context errors are annotated with the update that did not run (they still
+// match context.Canceled / DeadlineExceeded under errors.Is); anything
+// unrecognized passes through unchanged.
 func wrapErr(op string, err error) error {
 	if err == nil {
 		return nil
@@ -86,6 +89,9 @@ func wrapErr(op string, err error) error {
 	var rej *viewupdate.RejectedError
 	if errors.As(err, &rej) {
 		return &NotUpdatableError{Op: op, Reason: rej.Reason}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("rxview: %s: %w", op, err)
 	}
 	return err
 }

@@ -147,6 +147,13 @@ func ReachAblation(nc int, seed int64) (fig4, naive time.Duration, pairs int, er
 	return bench.ReachAblation(nc, seed)
 }
 
+// MatrixAblation compares the bitset representation of the reachability
+// matrix M (word-level row unions) against the paper's sparse relation
+// layout (per-pair map inserts) on the same synthetic DAG.
+func MatrixAblation(nc int, seed int64) (bitset, sparse time.Duration, pairs int, err error) {
+	return bench.MatrixAblation(nc, seed)
+}
+
 // DAGvsTree evaluates the same recursive query on the DAG compression and on
 // the fully unfolded tree: the point of §2.3's compression.
 func DAGvsTree(nc int, seed int64) (dagTime, treeTime time.Duration, dagNodes, treeNodes int, err error) {

@@ -319,6 +319,30 @@ func ReachAblation(nc int, seed int64) (fig4, naive time.Duration, pairs int, er
 	return fig4, naive, m.Size(), nil
 }
 
+// MatrixAblation compares the two representations of the reachability
+// matrix on the synthetic DAG: the production bitset rows (word-level row
+// unions) against the sparse relation layout the paper describes (per-pair
+// map inserts). Both sides run the same Algorithm Reach dynamic program over
+// the same precomputed L, so the gap isolates the representation alone.
+// Pairs is |M|; the ≥2× gap is the PR-2 tentpole's headline.
+func MatrixAblation(nc int, seed int64) (bitset, sparse time.Duration, pairs int, err error) {
+	_, sys, err := NewSystem(nc, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	topo := reach.ComputeTopo(sys.DAG)
+	t0 := time.Now()
+	m := reach.Compute(sys.DAG, topo)
+	bitset = time.Since(t0)
+	t0 = time.Now()
+	sp := reach.ComputeSparseReach(sys.DAG, topo)
+	sparse = time.Since(t0)
+	if !m.EqualSparse(sp) {
+		return 0, 0, 0, fmt.Errorf("bench: matrix representations disagree: %s", m.DiffSparse(sp))
+	}
+	return bitset, sparse, m.Size(), nil
+}
+
 // DAGvsTree evaluates the same recursive query on the DAG compression and on
 // the fully unfolded tree (materialized as an unshared DAG): the point of
 // §2.3's compression.

@@ -19,10 +19,12 @@ import (
 //
 // The batch is not atomic: it stops at the first failing update, with every
 // earlier update already applied. The returned reports cover the processed
-// prefix (including, as its last element, the report of the failed update);
-// the flush time is folded into the Maintain timing of the last insertion's
-// report, so summing Timings.Maintain over the reports gives the true total
-// maintenance cost of the batch.
+// prefix (including, as its last element, the report of the failed update —
+// for a cancellation that is an unapplied report naming the op that did not
+// run, so the error is always attributable to the right update); the flush
+// time is folded into the Maintain timing of the last insertion's report, so
+// summing Timings.Maintain over the reports gives the true total maintenance
+// cost of the batch.
 func (s *System) ApplyBatch(ctx context.Context, ops []*update.Op) ([]*Report, error) {
 	var pending reach.Pending
 	reports := make([]*Report, 0, len(ops))
@@ -42,6 +44,10 @@ func (s *System) ApplyBatch(ctx context.Context, ops []*update.Op) ([]*Report, e
 	for _, op := range ops {
 		if err := ctx.Err(); err != nil {
 			flush()
+			// The cancelled update never ran; report it unapplied so the
+			// caller attributes the error to it, not to the last update
+			// that succeeded.
+			reports = append(reports, &Report{Op: op.String()})
 			return reports, err
 		}
 		if op.Kind == update.OpDelete {

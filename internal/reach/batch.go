@@ -1,10 +1,6 @@
 package reach
 
-import (
-	"sort"
-
-	"rxview/internal/dag"
-)
+import "rxview/internal/dag"
 
 // Pending accumulates the matrix half of ∆(M,L)insert across a batch of
 // insertions so it can be flushed in one pass. The topological order L is
@@ -46,40 +42,22 @@ func (ix *Index) DeferInsertUpdate(d *dag.DAG, newNodes []dag.NodeID, newEdges [
 // ({u} ∪ anc(u)) × ({v} ∪ desc(v)) computed from M — a path through (u,v)
 // cannot occur inside anc(u) or desc(v) without creating a cycle. Applying
 // the pending edges one at a time therefore keeps M equal to the closure of
-// "already-flushed graph", and the final M is the closure of the full DAG
-// regardless of the order the edges are processed in. That freedom is what
-// the batch win comes from: edges are grouped by parent, and one sorted
-// ancestor list anc(u) is shared by the whole group. (Processing (u,c1)
-// cannot change anc(u) or desc(c2) for a sibling edge (u,c2): either change
-// would require u or c2 to be a descendant of c1's subtree *and* an ancestor
-// of u — a cycle.) N single-edge ∆(M,L)insert calls recompute and re-sort
-// anc(u) N times; the flush does it once per distinct parent.
+// the "already-flushed graph", and the final M is the closure of the full
+// DAG regardless of the order the edges are processed in.
+//
+// The sparse representation exploited that freedom by grouping edges per
+// parent to share one sorted ancestor list; with bitset rows the outer
+// product is |anc(u)| + |desc(v)| row unions (InsertEdgeClosure) with no
+// sorting or per-pair inserts at all, so the edges are simply applied in
+// arrival order.
 func (ix *Index) Flush(p *Pending) {
 	if len(p.edges) == 0 {
 		return
 	}
 	edges := p.edges
 	p.edges = nil
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Parent < edges[j].Parent })
-
 	m := ix.Matrix
-	for i := 0; i < len(edges); {
-		u := edges[i].Parent
-		j := i
-		for j < len(edges) && edges[j].Parent == u {
-			j++
-		}
-		m.ensure(u)
-		ancs := append(sortedKeys(m.Ancestors(u)), u)
-		for ; i < j; i++ {
-			v := edges[i].Child
-			m.ensure(v)
-			descs := append(sortedKeys(m.Descendants(v)), v)
-			for _, a := range ancs {
-				for _, dd := range descs {
-					m.AddPair(a, dd)
-				}
-			}
-		}
+	for _, e := range edges {
+		m.InsertEdgeClosure(e.Parent, e.Child)
 	}
 }

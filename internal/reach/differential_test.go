@@ -1,0 +1,242 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+)
+
+// checkAgainstOracles validates the incrementally maintained index two ways:
+// Index.Validate (L invariants + M against the bitset recompute) and a
+// comparison with the sparse map-of-maps oracle built by an independent
+// per-node DFS — the two representations share nothing but the DAG.
+func checkAgainstOracles(t testing.TB, d *dag.DAG, ix *Index) error {
+	t.Helper()
+	if err := ix.Validate(d); err != nil {
+		return err
+	}
+	sp := ComputeSparse(d)
+	if !ix.Matrix.EqualSparse(sp) {
+		return errMatrix("sparse oracle: " + ix.Matrix.DiffSparse(sp))
+	}
+	return nil
+}
+
+// TestMatrixMatchesSparseOracle drives one Index through randomized
+// insert/delete/batch sequences and, after every mutation, checks the bitset
+// matrix against both oracles. This is the differential test for the bitset
+// representation: every word-level op (row unions in Flush, the masked
+// subtract of RetainAncestors, DropNode mirroring) must leave exactly the
+// pair set the sparse relation representation would hold.
+func TestMatrixMatchesSparseOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAG(t, rng, 20, 15)
+		ix := BuildIndex(d)
+		if err := checkAgainstOracles(t, d, ix); err != nil {
+			t.Logf("seed %d initial: %v", seed, err)
+			return false
+		}
+		next := int64(10_000)
+		var pending Pending
+		batched := 0
+		flush := func() {
+			ix.Flush(&pending)
+			batched = 0
+		}
+		for round := 0; round < 12; round++ {
+			switch rng.Intn(3) {
+			case 0: // delete a random live edge (flush first: deletes read M)
+				flush()
+				nodes := d.Nodes()
+				var u, v dag.NodeID = -1, -1
+				for _, cand := range rng.Perm(len(nodes)) {
+					if ch := d.Children(nodes[cand]); len(ch) > 0 {
+						u, v = nodes[cand], ch[rng.Intn(len(ch))]
+						break
+					}
+				}
+				if u < 0 {
+					continue
+				}
+				d.RemoveEdge(u, v)
+				ix.DeleteUpdate(d, []dag.NodeID{v}, []dag.Edge{{Parent: u, Child: v}})
+			case 1: // eager insert of a small fresh chain
+				flush()
+				nodes := d.Nodes()
+				target := nodes[rng.Intn(len(nodes))]
+				id, _ := d.AddNode("N", relational.Tuple{relational.Int(next)})
+				next++
+				d.AddEdge(target, id)
+				ix.InsertUpdate(d, []dag.NodeID{id}, []dag.Edge{{Parent: target, Child: id}})
+			default: // deferred (batched) insert; flushed later
+				nodes := d.Nodes()
+				target := nodes[rng.Intn(len(nodes))]
+				id, _ := d.AddNode("N", relational.Tuple{relational.Int(next)})
+				next++
+				d.AddEdge(target, id)
+				ix.DeferInsertUpdate(d, []dag.NodeID{id},
+					[]dag.Edge{{Parent: target, Child: id}}, &pending)
+				batched++
+				if batched < 3 && round < 11 {
+					continue // let the batch accumulate; M is a subset until flushed
+				}
+				flush()
+			}
+			if err := checkAgainstOracles(t, d, ix); err != nil {
+				t.Logf("seed %d round %d: %v", seed, round, err)
+				return false
+			}
+		}
+		flush()
+		return checkAgainstOracles(t, d, ix) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComputeMatchesSparse pins the from-scratch builders to the sparse DFS
+// oracle on random DAGs (Compute's row unions and ComputeNaive's bitset DFS
+// against per-pair map inserts).
+func TestComputeMatchesSparse(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAG(t, rng, 30, 25)
+		sp := ComputeSparse(d)
+		m := Compute(d, ComputeTopo(d))
+		if !m.EqualSparse(sp) {
+			t.Logf("seed %d Compute: %s", seed, m.DiffSparse(sp))
+			return false
+		}
+		nv := ComputeNaive(d)
+		if !nv.EqualSparse(sp) {
+			t.Logf("seed %d ComputeNaive: %s", seed, nv.DiffSparse(sp))
+			return false
+		}
+		dp := ComputeSparseReach(d, ComputeTopo(d))
+		if !m.EqualSparse(dp) {
+			t.Logf("seed %d ComputeSparseReach: %s", seed, m.DiffSparse(dp))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	var r Row
+	if r.Contains(0) || !r.Empty() || r.Count() != 0 {
+		t.Error("nil row is not empty")
+	}
+	if !r.Set(5) || r.Set(5) {
+		t.Error("Set idempotence")
+	}
+	r.Set(64)
+	r.Set(200)
+	if r.Count() != 3 || !r.Contains(200) || r.Contains(199) {
+		t.Errorf("row = %v", r.Slice())
+	}
+	if got := r.Slice(); len(got) != 3 || got[0] != 5 || got[2] != 200 {
+		t.Errorf("Slice = %v", got)
+	}
+	var o Row
+	o.Set(5)
+	o.Set(63)
+	if added := r.Or(o); added != 1 || r.Count() != 4 {
+		t.Errorf("Or added %d, count %d", added, r.Count())
+	}
+	if !r.AnyNotIn(o) {
+		t.Error("AnyNotIn: 64 and 200 are outside o")
+	}
+	mask := r.Clone()
+	if r.AnyNotIn(mask) {
+		t.Error("AnyNotIn against itself")
+	}
+	if removed := r.AndNot(o); removed != 2 || r.Contains(5) || r.Contains(63) {
+		t.Errorf("AndNot removed %d", removed)
+	}
+	if !r.Unset(64) || r.Unset(64) {
+		t.Error("Unset idempotence")
+	}
+	if r.Contains(-1) {
+		t.Error("negative id")
+	}
+	r.Reset()
+	if !r.Empty() {
+		t.Error("Reset")
+	}
+	// Rows of different lengths compare correctly.
+	a, b := NewRow(64), NewRow(512)
+	a.Set(3)
+	b.Set(3)
+	if !a.EqualRow(b) || !b.EqualRow(a) {
+		t.Error("EqualRow across lengths")
+	}
+	b.Set(400)
+	if a.EqualRow(b) {
+		t.Error("EqualRow must see the extra bit")
+	}
+}
+
+// TestLocalTopoDeepChain stresses the iterative post-order of localTopo on a
+// pathologically deep inserted subtree — a 200k-node chain would overflow
+// the goroutine stack budget long before the recursive version finished
+// growing it at a few more orders of magnitude; the iterative walk is flat.
+func TestLocalTopoDeepChain(t *testing.T) {
+	const depth = 200_000
+	d := dag.New("db")
+	nodes := make([]dag.NodeID, depth)
+	prev := d.Root()
+	for i := 0; i < depth; i++ {
+		id, _ := d.AddNode("N", relational.Tuple{relational.Int(int64(i))})
+		nodes[i] = id
+		d.AddEdge(prev, id)
+		prev = id
+	}
+	// Parents-first input order maximizes the walk depth from the first
+	// start node.
+	order := localTopo(d, nodes)
+	if len(order) != depth {
+		t.Fatalf("localTopo covered %d of %d nodes", len(order), depth)
+	}
+	pos := make(map[dag.NodeID]int, depth)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := 1; i < depth; i++ {
+		if pos[nodes[i]] >= pos[nodes[i-1]] {
+			t.Fatalf("children-first violated at %d", i)
+		}
+	}
+}
+
+// TestInsertUpdateDeepChain exercises the full ∆(M,L)insert path on a deep
+// chain (localTopo + FixEdge + closure flush) and validates the result.
+func TestInsertUpdateDeepChain(t *testing.T) {
+	const depth = 2_000
+	d := dag.New("db")
+	ix := BuildIndex(d)
+	nodes := make([]dag.NodeID, 0, depth)
+	edges := make([]dag.Edge, 0, depth)
+	prev := d.Root()
+	for i := 0; i < depth; i++ {
+		id, _ := d.AddNode("N", relational.Tuple{relational.Int(int64(i))})
+		d.AddEdge(prev, id)
+		nodes = append(nodes, id)
+		edges = append(edges, dag.Edge{Parent: prev, Child: id})
+		prev = id
+	}
+	ix.InsertUpdate(d, nodes, edges)
+	if err := ix.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Matrix.DescendantCount(d.Root()); got != depth {
+		t.Errorf("|desc(root)| = %d, want %d", got, depth)
+	}
+}

@@ -24,6 +24,9 @@ func (ix *Index) Validate(d *dag.DAG) error {
 	if err := ix.Topo.Validate(d); err != nil {
 		return err
 	}
+	if err := ix.Matrix.ValidateMirror(); err != nil {
+		return err // desc rows must be the exact transpose of anc rows
+	}
 	want := Compute(d, ix.Topo)
 	if !ix.Matrix.Equal(want) {
 		return errMatrix(ix.Matrix.Diff(want))
@@ -45,8 +48,8 @@ func (e errMatrix) Error() string { return "reach: matrix mismatch: " + string(e
 //     topological order L_A), then every inserted edge is repaired with
 //     swap(L, u, v) — the alignment of Fig.7 lines 6..14;
 //   - M gains, per inserted edge (u,v), the pairs
-//     ({u} ∪ anc(u)) × ({v} ∪ desc(v)) — for a fresh subtree this is
-//     exactly Reach on ST(A,t) plus the anc(r[[p]]) × N_A pairs of
+//     ({u} ∪ anc(u)) × ({v} ∪ desc(v)) as row unions — for a fresh subtree
+//     this is exactly Reach on ST(A,t) plus the anc(r[[p]]) × N_A pairs of
 //     Fig.7 lines 3..5.
 //
 // Edges must already be present in the DAG. It is the batched primitive
@@ -58,30 +61,54 @@ func (ix *Index) InsertUpdate(d *dag.DAG, newNodes []dag.NodeID, newEdges []dag.
 }
 
 // localTopo orders the given nodes children-first using only edges among
-// them (the order L_A of Fig.7 line 2).
+// them (the order L_A of Fig.7 line 2). The post-order DFS is iterative: the
+// inserted subtree can be pathologically deep (a published chain), and a
+// recursive walk would grow the goroutine stack with it.
 func localTopo(d *dag.DAG, nodes []dag.NodeID) []dag.NodeID {
 	in := make(map[dag.NodeID]bool, len(nodes))
 	for _, id := range nodes {
 		in[id] = true
 	}
+	const (
+		visiting int8 = 1
+		done     int8 = 2
+	)
 	state := make(map[dag.NodeID]int8, len(nodes))
 	out := make([]dag.NodeID, 0, len(nodes))
-	var visit func(id dag.NodeID)
-	visit = func(id dag.NodeID) {
-		if state[id] != 0 {
-			return
+	// Each frame revisits a node twice: first to push its children, then —
+	// once they are all done — to emit it (post-order).
+	type frame struct {
+		id       dag.NodeID
+		expanded bool
+	}
+	var stack []frame
+	for _, start := range nodes {
+		if state[start] != 0 {
+			continue
 		}
-		state[id] = 1
-		for _, c := range d.Children(id) {
-			if in[c] {
-				visit(c)
+		stack = append(stack[:0], frame{id: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.expanded {
+				if state[f.id] != done {
+					state[f.id] = done
+					out = append(out, f.id) // post-order: children before parents
+				}
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			f.expanded = true
+			if state[f.id] != 0 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			state[f.id] = visiting
+			for _, c := range d.Children(f.id) {
+				if in[c] && state[c] == 0 {
+					stack = append(stack, frame{id: c})
+				}
 			}
 		}
-		state[id] = 2
-		out = append(out, id) // post-order: children before parents
-	}
-	for _, id := range nodes {
-		visit(id)
 	}
 	return out
 }
@@ -95,45 +122,37 @@ func localTopo(d *dag.DAG, nodes []dag.NodeID) []dag.NodeID {
 //
 // The traversal works on L_R = desc(r[[p]]) sorted by L and walked backwards
 // (ancestors first), so each node's surviving parents have final ancestor
-// sets when it is processed.
+// rows when it is processed. A_d and the anc(d) \ A_d subtraction are pure
+// row algebra: one union over the surviving parents' rows, one masked
+// subtract with mirrored descendant clearing.
 func (ix *Index) DeleteUpdate(d *dag.DAG, rp []dag.NodeID, ep []dag.Edge) (cascade []dag.Edge, removed []dag.NodeID) {
 	m, topo := ix.Matrix, ix.Topo
 
 	// L_R: descendants-or-self of the deletion targets, per the (stale,
 	// hence superset) matrix — exactly the nodes that can lose ancestors.
-	seen := make(map[dag.NodeID]bool)
-	var lr []dag.NodeID
-	add := func(id dag.NodeID) {
-		if !seen[id] {
-			seen[id] = true
-			lr = append(lr, id)
-		}
-	}
+	lrRow := NewRow(d.Cap())
 	for _, v := range rp {
-		add(v)
-		for dd := range m.Descendants(v) {
-			add(dd)
-		}
+		lrRow.Set(v)
+		lrRow.Or(m.DescendantRow(v))
 	}
+	lr := lrRow.Slice()
 	topo.SortDescending(lr) // backward traversal: ancestors first
 
-	keep := make(map[dag.NodeID]bool, len(lr))
-	for _, id := range lr {
-		keep[id] = true
-	}
+	var dead Row // within L_R: nodes already garbage-collected this pass
+	ad := NewRow(d.Cap())
 	root := d.Root()
 
 	for _, n := range lr {
-		if !keep[n] {
+		if dead.Contains(n) {
 			continue // already processed as dead via cascade bookkeeping
 		}
 		// P_d: surviving parents (edges in ep are already gone from the
 		// DAG; parents killed earlier in this traversal had their child
 		// edges removed too, so Parents() is already clean — but guard via
-		// keep anyway, matching Fig.8 line 7).
+		// dead anyway, matching Fig.8 line 7).
 		var pd []dag.NodeID
 		for _, p := range d.Parents(n) {
-			if d.Alive(p) && keepOf(keep, p) {
+			if d.Alive(p) && !dead.Contains(p) {
 				pd = append(pd, p)
 			}
 		}
@@ -142,8 +161,8 @@ func (ix *Index) DeleteUpdate(d *dag.DAG, rp []dag.NodeID, ep []dag.Edge) (casca
 		}
 		if len(pd) == 0 {
 			// keep(d) := false — the node is unreachable: drop it from L,
-			// cascade-delete its outgoing edges (∆'V), clear its M pairs.
-			keep[n] = false
+			// cascade-delete its outgoing edges (∆'V), clear its M rows.
+			dead.Set(n)
 			topo.Delete(n)
 			for _, c := range append([]dag.NodeID(nil), d.Children(n)...) {
 				d.RemoveEdge(n, c)
@@ -155,23 +174,12 @@ func (ix *Index) DeleteUpdate(d *dag.DAG, rp []dag.NodeID, ep []dag.Edge) (casca
 			continue
 		}
 		// A_d = ⋃_{a ∈ P_d} ({a} ∪ anc(a)); remove anc(d) \ A_d from M.
-		ad := make(map[dag.NodeID]struct{})
+		ad.Reset()
 		for _, p := range pd {
-			ad[p] = struct{}{}
-			for a := range m.Ancestors(p) {
-				ad[a] = struct{}{}
-			}
+			ad.Set(p)
+			ad.Or(m.AncestorRow(p))
 		}
-		for _, a := range m.AncestorList(n) {
-			if _, ok := ad[a]; !ok {
-				m.RemovePair(a, n)
-			}
-		}
+		m.RetainAncestors(n, ad)
 	}
 	return cascade, removed
-}
-
-func keepOf(keep map[dag.NodeID]bool, id dag.NodeID) bool {
-	v, ok := keep[id]
-	return !ok || v // nodes outside L_R are untouched, hence kept
 }

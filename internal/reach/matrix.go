@@ -2,29 +2,36 @@ package reach
 
 import (
 	"fmt"
-	"sort"
+	"iter"
+	"math/bits"
 
 	"rxview/internal/dag"
 )
 
-// Matrix is the reachability matrix M of §3.1. Conceptually an n×n bit
-// matrix, it is stored sparsely — the paper stores it as a relation
-// M(anc, desc) because |M| ≪ n² in practice. Both directions are indexed so
-// that anc(d) and desc(a) are O(1) set lookups, as the maintenance and
-// evaluation algorithms require both.
+// Matrix is the reachability matrix M of §3.1, stored densely: per node, the
+// ancestor set and the descendant set are bitset rows ([]uint64 words over
+// the dense NodeID space). The paper stores M sparsely as a relation
+// M(anc, desc); the dense layout trades the |M| ≪ n² memory advantage
+// (worst case here is 2·n² bits = n²/4 bytes, rows are truncated at their
+// highest set word) for word-level set algebra: the maintenance algorithms of §3.4 and
+// the // expansion of §3.2 become row unions, subtracts and popcounts
+// instead of per-pair map operations. NewSparse keeps the relation
+// representation as the test oracle.
 //
+// Both directions are maintained so that anc(d) and desc(a) are O(1) row
+// lookups, as the maintenance and evaluation algorithms require both.
 // Self-pairs are not stored: M records proper ancestor/descendant pairs.
 type Matrix struct {
-	anc   []map[dag.NodeID]struct{} // node -> its ancestors
-	desc  []map[dag.NodeID]struct{} // node -> its descendants
+	anc   []Row // node -> its ancestors
+	desc  []Row // node -> its descendants
 	pairs int
 }
 
 // NewMatrix returns an empty matrix sized for the DAG.
 func NewMatrix(capacity int) *Matrix {
 	return &Matrix{
-		anc:  make([]map[dag.NodeID]struct{}, capacity),
-		desc: make([]map[dag.NodeID]struct{}, capacity),
+		anc:  make([]Row, capacity),
+		desc: make([]Row, capacity),
 	}
 }
 
@@ -40,49 +47,52 @@ func (m *Matrix) Size() int { return m.pairs }
 
 // IsAncestor reports whether a is a proper ancestor of d.
 func (m *Matrix) IsAncestor(a, d dag.NodeID) bool {
-	if int(d) >= len(m.anc) || m.anc[d] == nil {
-		return false
-	}
-	_, ok := m.anc[d][a]
-	return ok
+	return d >= 0 && int(d) < len(m.anc) && m.anc[d].Contains(a)
 }
 
-// Ancestors returns the ancestor set of d. The returned map is live; callers
-// must not mutate it.
-func (m *Matrix) Ancestors(d dag.NodeID) map[dag.NodeID]struct{} {
-	if int(d) >= len(m.anc) {
+// AncestorRow returns the ancestor bitset of d. The row is live; callers
+// must not mutate it. Out-of-range ids yield an empty row.
+func (m *Matrix) AncestorRow(d dag.NodeID) Row {
+	if d < 0 || int(d) >= len(m.anc) {
 		return nil
 	}
 	return m.anc[d]
 }
 
-// Descendants returns the descendant set of a. The returned map is live;
-// callers must not mutate it.
-func (m *Matrix) Descendants(a dag.NodeID) map[dag.NodeID]struct{} {
-	if int(a) >= len(m.desc) {
+// DescendantRow returns the descendant bitset of a. The row is live; callers
+// must not mutate it.
+func (m *Matrix) DescendantRow(a dag.NodeID) Row {
+	if a < 0 || int(a) >= len(m.desc) {
 		return nil
 	}
 	return m.desc[a]
 }
 
-// AncestorList returns the ancestors of d as a sorted slice (for
-// deterministic iteration in tests and reports).
+// Ancestors iterates the ancestors of d in ascending id order.
+func (m *Matrix) Ancestors(d dag.NodeID) iter.Seq[dag.NodeID] {
+	return m.AncestorRow(d).All()
+}
+
+// Descendants iterates the descendants of a in ascending id order.
+func (m *Matrix) Descendants(a dag.NodeID) iter.Seq[dag.NodeID] {
+	return m.DescendantRow(a).All()
+}
+
+// AncestorCount returns |anc(d)|.
+func (m *Matrix) AncestorCount(d dag.NodeID) int { return m.AncestorRow(d).Count() }
+
+// DescendantCount returns |desc(a)|.
+func (m *Matrix) DescendantCount(a dag.NodeID) int { return m.DescendantRow(a).Count() }
+
+// AncestorList returns the ancestors of d as a sorted slice (bitset
+// iteration is ascending by construction).
 func (m *Matrix) AncestorList(d dag.NodeID) []dag.NodeID {
-	return sortedKeys(m.Ancestors(d))
+	return m.AncestorRow(d).Slice()
 }
 
 // DescendantList returns the descendants of a as a sorted slice.
 func (m *Matrix) DescendantList(a dag.NodeID) []dag.NodeID {
-	return sortedKeys(m.Descendants(a))
-}
-
-func sortedKeys(s map[dag.NodeID]struct{}) []dag.NodeID {
-	out := make([]dag.NodeID, 0, len(s))
-	for id := range s {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.DescendantRow(a).Slice()
 }
 
 // AddPair records that a is an ancestor of d.
@@ -92,64 +102,155 @@ func (m *Matrix) AddPair(a, d dag.NodeID) {
 	}
 	m.ensure(a)
 	m.ensure(d)
-	if m.anc[d] == nil {
-		m.anc[d] = make(map[dag.NodeID]struct{})
+	if m.anc[d].Set(a) {
+		m.desc[a].Set(d)
+		m.pairs++
 	}
-	if _, dup := m.anc[d][a]; dup {
-		return
-	}
-	m.anc[d][a] = struct{}{}
-	if m.desc[a] == nil {
-		m.desc[a] = make(map[dag.NodeID]struct{})
-	}
-	m.desc[a][d] = struct{}{}
-	m.pairs++
 }
 
 // RemovePair deletes the (a, d) pair if present.
 func (m *Matrix) RemovePair(a, d dag.NodeID) {
-	if int(d) >= len(m.anc) || m.anc[d] == nil {
+	if d < 0 || int(d) >= len(m.anc) || a < 0 || int(a) >= len(m.desc) {
 		return
 	}
-	if _, ok := m.anc[d][a]; !ok {
-		return
+	if m.anc[d].Unset(a) {
+		m.desc[a].Unset(d)
+		m.pairs--
 	}
-	delete(m.anc[d], a)
-	delete(m.desc[a], d)
-	m.pairs--
+}
+
+// InsertEdgeClosure adds, for a new DAG edge (u,v), the pairs
+// ({u} ∪ anc(u)) × ({v} ∪ desc(v)) — the closure contribution of the edge
+// per ∆(M,L)insert (Fig.7 lines 3..5). The outer product is applied as row
+// unions: every descendant-or-self of v absorbs u's ancestor row, and every
+// ancestor-or-self of u absorbs v's descendant row. No row aliases another
+// during the sweep — that would require u ∈ desc(v) or v ∈ anc(u), a cycle —
+// so the live rows can be combined without snapshots.
+func (m *Matrix) InsertEdgeClosure(u, v dag.NodeID) {
+	m.ensure(u)
+	m.ensure(v)
+	au := m.anc[u]  // stays constant: u ∉ {v} ∪ desc(v)
+	dv := m.desc[v] // stays constant: v ∉ {u} ∪ anc(u)
+
+	// Ancestor side, counting new pairs once.
+	m.pairs += m.anc[v].Or(au)
+	if m.anc[v].Set(u) {
+		m.pairs++
+	}
+	for d := range dv.All() {
+		m.pairs += m.anc[d].Or(au)
+		if m.anc[d].Set(u) {
+			m.pairs++
+		}
+	}
+	// Descendant side mirrors without counting.
+	m.desc[u].Or(dv)
+	m.desc[u].Set(v)
+	for a := range au.All() {
+		m.desc[a].Or(dv)
+		m.desc[a].Set(v)
+	}
+}
+
+// RetainAncestors intersects anc(d) with keep, clearing the mirror
+// descendant bits of every removed ancestor in the same pass — the
+// anc(d) \ A_d removal of ∆(M,L)delete (Fig.8) as one word-level subtract.
+// It returns the number of removed pairs.
+func (m *Matrix) RetainAncestors(d dag.NodeID, keep Row) int {
+	if d < 0 || int(d) >= len(m.anc) {
+		return 0
+	}
+	row := m.anc[d]
+	removed := 0
+	for i, w := range row {
+		var k uint64
+		if i < len(keep) {
+			k = keep[i]
+		}
+		rm := w &^ k
+		if rm == 0 {
+			continue
+		}
+		row[i] = w & k
+		removed += bits.OnesCount64(rm)
+		for rm != 0 {
+			a := dag.NodeID(i<<6 + bits.TrailingZeros64(rm))
+			rm &= rm - 1
+			m.desc[a].Unset(d)
+		}
+	}
+	m.pairs -= removed
+	return removed
 }
 
 // DropNode removes every pair mentioning the node (used when a node is
 // garbage collected).
 func (m *Matrix) DropNode(id dag.NodeID) {
-	if int(id) >= len(m.anc) {
+	if id < 0 || int(id) >= len(m.anc) {
 		return
 	}
-	for a := range m.anc[id] {
-		delete(m.desc[a], id)
+	for a := range m.anc[id].All() {
+		m.desc[a].Unset(id)
 		m.pairs--
 	}
 	m.anc[id] = nil
-	for d := range m.desc[id] {
-		delete(m.anc[d], id)
+	for d := range m.desc[id].All() {
+		m.anc[d].Unset(id)
 		m.pairs--
 	}
 	m.desc[id] = nil
 }
 
-// Equal reports whether two matrices contain exactly the same pairs.
+// Equal reports whether two matrices contain exactly the same pairs, in
+// both directions — the descendant rows are maintained as a mirror, so they
+// are compared too rather than assumed consistent.
 func (m *Matrix) Equal(o *Matrix) bool {
 	if m.pairs != o.pairs {
 		return false
 	}
-	for d := range m.anc {
-		for a := range m.anc[d] {
-			if !o.IsAncestor(a, dag.NodeID(d)) {
-				return false
-			}
+	n := len(m.anc)
+	if len(o.anc) > n {
+		n = len(o.anc)
+	}
+	for d := 0; d < n; d++ {
+		id := dag.NodeID(d)
+		if !m.AncestorRow(id).EqualRow(o.AncestorRow(id)) {
+			return false
+		}
+		if !m.DescendantRow(id).EqualRow(o.DescendantRow(id)) {
+			return false
 		}
 	}
 	return true
+}
+
+// ValidateMirror checks the internal invariant that the descendant rows are
+// exactly the transpose of the ancestor rows and that the pair counter
+// matches both: every anc bit must have its mirrored desc bit, and the total
+// popcounts of both directions must equal Size(). The two checks together
+// imply desc = ancᵀ exactly (a stray desc bit would push its popcount past
+// the counter).
+func (m *Matrix) ValidateMirror() error {
+	ancPairs := 0
+	for d := range m.anc {
+		ancPairs += m.anc[d].Count()
+		for a := range m.anc[d].All() {
+			if !m.desc[a].Contains(dag.NodeID(d)) {
+				return fmt.Errorf("reach: pair (%d,%d) present in anc but not mirrored in desc", a, d)
+			}
+		}
+	}
+	if ancPairs != m.pairs {
+		return fmt.Errorf("reach: anc rows hold %d pairs, counter says %d", ancPairs, m.pairs)
+	}
+	descPairs := 0
+	for a := range m.desc {
+		descPairs += m.desc[a].Count()
+	}
+	if descPairs != m.pairs {
+		return fmt.Errorf("reach: desc rows hold %d pairs, counter says %d", descPairs, m.pairs)
+	}
+	return nil
 }
 
 // Diff returns a short description of the first few pair differences, for
@@ -158,16 +259,16 @@ func (m *Matrix) Diff(o *Matrix) string {
 	var out []string
 	limit := 8
 	for d := range m.anc {
-		for a := range m.anc[d] {
+		for a := range m.anc[d].All() {
 			if !o.IsAncestor(a, dag.NodeID(d)) && len(out) < limit {
-				out = append(out, fmt.Sprintf("-(%d,%d)", a, d))
+				out = append(out, fmt.Sprintf("-(%d,%d)", a, dag.NodeID(d)))
 			}
 		}
 	}
 	for d := range o.anc {
-		for a := range o.anc[d] {
+		for a := range o.anc[d].All() {
 			if !m.IsAncestor(a, dag.NodeID(d)) && len(out) < limit {
-				out = append(out, fmt.Sprintf("+(%d,%d)", a, d))
+				out = append(out, fmt.Sprintf("+(%d,%d)", a, dag.NodeID(d)))
 			}
 		}
 	}
@@ -175,9 +276,12 @@ func (m *Matrix) Diff(o *Matrix) string {
 }
 
 // Compute is Algorithm Reach (Fig.4 of the paper): it fills M from the edge
-// relations in O(n·|V|) time by dynamic programming along the backward
-// topological order — when node d is processed, the ancestor sets of all its
-// parents are already complete, so anc(d) = ⋃_{p ∈ parent(d)} ({p} ∪ anc(p)).
+// relations by dynamic programming along the topological order — when node d
+// is processed in the backward pass, the ancestor rows of all its parents
+// are already complete, so anc(d) = ⋃_{p ∈ parent(d)} ({p} ∪ anc(p)), a row
+// union per parent. The forward pass then builds the descendant rows the
+// same way from the children (forward L is children-first), which yields the
+// exact transpose without touching individual pairs.
 //
 // (Fig.4 line 4 as printed omits the parents themselves; including them is
 // evidently intended, otherwise M would be empty. See DESIGN.md.)
@@ -186,38 +290,56 @@ func Compute(d *dag.DAG, topo *Topo) *Matrix {
 	list := topo.Nodes()
 	for k := len(list) - 1; k >= 0; k-- { // backward: ancestors first
 		node := list[k]
+		var row Row
 		for _, p := range d.Parents(node) {
 			if !d.Alive(p) {
 				continue
 			}
-			m.AddPair(p, node)
-			for a := range m.Ancestors(p) {
-				m.AddPair(a, node)
-			}
+			row.Or(m.anc[p])
+			row.Set(p)
 		}
+		m.anc[node] = row
+		m.pairs += row.Count()
+	}
+	for _, node := range list { // forward: descendants first
+		var row Row
+		for _, c := range d.Children(node) {
+			if !d.Alive(c) {
+				continue // same defensive filter as the parent-side pass
+			}
+			row.Or(m.desc[c])
+			row.Set(c)
+		}
+		m.desc[node] = row
 	}
 	return m
 }
 
-// ComputeNaive builds M by a full DFS from every node — the O(n·|V|) bound
-// is the same but without sharing ancestor sets, it re-walks overlapping
-// regions and is slower in practice. Kept as the ablation baseline and as a
-// test oracle for Compute.
+// ComputeNaive builds M by a full DFS from every node — the asymptotic bound
+// is the same but without sharing ancestor rows between nodes, it re-walks
+// overlapping regions and is slower in practice. Kept as the ablation
+// baseline and as a test oracle for Compute.
 func ComputeNaive(d *dag.DAG) *Matrix {
 	m := NewMatrix(d.Cap())
+	seen := NewRow(d.Cap())
 	for _, src := range d.Nodes() {
+		seen.Reset()
 		stack := []dag.NodeID{src}
-		seen := map[dag.NodeID]bool{src: true}
+		var row Row
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, c := range d.Children(x) {
-				if !seen[c] {
-					seen[c] = true
-					m.AddPair(src, c)
+				if seen.Set(c) {
+					row.Set(c)
 					stack = append(stack, c)
 				}
 			}
+		}
+		m.desc[src] = row
+		m.pairs += row.Count()
+		for c := range row.All() {
+			m.anc[c].Set(src)
 		}
 	}
 	return m

@@ -94,10 +94,10 @@ func TestMatrixBasics(t *testing.T) {
 		t.Error("self pairs are not stored")
 	}
 	// anc(4) = {0,1,2,3}, desc(0) = {1,2,3,4}
-	if got := len(m.Ancestors(n4)); got != 4 {
+	if got := m.AncestorCount(n4); got != 4 {
 		t.Errorf("|anc(4)| = %d", got)
 	}
-	if got := len(m.Descendants(root)); got != 4 {
+	if got := m.DescendantCount(root); got != 4 {
 		t.Errorf("|desc(0)| = %d", got)
 	}
 	// |M|: anc sizes: n1:1, n2:2, n3:2, n4:4 => 9

@@ -145,23 +145,24 @@ func (t *Topo) FixEdge(d *dag.DAG, u, v dag.NodeID) {
 		return
 	}
 	lo, hi := pu, pv
-	// Mark descendants-or-self of v that sit inside the window.
+	// Mark descendants-or-self of v that sit inside the window. The mark and
+	// visited sets are bitset rows — FixEdge runs once per inserted edge, so
+	// this walk is on the maintenance hot path.
 	inWindow := func(id dag.NodeID) bool {
 		p := t.pos[id]
 		return p >= lo && p <= hi
 	}
-	mark := make(map[dag.NodeID]bool)
+	var mark, seen Row
 	stack := []dag.NodeID{v}
-	seen := map[dag.NodeID]bool{v: true}
+	seen.Set(v)
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if inWindow(x) {
-			mark[x] = true
+			mark.Set(x)
 		}
 		for _, c := range d.Children(x) {
-			if !seen[c] {
-				seen[c] = true
+			if seen.Set(c) {
 				stack = append(stack, c)
 			}
 		}
@@ -172,7 +173,7 @@ func (t *Topo) FixEdge(d *dag.DAG, u, v dag.NodeID) {
 	var descs, others []dag.NodeID
 	for i := lo; i <= hi; i++ {
 		id := t.list[i]
-		if id != dag.InvalidNode && mark[id] {
+		if id != dag.InvalidNode && mark.Contains(id) {
 			descs = append(descs, id)
 		} else {
 			others = append(others, id)

@@ -22,8 +22,10 @@ import (
 func ValidateAgainstDTD(d *dtd.DTD, op *Op) error {
 	steps := xpath.Normalize(op.Path)
 	n := len(steps)
-	if n > 62 {
-		return fmt.Errorf("update: path too long: %d steps", n)
+	if n > xpath.MaxSteps {
+		// Same bound and same typed error as the evaluators, so validation
+		// and evaluation never disagree on which paths are representable.
+		return &xpath.PathTooLongError{Steps: n}
 	}
 	accept := uint64(1) << uint(n)
 

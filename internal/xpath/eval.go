@@ -70,13 +70,38 @@ func (r *Result) HasDeleteSideEffects() bool {
 	return len(r.DeleteWitnesses) > 0 || r.Overflow
 }
 
+// MaxSteps is the maximum number of normalized steps any evaluator accepts:
+// the NFA states of a path with n steps are the bits 0..n of a uint64 mask,
+// so n is capped at 62 (bit n is the accept state, leaving one bit of
+// headroom). Every evaluation strategy enforces the same limit with the
+// same *PathTooLongError, so the §3.2 strategy ablation cannot silently
+// diverge on deep paths.
+const MaxSteps = 62
+
+// PathTooLongError reports a path that normalizes to more than MaxSteps
+// steps. Both Evaluator and FrontierEvaluator return it identically.
+type PathTooLongError struct {
+	Steps int // normalized step count of the offending path
+}
+
+func (e *PathTooLongError) Error() string {
+	return fmt.Sprintf("xpath: path too long: %d normalized steps (max %d)", e.Steps, MaxSteps)
+}
+
+// checkLen enforces MaxSteps uniformly across evaluators.
+func checkLen(steps []NStep) error {
+	if n := len(steps); n > MaxSteps {
+		return &PathTooLongError{Steps: n}
+	}
+	return nil
+}
+
 // Eval evaluates the path and returns the selection, parent edges and
 // side-effect witnesses.
 func (ev *Evaluator) Eval(p *Path) (*Result, error) {
 	steps := Normalize(p)
-	n := len(steps)
-	if n > 62 {
-		return nil, fmt.Errorf("xpath: path too long: %d normalized steps (max 62)", n)
+	if err := checkLen(steps); err != nil {
+		return nil, err
 	}
 	filterVals := ev.evalFilters(steps)
 	return ev.topDown(steps, filterVals), nil
@@ -90,9 +115,8 @@ func (ev *Evaluator) Eval(p *Path) (*Result, error) {
 // meaningless here.
 func (ev *Evaluator) EvalSelect(p *Path) (*Result, error) {
 	steps := Normalize(p)
-	n := len(steps)
-	if n > 62 {
-		return nil, fmt.Errorf("xpath: path too long: %d normalized steps (max 62)", n)
+	if err := checkLen(steps); err != nil {
+		return nil, err
 	}
 	filterVals := ev.evalFilters(steps)
 	saved := ev.MaskLimit

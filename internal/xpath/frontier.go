@@ -1,7 +1,6 @@
 package xpath
 
 import (
-	"fmt"
 	"sort"
 
 	"rxview/internal/dag"
@@ -35,8 +34,8 @@ type FrontierEvaluator struct {
 // the edges of over-shared parents).
 func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 	steps := Normalize(p)
-	if len(steps) > 62 {
-		return nil, fmt.Errorf("xpath: path too long: %d normalized steps", len(steps))
+	if err := checkLen(steps); err != nil {
+		return nil, err
 	}
 	// Reuse the shared bottom-up machinery for filter tables and compute
 	// suffix-satisfiability tables for the main path, used for pruning Ci.
@@ -51,8 +50,9 @@ func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 		return &Result{}, nil
 	}
 	sideEffect := make(map[dag.NodeID]bool)
-	var lastParents []bool // frontier before the last child-consuming step
-	var lastClosure []bool // descendant closure of the pre-// frontier, for trailing //
+	var lastParents []bool    // frontier before the last child-consuming step
+	var lastClosure reach.Row // descendant closure of the pre-// frontier, for trailing //
+	var haveClosure bool      // lastClosure is valid (a // was the last consuming step)
 
 	for i, st := range steps {
 		next := make([]bool, capn)
@@ -68,7 +68,7 @@ func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 				}
 			}
 		case StepLabel, StepWild:
-			lastParents, lastClosure = cur, nil
+			lastParents, haveClosure = cur, false
 			for id := range cur {
 				if !cur[id] {
 					continue
@@ -97,37 +97,35 @@ func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 		case StepDescOrSelf:
 			lastParents = nil
 			// Expand descendants-or-self via M (the paper's use of the
-			// reachability matrix for //), pruned by satisfiability.
-			inClosure := make([]bool, capn)
+			// reachability matrix for //): the closure of the frontier is
+			// one row union per frontier node, then a single sweep over its
+			// bits applies the satisfiability pruning.
+			closure := reach.NewRow(capn)
 			for id := range cur {
 				if !cur[id] {
 					continue
 				}
 				v := dag.NodeID(id)
-				if sat[i+1][v] {
-					next[v] = true
-				}
-				inClosure[v] = true
-				for d := range fe.Matrix.Descendants(v) {
-					inClosure[d] = true
-					if sat[i+1][d] {
-						next[d] = true
-					}
+				closure.Set(v)
+				closure.Or(fe.Matrix.DescendantRow(v))
+			}
+			for d := range closure.All() {
+				if sat[i+1][d] {
+					next[d] = true
 				}
 			}
 			// Paper's S for "//": ancestors of Ci not inside the matched
-			// closure.
+			// closure (which contains the frontier itself) — a word-level
+			// "any bit outside the mask" test per selected node.
 			for id := range next {
 				if !next[id] {
 					continue
 				}
-				for a := range fe.Matrix.Ancestors(dag.NodeID(id)) {
-					if !inClosure[a] && !cur[a] {
-						sideEffect[dag.NodeID(id)] = true
-					}
+				if fe.Matrix.AncestorRow(dag.NodeID(id)).AnyNotIn(closure) {
+					sideEffect[dag.NodeID(id)] = true
 				}
 			}
-			lastClosure = inClosure
+			lastClosure, haveClosure = closure, true
 		}
 		cur = next
 	}
@@ -148,7 +146,7 @@ func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 			switch {
 			case lastParents != nil && lastParents[u]:
 				res.Edges = append(res.Edges, dag.Edge{Parent: u, Child: v})
-			case lastParents == nil && lastClosure != nil && lastClosure[u]:
+			case lastParents == nil && haveClosure && lastClosure.Contains(u):
 				res.Edges = append(res.Edges, dag.Edge{Parent: u, Child: v})
 			}
 		}

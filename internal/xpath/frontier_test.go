@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -103,14 +104,55 @@ func TestFrontierMatchesNFARandom(t *testing.T) {
 	}
 }
 
-func TestFrontierPathTooLong(t *testing.T) {
+// TestEvaluatorParityPathTooLong extends the evaluator-parity oracle to
+// paths beyond MaxSteps: both strategies must reject a >62-step path with
+// the same typed *PathTooLongError, so the §3.2 strategy ablation cannot
+// silently diverge on deep paths.
+func TestEvaluatorParityPathTooLong(t *testing.T) {
 	d, _, text := fig1DAG(t)
+	nfa := newEval(t, d, text)
 	fr := newFrontier(t, d, text)
 	long := "a"
-	for i := 0; i < 70; i++ {
+	for i := 0; i < MaxSteps+8; i++ {
 		long += "/a"
 	}
-	if _, err := fr.Eval(MustParse(long)); err == nil {
-		t.Error("over-long path accepted")
+	p := MustParse(long)
+	steps := len(Normalize(p))
+	if steps <= MaxSteps {
+		t.Fatalf("test path normalizes to %d steps, want > %d", steps, MaxSteps)
+	}
+
+	_, errNFA := nfa.Eval(p)
+	_, errSel := nfa.EvalSelect(p)
+	_, errFr := fr.Eval(p)
+	for name, err := range map[string]error{"nfa": errNFA, "nfa-select": errSel, "frontier": errFr} {
+		var tooLong *PathTooLongError
+		if !errors.As(err, &tooLong) {
+			t.Fatalf("%s: err = %v, want *PathTooLongError", name, err)
+		}
+		if tooLong.Steps != steps {
+			t.Errorf("%s: Steps = %d, want %d", name, tooLong.Steps, steps)
+		}
+	}
+	if errNFA.Error() != errFr.Error() {
+		t.Errorf("evaluators diverge on deep paths: %q vs %q", errNFA, errFr)
+	}
+
+	// Exactly MaxSteps is accepted by both, and they agree.
+	ok := "*"
+	for i := 1; i < MaxSteps; i++ {
+		ok += "/*"
+	}
+	pOK := MustParse(ok)
+	a, err := nfa.Eval(pOK)
+	if err != nil {
+		t.Fatalf("nfa at limit: %v", err)
+	}
+	b, err := fr.Eval(pOK)
+	if err != nil {
+		t.Fatalf("frontier at limit: %v", err)
+	}
+	if !reflect.DeepEqual(a.Selected, b.Selected) {
+		t.Errorf("selection at the limit: %v vs %v", a.Selected, b.Selected)
 	}
 }

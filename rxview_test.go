@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"rxview"
@@ -154,6 +155,86 @@ func TestContextCancellation(t *testing.T) {
 	if err := view.CheckConsistency(); err != nil {
 		t.Errorf("view inconsistent after cancellations: %v", err)
 	}
+}
+
+// stateCancelCtx is a context.Context whose Err flips to Canceled as soon as
+// the probe reports true — used to cancel a Batch deterministically between
+// two of its updates (the probe observes view state only the first update
+// changes).
+type stateCancelCtx struct {
+	context.Context
+	probe func() bool
+}
+
+func (c *stateCancelCtx) Err() error {
+	if c.probe() {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchCancellationOpAttribution asserts that a cancelled Batch reports
+// the update that did NOT run and wraps the error with that op — not with
+// the last update that succeeded, and not with nothing when cancelled before
+// the first op.
+func TestBatchCancellationOpAttribution(t *testing.T) {
+	u1 := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S51"), rxview.Str("One"))
+	u2 := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S52"), rxview.Str("Two"))
+
+	t.Run("cancelled before the first op", func(t *testing.T) {
+		view := mustView(t, rxview.WithForceSideEffects())
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		reps, err := view.Batch(ctx, u1, u2)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if len(reps) != 1 || reps[0].Op != u1.String() || reps[0].Applied {
+			t.Fatalf("reports = %+v, want one unapplied report for %q", reps, u1)
+		}
+		if !strings.Contains(err.Error(), u1.String()) {
+			t.Errorf("error %q does not name the unprocessed op %q", err, u1)
+		}
+	})
+
+	t.Run("cancelled mid-batch", func(t *testing.T) {
+		view := mustView(t, rxview.WithForceSideEffects())
+		rows := func() int {
+			n := 0
+			for _, tb := range view.DB().Tables() {
+				n += tb.Rows
+			}
+			return n
+		}
+		before := rows()
+		// Cancel once the database has grown — true only after u1's ΔR has
+		// executed, so the first cancellation check that fires is the one
+		// guarding u2.
+		ctx := &stateCancelCtx{Context: context.Background(), probe: func() bool { return rows() > before }}
+		reps, err := view.Batch(ctx, u1, u2)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if len(reps) != 2 {
+			t.Fatalf("got %d reports, want 2 (applied u1 + unapplied u2)", len(reps))
+		}
+		if !reps[0].Applied || reps[0].Op != u1.String() {
+			t.Errorf("first report = %+v, want applied %q", reps[0], u1)
+		}
+		if reps[1].Applied || reps[1].Op != u2.String() {
+			t.Errorf("last report = %+v, want unapplied %q", reps[1], u2)
+		}
+		if !strings.Contains(err.Error(), u2.String()) {
+			t.Errorf("error %q attributes the cancellation to the wrong op (want %q)", err, u2)
+		}
+		if strings.Contains(err.Error(), u1.String()) {
+			t.Errorf("error %q names the successful op %q", err, u1)
+		}
+		// The applied prefix must have left consistent auxiliary structures.
+		if err := view.CheckConsistency(); err != nil {
+			t.Errorf("view inconsistent after mid-batch cancellation: %v", err)
+		}
+	})
 }
 
 // TestBatchEquivalence checks that Batch(u1..uN) produces exactly the final

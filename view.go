@@ -108,8 +108,11 @@ func (v *View) DryRun(ctx context.Context, u Update) (*Report, error) {
 //
 // The batch is not atomic: it stops at the first failing update, with every
 // earlier update already applied and the auxiliary structures repaired. The
-// returned reports cover the processed prefix; summing Timings.Maintain over
-// them gives the batch's true total maintenance cost.
+// returned reports cover the processed prefix, ending with a report for the
+// update that failed — on cancellation that is an unapplied report for the
+// first update that did not run, and the error names that update, never the
+// last one that succeeded. Summing Timings.Maintain over the reports gives
+// the batch's true total maintenance cost.
 func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) {
 	// Compile up to the first malformed update: the prefix before it still
 	// runs, preserving the Apply-sequence equivalence.
