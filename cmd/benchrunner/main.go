@@ -13,6 +13,12 @@
 // the perf trajectory):
 //
 //	benchrunner -exp perf -sizes 1000 -json BENCH_PR2.json
+//
+// The serve experiment drives the concurrent serving subsystem (readers
+// against snapshots, a background writer through the apply loop) and, with
+// -json, writes BENCH_PR3.json:
+//
+//	benchrunner -exp serve -sizes 1000 -dur 500ms -json BENCH_PR3.json
 package main
 
 import (
@@ -31,7 +37,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -57,6 +63,7 @@ func main() {
 	run("table1", table1)
 	run("ablation", ablation)
 	run("perf", perf)
+	run("serve", serveExp)
 }
 
 func parseSizes(s string) ([]int, error) {

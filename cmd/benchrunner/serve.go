@@ -1,0 +1,122 @@
+package main
+
+// The serve experiment measures the concurrent view-serving subsystem:
+// aggregate read throughput and latency percentiles at increasing reader
+// counts with a background writer churning the view, against a sequential
+// 1-reader/no-writer baseline. The headline number is read retention —
+// reads are snapshot-isolated, so piling on readers and a writer should
+// not collapse read throughput below the uncontended baseline.
+//
+//	benchrunner -exp serve -sizes 1000 -dur 500ms -json BENCH_PR3.json
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+var durFlag = flag.Duration("dur", 500*time.Millisecond, "serve experiment: load duration per point")
+
+var serveReaderCounts = []int{1, 8, 64}
+
+// serveFile is the BENCH_PR3.json layout.
+type serveFile struct {
+	Seed        int64               `json:"seed"`
+	Size        int                 `json:"size"`
+	DurationMS  float64             `json:"duration_ms"`
+	BaselineQPS float64             `json:"baseline_qps"` // 1 reader, no writer
+	Points      []server.LoadResult `json:"points"`       // with background writer
+	// Retention64 = aggregate read QPS at 64 readers (with writer) divided
+	// by the sequential baseline QPS: ≥ 0.8 is the acceptance bar — adding
+	// readers and a writer must not collapse read throughput.
+	Retention64 float64 `json:"read_retention_64"`
+}
+
+func serveExp(sizes []int) {
+	nc := sizes[len(sizes)-1]
+	fmt.Printf("== Serve: snapshot-isolated reads under a background writer (|C| = %d, %v/point) ==\n",
+		nc, *durFlag)
+
+	out := serveFile{Seed: *seedFlag, Size: nc, DurationMS: float64(durFlag.Microseconds()) / 1000}
+
+	base, err := runServePoint(nc, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out.BaselineQPS = base.QPS
+
+	w := newTab()
+	fmt.Fprintln(w, "readers\twriter\treads\twrites\tqps\tp50\tp99")
+	fmt.Fprintf(w, "%d\tno\t%d\t-\t%.0f\t%s\t%s\n", base.Readers, base.Reads, base.QPS,
+		time.Duration(base.P50NS), time.Duration(base.P99NS))
+	for _, readers := range serveReaderCounts {
+		res, err := runServePoint(nc, readers, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, res)
+		fmt.Fprintf(w, "%d\tyes\t%d\t%d\t%.0f\t%s\t%s\n", res.Readers, res.Reads, res.Writes,
+			res.QPS, time.Duration(res.P50NS), time.Duration(res.P99NS))
+		if readers == 64 && out.BaselineQPS > 0 {
+			out.Retention64 = res.QPS / out.BaselineQPS
+		}
+	}
+	w.Flush()
+	fmt.Printf("read retention at 64 readers vs sequential baseline: %.2fx\n\n", out.Retention64)
+
+	if *jsonFlag != "" && *expFlag == "serve" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// runServePoint opens a fresh view + engine and drives it for one point;
+// each point gets its own state so earlier churn cannot skew later ones.
+func runServePoint(nc, readers int, withWriter bool) (server.LoadResult, error) {
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: *seedFlag})
+	if err != nil {
+		return server.LoadResult{}, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		return server.LoadResult{}, err
+	}
+	eng := server.New(view)
+	defer eng.Close()
+
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return server.LoadResult{}, fmt.Errorf("serve: synthetic dataset has no roots")
+	}
+	lg := server.LoadGen{
+		Engine:   eng,
+		Readers:  readers,
+		Duration: *durFlag,
+		Paths:    []string{`//C[sub/C]`, `//C`},
+	}
+	if withWriter {
+		// The writer cycles insert/delete pairs on fresh keys under one
+		// published root: every pair returns the view to its base state, so
+		// the churn is sustainable for any duration.
+		target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+		for i, k := range syn.FreshKeys(16) {
+			lg.Updates = append(lg.Updates,
+				rxview.Insert(target, "C", rxview.Int(k), rxview.Str(fmt.Sprintf("w%d", i))),
+				rxview.Delete(fmt.Sprintf(`//C[key="%d"]`, k)))
+		}
+	}
+	return lg.Run(context.Background())
+}

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	xviewctl [-dataset registrar|synthetic] [-nc 1000] [-force] [-e "<cmd>"]
+//	         [-serve <addr>]
+//
+// With -serve the view is exposed over HTTP instead of the REPL: xviewctl
+// starts the xviewd daemon's handler in-process, so both front ends share
+// one dispatch path (the server package's Engine + NewHandler).
 //
 // Commands (one per line on stdin, or semicolon-separated via -e):
 //
@@ -26,9 +31,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"rxview"
+	"rxview/server"
 )
 
 var (
@@ -37,6 +46,7 @@ var (
 	seed    = flag.Int64("seed", 42, "synthetic generator seed")
 	force   = flag.Bool("force", false, "carry out updates with XML side effects (revised semantics)")
 	exec    = flag.String("e", "", "one-shot mode: execute the given command(s) (semicolon-separated) and exit")
+	serve   = flag.String("serve", "", "serve the view over HTTP on this address (xviewd's handler in-process) instead of the REPL")
 )
 
 func main() {
@@ -44,6 +54,18 @@ func main() {
 	view, err := open()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *serve != "" {
+		log.Printf("xviewctl: %s view loaded — %s", *dataset, view.Stats())
+		eng := server.New(view)
+		log.Printf("xviewctl: serving on %s", *serve)
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := server.ListenAndServe(ctx, *serve, eng, server.HandlerOptions{Timeout: 10 * time.Second}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *exec != "" {

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"rxview"
+	"rxview/server"
 )
 
 func testView(t *testing.T) *rxview.View {
@@ -146,5 +151,44 @@ func TestRunREPLCleanEOF(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "consistent") {
 		t.Error("final unterminated line was not processed")
+	}
+}
+
+// TestServeSharesDaemonDispatchPath checks the -serve mode serves exactly
+// the xviewd handler: the REPL's view, wrapped in a server.Engine, answers
+// the daemon's HTTP surface in-process.
+func TestServeSharesDaemonDispatchPath(t *testing.T) {
+	view := testView(t)
+	eng := server.New(view)
+	defer eng.Close()
+	ts := httptest.NewServer(server.NewHandler(eng, server.HandlerOptions{Timeout: 5 * time.Second}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"path": "//course[cno=\"CS650\"]"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 1 {
+		t.Errorf("CS650 count = %d, want 1", out.Count)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", resp.StatusCode)
 	}
 }

@@ -25,6 +25,16 @@
 // reach.NewSparse. See README.md ("The reachability matrix M") for the
 // break-even analysis.
 //
+// A View is not safe for concurrent use: the pipeline mutates the DAG and
+// the auxiliary structures in place. Two primitives support the concurrent
+// serving layer built on top (package rxview/server): View.Snapshot freezes
+// the current state into an immutable epoch copy whose Query/Stats/XML are
+// safe for any number of goroutines, and View.Generation counts applied
+// mutations, so every snapshot identifies the exact write-history prefix it
+// reflects. Reads served from snapshots are snapshot-consistent — they
+// observe the view after some prefix of the applied updates, never a
+// partial one — while writes stay serialized on the live View.
+//
 // The implementation lives under internal/; internal/core wires it together
 // behind this package. See README.md for a tour and for how to run the
 // benchmarks. The root bench_test.go regenerates every table and figure of

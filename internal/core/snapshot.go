@@ -1,0 +1,123 @@
+package core
+
+import (
+	"io"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/xpath"
+)
+
+// Generation counts the mutations applied to the view since Open: it
+// increments exactly once per applied insertion or deletion, in application
+// order, and never for rejected, skipped, no-op or dry-run updates. Two
+// systems opened from the same data that applied the same update sequence
+// report the same generation, which is what lets a serving layer map an
+// observed snapshot back to a prefix of the write history.
+func (s *System) Generation() uint64 { return s.gen }
+
+// Snapshot is an immutable copy of the view state at one generation: the
+// DAG-compressed view and the topological order L, frozen together. It
+// answers queries and renders statistics and XML without touching the live
+// System, so any number of goroutines may use one Snapshot concurrently
+// while the System keeps applying updates — the epoch unit of the
+// snapshot-isolated serving layer.
+//
+// The reachability matrix M is deliberately NOT cloned: no snapshot read
+// path consults it — the NFA evaluator needs only the DAG and L, and Stats
+// needs only |M|, captured as a count. (A frozen M for consumers that do
+// need one, e.g. a frontier-evaluator serving path, is one
+// reach.Index.Clone away.) A Snapshot never reads the database either:
+// text content lives in the cloned DAG's attribute tuples, and the
+// base-row count is captured at snapshot time. Update paths (Apply,
+// DryRun, Batch) are intentionally absent.
+type Snapshot struct {
+	gen         uint64
+	dag         *dag.DAG
+	topo        *reach.Topo
+	matrixPairs int
+	text        func(dag.NodeID) (string, bool)
+	maskLimit   int
+	baseRows    int
+}
+
+// Snapshot freezes the current view state. It must not run concurrently
+// with updates on the same System (the System itself is single-writer); the
+// serving layer's apply loop calls it after each write and publishes the
+// result atomically.
+func (s *System) Snapshot() *Snapshot {
+	d := s.DAG.Clone()
+	return &Snapshot{
+		gen:         s.gen,
+		dag:         d,
+		topo:        s.Index.Topo.Clone(),
+		matrixPairs: s.Index.Matrix.Size(),
+		text:        s.ATG.Text(d),
+		maskLimit:   s.opts.MaskLimit,
+		baseRows:    s.DB.TotalRows(),
+	}
+}
+
+// Generation returns the write-history prefix this snapshot reflects.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// DAG exposes the frozen view structure (for node rendering in the public
+// layer). Callers must treat it as read-only.
+func (sn *Snapshot) DAG() *dag.DAG { return sn.dag }
+
+// Text exposes the frozen PCDATA accessor.
+func (sn *Snapshot) Text() func(dag.NodeID) (string, bool) { return sn.text }
+
+// evaluator returns a fresh XPath evaluator over the frozen state. Each
+// call builds its own evaluator, so concurrent queries share no mutable
+// state.
+func (sn *Snapshot) evaluator() *xpath.Evaluator {
+	return &xpath.Evaluator{
+		D:         sn.dag,
+		Topo:      sn.topo,
+		Text:      sn.text,
+		MaskLimit: sn.maskLimit,
+	}
+}
+
+// Eval evaluates a parsed path against the frozen state.
+func (sn *Snapshot) Eval(p *xpath.Path) (*xpath.Result, error) {
+	return sn.evaluator().Eval(p)
+}
+
+// Query evaluates an XPath expression and returns r[[p]] at this epoch.
+func (sn *Snapshot) Query(path string) ([]dag.NodeID, error) {
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sn.Eval(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Selected, nil
+}
+
+// Stats computes the frozen view's statistics.
+func (sn *Snapshot) Stats() Stats {
+	return statsFor(sn.dag, sn.topo.Len(), sn.matrixPairs, sn.baseRows)
+}
+
+// WriteXML serializes the frozen view; maxNodes bounds the unfolded size.
+func (sn *Snapshot) WriteXML(w io.Writer, maxNodes int) error {
+	tree, err := sn.dag.Unfold(sn.dag.Root(), sn.text, maxNodes)
+	if err != nil {
+		return err
+	}
+	return tree.WriteXML(w)
+}
+
+// XML returns the serialized frozen view, or an error if it exceeds the
+// budget.
+func (sn *Snapshot) XML(maxNodes int) (string, error) {
+	var b writerBuilder
+	if err := sn.WriteXML(&b, maxNodes); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"rxview/internal/dag"
+)
 
 // Stats summarizes the view and its auxiliary structures — the quantities of
 // Fig.10(b) in the paper: DAG size, uncompressed tree size, sharing, |M|
@@ -19,17 +23,25 @@ type Stats struct {
 
 // Stats computes current statistics.
 func (s *System) Stats() Stats {
-	n := s.DAG.NumNodes()
-	ts := s.DAG.TreeSize()
-	shared := s.DAG.SharedNodeCount()
+	return statsFor(s.DAG, s.Index.Topo.Len(), s.Index.Matrix.Size(), s.DB.TotalRows())
+}
+
+// statsFor renders the statistics of one view state — shared by the live
+// System and its frozen Snapshots so the two can never diverge. L and M
+// enter as their sizes, which is all Stats reports (and all a Snapshot
+// retains of M).
+func statsFor(d *dag.DAG, topoLen, matrixPairs, baseRows int) Stats {
+	n := d.NumNodes()
+	ts := d.TreeSize()
+	shared := d.SharedNodeCount()
 	st := Stats{
-		BaseRows:    s.DB.TotalRows(),
+		BaseRows:    baseRows,
 		Nodes:       n,
-		Edges:       s.DAG.NumEdges(),
+		Edges:       d.NumEdges(),
 		TreeSize:    ts,
 		SharedNodes: shared,
-		TopoLen:     s.Index.Topo.Len(),
-		MatrixPairs: s.Index.Matrix.Size(),
+		TopoLen:     topoLen,
+		MatrixPairs: matrixPairs,
 	}
 	if n > 0 {
 		st.Compression = ts / float64(n)

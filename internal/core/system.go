@@ -147,6 +147,7 @@ type System struct {
 
 	opts Options
 	text func(dag.NodeID) (string, bool)
+	gen  uint64 // count of applied mutations; see Generation
 }
 
 // Open publishes σ(I) as a DAG, builds L, M and the source index, and
@@ -384,6 +385,7 @@ func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Resu
 		s.Index.InsertUpdate(s.DAG, newNodes, edgeAdds)
 	}
 	rep.Timings.Maintain = time.Since(t0)
+	s.gen++
 	return nil
 }
 
@@ -423,6 +425,7 @@ func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Resu
 	rep.Removed = len(removed)
 	rep.DVDeletes += len(cascade)
 	rep.Timings.Maintain = time.Since(t0)
+	s.gen++
 	return nil
 }
 

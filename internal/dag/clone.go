@@ -1,0 +1,49 @@
+package dag
+
+import (
+	"maps"
+
+	"rxview/internal/relational"
+)
+
+// Clone returns an independent structural copy of the DAG, for snapshot
+// publication: the serving layer evaluates queries against the clone while
+// the original keeps mutating under the writer. Every mutable structure is
+// deep-copied — in particular the per-node adjacency slices, which
+// RemoveEdge compacts in place, and the Skolem registry maps, which AddNode
+// grows. Node attribute tuples and type strings are immutable once created
+// and are shared.
+//
+// Clone panics inside a transaction: a snapshot of speculative, possibly
+// rolled-back state is never meaningful.
+func (d *DAG) Clone() *DAG {
+	if d.journal != nil {
+		panic("dag: Clone inside a transaction")
+	}
+	c := &DAG{
+		types:     append([]string(nil), d.types...),
+		attrs:     append([]relational.Tuple(nil), d.attrs...),
+		children:  cloneAdjacency(d.children),
+		parents:   cloneAdjacency(d.parents),
+		alive:     append([]bool(nil), d.alive...),
+		root:      d.root,
+		gen:       maps.Clone(d.gen),
+		byType:    make(map[string][]NodeID, len(d.byType)),
+		edgeCount: d.edgeCount,
+		liveCount: d.liveCount,
+	}
+	for typ, ids := range d.byType {
+		c.byType[typ] = append([]NodeID(nil), ids...)
+	}
+	return c
+}
+
+func cloneAdjacency(adj [][]NodeID) [][]NodeID {
+	out := make([][]NodeID, len(adj))
+	for i, s := range adj {
+		if len(s) > 0 {
+			out[i] = append([]NodeID(nil), s...)
+		}
+	}
+	return out
+}

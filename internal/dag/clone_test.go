@@ -1,0 +1,83 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+
+	"rxview/internal/relational"
+)
+
+// TestCloneIndependence checks that a clone is structurally equal at the
+// moment it is taken and stays untouched by every kind of mutation the
+// original can undergo afterwards — the property snapshot publication relies
+// on.
+func TestCloneIndependence(t *testing.T) {
+	d := New("r")
+	a, _ := d.AddNode("A", relational.Tuple{relational.Int(1)})
+	b, _ := d.AddNode("B", relational.Tuple{relational.Int(2)})
+	c, _ := d.AddNode("B", relational.Tuple{relational.Int(3)})
+	d.AddEdge(d.Root(), a)
+	d.AddEdge(a, b)
+	d.AddEdge(a, c)
+	d.AddEdge(d.Root(), c)
+
+	snap := d.Clone()
+	wantNodes := snap.Nodes()
+	wantChildren := append([]NodeID(nil), snap.Children(a)...)
+	wantEdges := snap.NumEdges()
+
+	if !reflect.DeepEqual(snap.Nodes(), d.Nodes()) {
+		t.Fatalf("clone nodes %v != original %v", snap.Nodes(), d.Nodes())
+	}
+	if snap.NumEdges() != d.NumEdges() || snap.Root() != d.Root() {
+		t.Fatalf("clone shape differs: edges %d vs %d", snap.NumEdges(), d.NumEdges())
+	}
+
+	// Mutate the original in every way the write path does: in-place edge
+	// removal (compacts adjacency slices), node addition (grows the Skolem
+	// maps), node removal (flips alive), resurrection.
+	d.RemoveEdge(a, b)
+	d.RemoveNode(b)
+	e, _ := d.AddNode("B", relational.Tuple{relational.Int(4)})
+	d.AddEdge(a, e)
+	d.AddNode("B", relational.Tuple{relational.Int(2)}) // resurrect b's identity
+
+	if !reflect.DeepEqual(snap.Nodes(), wantNodes) {
+		t.Errorf("clone nodes changed under original mutation: %v != %v", snap.Nodes(), wantNodes)
+	}
+	if !reflect.DeepEqual(snap.Children(a), wantChildren) {
+		t.Errorf("clone adjacency changed: %v != %v", snap.Children(a), wantChildren)
+	}
+	if snap.NumEdges() != wantEdges {
+		t.Errorf("clone edge count changed: %d != %d", snap.NumEdges(), wantEdges)
+	}
+	if !snap.Alive(b) {
+		t.Error("clone lost node removed only in the original")
+	}
+	if snap.Alive(e) {
+		t.Error("clone sees node added after the snapshot")
+	}
+	if id, ok := snap.Lookup("B", relational.Tuple{relational.Int(4)}); ok {
+		t.Errorf("clone Skolem registry sees post-snapshot node %d", id)
+	}
+
+	// And the mirror: mutating the clone must not leak into the original.
+	snap.RemoveEdge(a, c)
+	if !d.HasEdge(a, c) {
+		t.Error("mutating the clone removed an edge from the original")
+	}
+}
+
+// TestCloneInTxnPanics documents that snapshots of speculative state are
+// rejected loudly.
+func TestCloneInTxnPanics(t *testing.T) {
+	d := New("r")
+	d.Begin()
+	defer d.Rollback()
+	defer func() {
+		if recover() == nil {
+			t.Error("Clone inside a transaction did not panic")
+		}
+	}()
+	d.Clone()
+}

@@ -15,18 +15,7 @@ func benchDAG(b *testing.B, n, extra int) *dag.DAG {
 	return randomDAG(b, rng, n, extra)
 }
 
-func cloneMatrix(m *Matrix) *Matrix {
-	out := &Matrix{
-		anc:   make([]Row, len(m.anc)),
-		desc:  make([]Row, len(m.desc)),
-		pairs: m.pairs,
-	}
-	for i := range m.anc {
-		out.anc[i] = m.anc[i].Clone()
-		out.desc[i] = m.desc[i].Clone()
-	}
-	return out
-}
+func cloneMatrix(m *Matrix) *Matrix { return m.Clone() }
 
 func cloneSparse(s *Sparse) *Sparse {
 	out := NewSparse(len(s.anc))

@@ -1,0 +1,38 @@
+// Package server makes a published XML view safely shareable under
+// concurrent load. The underlying rxview.View is single-writer by design —
+// the paper's pipeline (translate → side-effect check → ∆(M,L) maintenance)
+// mutates the DAG and the auxiliary structures in place — so this package
+// adds the serving layer on top instead of sprinkling locks through the
+// engine:
+//
+//   - Reads are snapshot-isolated and wait-free. An Engine publishes an
+//     immutable epoch snapshot (cloned DAG + cloned topological order +
+//     the view's generation counter; the reachability matrix enters as its
+//     size — no read path consults its rows) through an atomic pointer;
+//     queries evaluate against whatever epoch they load and never block
+//     behind a write or observe a half-maintained structure.
+//
+//   - Writes are serialized through a single-writer apply loop. Updates are
+//     submitted to a channel-fed goroutine; consecutive insertions are
+//     coalesced into View.Batch runs (one deferred ∆(M,L) flush per run
+//     instead of one per update) while preserving per-update independence:
+//     a mid-run rejection fails only its own update, and the rest of the
+//     run is re-applied. Each submission gets its verdict back through a
+//     promise channel. Context cancellation is honored both in-queue (a
+//     canceled update is skipped and reports context.Canceled without being
+//     applied) and in-flight (the pipeline's phase checks abort it).
+//
+//   - After every write the loop publishes a fresh snapshot, so a reader's
+//     result always corresponds to an exact prefix of the write history,
+//     identified by the generation it carries.
+//
+// Consistency model: reads are snapshot-consistent (every query observes
+// the state after some prefix of the applied updates, never a partial
+// update), writes are strictly serialized in submission-processing order,
+// and reads never wait on writes. A reader may observe a slightly stale
+// epoch; it will never observe a torn one.
+//
+// NewHandler exposes the Engine over HTTP/JSON (the cmd/xviewd daemon and
+// xviewctl -serve share it), and LoadGen drives an Engine with concurrent
+// readers and a background writer for throughput/latency measurement.
+package server

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rxview"
+)
+
+// ErrClosed is returned by submissions after Close.
+var ErrClosed = errors.New("server: engine closed")
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	queue       int
+	maxCoalesce int
+}
+
+// WithQueueDepth bounds the number of writes waiting for the apply loop;
+// submissions beyond it block (honoring their context). Default 256.
+func WithQueueDepth(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.queue = n
+		}
+	}
+}
+
+// WithMaxCoalesce caps how many consecutive insertions one Batch run may
+// absorb. Default 64.
+func WithMaxCoalesce(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxCoalesce = n
+		}
+	}
+}
+
+// Engine wraps a View for concurrent serving: wait-free snapshot-isolated
+// reads and a single-writer apply loop. See the package documentation for
+// the consistency model. Create one with New; after that the View must not
+// be used directly (the Engine owns it).
+type Engine struct {
+	view *rxview.View
+	cfg  config
+	snap atomic.Pointer[rxview.Snapshot]
+	reqs chan *request
+
+	mu     sync.RWMutex // guards closed vs. sends on reqs
+	closed bool
+	wg     sync.WaitGroup
+
+	depth     atomic.Int64 // queued, not yet picked up by the loop
+	queries   atomic.Uint64
+	applied   atomic.Uint64
+	rejected  atomic.Uint64
+	coalRuns  atomic.Uint64
+	coalUpds  atomic.Uint64
+	snapSwaps atomic.Uint64
+}
+
+// request is one submission to the apply loop. Exactly one result is
+// delivered on done (buffered), whether the update applies, no-ops, fails
+// or is skipped as canceled.
+type request struct {
+	ctx     context.Context
+	u       rxview.Update
+	batch   []rxview.Update // non-nil: a client batch, applied as one unit
+	counted bool            // already tallied in the coalescing counters
+	done    chan result
+}
+
+type result struct {
+	rep  *rxview.Report
+	reps []*rxview.Report
+	gen  uint64 // generation of the published snapshot covering the verdict
+	err  error
+}
+
+// New starts the serving layer over a view: it publishes the initial
+// snapshot and launches the apply loop. The caller hands the view over —
+// all further access must go through the Engine.
+func New(view *rxview.View, opts ...Option) *Engine {
+	cfg := config{queue: 256, maxCoalesce: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{
+		view: view,
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.queue),
+	}
+	e.snap.Store(view.Snapshot())
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// Close stops accepting submissions, waits for the apply loop to drain and
+// process everything already queued, and returns. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.reqs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Snapshot returns the currently published epoch. Never nil.
+func (e *Engine) Snapshot() *rxview.Snapshot { return e.snap.Load() }
+
+// Generation returns the published epoch's write-history prefix.
+func (e *Engine) Generation() uint64 { return e.snap.Load().Generation() }
+
+// QueryResult carries a query's nodes together with the generation (write
+// prefix) they were read at.
+type QueryResult struct {
+	Nodes      []rxview.Node
+	Generation uint64
+}
+
+// Query evaluates an XPath expression against the current snapshot. It
+// never blocks behind the apply loop: the result is exactly the view after
+// the prefix of updates identified by QueryResult.Generation.
+func (e *Engine) Query(ctx context.Context, path string) (QueryResult, error) {
+	sn := e.snap.Load()
+	e.queries.Add(1)
+	nodes, err := sn.Query(ctx, path)
+	return QueryResult{Nodes: nodes, Generation: sn.Generation()}, err
+}
+
+// Update submits one update to the apply loop and blocks until the loop
+// delivers its verdict: the report and error are exactly what View.Apply
+// would return. The snapshot covering the update is published before the
+// verdict is delivered, so a caller whose Update returned applied reads its
+// own write from the very next Query (read-your-writes). A context canceled
+// while the update is still queued makes the loop skip it — it reports
+// context.Canceled and is guaranteed not to have been applied; cancellation
+// in-flight is honored by the pipeline's phase checks.
+func (e *Engine) Update(ctx context.Context, u rxview.Update) (*rxview.Report, error) {
+	rep, _, err := e.updateWithGen(ctx, u)
+	return rep, err
+}
+
+// updateWithGen is Update returning also the generation of the snapshot
+// published with the verdict — stamped by the apply loop at delivery, so it
+// covers exactly this write's run and cannot include later clients' writes.
+// The HTTP layer reports it per request.
+func (e *Engine) updateWithGen(ctx context.Context, u rxview.Update) (*rxview.Report, uint64, error) {
+	req := &request{ctx: ctx, u: u, done: make(chan result, 1)}
+	if err := e.submit(ctx, req); err != nil {
+		return nil, 0, err
+	}
+	res := <-req.done
+	return res.rep, res.gen, res.err
+}
+
+// Batch submits a sequence of updates to be applied as one unit with
+// View.Batch's prefix semantics, serialized against all other writes.
+func (e *Engine) Batch(ctx context.Context, updates ...rxview.Update) ([]*rxview.Report, error) {
+	reps, _, err := e.batchWithGen(ctx, updates...)
+	return reps, err
+}
+
+// batchWithGen is Batch returning also the covering snapshot generation,
+// stamped at delivery like updateWithGen.
+func (e *Engine) batchWithGen(ctx context.Context, updates ...rxview.Update) ([]*rxview.Report, uint64, error) {
+	if updates == nil {
+		updates = []rxview.Update{}
+	}
+	req := &request{ctx: ctx, batch: updates, done: make(chan result, 1)}
+	if err := e.submit(ctx, req); err != nil {
+		return nil, 0, err
+	}
+	res := <-req.done
+	return res.reps, res.gen, res.err
+}
+
+func (e *Engine) submit(ctx context.Context, req *request) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.depth.Add(1)
+	select {
+	case e.reqs <- req:
+		return nil
+	case <-ctx.Done():
+		e.depth.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// run is the single-writer apply loop: it is the only goroutine that
+// touches e.view after New, which is what makes the unsynchronized view
+// safe. carry holds a request that gather pulled off the queue but could
+// not coalesce.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	var carry *request
+	for {
+		req := carry
+		carry = nil
+		if req == nil {
+			var ok bool
+			req, ok = <-e.reqs
+			if !ok {
+				return
+			}
+			e.depth.Add(-1)
+		}
+		switch {
+		case req.batch != nil:
+			reps, err := e.view.Batch(req.ctx, req.batch...)
+			e.publish()
+			e.deliver(req, result{reps: reps, err: err})
+		case req.u.IsDelete():
+			// Deletions read M and force a flush anyway; apply them alone
+			// under their own context.
+			rep, err := e.view.Apply(req.ctx, req.u)
+			e.publish()
+			e.deliver(req, result{rep: rep, err: err})
+		default:
+			var run []*request
+			run, carry = e.gather(req)
+			e.processRun(run)
+		}
+	}
+}
+
+// gather collects the run of consecutive queued insertions starting at
+// first, without blocking: it stops at the first queued deletion or client
+// batch (returned as carry for the next loop iteration), at an empty
+// queue, or at the coalescing cap.
+func (e *Engine) gather(first *request) (run []*request, carry *request) {
+	run = []*request{first}
+	for len(run) < e.cfg.maxCoalesce {
+		select {
+		case r, ok := <-e.reqs:
+			if !ok {
+				return run, nil
+			}
+			e.depth.Add(-1)
+			if r.batch == nil && !r.u.IsDelete() {
+				run = append(run, r)
+				continue
+			}
+			return run, r
+		default:
+			return run, nil
+		}
+	}
+	return run, nil
+}
+
+// processRun applies a coalesced run of insertions through View.Batch while
+// preserving per-update independence — each member gets exactly the verdict
+// a lone View.Apply would have produced:
+//
+//   - members whose context is already canceled are skipped up front and
+//     report context.Canceled, unapplied;
+//   - a mid-run rejection (side effect, non-updatable, parse) is delivered
+//     to the failing member only; the members after it re-run;
+//   - the run executes under a context that cancels as soon as ANY member's
+//     context cancels, so in-flight cancellation is honored; if the abort
+//     lands on a member whose own context is still live, that member and
+//     the rest re-run (the canceled one is dropped by the next round's
+//     skip pass).
+//
+// Coalescing is what makes the deferred ∆(M,L) flush amortize across
+// independent submissions: one maintenance flush per run instead of one per
+// update.
+func (e *Engine) processRun(run []*request) {
+	for len(run) > 0 {
+		live := run[:0]
+		for _, r := range run {
+			if err := r.ctx.Err(); err != nil {
+				e.deliver(r, result{
+					rep: &rxview.Report{Op: r.u.String()},
+					err: fmt.Errorf("server: %s: canceled while queued: %w", r.u, err),
+				})
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			return
+		}
+		if len(live) == 1 {
+			r := live[0]
+			rep, err := e.view.Apply(r.ctx, r.u)
+			e.publish()
+			e.deliver(r, result{rep: rep, err: err})
+			return
+		}
+
+		e.coalRuns.Add(1)
+		for _, r := range live {
+			// Count each update once, however many retry rounds it rides
+			// through; CoalescedRuns counts Batch calls, so the two stay a
+			// meaningful updates-per-run ratio.
+			if !r.counted {
+				r.counted = true
+				e.coalUpds.Add(1)
+			}
+		}
+		runCtx, cancel := context.WithCancel(context.Background())
+		stops := make([]func() bool, len(live))
+		updates := make([]rxview.Update, len(live))
+		for i, r := range live {
+			updates[i] = r.u
+			stops[i] = context.AfterFunc(r.ctx, cancel)
+		}
+		reps, err := e.view.Batch(runCtx, updates...)
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+		// Publish before fulfilling any promise: a writer whose Update has
+		// returned must be able to read its own write (and its generation)
+		// from the very next Query.
+		e.publish()
+
+		if err == nil {
+			for i, r := range live {
+				e.deliver(r, result{rep: reps[i]})
+			}
+			return
+		}
+		// The batch stopped at one member: reports cover the applied prefix
+		// plus, last, the member that failed.
+		k := len(reps)
+		if k == 0 || k > len(live) {
+			// Cannot attribute (should not happen); fail the remainder.
+			for _, r := range live {
+				e.deliver(r, result{err: err})
+			}
+			return
+		}
+		for i := 0; i < k-1; i++ {
+			e.deliver(live[i], result{rep: reps[i]})
+		}
+		failing := live[k-1]
+		if isCtxErr(err) {
+			if ownErr := failing.ctx.Err(); ownErr != nil {
+				// The stop landed on the member whose context fired. The
+				// shared run context is always a plain cancel, so restate
+				// the member's own cause (a deadline must surface as
+				// DeadlineExceeded, not Canceled).
+				e.deliver(failing, result{rep: reps[k-1],
+					err: fmt.Errorf("server: %s: %w", failing.u, ownErr)})
+				run = live[k:]
+				continue
+			}
+			// Another member's cancellation tripped the shared run context;
+			// the member at the stop point did nothing wrong. Re-run it and
+			// everything after it.
+			run = live[k-1:]
+			continue
+		}
+		e.deliver(failing, result{rep: reps[k-1], err: err})
+		run = live[k:]
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// deliver fulfills a request's promise exactly once, stamps the covering
+// generation, and keeps the applied / rejected counters. Called only from
+// the apply loop, always after the snapshot covering the verdict has been
+// published.
+func (e *Engine) deliver(r *request, res result) {
+	res.gen = e.view.Generation()
+	if res.err != nil {
+		e.rejected.Add(1)
+	}
+	count := func(rep *rxview.Report) {
+		if rep != nil && rep.Applied {
+			e.applied.Add(1)
+		}
+	}
+	count(res.rep)
+	for _, rep := range res.reps {
+		count(rep)
+	}
+	r.done <- res
+}
+
+// publish swaps in a fresh snapshot if the view moved. Called only from the
+// apply loop.
+func (e *Engine) publish() {
+	if e.snap.Load().Generation() != e.view.Generation() {
+		e.snap.Store(e.view.Snapshot())
+		e.snapSwaps.Add(1)
+	}
+}
+
+// Stats describes the serving layer: the published epoch's view statistics
+// plus the engine's counters.
+type Stats struct {
+	View             rxview.Stats `json:"view"`
+	Generation       uint64       `json:"generation"`
+	Queries          uint64       `json:"queries"`
+	UpdatesApplied   uint64       `json:"updates_applied"`
+	UpdatesRejected  uint64       `json:"updates_rejected"`
+	CoalescedRuns    uint64       `json:"coalesced_runs"`
+	CoalescedUpdates uint64       `json:"coalesced_updates"`
+	SnapshotSwaps    uint64       `json:"snapshot_swaps"`
+	QueueDepth       int64        `json:"queue_depth"`
+}
+
+// Stats reads the current serving statistics. Safe for concurrent use.
+func (e *Engine) Stats() Stats {
+	sn := e.snap.Load()
+	return Stats{
+		View:             sn.Stats(),
+		Generation:       sn.Generation(),
+		Queries:          e.queries.Load(),
+		UpdatesApplied:   e.applied.Load(),
+		UpdatesRejected:  e.rejected.Load(),
+		CoalescedRuns:    e.coalRuns.Load(),
+		CoalescedUpdates: e.coalUpds.Load(),
+		SnapshotSwaps:    e.snapSwaps.Load(),
+		QueueDepth:       e.depth.Load(),
+	}
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"rxview"
+)
+
+// HandlerOptions configures the HTTP/JSON surface.
+type HandlerOptions struct {
+	// Timeout bounds each request's context (queue wait included for
+	// writes). Zero means no per-request timeout. Like View.Query, a
+	// query's XPath evaluation itself is not preemptible — the deadline is
+	// observed at entry and, for writes, between the pipeline's phases.
+	Timeout time.Duration
+	// MaxBody bounds request bodies in bytes. Zero means 1 MiB.
+	MaxBody int64
+}
+
+// NewHandler exposes an Engine over HTTP/JSON:
+//
+//	POST /query   {"path": "//course"}                 → nodes + generation
+//	POST /update  {"kind":"insert","type":"student",
+//	               "values":["S1","Ann"],
+//	               "path":"//course/takenBy"}          → report
+//	POST /batch   {"updates":[...]}                    → reports (prefix
+//	                                                      semantics)
+//	GET  /stats                                        → serving statistics
+//	GET  /healthz                                      → liveness + epoch
+//
+// The handler is the single dispatch path shared by the xviewd daemon and
+// xviewctl -serve. Reads are served from the published snapshot and never
+// wait on writes; writes go through the apply loop.
+func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 1 << 20
+	}
+	h := &handler{e: e, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", h.query)
+	mux.HandleFunc("POST /update", h.update)
+	mux.HandleFunc("POST /batch", h.batch)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	return mux
+}
+
+type handler struct {
+	e    *Engine
+	opts HandlerOptions
+}
+
+// requestCtx applies the per-request timeout.
+func (h *handler) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.opts.Timeout > 0 {
+		return context.WithTimeout(r.Context(), h.opts.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+func (h *handler) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge // split the batch, don't fix the JSON
+		}
+		writeError(w, status, fmt.Errorf("decoding request: %w", err), nil)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error   string        `json:"error"`
+	Reports []*reportJSON `json:"reports,omitempty"`
+}
+
+// statusOf maps the public error taxonomy onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, rxview.ErrParse):
+		return http.StatusBadRequest
+	case errors.Is(err, rxview.ErrSideEffect):
+		return http.StatusConflict
+	case errors.Is(err, rxview.ErrNotUpdatable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error, reps []*rxview.Report) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Reports: reportsJSON(reps)})
+}
+
+type nodeJSON struct {
+	Type string `json:"type"`
+	Attr string `json:"attr"`
+	Text string `json:"text,omitempty"`
+}
+
+type queryRequest struct {
+	Path string `json:"path"`
+}
+
+type queryResponse struct {
+	Generation uint64     `json:"generation"`
+	Count      int        `json:"count"`
+	Nodes      []nodeJSON `json:"nodes"`
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var in queryRequest
+	if !h.decode(w, r, &in) {
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	res, err := h.e.Query(ctx, in.Path)
+	if err != nil {
+		writeError(w, statusOf(err), err, nil)
+		return
+	}
+	out := queryResponse{Generation: res.Generation, Count: len(res.Nodes), Nodes: make([]nodeJSON, len(res.Nodes))}
+	for i, n := range res.Nodes {
+		out.Nodes[i] = nodeJSON{Type: n.Type, Attr: n.Attr, Text: n.Text}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// updateJSON is the wire form of one update. Values are the element type's
+// attribute fields in ATG declaration order; JSON strings, integral
+// numbers, booleans and null map onto the view's value kinds.
+type updateJSON struct {
+	Kind   string `json:"kind"` // "insert" | "delete"
+	Path   string `json:"path"`
+	Type   string `json:"type,omitempty"`
+	Values []any  `json:"values,omitempty"`
+}
+
+func (u updateJSON) compile() (rxview.Update, error) {
+	switch u.Kind {
+	case "delete":
+		return rxview.Delete(u.Path), nil
+	case "insert":
+		vals := make([]rxview.Value, len(u.Values))
+		for i, raw := range u.Values {
+			v, err := valueOf(raw)
+			if err != nil {
+				return rxview.Update{}, fmt.Errorf("values[%d]: %w", i, err)
+			}
+			vals[i] = v
+		}
+		return rxview.Insert(u.Path, u.Type, vals...), nil
+	default:
+		return rxview.Update{}, fmt.Errorf("unknown update kind %q (want insert or delete)", u.Kind)
+	}
+}
+
+func valueOf(raw any) (rxview.Value, error) {
+	switch v := raw.(type) {
+	case nil:
+		return rxview.Null(), nil
+	case string:
+		return rxview.Str(v), nil
+	case bool:
+		return rxview.Bool(v), nil
+	case float64:
+		if v != math.Trunc(v) || math.Abs(v) >= 1<<53 {
+			return rxview.Value{}, fmt.Errorf("number %v is not an exact integer", v)
+		}
+		return rxview.Int(int64(v)), nil
+	default:
+		return rxview.Value{}, fmt.Errorf("unsupported value type %T", raw)
+	}
+}
+
+type reportJSON struct {
+	Op          string   `json:"op"`
+	Applied     bool     `json:"applied"`
+	Targets     int      `json:"targets"`
+	Edges       int      `json:"edges"`
+	SideEffects bool     `json:"side_effects"`
+	DVInserts   int      `json:"dv_inserts"`
+	DVDeletes   int      `json:"dv_deletes"`
+	Removed     int      `json:"removed"`
+	Changes     []string `json:"changes,omitempty"`
+	TotalNS     int64    `json:"total_ns"`
+}
+
+func reportOf(rep *rxview.Report) *reportJSON {
+	if rep == nil {
+		return nil
+	}
+	out := &reportJSON{
+		Op:          rep.Op,
+		Applied:     rep.Applied,
+		Targets:     rep.Targets,
+		Edges:       rep.Edges,
+		SideEffects: rep.SideEffects,
+		DVInserts:   rep.DVInserts,
+		DVDeletes:   rep.DVDeletes,
+		Removed:     rep.Removed,
+		TotalNS:     rep.Timings.Total().Nanoseconds(),
+	}
+	for _, m := range rep.Changes {
+		out.Changes = append(out.Changes, m.String())
+	}
+	return out
+}
+
+func reportsJSON(reps []*rxview.Report) []*reportJSON {
+	if reps == nil {
+		return nil
+	}
+	out := make([]*reportJSON, len(reps))
+	for i, rep := range reps {
+		out[i] = reportOf(rep)
+	}
+	return out
+}
+
+type updateResponse struct {
+	Generation uint64      `json:"generation"`
+	Report     *reportJSON `json:"report"`
+}
+
+func (h *handler) update(w http.ResponseWriter, r *http.Request) {
+	var in updateJSON
+	if !h.decode(w, r, &in) {
+		return
+	}
+	u, err := in.compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, nil)
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	rep, gen, err := h.e.updateWithGen(ctx, u)
+	if err != nil {
+		var reps []*rxview.Report
+		if rep != nil {
+			reps = []*rxview.Report{rep}
+		}
+		writeError(w, statusOf(err), err, reps)
+		return
+	}
+	// gen was stamped by the apply loop with this write's verdict, so it
+	// cannot misattribute other clients' later writes.
+	writeJSON(w, http.StatusOK, updateResponse{Generation: gen, Report: reportOf(rep)})
+}
+
+type batchRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type batchResponse struct {
+	Generation uint64        `json:"generation"`
+	Reports    []*reportJSON `json:"reports"`
+}
+
+func (h *handler) batch(w http.ResponseWriter, r *http.Request) {
+	var in batchRequest
+	if !h.decode(w, r, &in) {
+		return
+	}
+	updates := make([]rxview.Update, len(in.Updates))
+	for i, uj := range in.Updates {
+		u, err := uj.compile()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("updates[%d]: %w", i, err), nil)
+			return
+		}
+		updates[i] = u
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	reps, gen, err := h.e.batchWithGen(ctx, updates...)
+	if err != nil {
+		// Prefix semantics: the reports cover what ran; surface them with
+		// the error so the client knows exactly how far the batch got.
+		writeError(w, statusOf(err), err, reps)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Reports: reportsJSON(reps)})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.e.Stats())
+}
+
+type healthResponse struct {
+	OK         bool   `json:"ok"`
+	Generation uint64 `json:"generation"`
+	QueueDepth int64  `json:"queue_depth"`
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK:         true,
+		Generation: h.e.Generation(),
+		QueueDepth: h.e.depth.Load(),
+	})
+}
+
+// ListenAndServe runs the HTTP API on addr until ctx is canceled, then
+// shuts down gracefully (draining in-flight requests) and closes the
+// engine. It is the lifecycle shared by cmd/xviewd and xviewctl -serve.
+func ListenAndServe(ctx context.Context, addr string, e *Engine, opts HandlerOptions) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(e, opts),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		e.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	e.Close()
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

@@ -1,0 +1,245 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+func newTestServer(t *testing.T, timeout time.Duration, opts ...rxview.Option) (*httptest.Server, *server.Engine) {
+	t.Helper()
+	eng, _ := mustRegistrarEngine(t, opts...)
+	ts := httptest.NewServer(server.NewHandler(eng, server.HandlerOptions{Timeout: timeout}))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHandlerQueryUpdateStatsHealth(t *testing.T) {
+	ts, _ := newTestServer(t, 5*time.Second, rxview.WithForceSideEffects())
+
+	code, out := post(t, ts, "/query", map[string]any{"path": `//course[cno="CS650"]/takenBy/student`})
+	if code != http.StatusOK {
+		t.Fatalf("/query status = %d: %v", code, out)
+	}
+	before := int(out["count"].(float64))
+
+	code, out = post(t, ts, "/update", map[string]any{
+		"kind": "insert", "type": "student",
+		"path":   `//course[cno="CS650"]/takenBy`,
+		"values": []any{"SH1", "HTTP"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("/update status = %d: %v", code, out)
+	}
+	rep := out["report"].(map[string]any)
+	if rep["applied"] != true {
+		t.Fatalf("/update not applied: %v", rep)
+	}
+
+	code, out = post(t, ts, "/query", map[string]any{"path": `//course[cno="CS650"]/takenBy/student`})
+	if code != http.StatusOK || int(out["count"].(float64)) != before+1 {
+		t.Fatalf("/query after update: status=%d count=%v want %d", code, out["count"], before+1)
+	}
+
+	code, out = get(t, ts, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats status = %d", code)
+	}
+	if out["updates_applied"].(float64) != 1 || out["queries"].(float64) < 2 {
+		t.Errorf("/stats counters off: %v", out)
+	}
+
+	code, out = get(t, ts, "/healthz")
+	if code != http.StatusOK || out["ok"] != true {
+		t.Errorf("/healthz = %d %v", code, out)
+	}
+	if out["generation"].(float64) != 1 {
+		t.Errorf("/healthz generation = %v, want 1", out["generation"])
+	}
+}
+
+func TestHandlerBatchPrefixAndErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 5*time.Second) // side effects rejected
+
+	mkIns := func(key string) map[string]any {
+		return map[string]any{
+			"kind": "insert", "type": "student",
+			"path":   `//course[cno="CS650"]/takenBy`,
+			"values": []any{key, "B"},
+		}
+	}
+	sharedIns := map[string]any{
+		"kind": "insert", "type": "course",
+		"path":   `course[cno="CS650"]//course[cno="CS320"]/prereq`,
+		"values": []any{"CS777", "Sharing"},
+	}
+
+	code, out := post(t, ts, "/batch", map[string]any{
+		"updates": []any{mkIns("SH10"), sharedIns, mkIns("SH11")},
+	})
+	if code != http.StatusConflict {
+		t.Fatalf("/batch with mid-batch side effect: status = %d, want 409: %v", code, out)
+	}
+	reps := out["reports"].([]any)
+	if len(reps) != 2 {
+		t.Fatalf("/batch reports = %d, want applied prefix + failing update", len(reps))
+	}
+	if reps[0].(map[string]any)["applied"] != true || reps[1].(map[string]any)["applied"] != false {
+		t.Errorf("/batch prefix semantics violated: %v", reps)
+	}
+
+	// Error taxonomy over the wire.
+	cases := []struct {
+		path string
+		body any
+		want int
+	}{
+		{"/query", map[string]any{"path": `//course[`}, http.StatusBadRequest},
+		{"/query", map[string]any{"bogus": 1}, http.StatusBadRequest},
+		{"/update", sharedIns, http.StatusConflict},
+		{"/update", map[string]any{"kind": "noop", "path": "x"}, http.StatusBadRequest},
+		{"/update", map[string]any{"kind": "insert", "type": "student",
+			"path": `//course/takenBy`, "values": []any{1.5}}, http.StatusBadRequest},
+		{"/update", map[string]any{"kind": "insert", "type": "course",
+			"path": `.`, "values": []any{"EE100", "Circuits"}}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if code, out := post(t, ts, c.path, c.body); code != c.want {
+			t.Errorf("POST %s %v: status = %d, want %d (%v)", c.path, c.body, code, c.want, out)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/query"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /query status = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	// An oversized body is a size-limit rejection (413), not bad JSON (400):
+	// the payload is valid JSON that only reveals its size past the limit.
+	huge := append(append([]byte(`{"path":"`), bytes.Repeat([]byte("x"), 2<<20)...), `"}`...)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHandlerPerRequestTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, time.Nanosecond, rxview.WithForceSideEffects())
+	code, out := post(t, ts, "/update", map[string]any{
+		"kind": "insert", "type": "student",
+		"path":   `//course[cno="CS650"]/takenBy`,
+		"values": []any{"ST1", "Timeout"},
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("/update under 1ns budget: status = %d, want 504: %v", code, out)
+	}
+	// The timed-out update must not have been applied.
+	code, out = post(t, ts, "/query", map[string]any{"path": `//student[ssn="ST1"]`})
+	if code != http.StatusGatewayTimeout && code != http.StatusOK {
+		t.Fatalf("/query status = %d: %v", code, out)
+	}
+	if code == http.StatusOK && out["count"].(float64) != 0 {
+		t.Error("timed-out update was applied")
+	}
+}
+
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, rxview.WithForceSideEffects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := server.New(view)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- server.ListenAndServe(ctx, addr, eng, server.HandlerOptions{Timeout: 5 * time.Second}) }()
+
+	// Wait for the daemon to come up, then exercise one round-trip.
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !up {
+		cancel()
+		t.Fatal("daemon did not come up")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ListenAndServe returned %v after graceful shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	// The engine was closed by the shutdown path.
+	if _, err := eng.Update(context.Background(), rxview.Delete(`//student[ssn="none"]`)); err == nil {
+		t.Error("engine still accepts writes after shutdown")
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rxview"
+)
+
+// LoadGen drives an Engine with concurrent readers and an optional
+// background writer, measuring read throughput and latency — the harness
+// behind the benchrunner serve experiment and any capacity test.
+type LoadGen struct {
+	Engine   *Engine
+	Readers  int             // concurrent reader goroutines (≥ 1)
+	Duration time.Duration   // how long to drive load
+	Paths    []string        // query paths, round-robin per reader
+	Updates  []rxview.Update // writer cycles through these; empty = read-only
+}
+
+// LoadResult summarizes one load run.
+type LoadResult struct {
+	Readers   int     `json:"readers"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`   // applied by the background writer
+	Rejected  int64   `json:"rejected"` // writer submissions that errored
+	QPS       float64 `json:"qps"`      // aggregate reads per second
+	P50NS     int64   `json:"p50_ns"`   // median read latency
+	P99NS     int64   `json:"p99_ns"`
+}
+
+// Run drives the engine until the duration elapses or ctx is canceled and
+// returns the aggregate measurements. The first reader error aborts the
+// run.
+func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
+	if lg.Engine == nil || lg.Readers < 1 || len(lg.Paths) == 0 || lg.Duration <= 0 {
+		return LoadResult{}, errors.New("server: LoadGen needs an engine, ≥1 reader, ≥1 path and a positive duration")
+	}
+	runCtx, cancel := context.WithTimeout(ctx, lg.Duration)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []int64
+		writes    int64
+		rejected  int64
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	start := time.Now()
+	for i := 0; i < lg.Readers; i++ {
+		wg.Add(1)
+		go func(reader int) {
+			defer wg.Done()
+			local := make([]int64, 0, 4096)
+			for n := 0; runCtx.Err() == nil; n++ {
+				path := lg.Paths[(reader+n)%len(lg.Paths)]
+				t0 := time.Now()
+				if _, err := lg.Engine.Query(context.Background(), path); err != nil {
+					fail(fmt.Errorf("reader %d: %s: %w", reader, path, err))
+					return
+				}
+				local = append(local, time.Since(t0).Nanoseconds())
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(i)
+	}
+	if len(lg.Updates) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastYield := time.Now()
+			for n := 0; runCtx.Err() == nil; n++ {
+				u := lg.Updates[n%len(lg.Updates)]
+				rep, err := lg.Engine.Update(runCtx, u)
+				mu.Lock()
+				switch {
+				case err != nil && !isCtxErr(err) && !errors.Is(err, ErrClosed):
+					rejected++
+				case err == nil && rep != nil && rep.Applied:
+					writes++
+				}
+				mu.Unlock()
+				// The writer and the apply loop hand the processor to each
+				// other through channel wake-ups (the runnext slot); with
+				// few cores that ping-pong can starve every reader. Burst
+				// writes for ~2ms, then yield one scheduler round so the
+				// readers stay serviced — on multi-core boxes the yield is
+				// effectively free.
+				if time.Since(lastYield) > 2*time.Millisecond {
+					runtime.Gosched()
+					lastYield = time.Now()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{
+		Readers:   lg.Readers,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Reads:     int64(len(latencies)),
+		Writes:    writes,
+		Rejected:  rejected,
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Reads) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50NS = percentile(latencies, 50)
+		res.P99NS = percentile(latencies, 99)
+	}
+	return res, firstErr
+}
+
+// percentile reads the p-th percentile from sorted latencies
+// (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	idx := len(sorted)*p/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

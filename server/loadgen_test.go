@@ -1,0 +1,45 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+func TestLoadGenReadersWithBackgroundWriter(t *testing.T) {
+	eng, _ := mustRegistrarEngine(t, rxview.WithForceSideEffects())
+	lg := server.LoadGen{
+		Engine:   eng,
+		Readers:  4,
+		Duration: 150 * time.Millisecond,
+		Paths:    []string{`//student`, `//course[cno="CS650"]/takenBy/student`},
+		Updates: []rxview.Update{
+			rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("SLG"), rxview.Str("Gen")),
+			rxview.Delete(`//student[ssn="SLG"]`),
+		},
+	}
+	res, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads == 0 || res.QPS <= 0 {
+		t.Errorf("no reads recorded: %+v", res)
+	}
+	if res.Writes == 0 {
+		t.Errorf("background writer applied nothing: %+v", res)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("writer updates rejected: %+v", res)
+	}
+	if res.P99NS < res.P50NS {
+		t.Errorf("p99 %d < p50 %d", res.P99NS, res.P50NS)
+	}
+
+	// Misconfiguration is reported, not silently measured.
+	if _, err := (server.LoadGen{Engine: eng}).Run(context.Background()); err == nil {
+		t.Error("empty LoadGen config did not error")
+	}
+}

@@ -1,0 +1,67 @@
+package rxview
+
+import (
+	"context"
+
+	"rxview/internal/core"
+	"rxview/internal/xpath"
+)
+
+// Generation counts the mutations applied to the view since Open: it
+// increments exactly once per applied insertion or deletion, in application
+// order, and never for rejected, skipped, no-op or dry-run updates. A
+// Snapshot carries the generation it was taken at, so an observed query
+// result can be attributed to an exact prefix of the write history.
+func (v *View) Generation() uint64 { return v.sys.Generation() }
+
+// Snapshot freezes the current view state into an immutable epoch copy:
+// the DAG-compressed view and the topological order L, cloned together at
+// the current generation (the reachability matrix M is captured as its
+// size — queries evaluate without it). The snapshot answers queries,
+// renders statistics and serializes XML without touching the live view, so
+// any number of goroutines may share one Snapshot while the view keeps
+// applying updates.
+//
+// Taking the snapshot itself is a read of the live view and must not run
+// concurrently with Apply/Batch on the same View — a View is single-writer.
+// The server package's Engine does exactly that serialization: its apply
+// loop snapshots after each write and publishes the result atomically, which
+// is how reads become wait-free under write load.
+func (v *View) Snapshot() *Snapshot {
+	return &Snapshot{sn: v.sys.Snapshot()}
+}
+
+// Snapshot is an immutable copy of a View at one generation. All methods
+// are safe for concurrent use by any number of goroutines. See
+// View.Snapshot.
+type Snapshot struct {
+	sn *core.Snapshot
+}
+
+// Generation returns the write-history prefix this snapshot reflects.
+func (s *Snapshot) Generation() uint64 { return s.sn.Generation() }
+
+// Query evaluates an XPath expression against the frozen state and returns
+// the selected nodes r[[p]] — the same fragment and semantics as
+// View.Query, at this snapshot's epoch.
+func (s *Snapshot) Query(ctx context.Context, path string) ([]Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return nil, parseErr(path, err)
+	}
+	res, err := s.sn.Eval(p)
+	if err != nil {
+		return nil, err
+	}
+	return nodesOf(s.sn.DAG(), s.sn.Text(), res.Selected), nil
+}
+
+// Stats computes the frozen view's statistics.
+func (s *Snapshot) Stats() Stats { return statsOf(s.sn.Stats()) }
+
+// XML returns the serialized frozen view; maxNodes bounds the unfolded
+// tree size.
+func (s *Snapshot) XML(maxNodes int) (string, error) { return s.sn.XML(maxNodes) }

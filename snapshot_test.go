@@ -1,0 +1,149 @@
+package rxview_test
+
+// Tests of the snapshot/generation surface that the server package builds
+// on: isolation (a snapshot never observes later writes), generation
+// attribution (one bump per applied mutation, none for rejections and
+// no-ops), and equality of a snapshot's answers with the live view's at the
+// same generation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rxview"
+)
+
+func TestSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t, rxview.WithForceSideEffects())
+
+	const q = `//course[cno="CS650"]/takenBy/student`
+	before, err := view.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := view.Snapshot()
+	gen0 := view.Generation()
+	if snap.Generation() != gen0 {
+		t.Fatalf("snapshot generation %d != view generation %d", snap.Generation(), gen0)
+	}
+
+	// Write through the live view: the snapshot must not move.
+	u := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S90"), rxview.Str("Iso"))
+	if rep, err := view.Apply(ctx, u); err != nil || !rep.Applied {
+		t.Fatalf("apply: rep=%+v err=%v", rep, err)
+	}
+	if view.Generation() != gen0+1 {
+		t.Fatalf("generation after one applied update = %d, want %d", view.Generation(), gen0+1)
+	}
+	if snap.Generation() != gen0 {
+		t.Error("snapshot generation moved with the live view")
+	}
+
+	after, err := view.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("live view result = %d nodes, want %d", len(after), len(before)+1)
+	}
+	frozen, err := snap.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frozen) != len(before) {
+		t.Errorf("snapshot result = %d nodes, want the pre-write %d", len(frozen), len(before))
+	}
+
+	// A fresh snapshot sees the write; stats and XML agree with the live view.
+	snap2 := view.Snapshot()
+	if snap2.Generation() != gen0+1 {
+		t.Errorf("fresh snapshot generation = %d, want %d", snap2.Generation(), gen0+1)
+	}
+	if vs, ss := view.Stats(), snap2.Stats(); vs != ss {
+		t.Errorf("stats differ: view %v vs snapshot %v", vs, ss)
+	}
+	vx, err := view.XML(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := snap2.XML(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vx != sx {
+		t.Error("snapshot XML differs from the live view at the same generation")
+	}
+}
+
+func TestGenerationDoesNotCountNonMutations(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t) // side effects rejected
+	gen0 := view.Generation()
+
+	if _, err := view.Apply(ctx, sharedInsert); !errors.Is(err, rxview.ErrSideEffect) {
+		t.Fatalf("want side-effect rejection, got %v", err)
+	}
+	if _, err := view.DryRun(ctx, rxview.Insert(`//course[cno="CS650"]/takenBy`,
+		"student", rxview.Str("S91"), rxview.Str("Dry"))); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if rep, err := view.Apply(ctx, rxview.Delete(`//course[cno="NOPE"]`)); err != nil || rep.Applied {
+		t.Fatalf("no-op delete: rep=%+v err=%v", rep, err)
+	}
+	if view.Generation() != gen0 {
+		t.Errorf("generation moved to %d without an applied mutation (was %d)", view.Generation(), gen0)
+	}
+}
+
+func TestGenerationCountsBatchMembers(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t, rxview.WithForceSideEffects())
+	gen0 := view.Generation()
+	var updates []rxview.Update
+	for i := 0; i < 5; i++ {
+		updates = append(updates, rxview.Insert(`//course[cno="CS650"]/takenBy`,
+			"student", rxview.Str(fmt.Sprintf("S92%d", i)), rxview.Str("Gen")))
+	}
+	reps, err := view.Batch(ctx, updates...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, r := range reps {
+		if r.Applied {
+			applied++
+		}
+	}
+	if got := view.Generation(); got != gen0+uint64(applied) {
+		t.Errorf("generation = %d after %d applied batch members (started at %d)", got, applied, gen0)
+	}
+	// The snapshot taken after the batch answers exactly like the view.
+	snap := view.Snapshot()
+	vq, err := view.Query(ctx, `//student`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := snap.Query(ctx, `//student`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(vq) != fmt.Sprint(sq) {
+		t.Errorf("snapshot query differs from view query at same generation:\n%v\n%v", sq, vq)
+	}
+}
+
+func TestSnapshotQueryErrors(t *testing.T) {
+	ctx := context.Background()
+	snap := mustView(t).Snapshot()
+	if _, err := snap.Query(ctx, `//course[`); !errors.Is(err, rxview.ErrParse) {
+		t.Errorf("snapshot parse error = %v, want ErrParse", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := snap.Query(cctx, `//course`); !errors.Is(err, context.Canceled) {
+		t.Errorf("snapshot query under cancelled ctx = %v, want Canceled", err)
+	}
+}

@@ -131,15 +131,15 @@ func reportsOf(rs []*core.Report) []*Report {
 // Fig.10(b) in the paper: DAG size, uncompressed tree size, sharing, |L|
 // and |M|.
 type Stats struct {
-	BaseRows    int     // total tuples in the published database
-	Nodes       int     // DAG nodes (n)
-	Edges       int     // DAG edges (|V|, the size of the relational views)
-	TreeSize    float64 // uncompressed |T|
-	Compression float64 // TreeSize / Nodes
-	SharedNodes int     // nodes with >1 parent
-	SharedFrac  float64 // SharedNodes / Nodes
-	TopoLen     int     // |L|
-	MatrixPairs int     // |M|
+	BaseRows    int     `json:"base_rows"`    // total tuples in the published database
+	Nodes       int     `json:"nodes"`        // DAG nodes (n)
+	Edges       int     `json:"edges"`        // DAG edges (|V|, the size of the relational views)
+	TreeSize    float64 `json:"tree_size"`    // uncompressed |T|
+	Compression float64 `json:"compression"`  // TreeSize / Nodes
+	SharedNodes int     `json:"shared_nodes"` // nodes with >1 parent
+	SharedFrac  float64 `json:"shared_frac"`  // SharedNodes / Nodes
+	TopoLen     int     `json:"topo_len"`     // |L|
+	MatrixPairs int     `json:"matrix_pairs"` // |M|
 }
 
 // String renders the statistics in a Fig.10(b)-style line.
@@ -173,4 +173,14 @@ func nodeOf(d *dag.DAG, text func(dag.NodeID) (string, bool), id dag.NodeID) Nod
 		}
 	}
 	return n
+}
+
+// nodesOf renders a selection r[[p]] — shared by the live View and its
+// frozen Snapshots so the two query paths can never diverge.
+func nodesOf(d *dag.DAG, text func(dag.NodeID) (string, bool), ids []dag.NodeID) []Node {
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = nodeOf(d, text, id)
+	}
+	return out
 }

@@ -57,12 +57,7 @@ func (v *View) Query(ctx context.Context, path string) ([]Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := v.sys.ATG.Text(v.sys.DAG)
-	out := make([]Node, len(res.Selected))
-	for i, id := range res.Selected {
-		out[i] = nodeOf(v.sys.DAG, text, id)
-	}
-	return out, nil
+	return nodesOf(v.sys.DAG, v.sys.ATG.Text(v.sys.DAG), res.Selected), nil
 }
 
 // Apply runs the full pipeline for one update: DTD validation, XPath
