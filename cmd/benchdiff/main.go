@@ -1,0 +1,110 @@
+// benchdiff compares a freshly measured BENCH_PR4.json against the
+// committed baseline and warns when snapshot-publication cost regressed
+// beyond the allowed factor. It is wired into the non-gating CI bench job:
+// a regression prints a GitHub warning annotation and exits non-zero so the
+// step fails loudly, without gating the build (the job continues on error).
+//
+//	benchdiff -baseline BENCH_PR4.json -current BENCH_PR4.new.json -factor 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	NC           int   `json:"nc"`
+	Nodes        int   `json:"nodes"`
+	PublishCOWNS int64 `json:"publish_cow_ns_per_op"`
+}
+
+type file struct {
+	Points []point `json:"points"`
+}
+
+func load(path string) (file, error) {
+	var f file
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_PR4.json", "committed baseline")
+	current := flag.String("current", "", "freshly measured file")
+	factor := flag.Float64("factor", 2, "allowed regression factor")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	baseByNC := map[int]point{}
+	for _, p := range base.Points {
+		baseByNC[p.NC] = p
+	}
+	regressed, compared := false, 0
+	for _, c := range cur.Points {
+		b, ok := baseByNC[c.NC]
+		if !ok || b.PublishCOWNS <= 0 {
+			fmt.Printf("benchdiff: nc=%d not in baseline, skipping\n", c.NC)
+			continue
+		}
+		compared++
+		ratio := float64(c.PublishCOWNS) / float64(b.PublishCOWNS)
+		fmt.Printf("nc=%d publish_cow: baseline %dns, current %dns (%.2fx)\n",
+			c.NC, b.PublishCOWNS, c.PublishCOWNS, ratio)
+		if ratio > *factor {
+			// GitHub annotation: visible on the run summary even though the
+			// bench job is non-gating. Absolute ns across machines is noisy
+			// (the baseline was measured elsewhere), which is one reason
+			// this check warns instead of gating; the flatness check below
+			// is the machine-independent signal.
+			fmt.Printf("::warning title=snapshot publication regression::nc=%d publish_cow_ns %d -> %d (%.2fx > %.1fx allowed)\n",
+				c.NC, b.PublishCOWNS, c.PublishCOWNS, ratio, *factor)
+			regressed = true
+		}
+	}
+	if compared == 0 {
+		// A guard that compares nothing must not pass green: this happens
+		// when ci.yml's -sizes drifts from the committed baseline or the
+		// current file is empty/truncated.
+		fmt.Println("::warning title=benchdiff inert::no points compared — baseline and current share no nc sizes")
+		os.Exit(2)
+	}
+	// Machine-independent acceptance bar: within ONE run, publish_cow must
+	// stay flat (within factor) across the size sweep. This flags an O(n)
+	// component sneaking back into the seal even when the runner's absolute
+	// speed differs wildly from the baseline machine's.
+	lo, hi := int64(1<<62), int64(0)
+	for _, c := range cur.Points {
+		if c.PublishCOWNS > 0 {
+			lo, hi = min(lo, c.PublishCOWNS), max(hi, c.PublishCOWNS)
+		}
+	}
+	if hi > 0 {
+		flat := float64(hi) / float64(lo)
+		fmt.Printf("publish_cow flatness across sizes: %.2fx (max %dns / min %dns)\n", flat, hi, lo)
+		if flat > *factor {
+			fmt.Printf("::warning title=snapshot publication not flat::publish_cow_ns varies %.2fx across view sizes (> %.1fx): an O(n) component is back in the seal\n",
+				flat, *factor)
+			regressed = true
+		}
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,12 @@
 // -json, writes BENCH_PR3.json:
 //
 //	benchrunner -exp serve -sizes 1000 -dur 500ms -json BENCH_PR3.json
+//
+// The snapshot experiment measures epoch publication (copy-on-write seal
+// vs full clone), write throughput under per-write publication, and
+// served-query cache hit/miss latency, writing BENCH_PR4.json:
+//
+//	benchrunner -exp snapshot -sizes 250,2500,25000 -json BENCH_PR4.json
 package main
 
 import (
@@ -37,7 +43,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -64,6 +70,7 @@ func main() {
 	run("ablation", ablation)
 	run("perf", perf)
 	run("serve", serveExp)
+	run("snapshot", snapshotExp)
 }
 
 func parseSizes(s string) ([]int, error) {

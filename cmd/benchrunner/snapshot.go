@@ -1,0 +1,186 @@
+package main
+
+// The snapshot experiment measures epoch publication — the serving layer's
+// per-write cost of freezing a readable snapshot — for the copy-on-write
+// seal (O(Δ)) against the full deep clone (O(n)), across view sizes; plus
+// end-to-end write throughput with one publication per write under both
+// schemes, and served-query latency through the engine's read caches (the
+// per-epoch result memo hit vs the evaluating miss).
+//
+//	benchrunner -exp snapshot -sizes 250,2500,25000 -json BENCH_PR4.json
+//
+// Sizes are |C|; the synthetic generator yields roughly 4.4 DAG nodes per
+// C tuple, so 250/2500/25000 cover the 1k → 10k → 100k-node sweep. The
+// publication acceptance bar: cow ns/op stays flat (within 2×) across the
+// sweep while clone ns/op grows with the view.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+// snapPoint is one row of BENCH_PR4.json.
+type snapPoint struct {
+	NC             int     `json:"nc"`
+	Nodes          int     `json:"nodes"`
+	PublishCOWNS   int64   `json:"publish_cow_ns_per_op"`
+	PublishCloneNS int64   `json:"publish_clone_ns_per_op"`
+	WriteCOWSec    float64 `json:"write_throughput_cow_per_sec"`
+	WriteCloneSec  float64 `json:"write_throughput_clone_per_sec"`
+	QueryMissNS    int64   `json:"query_miss_ns"`
+	QueryHitNS     int64   `json:"query_hit_ns"`
+}
+
+// snapFile is the BENCH_PR4.json layout.
+type snapFile struct {
+	Seed   int64       `json:"seed"`
+	Points []snapPoint `json:"points"`
+}
+
+func snapshotExp(sizes []int) {
+	fmt.Println("== Snapshot publication: copy-on-write seal vs full clone ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tnodes\tpublish cow\tpublish clone\tclone/cow\twrites/s cow\twrites/s clone\tquery miss\tquery hit")
+	out := snapFile{Seed: *seedFlag}
+	for _, nc := range sizes {
+		pt, err := measureSnapshot(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, pt)
+		ratio := float64(pt.PublishCloneNS) / float64(max(pt.PublishCOWNS, 1))
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%.1fx\t%.0f\t%.0f\t%s\t%s\n",
+			pt.NC, pt.Nodes,
+			time.Duration(pt.PublishCOWNS), time.Duration(pt.PublishCloneNS), ratio,
+			pt.WriteCOWSec, pt.WriteCloneSec,
+			time.Duration(pt.QueryMissNS), time.Duration(pt.QueryHitNS))
+	}
+	w.Flush()
+	fmt.Println()
+	// Strict -exp guard (like serve): under -exp all the -json file belongs
+	// to the perf experiment and must not be overwritten.
+	if *jsonFlag != "" && *expFlag == "snapshot" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+func measureSnapshot(nc int, seed int64) (snapPoint, error) {
+	ctx := context.Background()
+	pt := snapPoint{NC: nc}
+
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return pt, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		return pt, err
+	}
+	pt.Nodes = view.Stats().Nodes
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return pt, fmt.Errorf("snapshot: synthetic dataset has no roots")
+	}
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+
+	// Write script: insert/delete pairs on fresh keys under one published
+	// root. Every pair restores the base state, so Δ per write stays small
+	// and constant across view sizes — exactly the regime in which an O(Δ)
+	// publication must stay flat while an O(n) one grows.
+	keys := syn.FreshKeys(64)
+	mkWrites := func() []rxview.Update {
+		var ws []rxview.Update
+		for i, k := range keys {
+			ws = append(ws,
+				rxview.Insert(target, "C", rxview.Int(k), rxview.Str(fmt.Sprintf("s%d", i))),
+				rxview.Delete(fmt.Sprintf(`//C[key="%d"]`, k)))
+		}
+		return ws
+	}
+
+	// Publication cost: after every applied write, seal a snapshot, timing
+	// the publication alone. The seal sees exactly one write of dirt (it
+	// reseals per write, like the engine's publish). The COW and clone
+	// passes run separately — the clone's O(n) allocation churn triggers
+	// GC pauses that would otherwise bleed into the COW timings.
+	var cowTotal, cloneTotal time.Duration
+	writes := mkWrites()
+	runtime.GC()
+	for _, u := range writes {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return pt, fmt.Errorf("snapshot: apply %s: %w", u, err)
+		}
+		t0 := time.Now()
+		view.Snapshot()
+		cowTotal += time.Since(t0)
+	}
+	runtime.GC()
+	for _, u := range mkWrites() {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return pt, fmt.Errorf("snapshot: apply %s: %w", u, err)
+		}
+		t0 := time.Now()
+		view.CloneSnapshot()
+		cloneTotal += time.Since(t0)
+	}
+	n := int64(len(writes))
+	pt.PublishCOWNS = cowTotal.Nanoseconds() / n
+	pt.PublishCloneNS = cloneTotal.Nanoseconds() / n
+
+	// Write throughput with one publication per write, COW vs clone.
+	t0 := time.Now()
+	for _, u := range mkWrites() {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return pt, err
+		}
+		view.Snapshot()
+	}
+	pt.WriteCOWSec = float64(n) / time.Since(t0).Seconds()
+	t0 = time.Now()
+	for _, u := range mkWrites() {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return pt, err
+		}
+		view.CloneSnapshot()
+	}
+	pt.WriteCloneSec = float64(n) / time.Since(t0).Seconds()
+
+	// Served-query latency through the engine's caches: the first read of a
+	// path on an epoch evaluates (memo miss), repeats are memo hits.
+	eng := server.New(view)
+	defer eng.Close()
+	missPaths := []string{`//C[sub/C]`, `//C`, `/db/C`, `//C/sub/C`}
+	var missTotal time.Duration
+	for _, q := range missPaths {
+		t0 = time.Now()
+		if _, err := eng.Query(ctx, q); err != nil {
+			return pt, err
+		}
+		missTotal += time.Since(t0)
+	}
+	pt.QueryMissNS = missTotal.Nanoseconds() / int64(len(missPaths))
+	const hits = 256
+	t0 = time.Now()
+	for i := 0; i < hits; i++ {
+		if _, err := eng.Query(ctx, missPaths[i%len(missPaths)]); err != nil {
+			return pt, err
+		}
+	}
+	pt.QueryHitNS = time.Since(t0).Nanoseconds() / hits
+	return pt, nil
+}

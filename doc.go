@@ -27,13 +27,19 @@
 //
 // A View is not safe for concurrent use: the pipeline mutates the DAG and
 // the auxiliary structures in place. Two primitives support the concurrent
-// serving layer built on top (package rxview/server): View.Snapshot freezes
-// the current state into an immutable epoch copy whose Query/Stats/XML are
-// safe for any number of goroutines, and View.Generation counts applied
+// serving layer built on top (package rxview/server): View.Snapshot seals
+// the current state into an immutable epoch whose Query/Stats/XML are safe
+// for any number of goroutines, and View.Generation counts applied
 // mutations, so every snapshot identifies the exact write-history prefix it
-// reflects. Reads served from snapshots are snapshot-consistent — they
-// observe the view after some prefix of the applied updates, never a
-// partial one — while writes stay serialized on the live View.
+// reflects. Sealing is copy-on-write — O(Δ) in what changed since the last
+// snapshot, not O(n) in the view — so a serving layer can afford one epoch
+// per applied write; View.CloneSnapshot is the deep-copy equivalent, kept
+// as the differential baseline and aliasing-test oracle. Reads served from
+// snapshots are snapshot-consistent — they observe the view after some
+// prefix of the applied updates, never a partial one — while writes stay
+// serialized on the live View. Query texts compile once through a
+// process-wide compiled-path cache shared by View.Query, Snapshot.Query
+// and the server handlers.
 //
 // The implementation lives under internal/; internal/core wires it together
 // behind this package. See README.md for a tour and for how to run the

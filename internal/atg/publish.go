@@ -148,7 +148,7 @@ func (c *Compiled) expand(d *dag.DAG, db *relational.Database, node dag.NodeID, 
 // Text returns the node-text function for the published view: PCDATA
 // elements render their designated attribute component; other elements have
 // no text. This is what XPath value filters p = "s" compare against.
-func (c *Compiled) Text(d *dag.DAG) func(dag.NodeID) (string, bool) {
+func (c *Compiled) Text(d dag.Reader) func(dag.NodeID) (string, bool) {
 	return func(id dag.NodeID) (string, bool) {
 		typ := d.Type(id)
 		if c.DTD.Elems[typ].Kind != dtd.PCData {

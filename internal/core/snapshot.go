@@ -16,36 +16,62 @@ import (
 // observed snapshot back to a prefix of the write history.
 func (s *System) Generation() uint64 { return s.gen }
 
-// Snapshot is an immutable copy of the view state at one generation: the
+// Snapshot is an immutable view of the system state at one generation: the
 // DAG-compressed view and the topological order L, frozen together. It
 // answers queries and renders statistics and XML without touching the live
 // System, so any number of goroutines may use one Snapshot concurrently
 // while the System keeps applying updates — the epoch unit of the
 // snapshot-isolated serving layer.
 //
-// The reachability matrix M is deliberately NOT cloned: no snapshot read
+// Snapshots are copy-on-write versions, not clones: System.Snapshot seals
+// the live structures in time proportional to what changed since the
+// previous seal (O(Δ)), sharing every untouched chunk and row with the
+// live view and with neighboring snapshots. CloneSnapshot builds the same
+// Snapshot by deep copy (O(n)) — the differential baseline for the COW
+// machinery and the oracle in aliasing tests.
+//
+// The reachability matrix M is deliberately NOT captured: no snapshot read
 // path consults it — the NFA evaluator needs only the DAG and L, and Stats
 // needs only |M|, captured as a count. (A frozen M for consumers that do
 // need one, e.g. a frontier-evaluator serving path, is one
 // reach.Index.Clone away.) A Snapshot never reads the database either:
-// text content lives in the cloned DAG's attribute tuples, and the
-// base-row count is captured at snapshot time. Update paths (Apply,
-// DryRun, Batch) are intentionally absent.
+// text content lives in the sealed attribute tuples, and the base-row
+// count is captured at snapshot time. Update paths (Apply, DryRun, Batch)
+// are intentionally absent.
 type Snapshot struct {
 	gen         uint64
-	dag         *dag.DAG
-	topo        *reach.Topo
+	dag         dag.Reader
+	topo        reach.Order
 	matrixPairs int
 	text        func(dag.NodeID) (string, bool)
 	maskLimit   int
 	baseRows    int
 }
 
-// Snapshot freezes the current view state. It must not run concurrently
-// with updates on the same System (the System itself is single-writer); the
+// Snapshot freezes the current view state in O(Δ): it seals the DAG and L
+// into immutable copy-on-write versions. It must not run concurrently with
+// updates on the same System (the System itself is single-writer); the
 // serving layer's apply loop calls it after each write and publishes the
 // result atomically.
 func (s *System) Snapshot() *Snapshot {
+	v := s.DAG.Seal()
+	return &Snapshot{
+		gen:         s.gen,
+		dag:         v,
+		topo:        s.Index.Topo.Seal(),
+		matrixPairs: s.Index.Matrix.Size(),
+		text:        s.ATG.Text(v),
+		maskLimit:   s.opts.MaskLimit,
+		baseRows:    s.DB.TotalRows(),
+	}
+}
+
+// CloneSnapshot freezes the current view state by deep copy (O(n) in the
+// view size). It answers exactly like Snapshot at the same generation;
+// keep using it where full physical independence is the point — as the
+// aliasing-test oracle and the baseline the snapshot benchmarks compare
+// the O(Δ) seal against.
+func (s *System) CloneSnapshot() *Snapshot {
 	d := s.DAG.Clone()
 	return &Snapshot{
 		gen:         s.gen,
@@ -63,7 +89,7 @@ func (sn *Snapshot) Generation() uint64 { return sn.gen }
 
 // DAG exposes the frozen view structure (for node rendering in the public
 // layer). Callers must treat it as read-only.
-func (sn *Snapshot) DAG() *dag.DAG { return sn.dag }
+func (sn *Snapshot) DAG() dag.Reader { return sn.dag }
 
 // Text exposes the frozen PCDATA accessor.
 func (sn *Snapshot) Text() func(dag.NodeID) (string, bool) { return sn.text }
@@ -87,7 +113,7 @@ func (sn *Snapshot) Eval(p *xpath.Path) (*xpath.Result, error) {
 
 // Query evaluates an XPath expression and returns r[[p]] at this epoch.
 func (sn *Snapshot) Query(path string) ([]dag.NodeID, error) {
-	p, err := xpath.Parse(path)
+	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +131,7 @@ func (sn *Snapshot) Stats() Stats {
 
 // WriteXML serializes the frozen view; maxNodes bounds the unfolded size.
 func (sn *Snapshot) WriteXML(w io.Writer, maxNodes int) error {
-	tree, err := sn.dag.Unfold(sn.dag.Root(), sn.text, maxNodes)
+	tree, err := dag.Unfold(sn.dag, sn.dag.Root(), sn.text, maxNodes)
 	if err != nil {
 		return err
 	}

@@ -30,10 +30,10 @@ func (s *System) Stats() Stats {
 // System and its frozen Snapshots so the two can never diverge. L and M
 // enter as their sizes, which is all Stats reports (and all a Snapshot
 // retains of M).
-func statsFor(d *dag.DAG, topoLen, matrixPairs, baseRows int) Stats {
+func statsFor(d dag.Reader, topoLen, matrixPairs, baseRows int) Stats {
 	n := d.NumNodes()
-	ts := d.TreeSize()
-	shared := d.SharedNodeCount()
+	ts := dag.TreeSize(d)
+	shared := dag.SharedNodeCount(d)
 	st := Stats{
 		BaseRows:    baseRows,
 		Nodes:       n,

@@ -187,6 +187,25 @@ func (s *System) warmIndexes() {
 	}
 }
 
+// pathCache is the process-wide compiled-path LRU: every query surface —
+// live System, frozen Snapshot, and the server handlers above them —
+// parses through it, so a hot query text is compiled once per process, not
+// once per request. Compiled paths are immutable, which is what makes the
+// sharing sound; parse errors are cached too (the malformed-query fast
+// path: no re-parse, no evaluator allocation).
+var pathCache = xpath.NewCache(4096)
+
+// ParsePath compiles an XPath through the shared compiled-path cache.
+func ParsePath(path string) (*xpath.Path, error) {
+	return pathCache.Parse(path)
+}
+
+// PathCacheStats returns the shared compiled-path cache's hit/miss
+// counters (process-wide, monotone).
+func PathCacheStats() (hits, misses uint64) {
+	return pathCache.Stats()
+}
+
 // evaluator returns a fresh XPath evaluator over the current view.
 func (s *System) evaluator() *xpath.Evaluator {
 	return &xpath.Evaluator{
@@ -199,7 +218,7 @@ func (s *System) evaluator() *xpath.Evaluator {
 
 // Query evaluates an XPath expression and returns r[[p]].
 func (s *System) Query(path string) ([]dag.NodeID, error) {
-	p, err := xpath.Parse(path)
+	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +246,7 @@ func (s *System) Execute(stmt string) (*Report, error) {
 
 // Insert applies insert (elemType, attr) into path.
 func (s *System) Insert(path string, elemType string, attr relational.Tuple) (*Report, error) {
-	p, err := xpath.Parse(path)
+	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +255,7 @@ func (s *System) Insert(path string, elemType string, attr relational.Tuple) (*R
 
 // Delete applies delete path.
 func (s *System) Delete(path string) (*Report, error) {
-	p, err := xpath.Parse(path)
+	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
 	}

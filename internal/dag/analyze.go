@@ -23,7 +23,7 @@ func (d *DAG) CheckAcyclic() error {
 			return nil
 		}
 		state[id] = 1
-		for _, c := range d.children[id] {
+		for _, c := range d.Children(id) {
 			if err := visit(c); err != nil {
 				return err
 			}
@@ -40,18 +40,20 @@ func (d *DAG) CheckAcyclic() error {
 }
 
 // Reachable returns a Cap()-sized bitmap marking nodes reachable from the
-// root (including it).
-func (d *DAG) Reachable() []bool {
+// root (including it). It works on any Reader — the live DAG or a sealed
+// Version.
+func Reachable(d Reader) []bool {
 	seen := make([]bool, d.Cap())
-	if !d.Alive(d.root) {
+	root := d.Root()
+	if !d.Alive(root) {
 		return seen
 	}
-	stack := []NodeID{d.root}
-	seen[d.root] = true
+	stack := []NodeID{root}
+	seen[root] = true
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range d.children[u] {
+		for _, c := range d.Children(u) {
 			if !seen[c] {
 				seen[c] = true
 				stack = append(stack, c)
@@ -60,6 +62,10 @@ func (d *DAG) Reachable() []bool {
 	}
 	return seen
 }
+
+// Reachable returns a Cap()-sized bitmap marking nodes reachable from the
+// root (including it).
+func (d *DAG) Reachable() []bool { return Reachable(d) }
 
 // GarbageCollect removes every node unreachable from the root, together with
 // its edges, and returns the removed node ids. This is the background step
@@ -83,9 +89,10 @@ func (d *DAG) GarbageCollect() []NodeID {
 // saturate at MaxFloat64 scale via float64: recursive views can be
 // exponentially larger than their DAG (§1), which is the point of the
 // compression.
-func (d *DAG) OccurrenceCounts() []float64 {
+func OccurrenceCounts(d Reader) []float64 {
 	occ := make([]float64, d.Cap())
 	state := make([]int8, d.Cap())
+	root := d.Root()
 	var visit func(id NodeID) float64
 	visit = func(id NodeID) float64 {
 		if state[id] == 2 {
@@ -93,11 +100,11 @@ func (d *DAG) OccurrenceCounts() []float64 {
 		}
 		state[id] = 2
 		var total float64
-		if id == d.root {
+		if id == root {
 			total = 1
 		}
-		for _, p := range d.parents[id] {
-			if d.alive[p] {
+		for _, p := range d.Parents(id) {
+			if d.Alive(p) {
 				total += visit(p)
 			}
 		}
@@ -110,25 +117,31 @@ func (d *DAG) OccurrenceCounts() []float64 {
 	return occ
 }
 
+// OccurrenceCounts returns the per-node occurrence counts of the live view.
+func (d *DAG) OccurrenceCounts() []float64 { return OccurrenceCounts(d) }
+
 // TreeSize returns the number of element nodes of the uncompressed tree view
 // |T|. The compression ratio |T| / NumNodes is what Fig.10(b) reports.
-func (d *DAG) TreeSize() float64 {
+func TreeSize(d Reader) float64 {
 	var total float64
-	for _, c := range d.OccurrenceCounts() {
+	for _, c := range OccurrenceCounts(d) {
 		total += c
 	}
 	return total
 }
 
+// TreeSize returns |T| for the live view.
+func (d *DAG) TreeSize() float64 { return TreeSize(d) }
+
 // SharedNodeCount returns how many live nodes have more than one parent —
 // the subtree-sharing statistic of §5 (31.4% of C instances in the paper's
 // dataset).
-func (d *DAG) SharedNodeCount() int {
+func SharedNodeCount(d Reader) int {
 	n := 0
 	for _, id := range d.Nodes() {
 		live := 0
-		for _, p := range d.parents[id] {
-			if d.alive[p] {
+		for _, p := range d.Parents(id) {
+			if d.Alive(p) {
 				live++
 			}
 		}
@@ -139,6 +152,9 @@ func (d *DAG) SharedNodeCount() int {
 	return n
 }
 
+// SharedNodeCount returns the sharing statistic for the live view.
+func (d *DAG) SharedNodeCount() int { return SharedNodeCount(d) }
+
 // ErrTreeTooLarge is returned by Unfold when the uncompressed tree exceeds
 // the node budget.
 var ErrTreeTooLarge = errors.New("dag: uncompressed tree exceeds node budget")
@@ -146,8 +162,8 @@ var ErrTreeTooLarge = errors.New("dag: uncompressed tree exceeds node budget")
 // Unfold materializes the uncompressed tree view rooted at id, formatting
 // PCDATA content with textOf (nil means elements carry no text). maxNodes
 // bounds the output size; recursive views can be exponentially larger than
-// the DAG.
-func (d *DAG) Unfold(id NodeID, textOf func(NodeID) (string, bool), maxNodes int) (*xtree.Node, error) {
+// the DAG. It works on any Reader — the live DAG or a sealed Version.
+func Unfold(d Reader, id NodeID, textOf func(NodeID) (string, bool), maxNodes int) (*xtree.Node, error) {
 	if maxNodes <= 0 {
 		maxNodes = math.MaxInt
 	}
@@ -158,13 +174,13 @@ func (d *DAG) Unfold(id NodeID, textOf func(NodeID) (string, bool), maxNodes int
 			return nil, ErrTreeTooLarge
 		}
 		budget--
-		n := &xtree.Node{Type: d.types[id]}
+		n := &xtree.Node{Type: d.Type(id)}
 		if textOf != nil {
 			if s, ok := textOf(id); ok {
 				n.Text = s
 			}
 		}
-		for _, c := range d.children[id] {
+		for _, c := range d.Children(id) {
 			child, err := build(c)
 			if err != nil {
 				return nil, err
@@ -174,4 +190,9 @@ func (d *DAG) Unfold(id NodeID, textOf func(NodeID) (string, bool), maxNodes int
 		return n, nil
 	}
 	return build(id)
+}
+
+// Unfold materializes the uncompressed tree view of the live DAG.
+func (d *DAG) Unfold(id NodeID, textOf func(NodeID) (string, bool), maxNodes int) (*xtree.Node, error) {
+	return Unfold(d, id, textOf, maxNodes)
 }

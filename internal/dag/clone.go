@@ -6,15 +6,18 @@ import (
 	"rxview/internal/relational"
 )
 
-// Clone returns an independent structural copy of the DAG, for snapshot
-// publication: the serving layer evaluates queries against the clone while
-// the original keeps mutating under the writer. Every mutable structure is
-// deep-copied — in particular the per-node adjacency slices, which
-// RemoveEdge compacts in place, and the Skolem registry maps, which AddNode
-// grows. Node attribute tuples and type strings are immutable once created
-// and are shared.
+// Clone returns an independent structural copy of the DAG. Every mutable
+// structure is deep-copied — in particular the per-node adjacency rows and
+// the Skolem registry maps. Node attribute tuples and type strings are
+// immutable once created and are shared.
 //
-// Clone panics inside a transaction: a snapshot of speculative, possibly
+// Snapshot publication does NOT use Clone anymore: Seal produces an
+// immutable copy-on-write Version in O(Δ). Clone remains the full-copy
+// path — the differential baseline for the COW machinery, the oracle for
+// aliasing tests, and the right tool when the copy must itself be mutable
+// (it returns a live *DAG, not a frozen Version).
+//
+// Clone panics inside a transaction: a copy of speculative, possibly
 // rolled-back state is never meaningful.
 func (d *DAG) Clone() *DAG {
 	if d.journal != nil {
@@ -23,9 +26,9 @@ func (d *DAG) Clone() *DAG {
 	c := &DAG{
 		types:     append([]string(nil), d.types...),
 		attrs:     append([]relational.Tuple(nil), d.attrs...),
-		children:  cloneAdjacency(d.children),
-		parents:   cloneAdjacency(d.parents),
-		alive:     append([]bool(nil), d.alive...),
+		children:  d.children.clone(),
+		parents:   d.parents.clone(),
+		alive:     d.alive.clone(),
 		root:      d.root,
 		gen:       maps.Clone(d.gen),
 		byType:    make(map[string][]NodeID, len(d.byType)),
@@ -36,14 +39,4 @@ func (d *DAG) Clone() *DAG {
 		c.byType[typ] = append([]NodeID(nil), ids...)
 	}
 	return c
-}
-
-func cloneAdjacency(adj [][]NodeID) [][]NodeID {
-	out := make([][]NodeID, len(adj))
-	for i, s := range adj {
-		if len(s) > 0 {
-			out[i] = append([]NodeID(nil), s...)
-		}
-	}
-	return out
 }

@@ -5,6 +5,11 @@
 // (parent type, child type) pair, which is exactly the relational coding
 // V_σ = { edge_A_B } of the view. The per-type node sets are the gen_A
 // relations the paper maintains in the background.
+//
+// Per-node state is stored copy-on-write (see cow.go): DAG.Seal freezes the
+// live view into an immutable Version in time proportional to what changed
+// since the previous seal, which is what makes serving-layer snapshot
+// publication O(Δ) instead of O(n).
 package dag
 
 import (
@@ -29,13 +34,49 @@ type Edge struct {
 
 func (e Edge) String() string { return fmt.Sprintf("(%d→%d)", e.Parent, e.Child) }
 
+// Reader is the read surface shared by the live DAG and its sealed
+// Versions: everything query evaluation, XML serialization and statistics
+// need, and nothing that mutates. Functions that only read a view should
+// take a Reader so they serve both the live view and frozen epochs.
+// (NodesOfType exists on both concrete types but is deliberately not part
+// of the interface: the live DAG's implementation compacts its byType list
+// opportunistically — a write, safe only on the single-writer view.)
+type Reader interface {
+	// Root returns the root node id.
+	Root() NodeID
+	// Cap returns the id upper bound: every live NodeID is < Cap.
+	Cap() int
+	// Alive reports whether the id refers to a live node.
+	Alive(id NodeID) bool
+	// Type returns the element type of the node.
+	Type(id NodeID) string
+	// Attr returns the semantic attribute tuple $A of the node.
+	Attr(id NodeID) relational.Tuple
+	// Children returns the ordered child list; callers must not mutate it.
+	Children(id NodeID) []NodeID
+	// Parents returns the parent list; callers must not mutate it.
+	Parents(id NodeID) []NodeID
+	// Nodes returns all live node ids in id order.
+	Nodes() []NodeID
+	// NumNodes returns the number of live nodes (n in the paper's analysis).
+	NumNodes() int
+	// NumEdges returns the number of live edges (|V| in the paper's
+	// analysis: the size of the relational views).
+	NumEdges() int
+}
+
+var (
+	_ Reader = (*DAG)(nil)
+	_ Reader = (*Version)(nil)
+)
+
 // DAG is the compressed XML view.
 type DAG struct {
-	types    []string           // node -> element type
-	attrs    []relational.Tuple // node -> semantic attribute $A
-	children [][]NodeID         // ordered adjacency
-	parents  [][]NodeID
-	alive    []bool
+	types    []string           // node -> element type (append-only)
+	attrs    []relational.Tuple // node -> semantic attribute $A (append-only)
+	children refStore           // ordered adjacency, copy-on-write
+	parents  refStore
+	alive    boolStore
 	root     NodeID
 
 	gen       map[string]NodeID   // Skolem registry: (type, attr) -> id
@@ -74,7 +115,7 @@ func (d *DAG) Cap() int { return len(d.types) }
 
 // Alive reports whether the id refers to a live node.
 func (d *DAG) Alive(id NodeID) bool {
-	return id >= 0 && int(id) < len(d.alive) && d.alive[id]
+	return id >= 0 && int(id) < d.alive.n && d.alive.get(id)
 }
 
 // Type returns the element type of the node.
@@ -85,10 +126,10 @@ func (d *DAG) Attr(id NodeID) relational.Tuple { return d.attrs[id] }
 
 // Children returns the ordered child list of the node. Callers must not
 // mutate the returned slice.
-func (d *DAG) Children(id NodeID) []NodeID { return d.children[id] }
+func (d *DAG) Children(id NodeID) []NodeID { return d.children.row(id) }
 
 // Parents returns the parent list of the node. Callers must not mutate it.
-func (d *DAG) Parents(id NodeID) []NodeID { return d.parents[id] }
+func (d *DAG) Parents(id NodeID) []NodeID { return d.parents.row(id) }
 
 func genKey(typ string, attr relational.Tuple) string {
 	return typ + "\x00" + attr.Encode()
@@ -98,7 +139,7 @@ func genKey(typ string, attr relational.Tuple) string {
 // alive. This is gen_id as a partial lookup.
 func (d *DAG) Lookup(typ string, attr relational.Tuple) (NodeID, bool) {
 	id, ok := d.gen[genKey(typ, attr)]
-	if !ok || !d.alive[id] {
+	if !ok || !d.alive.get(id) {
 		return InvalidNode, false
 	}
 	return id, true
@@ -110,12 +151,12 @@ func (d *DAG) Lookup(typ string, attr relational.Tuple) (NodeID, bool) {
 func (d *DAG) AddNode(typ string, attr relational.Tuple) (id NodeID, created bool) {
 	k := genKey(typ, attr)
 	if id, ok := d.gen[k]; ok {
-		if d.alive[id] {
+		if d.alive.get(id) {
 			return id, false
 		}
 		// Resurrect a previously deleted identity, reusing its id so the
 		// Skolem function stays a function.
-		d.alive[id] = true
+		d.alive.set(id, true)
 		d.liveCount++
 		d.byType[typ] = append(d.byType[typ], id)
 		d.logOp(jop{kind: jNodeAdd, node: id})
@@ -124,9 +165,9 @@ func (d *DAG) AddNode(typ string, attr relational.Tuple) (id NodeID, created boo
 	id = NodeID(len(d.types))
 	d.types = append(d.types, typ)
 	d.attrs = append(d.attrs, attr.Clone())
-	d.children = append(d.children, nil)
-	d.parents = append(d.parents, nil)
-	d.alive = append(d.alive, true)
+	d.children.grow()
+	d.parents.grow()
+	d.alive.grow(true)
 	d.gen[k] = id
 	d.byType[typ] = append(d.byType[typ], id)
 	d.liveCount++
@@ -136,7 +177,7 @@ func (d *DAG) AddNode(typ string, attr relational.Tuple) (id NodeID, created boo
 
 // HasEdge reports whether the edge (u,v) exists.
 func (d *DAG) HasEdge(u, v NodeID) bool {
-	for _, c := range d.children[u] {
+	for _, c := range d.children.row(u) {
 		if c == v {
 			return true
 		}
@@ -155,8 +196,8 @@ func (d *DAG) AddEdge(u, v NodeID) bool {
 	if d.HasEdge(u, v) {
 		return false
 	}
-	d.children[u] = append(d.children[u], v)
-	d.parents[v] = append(d.parents[v], u)
+	d.children.setRow(u, append(d.children.ownRow(u, 1), v))
+	d.parents.setRow(v, append(d.parents.ownRow(v, 1), u))
 	d.edgeCount++
 	d.logOp(jop{kind: jEdgeAdd, edge: Edge{u, v}})
 	return true
@@ -166,37 +207,45 @@ func (d *DAG) AddEdge(u, v NodeID) bool {
 // The child node is not removed even if orphaned: garbage collection of
 // unreachable nodes is the background maintenance step of §2.3.
 func (d *DAG) RemoveEdge(u, v NodeID) bool {
-	cpos := removeFrom(&d.children[u], v)
+	cpos := d.removeRef(&d.children, u, v)
 	if cpos < 0 {
 		return false
 	}
-	ppos := removeFrom(&d.parents[v], u)
+	ppos := d.removeRef(&d.parents, v, u)
 	d.edgeCount--
 	d.logOp(jop{kind: jEdgeDel, edge: Edge{u, v}, childPos: cpos, parentPos: ppos})
 	return true
 }
 
-func removeFrom(list *[]NodeID, x NodeID) int {
-	s := *list
-	for i, v := range s {
+// removeRef deletes x from row i of a store, compacting in place on a
+// copy-on-write-owned row; it returns x's original position, or -1.
+func (d *DAG) removeRef(s *refStore, i, x NodeID) int {
+	pos := -1
+	for j, v := range s.row(i) {
 		if v == x {
-			copy(s[i:], s[i+1:])
-			*list = s[:len(s)-1]
-			return i
+			pos = j
+			break
 		}
 	}
-	return -1
+	if pos < 0 {
+		return -1
+	}
+	r := s.ownRow(i, 0)
+	copy(r[pos:], r[pos+1:])
+	s.setRow(i, r[:len(r)-1])
+	return pos
 }
 
-func insertAt(list *[]NodeID, pos int, x NodeID) {
-	s := *list
-	if pos < 0 || pos > len(s) {
-		pos = len(s)
+// insertRef re-inserts x into row i at pos (clamped), for journal undo.
+func (d *DAG) insertRef(s *refStore, i NodeID, pos int, x NodeID) {
+	r := s.ownRow(i, 1)
+	if pos < 0 || pos > len(r) {
+		pos = len(r)
 	}
-	s = append(s, 0)
-	copy(s[pos+1:], s[pos:])
-	s[pos] = x
-	*list = s
+	r = append(r, 0)
+	copy(r[pos+1:], r[pos:])
+	r[pos] = x
+	s.setRow(i, r)
 }
 
 // RemoveNode deletes a node and all its incident edges. Used by garbage
@@ -205,13 +254,13 @@ func (d *DAG) RemoveNode(id NodeID) {
 	if !d.Alive(id) {
 		return
 	}
-	for _, c := range append([]NodeID(nil), d.children[id]...) {
+	for _, c := range append([]NodeID(nil), d.children.row(id)...) {
 		d.RemoveEdge(id, c)
 	}
-	for _, p := range append([]NodeID(nil), d.parents[id]...) {
+	for _, p := range append([]NodeID(nil), d.parents.row(id)...) {
 		d.RemoveEdge(p, id)
 	}
-	d.alive[id] = false
+	d.alive.set(id, false)
 	d.liveCount--
 	d.logOp(jop{kind: jNodeDel, node: id})
 }
@@ -222,12 +271,14 @@ func (d *DAG) NodesOfType(typ string) []NodeID {
 	raw := d.byType[typ]
 	out := make([]NodeID, 0, len(raw))
 	for _, id := range raw {
-		if d.alive[id] {
+		if d.alive.get(id) {
 			out = append(out, id)
 		}
 	}
 	// The raw list can accumulate dead ids and duplicates after
-	// resurrections; compact it opportunistically.
+	// resurrections; compact it opportunistically. The replacement is a
+	// fresh array (never an in-place rewrite): sealed versions keep reading
+	// the old one.
 	if len(out) < len(raw) {
 		d.byType[typ] = append([]NodeID(nil), out...)
 	}
@@ -251,7 +302,7 @@ func dedupe(ids []NodeID) []NodeID {
 func (d *DAG) Nodes() []NodeID {
 	out := make([]NodeID, 0, d.liveCount)
 	for id := range d.types {
-		if d.alive[id] {
+		if d.alive.get(NodeID(id)) {
 			out = append(out, NodeID(id))
 		}
 	}
@@ -263,7 +314,7 @@ func (d *DAG) Nodes() []NodeID {
 func (d *DAG) Edges() map[string][]Edge {
 	out := make(map[string][]Edge)
 	for _, u := range d.Nodes() {
-		for _, v := range d.children[u] {
+		for _, v := range d.children.row(u) {
 			k := d.types[u] + "→" + d.types[v]
 			out[k] = append(out[k], Edge{u, v})
 		}

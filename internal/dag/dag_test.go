@@ -158,8 +158,8 @@ func TestCheckAcyclic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force a cycle c2 -> c1 (bypassing publishing discipline).
-	d.children[c2] = append(d.children[c2], c1)
-	d.parents[c1] = append(d.parents[c1], c2)
+	d.children.setRow(c2, append(d.children.ownRow(c2, 1), c1))
+	d.parents.setRow(c1, append(d.parents.ownRow(c1, 1), c2))
 	if err := d.CheckAcyclic(); err == nil {
 		t.Error("cycle not detected")
 	}

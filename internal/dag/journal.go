@@ -89,14 +89,14 @@ func (d *DAG) Rollback() {
 		case jEdgeDel:
 			// Re-insert at the original positions so sibling order (which
 			// the XML view semantics exposes) is restored exactly.
-			insertAt(&d.children[op.edge.Parent], op.childPos, op.edge.Child)
-			insertAt(&d.parents[op.edge.Child], op.parentPos, op.edge.Parent)
+			d.insertRef(&d.children, op.edge.Parent, op.childPos, op.edge.Child)
+			d.insertRef(&d.parents, op.edge.Child, op.parentPos, op.edge.Parent)
 			d.edgeCount++
 		case jNodeAdd:
 			// Incident edges were necessarily added after the node and
 			// have already been removed above.
-			if d.alive[op.node] {
-				d.alive[op.node] = false
+			if d.alive.get(op.node) {
+				d.alive.set(op.node, false)
 				d.liveCount--
 			}
 		case jNodeDel:
@@ -106,10 +106,10 @@ func (d *DAG) Rollback() {
 }
 
 func (d *DAG) resurrect(id NodeID) {
-	if d.alive[id] {
+	if d.alive.get(id) {
 		return
 	}
-	d.alive[id] = true
+	d.alive.set(id, true)
 	d.liveCount++
 	d.byType[d.types[id]] = append(d.byType[d.types[id]], id)
 }

@@ -1,0 +1,189 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rxview/internal/relational"
+)
+
+// versionState renders everything a Version exposes into a comparable
+// value, through the shared read surface so DAG clones and sealed versions
+// render identically (NodesOfType sits outside Reader; see its comment).
+func versionState(d interface {
+	Reader
+	NodesOfType(string) []NodeID
+}) string {
+	out := fmt.Sprintf("root=%d cap=%d nodes=%d edges=%d\n", d.Root(), d.Cap(), d.NumNodes(), d.NumEdges())
+	for _, id := range d.Nodes() {
+		out += fmt.Sprintf("%d %s(%s) ch=%v par=%v\n",
+			id, d.Type(id), d.Attr(id), d.Children(id), d.Parents(id))
+	}
+	for _, typ := range []string{"db", "C", "D"} {
+		out += fmt.Sprintf("%s: %v\n", typ, d.NodesOfType(typ))
+	}
+	return out
+}
+
+// TestSealAliasing drives a random mutation sequence, sealing a version
+// and taking a deep clone at every step; at the end every sealed version
+// must still render exactly like its clone — no later write may leak into
+// a sealed epoch through shared chunks or rows.
+func TestSealAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := New("db")
+	var ids []NodeID
+	ids = append(ids, d.Root())
+
+	type pair struct {
+		v      *Version
+		oracle *DAG
+		state  string
+	}
+	var pairs []pair
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // add node (+ sometimes resurrect an old identity)
+			id, _ := d.AddNode("C", relational.Tuple{relational.Int(int64(rng.Intn(60)))})
+			ids = append(ids, id)
+		case op < 8: // add edge
+			// Parent = larger id: ids are created in order, so these edges
+			// can never close a cycle.
+			u, v := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			if u < v {
+				d.AddEdge(v, u)
+			} else if u != v {
+				d.AddEdge(u, v)
+			}
+		case op < 9: // remove an edge: exercises the in-place row compaction
+			u := ids[rng.Intn(len(ids))]
+			if d.Alive(u) {
+				if ch := d.Children(u); len(ch) > 0 {
+					d.RemoveEdge(u, ch[rng.Intn(len(ch))])
+				}
+			}
+		default: // remove a node: flips alive, clears rows, feeds resurrection
+			u := ids[rng.Intn(len(ids))]
+			if u != d.Root() {
+				d.RemoveNode(u)
+			}
+		}
+		if step%20 == 0 {
+			v := d.Seal()
+			pairs = append(pairs, pair{v: v, oracle: d.Clone(), state: versionState(v)})
+		}
+	}
+
+	for i, p := range pairs {
+		if got := versionState(p.v); got != p.state {
+			t.Fatalf("sealed version %d drifted after later writes:\nat seal:\n%s\nnow:\n%s", i, p.state, got)
+		}
+		if want := versionState(p.oracle); want != p.state {
+			t.Fatalf("sealed version %d disagrees with its deep clone:\nclone:\n%s\nversion:\n%s", i, want, p.state)
+		}
+	}
+}
+
+// TestSealResurrectByType pins the byType sharing case: sealing, killing a
+// node, resurrecting it (which appends to the live byType list in place)
+// must not grow any sealed version's type set.
+func TestSealResurrectByType(t *testing.T) {
+	d := New("db")
+	c1, _ := d.AddNode("C", relational.Tuple{relational.Int(1)})
+	c2, _ := d.AddNode("C", relational.Tuple{relational.Int(2)})
+	d.AddEdge(d.Root(), c1)
+	d.AddEdge(c1, c2)
+
+	v1 := d.Seal()
+	want1 := append([]NodeID(nil), v1.NodesOfType("C")...)
+
+	d.RemoveNode(c2)
+	v2 := d.Seal()
+	want2 := append([]NodeID(nil), v2.NodesOfType("C")...)
+	if len(want2) != len(want1)-1 {
+		t.Fatalf("v2 should have lost a C node: %v vs %v", want2, want1)
+	}
+
+	// Resurrect: reuses c2's id, appends to the live byType list.
+	r, created := d.AddNode("C", relational.Tuple{relational.Int(2)})
+	if !created || r != c2 {
+		t.Fatalf("resurrection should reuse id %d, got %d created=%v", c2, r, created)
+	}
+	d.AddEdge(c1, r)
+	for i := 0; i < 40; i++ { // force byType growth past shared capacity
+		id, _ := d.AddNode("C", relational.Tuple{relational.Int(int64(100 + i))})
+		d.AddEdge(d.Root(), id)
+	}
+
+	if got := v1.NodesOfType("C"); !reflect.DeepEqual(got, want1) {
+		t.Errorf("v1 type set changed: %v want %v", got, want1)
+	}
+	if got := v2.NodesOfType("C"); !reflect.DeepEqual(got, want2) {
+		t.Errorf("v2 type set changed: %v want %v", got, want2)
+	}
+	if !v1.Alive(c2) || v2.Alive(c2) {
+		t.Errorf("alive bits leaked across versions: v1=%v v2=%v", v1.Alive(c2), v2.Alive(c2))
+	}
+}
+
+// TestSealSharesUntouchedChunks asserts the O(Δ) property structurally: a
+// seal after one small write shares all but the dirtied chunks with the
+// previous seal.
+func TestSealSharesUntouchedChunks(t *testing.T) {
+	d := New("db")
+	var ids []NodeID
+	for i := 0; i < 4*chunkSize; i++ {
+		id, _ := d.AddNode("C", relational.Tuple{relational.Int(int64(i))})
+		if len(ids) > 0 {
+			d.AddEdge(ids[len(ids)-1], id)
+		} else {
+			d.AddEdge(d.Root(), id)
+		}
+		ids = append(ids, id)
+	}
+	v1 := d.Seal()
+	// One edge removal touches two rows (child list of u, parent list of v).
+	d.RemoveEdge(ids[0], ids[1])
+	v2 := d.Seal()
+
+	totalCh := (v1.children.n + chunkSize - 1) / chunkSize
+	sharedCh := 0
+	for ci := 0; ci < totalCh; ci++ {
+		if v1.children.chunk(ci) == v2.children.chunk(ci) {
+			sharedCh++
+		}
+	}
+	if totalCh-sharedCh > 1 {
+		t.Errorf("children: %d of %d chunks copied for a one-edge delete", totalCh-sharedCh, totalCh)
+	}
+	aliveChunks := (v1.alive.n + chunkSize - 1) / chunkSize
+	shared := 0
+	for ci := 0; ci < aliveChunks; ci++ {
+		if v1.alive.blocks[ci>>blockBits][ci&blockMask] == v2.alive.blocks[ci>>blockBits][ci&blockMask] {
+			shared++
+		}
+	}
+	if shared != aliveChunks {
+		t.Errorf("alive: %d chunks copied for an edge-only change", aliveChunks-shared)
+	}
+	// And the removed edge is visible only in v2.
+	if !v1.hasEdgeIn(ids[0], ids[1]) {
+		t.Error("v1 lost the removed edge")
+	}
+	if v2.hasEdgeIn(ids[0], ids[1]) {
+		t.Error("v2 still has the removed edge")
+	}
+}
+
+// hasEdgeIn is a test helper over a sealed version.
+func (v *Version) hasEdgeIn(u, c NodeID) bool {
+	for _, x := range v.Children(u) {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

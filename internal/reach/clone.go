@@ -1,14 +1,29 @@
 package reach
 
-import "rxview/internal/dag"
-
-// Clone returns an independent copy of the topological order.
+// Clone returns an independent, mutable copy of the topological order. The
+// entry chunks are deep-copied; snapshot publication uses Seal instead,
+// which shares untouched blocks and chunks and costs O(n/65536).
 func (t *Topo) Clone() *Topo {
-	return &Topo{
-		list:  append([]dag.NodeID(nil), t.list...),
-		pos:   append([]int32(nil), t.pos...),
-		holes: t.holes,
+	c := &Topo{
+		blocks: make([]*idBlock, len(t.blocks)),
+		bEpoch: make([]uint64, len(t.blocks)),
+		cEpoch: make([]uint64, len(t.cEpoch)),
+		n:      t.n,
+		chunks: t.chunks,
+		pos:    append([]int32(nil), t.pos...),
+		holes:  t.holes,
 	}
+	for bi := range t.blocks {
+		nb := &idBlock{}
+		for off, ch := range t.blocks[bi] {
+			if ch != nil {
+				cp := *ch
+				nb[off] = &cp
+			}
+		}
+		c.blocks[bi] = nb
+	}
+	return c
 }
 
 // Clone returns an independent epoch copy of the matrix, for snapshot

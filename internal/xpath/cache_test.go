@@ -1,0 +1,82 @@
+package xpath
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheParseHitsAndErrors(t *testing.T) {
+	c := NewCache(8)
+	p1, err := c.Parse(`//a/b`)
+	if err != nil || p1 == nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p2, err := c.Parse(`//a/b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("repeat parse did not return the cached path")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+
+	// Errors are cached too: same error value, no second miss.
+	_, err1 := c.Parse(`//a[`)
+	if err1 == nil {
+		t.Fatal("bad path accepted")
+	}
+	_, err2 := c.Parse(`//a[`)
+	if err1 != err2 {
+		t.Error("parse error not served from cache")
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	if _, err := c.Parse(`/a`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(`/b`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(`/a`); err != nil { // refresh /a
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(`/c`); err != nil { // evicts /b
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	h0, _ := c.Stats()
+	if _, err := c.Parse(`/a`); err != nil {
+		t.Fatal(err)
+	}
+	if h1, _ := c.Stats(); h1 != h0+1 {
+		t.Error("/a should have survived eviction")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := c.Parse(fmt.Sprintf(`//t%d/a`, i%40)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}

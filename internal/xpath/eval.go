@@ -3,6 +3,7 @@ package xpath
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rxview/internal/dag"
 	"rxview/internal/reach"
@@ -24,9 +25,13 @@ import (
 //
 // Both passes are O(|p|·|V|) for the practical case of few distinct
 // state-sets, matching the paper's complexity claim.
+//
+// D and Topo are read-only interfaces, so an Evaluator runs equally over
+// the live view (*dag.DAG + *reach.Topo) and over a sealed snapshot epoch
+// (*dag.Version + *reach.TopoVersion).
 type Evaluator struct {
-	D    *dag.DAG
-	Topo *reach.Topo
+	D    dag.Reader
+	Topo reach.Order
 	// Text returns the text value of a node (PCDATA elements); nil means no
 	// node has text, making all value comparisons false.
 	Text func(dag.NodeID) (string, bool)
@@ -96,6 +101,98 @@ func checkLen(steps []NStep) error {
 	return nil
 }
 
+// ---------- per-eval scratch ----------
+
+// scratch recycles the evaluator's per-eval working memory — the Cap-sized
+// filter truth tables and the per-node state-set index — across
+// evaluations, via a package pool. A nil *scratch degrades to plain
+// allocation (the frontier evaluator path, which does not manage table
+// lifetimes). Results never alias scratch memory, so pooled buffers are
+// safe to hand to the next evaluation on any goroutine.
+type scratch struct {
+	tables [][]bool  // free filter tables, any capacity
+	masks  []maskSet // the node -> state-sets index, reused across evals
+	arena  []uint64  // backing for small per-node mask sets
+	off    int
+	edges  map[dag.Edge]edgeInfo // reused edge accumulator
+}
+
+type edgeInfo struct {
+	acc, rej bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// table returns a zeroed []bool of length n, reusing a freed table when one
+// is large enough.
+func (sc *scratch) table(n int) []bool {
+	if sc != nil {
+		for i := len(sc.tables) - 1; i >= 0; i-- {
+			if b := sc.tables[i]; cap(b) >= n {
+				sc.tables = append(sc.tables[:i], sc.tables[i+1:]...)
+				b = b[:n]
+				clear(b)
+				return b
+			}
+		}
+	}
+	return make([]bool, n)
+}
+
+// putTable returns a table to the free list.
+func (sc *scratch) putTable(b []bool) {
+	if sc != nil && b != nil {
+		sc.tables = append(sc.tables, b)
+	}
+}
+
+// maskIndex returns a zeroed []maskSet of length n, reusing the previous
+// eval's backing array when large enough, and resets the mask arena — by
+// now no slot of the previous eval is referenced anymore.
+func (sc *scratch) maskIndex(n int) []maskSet {
+	if sc == nil {
+		return make([]maskSet, n)
+	}
+	if cap(sc.masks) < n {
+		sc.masks = make([]maskSet, n)
+	}
+	s := sc.masks[:n]
+	clear(s)
+	sc.masks = s
+	sc.off = 0
+	return s
+}
+
+// maskSlot carves an empty 2-capacity mask set out of the arena: the
+// overwhelmingly common case is one or two distinct state-sets per node, so
+// most nodes never allocate. Appending past the capped slot migrates the
+// set to the heap without touching its arena neighbors.
+func (sc *scratch) maskSlot() maskSet {
+	if sc == nil {
+		return nil
+	}
+	if sc.off+2 > len(sc.arena) {
+		sc.arena = make([]uint64, 1<<14)
+		sc.off = 0
+	}
+	s := sc.arena[sc.off : sc.off : sc.off+2]
+	sc.off += 2
+	return s
+}
+
+// edgeAcc returns the reusable edge accumulator, emptied.
+func (sc *scratch) edgeAcc() map[dag.Edge]edgeInfo {
+	if sc == nil {
+		return make(map[dag.Edge]edgeInfo)
+	}
+	if sc.edges == nil {
+		sc.edges = make(map[dag.Edge]edgeInfo)
+	} else {
+		clear(sc.edges)
+	}
+	return sc.edges
+}
+
 // Eval evaluates the path and returns the selection, parent edges and
 // side-effect witnesses.
 func (ev *Evaluator) Eval(p *Path) (*Result, error) {
@@ -103,8 +200,15 @@ func (ev *Evaluator) Eval(p *Path) (*Result, error) {
 	if err := checkLen(steps); err != nil {
 		return nil, err
 	}
-	filterVals := ev.evalFilters(steps)
-	return ev.topDown(steps, filterVals), nil
+	sc := scratchPool.Get().(*scratch)
+	nodes := ev.Topo.Nodes()
+	filterVals := ev.evalFilters(steps, nodes, sc)
+	res := ev.topDown(steps, nodes, filterVals, sc)
+	for _, t := range filterVals {
+		sc.putTable(t)
+	}
+	scratchPool.Put(sc)
+	return res, nil
 }
 
 // EvalSelect computes only r[[p]] and Ep(r), skipping side-effect
@@ -118,11 +222,17 @@ func (ev *Evaluator) EvalSelect(p *Path) (*Result, error) {
 	if err := checkLen(steps); err != nil {
 		return nil, err
 	}
-	filterVals := ev.evalFilters(steps)
+	sc := scratchPool.Get().(*scratch)
+	nodes := ev.Topo.Nodes()
+	filterVals := ev.evalFilters(steps, nodes, sc)
 	saved := ev.MaskLimit
 	ev.MaskLimit = 1 // collapse eagerly: one union mask per node
-	res := ev.topDown(steps, filterVals)
+	res := ev.topDown(steps, nodes, filterVals, sc)
 	ev.MaskLimit = saved
+	for _, t := range filterVals {
+		sc.putTable(t)
+	}
+	scratchPool.Put(sc)
 	res.InsertWitnesses, res.DeleteWitnesses = nil, nil
 	return res, nil
 }
@@ -130,53 +240,61 @@ func (ev *Evaluator) EvalSelect(p *Path) (*Result, error) {
 // ---------- bottom-up pass ----------
 
 // evalFilters computes the truth table (per node) of every filter
-// sub-expression, in dependency order.
-func (ev *Evaluator) evalFilters(steps []NStep) map[Expr][]bool {
+// sub-expression, in dependency order. Tables come from the scratch free
+// list; the caller releases them (all map values) when done.
+func (ev *Evaluator) evalFilters(steps []NStep, nodes []dag.NodeID, sc *scratch) map[Expr][]bool {
 	tables := make(map[Expr][]bool)
 	for _, q := range collectFilters(steps) {
-		tables[q] = ev.filterTable(q, tables)
+		tables[q] = ev.filterTable(q, nodes, tables, sc)
 	}
 	return tables
 }
 
-func (ev *Evaluator) filterTable(q Expr, tables map[Expr][]bool) []bool {
+func (ev *Evaluator) filterTable(q Expr, nodes []dag.NodeID, tables map[Expr][]bool, sc *scratch) []bool {
 	capn := ev.D.Cap()
-	out := make([]bool, capn)
 	switch t := q.(type) {
 	case *ExprLabel:
-		for _, v := range ev.Topo.Nodes() {
+		out := sc.table(capn)
+		for _, v := range nodes {
 			out[v] = ev.D.Type(v) == t.Label
 		}
+		return out
 	case *ExprAnd:
+		out := sc.table(capn)
 		l, r := tables[t.L], tables[t.R]
 		for i := range out {
 			out[i] = l[i] && r[i]
 		}
+		return out
 	case *ExprOr:
+		out := sc.table(capn)
 		l, r := tables[t.L], tables[t.R]
 		for i := range out {
 			out[i] = l[i] || r[i]
 		}
+		return out
 	case *ExprNot:
+		out := sc.table(capn)
 		e := tables[t.E]
-		for _, v := range ev.Topo.Nodes() {
+		for _, v := range nodes {
 			out[v] = !e[v]
 		}
+		return out
 	case *ExprPath:
-		out = ev.pathFilterTable(t, tables)
+		return ev.pathFilterTable(t, nodes, tables, sc)
 	}
-	return out
+	return sc.table(capn)
 }
 
 // pathFilterTable computes val(p, v) (or val(p="s", v)) for all nodes by the
 // suffix recurrence of §3.2.
-func (ev *Evaluator) pathFilterTable(f *ExprPath, tables map[Expr][]bool) []bool {
+func (ev *Evaluator) pathFilterTable(f *ExprPath, nodes []dag.NodeID, tables map[Expr][]bool, sc *scratch) []bool {
 	steps := Normalize(f.Path)
 	capn := ev.D.Cap()
-	nodes := ev.Topo.Nodes() // forward order: children before parents
+	// nodes is in forward order: children before parents.
 
 	// Terminal table: the path has been fully consumed at v.
-	cur := make([]bool, capn)
+	cur := sc.table(capn)
 	if f.Cmp != nil {
 		if ev.Text != nil {
 			for _, v := range nodes {
@@ -192,7 +310,7 @@ func (ev *Evaluator) pathFilterTable(f *ExprPath, tables map[Expr][]bool) []bool
 	}
 
 	for i := len(steps) - 1; i >= 0; i-- {
-		next := make([]bool, capn)
+		next := sc.table(capn)
 		switch steps[i].Kind {
 		case StepSelf:
 			if steps[i].Filter == nil {
@@ -237,6 +355,7 @@ func (ev *Evaluator) pathFilterTable(f *ExprPath, tables map[Expr][]bool) []bool
 				}
 			}
 		}
+		sc.putTable(cur)
 		cur = next
 	}
 	return cur
@@ -244,9 +363,21 @@ func (ev *Evaluator) pathFilterTable(f *ExprPath, tables map[Expr][]bool) []bool
 
 // ---------- top-down pass ----------
 
-type maskSet map[uint64]struct{}
+// maskSet is the set of distinct NFA state-set masks arriving at one node.
+// Nodes rarely accumulate more than a handful of masks, so a linear-scan
+// slice beats a per-node map and recycles through the eval scratch.
+type maskSet []uint64
 
-func (ev *Evaluator) topDown(steps []NStep, filterVals map[Expr][]bool) *Result {
+func (s maskSet) contains(m uint64) bool {
+	for _, mm := range s {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (ev *Evaluator) topDown(steps []NStep, list []dag.NodeID, filterVals map[Expr][]bool, sc *scratch) *Result {
 	n := len(steps)
 	accept := uint64(1) << uint(n)
 	limit := ev.MaskLimit
@@ -302,64 +433,59 @@ func (ev *Evaluator) topDown(steps []NStep, filterVals map[Expr][]bool) *Result 
 
 	res := &Result{}
 	capn := ev.D.Cap()
-	D := make([]maskSet, capn)
+	D := sc.maskIndex(capn)
 	root := ev.D.Root()
-	D[root] = maskSet{closure(1, root): {}}
+	D[root] = append(sc.maskSlot(), closure(1, root))
 
 	addMask := func(v dag.NodeID, m uint64) {
-		if D[v] == nil {
-			D[v] = maskSet{}
+		set := D[v]
+		if set.contains(m) {
+			return
 		}
-		D[v][m] = struct{}{}
-		if len(D[v]) > limit {
+		if set == nil {
+			set = sc.maskSlot()
+		}
+		set = append(set, m)
+		if len(set) > limit {
 			// Collapse to the union: transitions are bit-linear, so
 			// selection and Ep stay exact; side effects become
 			// conservative.
 			var union uint64
-			for mm := range D[v] {
+			for _, mm := range set {
 				union |= mm
 			}
-			D[v] = maskSet{union: {}}
+			set = append(set[:0], union)
 			res.Overflow = true
 		}
+		D[v] = set
 	}
 
-	type edgeInfo struct {
-		acc, rej bool
-	}
-	edgeAcc := make(map[dag.Edge]*edgeInfo)
+	edgeAcc := sc.edgeAcc()
 
-	list := ev.Topo.Nodes()
 	for k := len(list) - 1; k >= 0; k-- { // backward order: ancestors first
 		u := list[k]
-		if D[u] == nil {
+		if len(D[u]) == 0 {
 			continue // unreachable from root
 		}
-		for m := range D[u] {
+		for _, m := range D[u] {
 			for _, c := range ev.D.Children(u) {
 				m2 := move(m, c)
 				addMask(c, m2)
 				e := dag.Edge{Parent: u, Child: c}
 				info := edgeAcc[e]
-				if info == nil {
-					info = &edgeInfo{}
-					edgeAcc[e] = info
-				}
 				if m2&accept != 0 {
 					info.acc = true
 				} else {
 					info.rej = true
 				}
+				edgeAcc[e] = info
 			}
 		}
 	}
 
 	for _, v := range list {
-		if D[v] == nil {
-			continue
-		}
 		sel, rej := false, false
-		for m := range D[v] {
+		for _, m := range D[v] {
 			if m&accept != 0 {
 				sel = true
 			} else {

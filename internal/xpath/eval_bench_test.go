@@ -1,0 +1,85 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+)
+
+// benchDAG builds a layered recursive DAG of roughly n nodes with shared
+// subtrees and text values — the shape the evaluator sees in the synthetic
+// serving workloads.
+func benchDAG(n int) (*dag.DAG, *reach.Topo, func(dag.NodeID) (string, bool)) {
+	rng := rand.New(rand.NewSource(5))
+	d := dag.New("db")
+	text := make(map[dag.NodeID]string)
+	var prev []dag.NodeID
+	prev = append(prev, d.Root())
+	id := 0
+	for len(text) < n {
+		var layer []dag.NodeID
+		width := 1 + rng.Intn(8)
+		for i := 0; i < width && len(text) < n; i++ {
+			c, _ := d.AddNode("C", relational.Tuple{relational.Int(int64(id))})
+			id++
+			text[c] = fmt.Sprintf("v%d", id%7)
+			d.AddEdge(prev[rng.Intn(len(prev))], c)
+			if rng.Intn(3) == 0 && len(prev) > 1 { // share: a second parent
+				d.AddEdge(prev[rng.Intn(len(prev))], c)
+			}
+			layer = append(layer, c)
+		}
+		if len(layer) > 0 {
+			prev = layer
+		}
+	}
+	topo := reach.ComputeTopo(d)
+	return d, topo, func(v dag.NodeID) (string, bool) {
+		s, ok := text[v]
+		return s, ok
+	}
+}
+
+// BenchmarkEval measures the NFA evaluator's steady-state cost and
+// allocations on a //-heavy path with a filter — run with -benchmem to see
+// the scratch pool's effect (before pooling, every eval allocated its
+// filter tables, a map per node for the state sets, and a *edgeInfo per
+// edge).
+func BenchmarkEval(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		d, topo, text := benchDAG(n)
+		ev := &Evaluator{D: d, Topo: topo, Text: text}
+		p, err := Parse(`//C[C]/C`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalSelect measures the selection-only fast path.
+func BenchmarkEvalSelect(b *testing.B) {
+	d, topo, text := benchDAG(10000)
+	ev := &Evaluator{D: d, Topo: topo, Text: text}
+	p, err := Parse(`//C[C="v3"]`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalSelect(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,8 +39,10 @@ func (fe *FrontierEvaluator) Eval(p *Path) (*Result, error) {
 	}
 	// Reuse the shared bottom-up machinery for filter tables and compute
 	// suffix-satisfiability tables for the main path, used for pruning Ci.
+	// The nil scratch means plain allocation: this path hands tables to
+	// suffixSat and never releases them.
 	ev := &Evaluator{D: fe.D, Topo: fe.Topo, Text: fe.Text}
-	filterVals := ev.evalFilters(steps)
+	filterVals := ev.evalFilters(steps, fe.Topo.Nodes(), nil)
 	sat := fe.suffixSat(ev, steps, filterVals)
 
 	capn := fe.D.Cap()

@@ -3,9 +3,9 @@ package rxview
 import (
 	"fmt"
 
+	"rxview/internal/core"
 	"rxview/internal/relational"
 	"rxview/internal/update"
-	"rxview/internal/xpath"
 )
 
 // Update is one XML view update ΔX (§2.1): insert a subtree under every node
@@ -49,10 +49,11 @@ func (u Update) String() string {
 	return fmt.Sprintf("insert %s%s into %s", u.elemType, tupleOf(u.attrs), u.path)
 }
 
-// compile resolves the update against nothing but the XPath grammar; the
+// compile resolves the update against nothing but the XPath grammar (via
+// the shared compiled-path cache, so a hot update target parses once); the
 // receiving view validates types and attributes against its DTD and ATG.
 func (u Update) compile() (*update.Op, error) {
-	p, err := xpath.Parse(u.path)
+	p, err := core.ParsePath(u.path)
 	if err != nil {
 		return nil, parseErr(u.path, err)
 	}

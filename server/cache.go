@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"rxview"
+)
+
+// resultMemo caches query results per published epoch: the key is the path
+// text alone because the memo's lifetime IS the generation — publish hangs
+// a fresh empty memo off every new snapshot, so a hit can never serve a
+// stale epoch's answer. Together with the process-wide compiled-path cache
+// a repeated hot query skips both the parse and the evaluation.
+//
+// Only successful evaluations are cached (parse errors are already cached
+// at the compiled-path layer; context errors are caller-specific). The
+// cached node slices are shared by every hit, which is safe because
+// rxview.Node values are plain data and handlers only read them.
+//
+// The LRU shape mirrors internal/xpath.Cache deliberately but cannot reuse
+// it: only the root rxview package may import internal/ (enforced by the
+// boundary guard test), so this package keeps its own copy of the
+// mutex + list + map idiom.
+type resultMemo struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // front = most recent; values are *memoEntry
+	byPath map[string]*list.Element
+}
+
+type memoEntry struct {
+	path  string
+	nodes []rxview.Node
+}
+
+func newResultMemo(capacity int) *resultMemo {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultMemo{
+		cap:    capacity,
+		lru:    list.New(),
+		byPath: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached nodes for a path at this epoch.
+func (m *resultMemo) get(path string) ([]rxview.Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byPath[path]
+	if !ok {
+		return nil, false
+	}
+	m.lru.MoveToFront(el)
+	return el.Value.(*memoEntry).nodes, true
+}
+
+// put records a successful evaluation, evicting the least recently used
+// entry beyond capacity. Racing puts for the same path keep the first.
+func (m *resultMemo) put(path string, nodes []rxview.Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byPath[path]; ok {
+		return
+	}
+	m.byPath[path] = m.lru.PushFront(&memoEntry{path: path, nodes: nodes})
+	if m.lru.Len() > m.cap {
+		old := m.lru.Back()
+		m.lru.Remove(old)
+		delete(m.byPath, old.Value.(*memoEntry).path)
+	}
+}

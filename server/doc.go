@@ -6,11 +6,29 @@
 // engine:
 //
 //   - Reads are snapshot-isolated and wait-free. An Engine publishes an
-//     immutable epoch snapshot (cloned DAG + cloned topological order +
-//     the view's generation counter; the reachability matrix enters as its
-//     size — no read path consults its rows) through an atomic pointer;
-//     queries evaluate against whatever epoch they load and never block
-//     behind a write or observe a half-maintained structure.
+//     immutable epoch snapshot (the DAG and the topological order sealed
+//     together + the view's generation counter; the reachability matrix
+//     enters as its size — no read path consults its rows) through an
+//     atomic pointer; queries evaluate against whatever epoch they load
+//     and never block behind a write or observe a half-maintained
+//     structure.
+//
+//   - Publication is O(Δ). Sealing an epoch is copy-on-write: unchanged
+//     chunks of per-node state are shared between the live view and every
+//     sealed epoch, and the writer copies only what it dirties, when it
+//     dirties it. Publishing after a write therefore costs microseconds
+//     independent of view size (the deep-clone path survives as
+//     View.CloneSnapshot — the aliasing-test oracle and differential
+//     baseline, not a serving primitive). Versioned epochs change nothing
+//     about the consistency model: the same states are published at the
+//     same generations, merely cheaper.
+//
+//   - Repeated reads are memoized per epoch. Query texts compile once
+//     through a process-wide LRU (parse errors included — malformed
+//     queries fail fast), and each published epoch carries a result memo
+//     keyed by path text: the memo's lifetime is the epoch, so a hit can
+//     never cross generations. Memo hits return a shared Node slice;
+//     callers must treat it as read-only.
 //
 //   - Writes are serialized through a single-writer apply loop. Updates are
 //     submitted to a channel-fed goroutine; consecutive insertions are
@@ -22,9 +40,10 @@
 //     canceled update is skipped and reports context.Canceled without being
 //     applied) and in-flight (the pipeline's phase checks abort it).
 //
-//   - After every write the loop publishes a fresh snapshot, so a reader's
-//     result always corresponds to an exact prefix of the write history,
-//     identified by the generation it carries.
+//   - After every write the loop seals and publishes a fresh snapshot, so
+//     a reader's result always corresponds to an exact prefix of the write
+//     history, identified by the generation it carries, and a writer whose
+//     Update returned reads its own write from the very next Query.
 //
 // Consistency model: reads are snapshot-consistent (every query observes
 // the state after some prefix of the applied updates, never a partial

@@ -19,6 +19,7 @@ type Option func(*config)
 type config struct {
 	queue       int
 	maxCoalesce int
+	memoCap     int
 }
 
 // WithQueueDepth bounds the number of writes waiting for the apply loop;
@@ -41,6 +42,26 @@ func WithMaxCoalesce(n int) Option {
 	}
 }
 
+// WithQueryMemo sets how many distinct query texts the per-epoch result
+// memo holds (default 256). The memo is rebuilt empty at every snapshot
+// publication, so it only ever pays off across reads of the same epoch —
+// exactly the repeated-hot-query case.
+func WithQueryMemo(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.memoCap = n
+		}
+	}
+}
+
+// epoch is one published read unit: an immutable snapshot plus its result
+// memo. The memo lives and dies with the snapshot, which makes (path,
+// generation) the implicit memo key.
+type epoch struct {
+	sn   *rxview.Snapshot
+	memo *resultMemo
+}
+
 // Engine wraps a View for concurrent serving: wait-free snapshot-isolated
 // reads and a single-writer apply loop. See the package documentation for
 // the consistency model. Create one with New; after that the View must not
@@ -48,20 +69,22 @@ func WithMaxCoalesce(n int) Option {
 type Engine struct {
 	view *rxview.View
 	cfg  config
-	snap atomic.Pointer[rxview.Snapshot]
+	ep   atomic.Pointer[epoch]
 	reqs chan *request
 
 	mu     sync.RWMutex // guards closed vs. sends on reqs
 	closed bool
 	wg     sync.WaitGroup
 
-	depth     atomic.Int64 // queued, not yet picked up by the loop
-	queries   atomic.Uint64
-	applied   atomic.Uint64
-	rejected  atomic.Uint64
-	coalRuns  atomic.Uint64
-	coalUpds  atomic.Uint64
-	snapSwaps atomic.Uint64
+	depth      atomic.Int64 // queued, not yet picked up by the loop
+	queries    atomic.Uint64
+	applied    atomic.Uint64
+	rejected   atomic.Uint64
+	coalRuns   atomic.Uint64
+	coalUpds   atomic.Uint64
+	snapSwaps  atomic.Uint64
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
 }
 
 // request is one submission to the apply loop. Exactly one result is
@@ -86,7 +109,7 @@ type result struct {
 // snapshot and launches the apply loop. The caller hands the view over —
 // all further access must go through the Engine.
 func New(view *rxview.View, opts ...Option) *Engine {
-	cfg := config{queue: 256, maxCoalesce: 64}
+	cfg := config{queue: 256, maxCoalesce: 64, memoCap: 256}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -95,7 +118,7 @@ func New(view *rxview.View, opts ...Option) *Engine {
 		cfg:  cfg,
 		reqs: make(chan *request, cfg.queue),
 	}
-	e.snap.Store(view.Snapshot())
+	e.ep.Store(&epoch{sn: view.Snapshot(), memo: newResultMemo(cfg.memoCap)})
 	e.wg.Add(1)
 	go e.run()
 	return e
@@ -113,11 +136,11 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Snapshot returns the currently published epoch. Never nil.
-func (e *Engine) Snapshot() *rxview.Snapshot { return e.snap.Load() }
+// Snapshot returns the currently published epoch's snapshot. Never nil.
+func (e *Engine) Snapshot() *rxview.Snapshot { return e.ep.Load().sn }
 
 // Generation returns the published epoch's write-history prefix.
-func (e *Engine) Generation() uint64 { return e.snap.Load().Generation() }
+func (e *Engine) Generation() uint64 { return e.ep.Load().sn.Generation() }
 
 // QueryResult carries a query's nodes together with the generation (write
 // prefix) they were read at.
@@ -129,11 +152,28 @@ type QueryResult struct {
 // Query evaluates an XPath expression against the current snapshot. It
 // never blocks behind the apply loop: the result is exactly the view after
 // the prefix of updates identified by QueryResult.Generation.
+//
+// Repeated queries of one epoch are served from the epoch's result memo
+// (the path text is compiled at most once process-wide either way); a memo
+// hit returns the same Node slice to every caller, which must treat it as
+// read-only.
 func (e *Engine) Query(ctx context.Context, path string) (QueryResult, error) {
-	sn := e.snap.Load()
+	ep := e.ep.Load()
 	e.queries.Add(1)
-	nodes, err := sn.Query(ctx, path)
-	return QueryResult{Nodes: nodes, Generation: sn.Generation()}, err
+	if nodes, ok := ep.memo.get(path); ok {
+		e.memoHits.Add(1)
+		if err := ctx.Err(); err != nil {
+			return QueryResult{}, err
+		}
+		return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, nil
+	}
+	e.memoMisses.Add(1)
+	nodes, err := ep.sn.Query(ctx, path)
+	if err != nil {
+		return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, err
+	}
+	ep.memo.put(path, nodes)
+	return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, nil
 }
 
 // Update submits one update to the apply loop and blocks until the loop
@@ -396,11 +436,13 @@ func (e *Engine) deliver(r *request, res result) {
 	r.done <- res
 }
 
-// publish swaps in a fresh snapshot if the view moved. Called only from the
-// apply loop.
+// publish seals and swaps in a fresh epoch if the view moved. Called only
+// from the apply loop. Sealing is O(Δ) in the write just applied — the
+// copy-on-write snapshot shares all untouched state with the previous
+// epoch — so publication cost tracks update size, not view size.
 func (e *Engine) publish() {
-	if e.snap.Load().Generation() != e.view.Generation() {
-		e.snap.Store(e.view.Snapshot())
+	if e.ep.Load().sn.Generation() != e.view.Generation() {
+		e.ep.Store(&epoch{sn: e.view.Snapshot(), memo: newResultMemo(e.cfg.memoCap)})
 		e.snapSwaps.Add(1)
 	}
 }
@@ -417,11 +459,20 @@ type Stats struct {
 	CoalescedUpdates uint64       `json:"coalesced_updates"`
 	SnapshotSwaps    uint64       `json:"snapshot_swaps"`
 	QueueDepth       int64        `json:"queue_depth"`
+	// QueryMemoHits / QueryMemoMisses count Engine.Query calls served from
+	// (respectively past) the per-epoch result memo.
+	QueryMemoHits   uint64 `json:"query_memo_hits"`
+	QueryMemoMisses uint64 `json:"query_memo_misses"`
+	// PathCacheHits / PathCacheMisses are the process-wide compiled-path
+	// cache counters (shared with every view in the process).
+	PathCacheHits   uint64 `json:"path_cache_hits"`
+	PathCacheMisses uint64 `json:"path_cache_misses"`
 }
 
 // Stats reads the current serving statistics. Safe for concurrent use.
 func (e *Engine) Stats() Stats {
-	sn := e.snap.Load()
+	sn := e.ep.Load().sn
+	pcHits, pcMisses := rxview.PathCacheStats()
 	return Stats{
 		View:             sn.Stats(),
 		Generation:       sn.Generation(),
@@ -432,5 +483,9 @@ func (e *Engine) Stats() Stats {
 		CoalescedUpdates: e.coalUpds.Load(),
 		SnapshotSwaps:    e.snapSwaps.Load(),
 		QueueDepth:       e.depth.Load(),
+		QueryMemoHits:    e.memoHits.Load(),
+		QueryMemoMisses:  e.memoMisses.Load(),
+		PathCacheHits:    pcHits,
+		PathCacheMisses:  pcMisses,
 	}
 }

@@ -32,10 +32,10 @@ func newLooplessEngine(t *testing.T, opts ...rxview.Option) *Engine {
 	}
 	e := &Engine{
 		view: view,
-		cfg:  config{queue: 256, maxCoalesce: 64},
+		cfg:  config{queue: 256, maxCoalesce: 64, memoCap: 256},
 		reqs: make(chan *request, 256),
 	}
-	e.snap.Store(view.Snapshot())
+	e.ep.Store(&epoch{sn: view.Snapshot(), memo: newResultMemo(256)})
 	return e
 }
 

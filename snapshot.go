@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"rxview/internal/core"
-	"rxview/internal/xpath"
 )
 
 // Generation counts the mutations applied to the view since Open: it
@@ -14,13 +13,19 @@ import (
 // result can be attributed to an exact prefix of the write history.
 func (v *View) Generation() uint64 { return v.sys.Generation() }
 
-// Snapshot freezes the current view state into an immutable epoch copy:
-// the DAG-compressed view and the topological order L, cloned together at
-// the current generation (the reachability matrix M is captured as its
-// size — queries evaluate without it). The snapshot answers queries,
-// renders statistics and serializes XML without touching the live view, so
-// any number of goroutines may share one Snapshot while the view keeps
+// Snapshot freezes the current view state into an immutable epoch: the
+// DAG-compressed view and the topological order L, sealed together at the
+// current generation (the reachability matrix M is captured as its size —
+// queries evaluate without it). The snapshot answers queries, renders
+// statistics and serializes XML without touching the live view, so any
+// number of goroutines may share one Snapshot while the view keeps
 // applying updates.
+//
+// Sealing is copy-on-write: its cost is proportional to what changed since
+// the previous Snapshot call (O(Δ)), not to the view size — unchanged
+// state is shared between the live view and every sealed epoch, which is
+// what lets a serving layer publish a fresh snapshot per applied write.
+// CloneSnapshot is the deep-copy equivalent.
 //
 // Taking the snapshot itself is a read of the live view and must not run
 // concurrently with Apply/Batch on the same View — a View is single-writer.
@@ -30,6 +35,20 @@ func (v *View) Generation() uint64 { return v.sys.Generation() }
 func (v *View) Snapshot() *Snapshot {
 	return &Snapshot{sn: v.sys.Snapshot()}
 }
+
+// CloneSnapshot freezes the current view state by deep copy — O(n) in the
+// view size, where Snapshot is O(Δ). The two answer identically at the
+// same generation; CloneSnapshot exists as the full-copy baseline: the
+// oracle in copy-on-write aliasing tests and the comparison point in the
+// snapshot-publication benchmarks. Serving layers should use Snapshot.
+func (v *View) CloneSnapshot() *Snapshot {
+	return &Snapshot{sn: v.sys.CloneSnapshot()}
+}
+
+// PathCacheStats returns the hit/miss counters of the process-wide
+// compiled-path cache that View.Query, Snapshot.Query and the server
+// handlers parse through. Monotone; shared by every view in the process.
+func PathCacheStats() (hits, misses uint64) { return core.PathCacheStats() }
 
 // Snapshot is an immutable copy of a View at one generation. All methods
 // are safe for concurrent use by any number of goroutines. See
@@ -43,12 +62,15 @@ func (s *Snapshot) Generation() uint64 { return s.sn.Generation() }
 
 // Query evaluates an XPath expression against the frozen state and returns
 // the selected nodes r[[p]] — the same fragment and semantics as
-// View.Query, at this snapshot's epoch.
+// View.Query, at this snapshot's epoch. The path text is compiled through
+// the process-wide compiled-path cache: a hot query parses once, and a
+// malformed one fails fast on its cached error without allocating an
+// evaluator.
 func (s *Snapshot) Query(ctx context.Context, path string) ([]Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := xpath.Parse(path)
+	p, err := core.ParsePath(path)
 	if err != nil {
 		return nil, parseErr(path, err)
 	}

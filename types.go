@@ -165,7 +165,7 @@ func statsOf(st core.Stats) Stats {
 }
 
 // nodeOf renders a DAG node through the view's accessors.
-func nodeOf(d *dag.DAG, text func(dag.NodeID) (string, bool), id dag.NodeID) Node {
+func nodeOf(d dag.Reader, text func(dag.NodeID) (string, bool), id dag.NodeID) Node {
 	n := Node{Type: d.Type(id), Attr: d.Attr(id).String()}
 	if text != nil {
 		if s, ok := text(id); ok {
@@ -177,7 +177,7 @@ func nodeOf(d *dag.DAG, text func(dag.NodeID) (string, bool), id dag.NodeID) Nod
 
 // nodesOf renders a selection r[[p]] — shared by the live View and its
 // frozen Snapshots so the two query paths can never diverge.
-func nodesOf(d *dag.DAG, text func(dag.NodeID) (string, bool), ids []dag.NodeID) []Node {
+func nodesOf(d dag.Reader, text func(dag.NodeID) (string, bool), ids []dag.NodeID) []Node {
 	out := make([]Node, len(ids))
 	for i, id := range ids {
 		out[i] = nodeOf(d, text, id)

@@ -6,7 +6,6 @@ import (
 
 	"rxview/internal/core"
 	"rxview/internal/update"
-	"rxview/internal/xpath"
 )
 
 // View is a published recursive XML view of a relational database, with
@@ -49,7 +48,7 @@ func (v *View) Query(ctx context.Context, path string) ([]Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := xpath.Parse(path)
+	p, err := core.ParsePath(path)
 	if err != nil {
 		return nil, parseErr(path, err)
 	}
