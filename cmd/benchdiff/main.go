@@ -1,10 +1,18 @@
-// benchdiff compares a freshly measured BENCH_PR4.json against the
-// committed baseline and warns when snapshot-publication cost regressed
-// beyond the allowed factor. It is wired into the non-gating CI bench job:
-// a regression prints a GitHub warning annotation and exits non-zero so the
+// benchdiff compares a freshly measured benchmark summary against the
+// committed baseline and warns when the chosen metric regressed beyond the
+// allowed factor. It is wired into the non-gating CI bench job: a
+// regression prints a GitHub warning annotation and exits non-zero so the
 // step fails loudly, without gating the build (the job continues on error).
 //
 //	benchdiff -baseline BENCH_PR4.json -current BENCH_PR4.new.json -factor 2
+//	benchdiff -baseline BENCH_PR5.json -current BENCH_PR5.new.json \
+//	          -factor 3 -metric tx_commit_ns_per_op -flat=false
+//
+// Points are matched by their "nc" size. With -flat (the default, meant for
+// snapshot publication) the metric must also stay within the factor across
+// the size sweep of one run — the machine-independent signal that an O(n)
+// component sneaked back in; disable it for metrics that legitimately grow
+// with view size, like per-update transaction cost.
 package main
 
 import (
@@ -14,14 +22,8 @@ import (
 	"os"
 )
 
-type point struct {
-	NC           int   `json:"nc"`
-	Nodes        int   `json:"nodes"`
-	PublishCOWNS int64 `json:"publish_cow_ns_per_op"`
-}
-
 type file struct {
-	Points []point `json:"points"`
+	Points []map[string]any `json:"points"`
 }
 
 func load(path string) (file, error) {
@@ -33,10 +35,18 @@ func load(path string) (file, error) {
 	return f, json.Unmarshal(data, &f)
 }
 
+// field reads a numeric field of a point; JSON numbers decode as float64.
+func field(p map[string]any, name string) (float64, bool) {
+	v, ok := p[name].(float64)
+	return v, ok
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_PR4.json", "committed baseline")
 	current := flag.String("current", "", "freshly measured file")
 	factor := flag.Float64("factor", 2, "allowed regression factor")
+	metric := flag.String("metric", "publish_cow_ns_per_op", "point field to compare")
+	flat := flag.Bool("flat", true, "also require the metric to stay within factor across sizes in the current run")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -52,29 +62,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	baseByNC := map[int]point{}
+	baseByNC := map[float64]map[string]any{}
 	for _, p := range base.Points {
-		baseByNC[p.NC] = p
+		if nc, ok := field(p, "nc"); ok {
+			baseByNC[nc] = p
+		}
 	}
 	regressed, compared := false, 0
 	for _, c := range cur.Points {
-		b, ok := baseByNC[c.NC]
-		if !ok || b.PublishCOWNS <= 0 {
-			fmt.Printf("benchdiff: nc=%d not in baseline, skipping\n", c.NC)
+		nc, ok := field(c, "nc")
+		if !ok {
+			continue
+		}
+		cv, cok := field(c, *metric)
+		b, ok := baseByNC[nc]
+		if !ok || !cok {
+			fmt.Printf("benchdiff: nc=%v not comparable, skipping\n", nc)
+			continue
+		}
+		bv, bok := field(b, *metric)
+		if !bok || bv <= 0 {
+			fmt.Printf("benchdiff: nc=%v has no baseline %s, skipping\n", nc, *metric)
 			continue
 		}
 		compared++
-		ratio := float64(c.PublishCOWNS) / float64(b.PublishCOWNS)
-		fmt.Printf("nc=%d publish_cow: baseline %dns, current %dns (%.2fx)\n",
-			c.NC, b.PublishCOWNS, c.PublishCOWNS, ratio)
+		ratio := cv / bv
+		fmt.Printf("nc=%v %s: baseline %.0fns, current %.0fns (%.2fx)\n", nc, *metric, bv, cv, ratio)
 		if ratio > *factor {
 			// GitHub annotation: visible on the run summary even though the
 			// bench job is non-gating. Absolute ns across machines is noisy
 			// (the baseline was measured elsewhere), which is one reason
 			// this check warns instead of gating; the flatness check below
 			// is the machine-independent signal.
-			fmt.Printf("::warning title=snapshot publication regression::nc=%d publish_cow_ns %d -> %d (%.2fx > %.1fx allowed)\n",
-				c.NC, b.PublishCOWNS, c.PublishCOWNS, ratio, *factor)
+			fmt.Printf("::warning title=%s regression::nc=%v %s %.0f -> %.0f (%.2fx > %.1fx allowed)\n",
+				*metric, nc, *metric, bv, cv, ratio, *factor)
 			regressed = true
 		}
 	}
@@ -82,26 +103,34 @@ func main() {
 		// A guard that compares nothing must not pass green: this happens
 		// when ci.yml's -sizes drifts from the committed baseline or the
 		// current file is empty/truncated.
-		fmt.Println("::warning title=benchdiff inert::no points compared — baseline and current share no nc sizes")
+		fmt.Printf("::warning title=benchdiff inert::no points compared — baseline and current share no nc sizes with %s\n", *metric)
 		os.Exit(2)
 	}
-	// Machine-independent acceptance bar: within ONE run, publish_cow must
-	// stay flat (within factor) across the size sweep. This flags an O(n)
-	// component sneaking back into the seal even when the runner's absolute
-	// speed differs wildly from the baseline machine's.
-	lo, hi := int64(1<<62), int64(0)
-	for _, c := range cur.Points {
-		if c.PublishCOWNS > 0 {
-			lo, hi = min(lo, c.PublishCOWNS), max(hi, c.PublishCOWNS)
+	// Machine-independent acceptance bar: within ONE run, the metric must
+	// stay flat (within factor) across the size sweep. For snapshot
+	// publication this flags an O(n) component sneaking back into the seal
+	// even when the runner's absolute speed differs wildly from the
+	// baseline machine's.
+	if *flat {
+		lo, hi := 0.0, 0.0
+		for _, c := range cur.Points {
+			if v, ok := field(c, *metric); ok && v > 0 {
+				if lo == 0 || v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
 		}
-	}
-	if hi > 0 {
-		flat := float64(hi) / float64(lo)
-		fmt.Printf("publish_cow flatness across sizes: %.2fx (max %dns / min %dns)\n", flat, hi, lo)
-		if flat > *factor {
-			fmt.Printf("::warning title=snapshot publication not flat::publish_cow_ns varies %.2fx across view sizes (> %.1fx): an O(n) component is back in the seal\n",
-				flat, *factor)
-			regressed = true
+		if hi > 0 {
+			f := hi / lo
+			fmt.Printf("%s flatness across sizes: %.2fx (max %.0fns / min %.0fns)\n", *metric, f, hi, lo)
+			if f > *factor {
+				fmt.Printf("::warning title=%s not flat::%s varies %.2fx across view sizes (> %.1fx): an O(n) component is back\n",
+					*metric, *metric, f, *factor)
+				regressed = true
+			}
 		}
 	}
 	if regressed {

@@ -25,6 +25,12 @@
 // served-query cache hit/miss latency, writing BENCH_PR4.json:
 //
 //	benchrunner -exp snapshot -sizes 250,2500,25000 -json BENCH_PR4.json
+//
+// The tx experiment compares an atomic Tx.Commit of k inserts against the
+// same k as sequential Applies and as one non-atomic Batch, writing
+// BENCH_PR5.json:
+//
+//	benchrunner -exp tx -sizes 250,2500,25000 -json BENCH_PR5.json
 package main
 
 import (
@@ -43,7 +49,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -71,6 +77,7 @@ func main() {
 	run("perf", perf)
 	run("serve", serveExp)
 	run("snapshot", snapshotExp)
+	run("tx", txExp)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -16,6 +16,12 @@
 //	query <xpath>                  evaluate and list r[[p]]
 //	insert <type>(f=v, ...) into <xpath>
 //	delete <xpath>
+//	begin                          open an atomic transaction; insert/delete
+//	                               now stage speculatively (query reads the
+//	                               staged state)
+//	stage <insert|delete stmt>     explicit staging form of the above
+//	commit | rollback              finish the transaction (all-or-nothing)
+//	tx                             staged-transaction status
 //	xml                            print the (unfolded) view
 //	stats                          view + auxiliary structure statistics
 //	check                          verify ΔX(T) = σ(ΔR(I)) and index health
@@ -82,11 +88,31 @@ func main() {
 	}
 }
 
+// session is one REPL/one-shot conversation: the view plus the transaction
+// currently being staged, if any.
+type session struct {
+	view *rxview.View
+	tx   *rxview.Tx
+}
+
+// finish abandons an open transaction at end of input, restoring the
+// pre-Begin state — an unfinished group must not half-exist.
+func (s *session) finish(out io.Writer) {
+	if s.tx == nil {
+		return
+	}
+	_ = s.tx.Rollback()
+	s.tx = nil
+	fmt.Fprintln(out, "  open transaction rolled back (no commit before end of input)")
+}
+
 // runOneShot executes the -e argument: semicolon-separated commands, stopping
-// at the first failure.
+// at the first failure. An uncommitted transaction is rolled back at the end.
 func runOneShot(view *rxview.View, out io.Writer, cmds string) error {
+	s := &session{view: view}
+	defer s.finish(out)
 	for _, cmd := range splitCommands(cmds) {
-		if err := dispatch(view, out, cmd); err != nil {
+		if err := s.dispatch(out, cmd); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
@@ -95,12 +121,15 @@ func runOneShot(view *rxview.View, out io.Writer, cmds string) error {
 
 // runREPL reads commands line by line until EOF or quit. Command failures
 // are reported to out and the loop continues; a reader (scanner) failure
-// ends the loop and is returned.
+// ends the loop and is returned. An uncommitted transaction is rolled back
+// on exit.
 func runREPL(view *rxview.View, in io.Reader, out io.Writer) error {
+	s := &session{view: view}
+	defer s.finish(out)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
-		fmt.Fprint(out, "> ")
+		fmt.Fprint(out, prompt(s))
 		if !sc.Scan() {
 			break
 		}
@@ -111,7 +140,7 @@ func runREPL(view *rxview.View, in io.Reader, out io.Writer) error {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		if err := dispatch(view, out, line); err != nil {
+		if err := s.dispatch(out, line); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
@@ -119,6 +148,14 @@ func runREPL(view *rxview.View, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("reading input: %w", err)
 	}
 	return nil
+}
+
+// prompt reminds the user when commands stage into an open transaction.
+func prompt(s *session) string {
+	if s.tx != nil {
+		return "tx> "
+	}
+	return "> "
 }
 
 // splitCommands splits a -e argument on semicolons, except inside quoted
@@ -173,14 +210,74 @@ func open() (*rxview.View, error) {
 	}
 }
 
-func dispatch(view *rxview.View, out io.Writer, line string) error {
+func (s *session) dispatch(out io.Writer, line string) error {
 	ctx := context.Background()
+	view := s.view
 	switch {
 	case line == "help":
 		fmt.Fprintln(out, `  query <xpath>
   insert <type>(field=value, ...) into <xpath>
   delete <xpath>
+  begin | stage <stmt> | commit | rollback | tx
   xml | stats | check | tables | quit`)
+		return nil
+	case line == "begin":
+		if s.tx != nil {
+			return fmt.Errorf("a transaction is already open (%d staged); commit or rollback first", len(s.tx.Reports()))
+		}
+		tx, err := view.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		s.tx = tx
+		fmt.Fprintln(out, "  transaction open: insert/delete now stage speculatively; query reads staged state")
+		return nil
+	case line == "commit":
+		if s.tx == nil {
+			return fmt.Errorf("no open transaction (begin first)")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(ctx); err != nil {
+			// Only a group rejection (the Validate error) guarantees the
+			// clean unwind; any other commit error speaks for itself — an
+			// unwind failure explicitly means state was NOT restored.
+			if verr := tx.Validate(); verr != nil && err == verr {
+				fmt.Fprintln(out, "  rejected: all staged updates rolled back")
+			}
+			return err
+		}
+		fmt.Fprintf(out, "  committed: %d update(s) applied atomically, generation now %d\n",
+			tx.Applied(), view.Generation())
+		return nil
+	case line == "rollback":
+		if s.tx == nil {
+			return fmt.Errorf("no open transaction (begin first)")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Rollback(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "  rolled back: view, database, L and M restored to pre-begin state")
+		return nil
+	case line == "tx":
+		if s.tx == nil {
+			fmt.Fprintln(out, "  no open transaction")
+			return nil
+		}
+		reps := s.tx.Reports()
+		fmt.Fprintf(out, "  open transaction: %d staged, %d applied\n", len(reps), s.tx.Applied())
+		for _, rep := range reps {
+			state := "no-op"
+			if rep.Applied {
+				state = "staged"
+			}
+			fmt.Fprintf(out, "    [%s] %s\n", state, rep.Op)
+		}
+		if err := s.tx.Validate(); err != nil {
+			fmt.Fprintln(out, "  DOOMED (commit will roll back):", err)
+		}
 		return nil
 	case line == "xml":
 		xml, err := view.XML(200000)
@@ -193,6 +290,9 @@ func dispatch(view *rxview.View, out io.Writer, line string) error {
 		fmt.Fprintln(out, " ", view.Stats())
 		return nil
 	case line == "check":
+		if s.tx != nil {
+			return fmt.Errorf("check is unavailable inside a transaction (M maintenance is deferred until commit)")
+		}
 		if err := view.CheckConsistency(); err != nil {
 			return err
 		}
@@ -217,24 +317,43 @@ func dispatch(view *rxview.View, out io.Writer, line string) error {
 			fmt.Fprintf(out, "  %s%s\n", n.Type, n.Attr)
 		}
 		return nil
+	case strings.HasPrefix(line, "stage "):
+		if s.tx == nil {
+			return fmt.Errorf("no open transaction (begin first)")
+		}
+		return s.execute(ctx, out, strings.TrimSpace(strings.TrimPrefix(line, "stage")))
 	case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete "):
-		rep, err := view.Execute(ctx, line)
-		if err != nil {
-			return err
-		}
-		if !rep.Applied {
-			fmt.Fprintln(out, "  no-op (nothing matched or edge already present)")
-			return nil
-		}
-		fmt.Fprintf(out, "  applied: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d side-effects=%v\n",
-			rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, rep.Removed, rep.SideEffects)
-		for _, m := range rep.Changes {
-			fmt.Fprintln(out, "  ΔR:", m)
-		}
-		fmt.Fprintf(out, "  timings: eval=%v translate=%v apply=%v maintain=%v\n",
-			rep.Timings.Eval, rep.Timings.Translate, rep.Timings.Apply, rep.Timings.Maintain)
-		return nil
+		return s.execute(ctx, out, line)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", line)
 	}
+}
+
+// execute runs one update statement — directly against the view, or staged
+// into the open transaction.
+func (s *session) execute(ctx context.Context, out io.Writer, stmt string) error {
+	var rep *rxview.Report
+	var err error
+	verb := "applied"
+	if s.tx != nil {
+		rep, err = s.tx.Execute(ctx, stmt)
+		verb = "staged"
+	} else {
+		rep, err = s.view.Execute(ctx, stmt)
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.Applied {
+		fmt.Fprintln(out, "  no-op (nothing matched or edge already present)")
+		return nil
+	}
+	fmt.Fprintf(out, "  %s: |r[[p]]|=%d |Ep|=%d ΔV+%d/-%d gc=%d side-effects=%v\n",
+		verb, rep.Targets, rep.Edges, rep.DVInserts, rep.DVDeletes, rep.Removed, rep.SideEffects)
+	for _, m := range rep.Changes {
+		fmt.Fprintln(out, "  ΔR:", m)
+	}
+	fmt.Fprintf(out, "  timings: eval=%v translate=%v apply=%v maintain=%v\n",
+		rep.Timings.Eval, rep.Timings.Translate, rep.Timings.Apply, rep.Timings.Maintain)
+	return nil
 }

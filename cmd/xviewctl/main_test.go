@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -190,5 +191,107 @@ func TestServeSharesDaemonDispatchPath(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/healthz status = %d", resp.StatusCode)
+	}
+}
+
+// The REPL transaction flow: begin/stage/commit applies atomically (one
+// generation), rollback restores, and an unfinished transaction is rolled
+// back at end of input.
+func TestRunREPLTransactionCommit(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	in := strings.NewReader(strings.Join([]string{
+		"begin",
+		`insert course(cno="CS111", title="Intro") into .`,
+		`stage insert course(cno="CS112", title="II") into //course[cno="CS111"]/prereq`,
+		`query //course[cno="CS112"]`, // read-your-writes before commit
+		"tx",
+		"commit",
+		"check",
+		"quit",
+	}, "\n") + "\n")
+	if err := runREPL(view, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"transaction open", "staged:", "1 node(s)", "2 staged, 2 applied",
+		"committed: 2 update(s) applied atomically, generation now 1", "consistent",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if view.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", view.Generation())
+	}
+}
+
+func TestRunREPLTransactionRollbackAndGuards(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	in := strings.NewReader(strings.Join([]string{
+		"commit", // no open tx: error, loop continues
+		"begin",
+		"begin", // double begin: error
+		"check", // unavailable inside a tx: error
+		`insert course(cno="CS111", title="Intro") into .`,
+		"rollback",
+		`query //course[cno="CS111"]`, // gone
+		"check",
+		"quit",
+	}, "\n") + "\n")
+	if err := runREPL(view, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"no open transaction", "already open", "unavailable inside a transaction",
+		"rolled back: view, database, L and M restored", "0 node(s)", "consistent",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if view.Generation() != 0 {
+		t.Fatalf("generation = %d, want 0 after rollback", view.Generation())
+	}
+	if !strings.Contains(got, "tx> ") {
+		t.Error("prompt does not indicate the open transaction")
+	}
+}
+
+func TestRunREPLUnfinishedTransactionRolledBackAtEOF(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	in := strings.NewReader("begin\ninsert course(cno=\"CS111\", title=\"Intro\") into .\n")
+	if err := runREPL(view, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "open transaction rolled back") {
+		t.Errorf("EOF with open tx not reported:\n%s", out.String())
+	}
+	if view.Generation() != 0 {
+		t.Fatal("unfinished transaction leaked state")
+	}
+	// The view's write path is released.
+	if _, err := view.Execute(context.Background(), `insert course(cno="CS113", title="x") into .`); err != nil {
+		t.Fatalf("view still locked after EOF rollback: %v", err)
+	}
+}
+
+func TestRunOneShotTransactionDoomedGroup(t *testing.T) {
+	view := testView(t) // ForceSideEffects is on in testView: use a parse failure to doom
+	var out strings.Builder
+	err := runOneShot(view, &out,
+		`begin; insert course(cno="CS111", title="Intro") into .; delete ///[; commit`)
+	if err == nil {
+		t.Fatal("doomed transaction committed")
+	}
+	if !strings.Contains(err.Error(), "delete ///[") {
+		t.Errorf("error does not name the malformed statement: %v", err)
+	}
+	if view.Generation() != 0 {
+		t.Fatal("doomed group left state applied")
 	}
 }

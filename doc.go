@@ -10,9 +10,21 @@
 // are the context-aware entry points to the paper's pipeline, with
 // functional options (WithForceSideEffects, WithMaskLimit,
 // WithSideEffectPolicy) and typed errors (ErrSideEffect, ErrNotUpdatable,
-// ErrParse). Batch coalesces the maintenance of the auxiliary structures L
-// and M across consecutive insertions. NewRegistrar and NewSynthetic bundle
+// ErrParse, ErrTxOpen, ErrTxDone). NewRegistrar and NewSynthetic bundle
 // the paper's datasets; Builder defines new views from scratch.
+//
+// Updates are transactional. View.Begin opens an atomic group (Tx): each
+// staged update executes speculatively against the live view — Tx.Query and
+// later stages read the transaction's own writes — and Tx.Commit applies
+// all of it or none, restoring the view, the database and the auxiliary
+// structures L and M exactly to the pre-Begin state on rejection or
+// Rollback. A committed transaction runs one deferred maintenance flush and
+// advances View.Generation by exactly 1, however many updates it staged, so
+// snapshot readers step from group to group and never observe a
+// mid-transaction state. Apply, Execute and Batch are one-shot transactions
+// over the same machinery; Batch keeps its documented non-atomic prefix
+// semantics (one generation per applied update) and coalesces the
+// maintenance of L and M across consecutive insertions.
 //
 // The reachability matrix M — the structure behind // evaluation,
 // side-effect detection and the ∆(M,L) maintenance algorithms — is stored as

@@ -24,6 +24,13 @@ var (
 	// ErrParse marks a malformed XPath expression or update statement.
 	// The concrete type is *ParseError.
 	ErrParse = errors.New("rxview: parse error")
+	// ErrTxOpen marks a write submitted directly to a View while a
+	// transaction begun with View.Begin is still open: the transaction owns
+	// the write path until Commit or Rollback.
+	ErrTxOpen = errors.New("rxview: a transaction is open on this view")
+	// ErrTxDone marks an operation on a transaction that has already been
+	// committed or rolled back.
+	ErrTxDone = errors.New("rxview: transaction already committed or rolled back")
 )
 
 // SideEffectError reports that an update would change occurrences of a
@@ -58,13 +65,20 @@ func (e *NotUpdatableError) Error() string {
 // Is matches ErrNotUpdatable.
 func (e *NotUpdatableError) Is(target error) bool { return target == ErrNotUpdatable }
 
-// ParseError reports a malformed XPath expression or update statement.
+// ParseError reports a malformed XPath expression or update statement. Op,
+// when set, names the update the malformed input belongs to — View.Batch
+// and Tx.Stage set it so a failure inside a group is attributable to its
+// member, exactly like the runtime rejections.
 type ParseError struct {
+	Op    string
 	Input string
 	Err   error
 }
 
 func (e *ParseError) Error() string {
+	if e.Op != "" && e.Op != e.Input {
+		return fmt.Sprintf("rxview: %s: parsing %q: %v", e.Op, e.Input, e.Err)
+	}
 	return fmt.Sprintf("rxview: parsing %q: %v", e.Input, e.Err)
 }
 
@@ -89,6 +103,12 @@ func wrapErr(op string, err error) error {
 	var rej *viewupdate.RejectedError
 	if errors.As(err, &rej) {
 		return &NotUpdatableError{Op: op, Reason: rej.Reason}
+	}
+	switch {
+	case errors.Is(err, core.ErrTxOpen):
+		return ErrTxOpen
+	case errors.Is(err, core.ErrTxDone):
+		return ErrTxDone
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("rxview: %s: %w", op, err)

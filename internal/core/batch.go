@@ -2,20 +2,19 @@ package core
 
 import (
 	"context"
-	"time"
 
-	"rxview/internal/reach"
 	"rxview/internal/update"
 )
 
 // ApplyBatch runs a sequence of XML updates with a single deferred
-// maintenance pass over the auxiliary structures. Each ΔX still goes through
-// its own validation, XPath evaluation, ΔX→ΔV→ΔR translation and execution
-// (the semantics are exactly those of the same sequence of Apply calls), but
-// the transitive-closure half of ∆(M,L)insert is accumulated and flushed
-// once — per run of consecutive insertions — instead of once per update.
+// maintenance pass over the auxiliary structures: a one-shot non-atomic
+// transaction. Each ΔX still goes through its own validation, XPath
+// evaluation, ΔX→ΔV→ΔR translation and execution (the semantics are exactly
+// those of the same sequence of Apply calls), but the transitive-closure
+// half of ∆(M,L)insert is accumulated on the transaction and flushed once —
+// per run of consecutive insertions — instead of once per update.
 // Deletions read M, so a deletion flushes the pending work before running;
-// the batch always flushes before returning, leaving L and M exact.
+// the commit always flushes before returning, leaving L and M exact.
 //
 // The batch is not atomic: it stops at the first failing update, with every
 // earlier update already applied. The returned reports cover the processed
@@ -24,53 +23,26 @@ import (
 // run, so the error is always attributable to the right update); the flush
 // time is folded into the Maintain timing of the last insertion's report, so
 // summing Timings.Maintain over the reports gives the true total maintenance
-// cost of the batch.
+// cost of the batch. For an all-or-nothing group, use Begin(true).
 func (s *System) ApplyBatch(ctx context.Context, ops []*update.Op) ([]*Report, error) {
-	var pending reach.Pending
-	reports := make([]*Report, 0, len(ops))
-	lastIns := -1 // index in reports of the last deferred insertion
-
-	flush := func() {
-		if pending.Len() == 0 {
-			return
-		}
-		t0 := time.Now()
-		s.Index.Flush(&pending)
-		if lastIns >= 0 {
-			reports[lastIns].Timings.Maintain += time.Since(t0)
-		}
+	t, err := s.Begin(false)
+	if err != nil {
+		return nil, err
 	}
-
 	for _, op := range ops {
 		if err := ctx.Err(); err != nil {
-			flush()
 			// The cancelled update never ran; report it unapplied so the
 			// caller attributes the error to it, not to the last update
 			// that succeeded.
-			reports = append(reports, &Report{Op: op.String()})
-			return reports, err
+			t.reports = append(t.reports, &Report{Op: op.String()})
+			_ = t.Commit(ctx)
+			return t.Reports(), err
 		}
-		if op.Kind == update.OpDelete {
-			// ∆(M,L)delete traverses desc(r[[p]]) through M and needs
-			// it to be (a superset of) the true closure.
-			flush()
-		}
-		var rep *Report
-		var err error
-		if op.Kind == update.OpInsert {
-			rep, err = s.apply(ctx, op, &pending)
-		} else {
-			rep, err = s.apply(ctx, op, nil)
-		}
-		reports = append(reports, rep)
-		if op.Kind == update.OpInsert && rep.Applied {
-			lastIns = len(reports) - 1
-		}
-		if err != nil {
-			flush()
-			return reports, err
+		if _, err := t.Stage(ctx, op); err != nil {
+			_ = t.Commit(ctx)
+			return t.Reports(), err
 		}
 	}
-	flush()
-	return reports, nil
+	_ = t.Commit(ctx)
+	return t.Reports(), nil
 }

@@ -32,8 +32,11 @@ func (s *System) DryRunCtx(ctx context.Context, op *update.Op) (*Report, error) 
 
 	switch op.Kind {
 	case update.OpInsert:
-		s.DAG.Begin()
-		defer s.DAG.Rollback()
+		// A savepoint-scoped journal: standalone DryRun opens its own,
+		// inside an open transaction it marks the transaction's journal, so
+		// "what would Apply do next" can be asked about staged state too.
+		sc := s.beginDAGScope()
+		defer sc.abort()
 		dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
 		if err != nil {
 			return rep, err

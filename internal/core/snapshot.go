@@ -8,12 +8,15 @@ import (
 	"rxview/internal/xpath"
 )
 
-// Generation counts the mutations applied to the view since Open: it
-// increments exactly once per applied insertion or deletion, in application
-// order, and never for rejected, skipped, no-op or dry-run updates. Two
-// systems opened from the same data that applied the same update sequence
+// Generation counts the write units committed to the view since Open: it
+// increments exactly once per applied insertion or deletion (Apply, and
+// each applied member of a non-atomic batch) and exactly once per committed
+// atomic transaction, however many updates it staged — and never for
+// rejected, skipped, no-op, rolled-back or dry-run updates. Two systems
+// opened from the same data that committed the same write-unit sequence
 // report the same generation, which is what lets a serving layer map an
-// observed snapshot back to a prefix of the write history.
+// observed snapshot back to a prefix of the write history; because a
+// transaction is one unit, no observable generation ever splits one.
 func (s *System) Generation() uint64 { return s.gen }
 
 // Snapshot is an immutable view of the system state at one generation: the
@@ -52,8 +55,13 @@ type Snapshot struct {
 // into immutable copy-on-write versions. It must not run concurrently with
 // updates on the same System (the System itself is single-writer); the
 // serving layer's apply loop calls it after each write and publishes the
-// result atomically.
+// result atomically. Snapshot panics while a transaction is open — an
+// epoch must never expose uncommitted staged state (the serving layer
+// publishes strictly between write units, so it can never hit this).
 func (s *System) Snapshot() *Snapshot {
+	if s.txn != nil {
+		panic("core: Snapshot inside an open transaction (commit or roll back first)")
+	}
 	v := s.DAG.Seal()
 	return &Snapshot{
 		gen:         s.gen,
@@ -72,6 +80,9 @@ func (s *System) Snapshot() *Snapshot {
 // aliasing-test oracle and the baseline the snapshot benchmarks compare
 // the O(Δ) seal against.
 func (s *System) CloneSnapshot() *Snapshot {
+	if s.txn != nil {
+		panic("core: CloneSnapshot inside an open transaction (commit or roll back first)")
+	}
 	d := s.DAG.Clone()
 	return &Snapshot{
 		gen:         s.gen,

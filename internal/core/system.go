@@ -147,7 +147,8 @@ type System struct {
 
 	opts Options
 	text func(dag.NodeID) (string, bool)
-	gen  uint64 // count of applied mutations; see Generation
+	gen  uint64 // count of committed write units; see Generation
+	txn  *Txn   // the open transaction, if any (see Begin)
 }
 
 // Open publishes σ(I) as a DAG, builds L, M and the source index, and
@@ -272,20 +273,33 @@ func (s *System) Apply(op *update.Op) (*Report, error) {
 // translation + execution (phase b) before the maintenance of L and M
 // (phase c). Once ΔR has been executed the update is carried through —
 // cancellation never leaves the auxiliary structures stale.
+//
+// It is a one-shot transaction: stage the single update, commit. With one
+// member, prefix semantics and atomicity coincide.
 func (s *System) ApplyCtx(ctx context.Context, op *update.Op) (*Report, error) {
-	return s.apply(ctx, op, nil)
+	t, err := s.Begin(false)
+	if err != nil {
+		return &Report{Op: op.String()}, err
+	}
+	rep, err := t.Stage(ctx, op)
+	if cerr := t.Commit(ctx); err == nil && cerr != nil {
+		err = cerr
+	}
+	return rep, err
 }
 
-func (s *System) apply(ctx context.Context, op *update.Op, pending *reach.Pending) (*Report, error) {
+// apply runs one staged update inside transaction t (never nil: every write
+// path goes through a Txn).
+func (s *System) apply(ctx context.Context, op *update.Op, t *Txn) (*Report, error) {
 	rep := &Report{Op: op.String()}
 	res, proceed, err := s.stage(ctx, op, rep)
 	if !proceed {
 		return rep, err
 	}
 	if op.Kind == update.OpInsert {
-		return rep, s.applyInsert(ctx, op, res, rep, pending)
+		return rep, s.applyInsert(ctx, op, res, rep, t)
 	}
-	return rep, s.applyDelete(ctx, op, res, rep)
+	return rep, s.applyDelete(ctx, op, res, rep, t)
 }
 
 // stage runs the phases Apply and DryRun share — DTD validation, XPath
@@ -339,36 +353,36 @@ func (s *System) stage(ctx context.Context, op *update.Op, rep *Report) (res *xp
 	return res, true, nil
 }
 
-func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report, pending *reach.Pending) error {
+func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report, t *Txn) error {
 	t0 := time.Now()
-	s.DAG.Begin()
+	sc := s.beginDAGScope()
 	dv, err := update.Xinsert(s.ATG, s.DAG, s.DB, res.Selected, op.Type, op.Attr)
 	if err != nil {
-		s.DAG.Rollback()
+		sc.abort()
 		return err
 	}
 	rep.Timings.XToDV = time.Since(t0)
 	if len(dv.Inserts) == 0 {
-		s.DAG.Rollback() // the edge(s) already exist: nothing to do
+		sc.abort() // the edge(s) already exist: nothing to do
 		rep.Timings.Translate = rep.Timings.XToDV
 		return nil
 	}
 	t0 = time.Now()
 	dr, induced, err := s.Translator.TranslateInsert(dv.Inserts, dv.NewNodes)
 	if err != nil {
-		s.DAG.Rollback()
+		sc.abort()
 		return err
 	}
 	rep.Timings.DVToDR = time.Since(t0)
 	rep.Timings.Translate = rep.Timings.XToDV + rep.Timings.DVToDR
 	if err := ctx.Err(); err != nil {
-		s.DAG.Rollback() // nothing executed yet: cancellation is clean
+		sc.abort() // nothing executed yet: cancellation is clean
 		return err
 	}
 
 	t0 = time.Now()
 	if err := s.DB.Apply(dr); err != nil {
-		s.DAG.Rollback()
+		sc.abort()
 		return err
 	}
 	// Materialize induced content (children the new base tuples generate
@@ -376,39 +390,44 @@ func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Resu
 	for _, ie := range induced {
 		croot, err := s.ATG.PublishSubtree(s.DAG, s.DB, ie.ChildType, ie.Attr)
 		if err != nil {
-			// ΔR already applied; a failure here is an internal
-			// inconsistency, not a user rejection.
-			s.DAG.Rollback()
+			// A failure here is an internal inconsistency, not a user
+			// rejection; unwind ΔR too so view and database stay aligned.
+			sc.abort()
+			if uerr := undoMutations(s.DB, dr); uerr != nil {
+				return fmt.Errorf("core: publishing induced %s%s: %v (and %w)", ie.ChildType, ie.Attr, err, uerr)
+			}
 			return fmt.Errorf("core: publishing induced %s%s: %w", ie.ChildType, ie.Attr, err)
 		}
 		s.DAG.AddEdge(ie.Parent, croot)
 	}
-	newNodes, edgeAdds, _ := s.DAG.Changes()
-	s.DAG.Commit()
+	newNodes, edgeAdds, _ := sc.changes()
+	sc.keep()
+	if t.atomic {
+		t.dbLog = append(t.dbLog, dr...)
+	}
 	for _, e := range edgeAdds {
 		s.Translator.NoteEdgeInserted(e)
+		if t.atomic {
+			t.noteLog = append(t.noteLog, noteRec{edge: e, inserted: true})
+		}
 	}
 	rep.DR = dr
 	rep.DVInserts = len(edgeAdds)
 	rep.Applied = true
 	rep.Timings.Apply = time.Since(t0)
 
-	// Maintenance of L and M (background in the paper's framework). In a
-	// batch the matrix half is deferred: L must be current for the next
-	// update's XPath evaluation, but no insert phase reads M, so its
-	// closure pairs are queued and flushed once per batch.
+	// Maintenance of L and M (background in the paper's framework). The
+	// matrix half is deferred transaction-wide: L must be current for the
+	// next stage's XPath evaluation, but no insert phase reads M, so its
+	// closure pairs are queued on the transaction and flushed once — at
+	// Commit, or before the next staged deletion.
 	t0 = time.Now()
-	if pending != nil {
-		s.Index.DeferInsertUpdate(s.DAG, newNodes, edgeAdds, pending)
-	} else {
-		s.Index.InsertUpdate(s.DAG, newNodes, edgeAdds)
-	}
+	s.Index.DeferInsertUpdate(s.DAG, newNodes, edgeAdds, &t.pending)
 	rep.Timings.Maintain = time.Since(t0)
-	s.gen++
 	return nil
 }
 
-func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report) error {
+func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Result, rep *Report, t *Txn) error {
 	t0 := time.Now()
 	dv := update.Xdelete(res.Edges)
 	rep.Timings.XToDV = time.Since(t0)
@@ -427,9 +446,12 @@ func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Resu
 	if err := s.DB.Apply(dr); err != nil {
 		return err
 	}
+	if t.atomic {
+		t.dbLog = append(t.dbLog, dr...)
+	}
 	for _, e := range dv.Deletes {
 		s.DAG.RemoveEdge(e.Parent, e.Child)
-		s.Translator.NoteEdgeDeleted(e)
+		s.noteDeleted(t, e)
 	}
 	rep.DR = dr
 	rep.DVDeletes = len(dv.Deletes)
@@ -439,13 +461,21 @@ func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Resu
 	t0 = time.Now()
 	cascade, removed := s.Index.DeleteUpdate(s.DAG, res.Selected, dv.Deletes)
 	for _, e := range cascade {
-		s.Translator.NoteEdgeDeleted(e)
+		s.noteDeleted(t, e)
 	}
 	rep.Removed = len(removed)
 	rep.DVDeletes += len(cascade)
 	rep.Timings.Maintain = time.Since(t0)
-	s.gen++
 	return nil
+}
+
+// noteDeleted keeps the translator's source index current for a removed
+// edge, recording the adjustment for inverse replay in atomic transactions.
+func (s *System) noteDeleted(t *Txn, e dag.Edge) {
+	s.Translator.NoteEdgeDeleted(e)
+	if t.atomic {
+		t.noteLog = append(t.noteLog, noteRec{edge: e})
+	}
 }
 
 // CheckConsistency verifies the system invariant ΔX(T) = σ(ΔR(I)): the

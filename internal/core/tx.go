@@ -1,0 +1,343 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+	"rxview/internal/update"
+)
+
+// Transaction errors.
+var (
+	// ErrTxOpen is returned by write entry points while a transaction begun
+	// with System.Begin is still open on the view: the transaction owns the
+	// write path until Commit or Rollback closes it.
+	ErrTxOpen = errors.New("core: a transaction is open on this view")
+	// ErrTxDone is returned by operations on a transaction that has already
+	// been committed or rolled back.
+	ErrTxDone = errors.New("core: transaction already committed or rolled back")
+)
+
+// Txn is a group of XML updates processed as one unit. Updates are staged
+// one at a time with Stage; each staged update runs the full pipeline of
+// §2.4 speculatively against the live system — DTD validation, XPath
+// evaluation with side-effect detection, ΔX→ΔV→ΔR translation, ΔR against
+// the database and ΔV against the view — so queries between stages read the
+// transaction's own writes. The maintenance of M is deferred transaction-
+// wide (the reach.Pending of the batch path, extended to survive across
+// staged ops); L is maintained eagerly because the next stage's XPath
+// evaluation iterates it.
+//
+// In atomic mode (System.Begin(true)) the group is all-or-nothing: a staged
+// rejection dooms the whole transaction, and Commit or Rollback restores
+// the DAG, the database, the translator's source index, L and M exactly to
+// their pre-Begin state. A successful Commit runs one deferred maintenance
+// flush and advances the generation by exactly 1, however many updates the
+// transaction applied.
+//
+// In non-atomic mode the staged prefix stays applied whatever happens later
+// — the contract of the historical ApplyBatch — and the generation advances
+// once per applied update, as each stage applies.
+type Txn struct {
+	s      *System
+	atomic bool
+
+	pending reach.Pending
+	lastIns *Report // report of the last applied insertion: flush time lands here
+	reports []*Report
+	applied int
+
+	// Atomic-mode rollback state. The DAG itself is covered by a journal
+	// opened at Begin; these cover everything the journal cannot see.
+	topoSave   *reach.Topo   // deep copy of L at Begin
+	matrixSave *reach.Matrix // copy of M, taken lazily before its first mutation
+	dbLog      []relational.Mutation
+	noteLog    []noteRec
+
+	err    error  // atomic mode: the rejection that doomed the group
+	errOp  string // the staged update the rejection belongs to
+	closed bool
+}
+
+// noteRec records one translator source-index adjustment for inverse replay.
+type noteRec struct {
+	edge     dag.Edge
+	inserted bool
+}
+
+// Begin opens a transaction on the system. atomic selects all-or-nothing
+// semantics (group rollback, one generation per commit); non-atomic
+// transactions are the batch primitive — prefix semantics, one generation
+// per applied update. Only one transaction may be open at a time; while one
+// is open, Apply/ApplyBatch/Execute return ErrTxOpen.
+func (s *System) Begin(atomic bool) (*Txn, error) {
+	if s.txn != nil {
+		return nil, ErrTxOpen
+	}
+	t := &Txn{s: s, atomic: atomic}
+	if atomic {
+		// L is mutated by every staged op (append/swap for inserts,
+		// tombstoning for deletes); a deep copy now is what makes rollback
+		// an O(1) pointer swap later. M is copied lazily: an insert-only
+		// transaction defers all M maintenance, so its rollback never needs
+		// a copy at all.
+		t.topoSave = s.Index.Topo.Clone()
+		s.DAG.Begin()
+	}
+	s.txn = t
+	return t, nil
+}
+
+// InTxn reports whether a transaction is open on the system.
+func (s *System) InTxn() bool { return s.txn != nil }
+
+// Atomic reports the transaction's mode.
+func (t *Txn) Atomic() bool { return t.atomic }
+
+// Open reports whether the transaction still accepts stages.
+func (t *Txn) Open() bool { return !t.closed }
+
+// Applied returns the number of staged updates that applied so far.
+func (t *Txn) Applied() int { return t.applied }
+
+// Reports returns the per-update reports in stage order. The slice is live:
+// Commit adds the deferred flush time to the last insertion's Maintain.
+func (t *Txn) Reports() []*Report { return t.reports }
+
+// Err returns the rejection that doomed an atomic transaction, or nil — the
+// updatability answer for the staged group: nil means every staged update
+// applied speculatively, so Commit will succeed and the combined effect is
+// exactly the staged state. ErrOp names the rejected update.
+func (t *Txn) Err() error { return t.err }
+
+// ErrOp returns the rendered update the doom error belongs to.
+func (t *Txn) ErrOp() string { return t.errOp }
+
+// Stage runs one update through the full pipeline, speculatively: on return
+// with a nil error the update is applied to the live state (visible to
+// queries and later stages) but not yet durable — Commit makes the group
+// final, Rollback (atomic mode) undoes it. The report and error are exactly
+// what Apply would produce for the same update against the same state.
+//
+// In atomic mode a rejection (side effect, DTD violation, parse failure,
+// untranslatable ΔV) dooms the transaction: the failed update itself is
+// already unwound, later stages are refused with the same error, and Commit
+// will unwind the whole group. Cancellation does not doom the group — the
+// canceled stage is unwound and may be retried.
+func (t *Txn) Stage(ctx context.Context, op *update.Op) (*Report, error) {
+	if t.closed {
+		return &Report{Op: op.String()}, ErrTxDone
+	}
+	if t.err != nil {
+		return &Report{Op: op.String()}, t.err
+	}
+	if op.Kind == update.OpDelete {
+		// ∆(M,L)delete walks desc(r[[p]]) through M and needs a superset of
+		// the true closure, so the deferred insert half must land first; in
+		// atomic mode M is about to see its first mutation, so capture the
+		// rollback copy now.
+		t.saveMatrix()
+		t.flushPending()
+	}
+	rep, err := t.s.apply(ctx, op, t)
+	t.reports = append(t.reports, rep)
+	if rep.Applied {
+		t.applied++
+		if op.Kind == update.OpInsert {
+			t.lastIns = rep
+		}
+		if !t.atomic {
+			t.s.gen++
+		}
+	}
+	if err != nil && t.atomic && !isCtxErr(err) {
+		t.err, t.errOp = err, op.String()
+	}
+	return rep, err
+}
+
+// Fail dooms an atomic transaction with a rejection detected outside Stage
+// — a parse failure in a higher layer, say. The group is all-or-nothing: if
+// one member cannot even be compiled, the combined effect is undefined and
+// Commit must refuse it. No-op in non-atomic mode, on a doomed transaction
+// and on a closed one.
+func (t *Txn) Fail(op string, err error) {
+	if t.atomic && !t.closed && t.err == nil && err != nil {
+		t.err, t.errOp = err, op
+	}
+}
+
+// Commit finishes the transaction. Atomic mode: if any stage was rejected
+// (or ctx is already canceled), the whole group is unwound to the pre-Begin
+// state and the rejection is returned; otherwise the deferred maintenance
+// flushes once, the DAG journal commits, and the generation advances by 1
+// if anything applied. Non-atomic mode: the flush completes the maintenance
+// of the applied prefix; nothing can fail.
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.closed {
+		return ErrTxDone
+	}
+	if t.atomic {
+		if t.err != nil {
+			err := t.err
+			if rerr := t.rollback(); rerr != nil {
+				return rerr
+			}
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			// All-or-nothing under cancellation too: nothing committed.
+			if rerr := t.rollback(); rerr != nil {
+				return rerr
+			}
+			return err
+		}
+	}
+	t.flushPending()
+	if t.atomic {
+		t.s.DAG.Commit()
+		if t.applied > 0 {
+			t.s.gen++
+		}
+	}
+	t.close()
+	return nil
+}
+
+// Rollback abandons the transaction: atomic mode restores the pre-Begin
+// state exactly; non-atomic mode keeps the applied prefix and completes its
+// deferred maintenance (there is nothing sound to unwind — that is the
+// documented batch contract). Idempotent: rolling back a finished
+// transaction is a no-op.
+func (t *Txn) Rollback() error {
+	if t.closed {
+		return nil
+	}
+	if !t.atomic {
+		t.flushPending()
+		t.close()
+		return nil
+	}
+	return t.rollback()
+}
+
+// rollback restores the pre-Begin state: the DAG from its journal, the
+// database by inverse mutations in reverse order, the translator's source
+// index by inverse note replay, L from the Begin-time copy and M from the
+// lazy copy (or untouched — an insert-only transaction never mutated it).
+// An inverse-mutation failure means the undo log and the database disagree;
+// it is returned as an internal error, never silently swallowed.
+func (t *Txn) rollback() error {
+	s := t.s
+	s.DAG.Rollback()
+	err := undoMutations(s.DB, t.dbLog)
+	for i := len(t.noteLog) - 1; i >= 0; i-- {
+		n := t.noteLog[i]
+		if n.inserted {
+			s.Translator.NoteEdgeDeleted(n.edge)
+		} else {
+			s.Translator.NoteEdgeInserted(n.edge)
+		}
+	}
+	s.Index.Topo = t.topoSave
+	if t.matrixSave != nil {
+		s.Index.Matrix = t.matrixSave
+	}
+	t.pending = reach.Pending{}
+	t.close()
+	return err
+}
+
+func (t *Txn) close() {
+	t.closed = true
+	t.s.txn = nil
+}
+
+// saveMatrix captures the rollback copy of M before its first transaction-
+// scoped mutation. No-op in non-atomic mode and on repeat calls.
+func (t *Txn) saveMatrix() {
+	if t.atomic && t.matrixSave == nil {
+		t.matrixSave = t.s.Index.Matrix.Clone()
+	}
+}
+
+// flushPending applies the deferred closure maintenance; the time lands in
+// the last applied insertion's Maintain, so summing Timings.Maintain over
+// the reports gives the group's true maintenance cost.
+func (t *Txn) flushPending() {
+	if t.pending.Len() == 0 {
+		return
+	}
+	t0 := time.Now()
+	t.s.Index.Flush(&t.pending)
+	if t.lastIns != nil {
+		t.lastIns.Timings.Maintain += time.Since(t0)
+	}
+}
+
+// undoMutations replays the inverse of an executed ΔR log, newest first.
+func undoMutations(db *relational.Database, dr []relational.Mutation) error {
+	for i := len(dr) - 1; i >= 0; i-- {
+		m := dr[i]
+		if m.Insert {
+			if !db.Delete(m.Table, m.Tuple) {
+				return fmt.Errorf("core: rollback: undo insert %s %s: no such tuple", m.Table, m.Tuple)
+			}
+		} else if err := db.Insert(m.Table, m.Tuple); err != nil {
+			return fmt.Errorf("core: rollback: undo delete %s %s: %w", m.Table, m.Tuple, err)
+		}
+	}
+	return nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// dagScope adapts one update's speculative DAG mutations to whichever
+// journal context it runs in: standalone (the op opens and closes its own
+// journal, as Apply always did) or inside an open transaction journal (the
+// op gets a savepoint, so it can unwind alone while the journal keeps
+// covering the whole group).
+type dagScope struct {
+	d     *dag.DAG
+	mark  int
+	owned bool
+}
+
+func (s *System) beginDAGScope() dagScope {
+	if s.DAG.InTxn() {
+		return dagScope{d: s.DAG, mark: s.DAG.Mark()}
+	}
+	s.DAG.Begin()
+	return dagScope{d: s.DAG, owned: true}
+}
+
+// abort unwinds the op's mutations (only them).
+func (sc dagScope) abort() {
+	if sc.owned {
+		sc.d.Rollback()
+	} else {
+		sc.d.RollbackTo(sc.mark)
+	}
+}
+
+// changes returns the op's own mutations.
+func (sc dagScope) changes() (nodeAdds []dag.NodeID, edgeAdds, edgeDels []dag.Edge) {
+	if sc.owned {
+		return sc.d.Changes()
+	}
+	return sc.d.ChangesSince(sc.mark)
+}
+
+// keep retains the op's mutations; a transaction-owned journal stays open.
+func (sc dagScope) keep() {
+	if sc.owned {
+		sc.d.Commit()
+	}
+}

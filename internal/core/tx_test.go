@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"rxview/internal/update"
+)
+
+// stateFingerprint renders everything a transaction must restore on
+// rollback: the DAG (node identities with exact sibling order), the
+// database (every tuple of every table), the exact entry sequence of L, the
+// full pair set of M, and the generation. Two states with equal
+// fingerprints are indistinguishable to every read and write path.
+func stateFingerprint(s *System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d\n", s.Generation())
+	b.WriteString("dag:\n")
+	for _, u := range s.DAG.Nodes() {
+		fmt.Fprintf(&b, "  %s(%s):", s.DAG.Type(u), s.DAG.Attr(u))
+		for _, v := range s.DAG.Children(u) {
+			fmt.Fprintf(&b, " %s(%s)", s.DAG.Type(v), s.DAG.Attr(v))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("db:\n")
+	for _, name := range s.DB.Schema.TableNames() {
+		rows := []string{}
+		for _, tup := range s.DB.Rel(name).Tuples() {
+			rows = append(rows, tup.String())
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "  %s: %s\n", name, strings.Join(rows, " "))
+	}
+	b.WriteString("L:")
+	for _, id := range s.Index.Topo.Nodes() {
+		fmt.Fprintf(&b, " %s(%s)", s.DAG.Type(id), s.DAG.Attr(id))
+	}
+	b.WriteString("\nM:\n")
+	for _, d := range s.DAG.Nodes() {
+		ancs := []string{}
+		for a := range s.Index.Matrix.Ancestors(d) {
+			ancs = append(ancs, fmt.Sprintf("%s(%s)", s.DAG.Type(a), s.DAG.Attr(a)))
+		}
+		sort.Strings(ancs)
+		fmt.Fprintf(&b, "  %s(%s) < %s\n", s.DAG.Type(d), s.DAG.Attr(d), strings.Join(ancs, " "))
+	}
+	return b.String()
+}
+
+func mustOp(t *testing.T, s *System, stmt string) *update.Op {
+	t.Helper()
+	op, err := update.ParseStatement(s.ATG, stmt)
+	if err != nil {
+		t.Fatalf("parse %q: %v", stmt, err)
+	}
+	return op
+}
+
+// The canonical happy-path group: fresh course CS111 with two prereq edges
+// plus a deletion, exercising insert deferral, the flush-before-delete path
+// and the GC cascade inside one transaction.
+var txGroup = []string{
+	`insert course(cno="CS111", title="Intro") into .`,
+	`insert course(cno="CS112", title="Intro II") into //course[cno="CS111"]/prereq`,
+	`delete //course[cno="CS320"]//student[ssn="S02"]`,
+	`insert student(ssn="S09", name="Ida") into //course[cno="CS112"]/takenBy`,
+}
+
+func TestTxnCommitStateEqualsSequentialApplies(t *testing.T) {
+	ctx := context.Background()
+	txSys := openRegistrar(t, Options{})
+	seqSys := openRegistrar(t, Options{})
+
+	tx, err := txSys.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range txGroup {
+		if _, err := tx.Stage(ctx, mustOp(t, txSys, stmt)); err != nil {
+			t.Fatalf("stage %q: %v", stmt, err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stmt := range txGroup {
+		if _, err := seqSys.Execute(stmt); err != nil {
+			t.Fatalf("apply %q: %v", stmt, err)
+		}
+	}
+
+	txFP, seqFP := stateFingerprint(txSys), stateFingerprint(seqSys)
+	// Generations differ by design: one per transaction vs one per update.
+	if txSys.Generation() != 1 {
+		t.Fatalf("tx generation = %d, want 1", txSys.Generation())
+	}
+	if seqSys.Generation() != uint64(len(txGroup)) {
+		t.Fatalf("seq generation = %d, want %d", seqSys.Generation(), len(txGroup))
+	}
+	txFP = strings.Replace(txFP, "gen=1\n", "gen=*\n", 1)
+	seqFP = strings.Replace(seqFP, fmt.Sprintf("gen=%d\n", len(txGroup)), "gen=*\n", 1)
+	if txFP != seqFP {
+		t.Fatalf("transaction state differs from sequential applies:\n--- tx ---\n%s\n--- seq ---\n%s", txFP, seqFP)
+	}
+	if err := txSys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnMiddleRejectionUnwindsToPreBegin(t *testing.T) {
+	ctx := context.Background()
+	s := openRegistrar(t, Options{}) // no ForceSideEffects: shared-subtree insert rejects
+	want := stateFingerprint(s)
+
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[1])); err != nil {
+		t.Fatal(err)
+	}
+	// CS320's prereq node is shared: inserting under it has XML side effects
+	// and must be rejected, dooming the group.
+	rejStmt := `insert course(cno="CS240X", title="X") into course[cno="CS650"]//course[cno="CS320"]/prereq`
+	_, serr := tx.Stage(ctx, mustOp(t, s, rejStmt))
+	if !IsSideEffect(serr) {
+		t.Fatalf("stage err = %v, want side-effect rejection", serr)
+	}
+	if tx.Err() == nil || tx.ErrOp() == "" {
+		t.Fatal("transaction not doomed after rejection")
+	}
+	// Later stages are refused with the group's error.
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[3])); !IsSideEffect(err) {
+		t.Fatalf("stage after doom = %v, want the doom error", err)
+	}
+	if err := tx.Commit(ctx); !IsSideEffect(err) {
+		t.Fatalf("commit = %v, want the doom error", err)
+	}
+	if got := stateFingerprint(s); got != want {
+		t.Fatalf("state after doomed commit differs from pre-Begin:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The view is usable again.
+	if _, err := s.Execute(txGroup[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnExplicitRollbackAfterDeletes(t *testing.T) {
+	ctx := context.Background()
+	s := openRegistrar(t, Options{ForceSideEffects: true})
+	want := stateFingerprint(s)
+
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix inserts and deletes so the rollback exercises every save: the
+	// journal (DAG), inverse ΔR (database), the Topo swap (L) and the lazy
+	// matrix copy (M mutated by the flush and ∆(M,L)delete).
+	stmts := []string{
+		txGroup[0],
+		txGroup[1],
+		`delete //student[ssn="S02"]`, // GC cascade: node removed entirely
+		`delete //course[cno="CS111"]/prereq/course[cno="CS112"]`,
+		`insert student(ssn="S08", name="Hal") into //course[cno="CS111"]/takenBy`,
+	}
+	for _, stmt := range stmts {
+		if _, err := tx.Stage(ctx, mustOp(t, s, stmt)); err != nil {
+			t.Fatalf("stage %q: %v", stmt, err)
+		}
+	}
+	if tx.Applied() == 0 {
+		t.Fatal("nothing applied speculatively")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateFingerprint(s); got != want {
+		t.Fatalf("state after rollback differs from pre-Begin:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal("rollback must be idempotent")
+	}
+}
+
+func TestTxnReadYourWritesAcrossStages(t *testing.T) {
+	ctx := context.Background()
+	s := openRegistrar(t, Options{})
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[0])); err != nil {
+		t.Fatal(err)
+	}
+	// The staged insert must be visible to evaluation: the second stage
+	// targets the course created by the first, and a query selects it.
+	got, err := s.Query(`//course[cno="CS111"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("staged write invisible: query = %v", got)
+	}
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[1])); err != nil {
+		t.Fatalf("stage against staged state: %v", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Query(`//course[cno="CS111"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("rolled-back write still visible")
+	}
+}
+
+func TestTxnWriteGuardsWhileOpen(t *testing.T) {
+	ctx := context.Background()
+	s := openRegistrar(t, Options{})
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Begin(true); !errors.Is(err, ErrTxOpen) {
+		t.Fatalf("nested Begin = %v, want ErrTxOpen", err)
+	}
+	if _, err := s.Execute(txGroup[0]); !errors.Is(err, ErrTxOpen) {
+		t.Fatalf("Execute during tx = %v, want ErrTxOpen", err)
+	}
+	if _, err := s.ApplyBatch(ctx, nil); !errors.Is(err, ErrTxOpen) {
+		t.Fatalf("ApplyBatch during tx = %v, want ErrTxOpen", err)
+	}
+	// DryRun is read-only and savepoint-scoped: it may run inside the
+	// transaction and answers against the staged state.
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DryRun(mustOp(t, s, txGroup[1])); err != nil {
+		t.Fatalf("DryRun inside tx = %v", err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit = %v, want ErrTxDone", err)
+	}
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[3])); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("stage after commit = %v, want ErrTxDone", err)
+	}
+}
+
+// A staged insert's ΔV must cover only its own mutations, not everything
+// the transaction journal has seen: insert X, delete X, then insert Y must
+// behave exactly like the same three Apply calls (regression: Xinsert once
+// read d.Changes() from the journal's start, so Y's translation re-saw X's
+// edges and rejected the group).
+func TestTxnStageDeltaIsPerUpdate(t *testing.T) {
+	ctx := context.Background()
+	s := openRegistrar(t, Options{})
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []string{
+		`insert course(cno="CS901", title="A") into .`,
+		`delete //course[cno="CS901"]`,
+		`insert course(cno="CS902", title="B") into .`,
+	}
+	for _, stmt := range steps {
+		if _, err := tx.Stage(ctx, mustOp(t, s, stmt)); err != nil {
+			t.Fatalf("stage %q: %v", stmt, err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oracle := openRegistrar(t, Options{})
+	for _, stmt := range steps {
+		if _, err := oracle.Execute(stmt); err != nil {
+			t.Fatalf("apply %q: %v", stmt, err)
+		}
+	}
+	got := strings.SplitN(stateFingerprint(s), "\n", 2)[1] // drop gen line
+	want := strings.SplitN(stateFingerprint(oracle), "\n", 2)[1]
+	if got != want {
+		t.Fatalf("insert/delete/insert transaction diverged from sequential applies:\n--- tx ---\n%s\n--- seq ---\n%s", got, want)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnCancellationDoesNotDoom(t *testing.T) {
+	s := openRegistrar(t, Options{})
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tx.Stage(canceled, mustOp(t, s, txGroup[0])); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stage = %v, want context.Canceled", err)
+	}
+	if tx.Err() != nil {
+		t.Fatal("cancellation must not doom the transaction")
+	}
+	// The same update stages fine with a live context, and commits.
+	ctx := context.Background()
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", s.Generation())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnCommitCanceledUnwinds(t *testing.T) {
+	s := openRegistrar(t, Options{})
+	want := stateFingerprint(s)
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := tx.Stage(ctx, mustOp(t, s, txGroup[0])); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tx.Commit(canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("commit = %v, want context.Canceled", err)
+	}
+	if got := stateFingerprint(s); got != want {
+		t.Fatal("canceled commit did not unwind to pre-Begin state")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,13 +53,29 @@ func (d *DAG) Commit() {
 	d.journal = nil
 }
 
-// Changes returns the mutations recorded so far: added nodes, added edges and
-// removed edges. Valid only inside a transaction.
-func (d *DAG) Changes() (nodeAdds []NodeID, edgeAdds, edgeDels []Edge) {
+// Mark returns a savepoint inside the open journal: the point RollbackTo and
+// ChangesSince measure from. A transaction that stages several updates over
+// one long-lived journal gives each update its own mark, so a rejected update
+// unwinds alone while the journal keeps covering the whole group.
+func (d *DAG) Mark() int {
 	if d.journal == nil {
-		panic("dag: Changes without Begin")
+		panic("dag: Mark without Begin")
 	}
-	for _, op := range d.journal.ops {
+	return len(d.journal.ops)
+}
+
+// Changes returns the mutations recorded since Begin: added nodes, added
+// edges and removed edges. Valid only inside a transaction.
+func (d *DAG) Changes() (nodeAdds []NodeID, edgeAdds, edgeDels []Edge) {
+	return d.ChangesSince(0)
+}
+
+// ChangesSince returns the mutations recorded since the given savepoint.
+func (d *DAG) ChangesSince(mark int) (nodeAdds []NodeID, edgeAdds, edgeDels []Edge) {
+	if d.journal == nil {
+		panic("dag: ChangesSince without Begin")
+	}
+	for _, op := range d.journal.ops[mark:] {
 		switch op.kind {
 		case jNodeAdd:
 			nodeAdds = append(nodeAdds, op.node)
@@ -73,14 +89,38 @@ func (d *DAG) Changes() (nodeAdds []NodeID, edgeAdds, edgeDels []Edge) {
 }
 
 // Rollback undoes every mutation recorded since Begin, in reverse
-// chronological order.
+// chronological order, and closes the journal.
 func (d *DAG) Rollback() {
 	if d.journal == nil {
 		panic("dag: Rollback without Begin")
 	}
 	ops := d.journal.ops
 	d.journal = nil // avoid re-journaling the undo operations
+	d.undo(ops)
+}
 
+// RollbackTo undoes every mutation recorded after the given savepoint and
+// truncates the journal back to it; the journal stays open, keeping the
+// mutations before the mark. Everything before the savepoint can still be
+// undone by a later Rollback (or RollbackTo an earlier mark).
+func (d *DAG) RollbackTo(mark int) {
+	j := d.journal
+	if j == nil {
+		panic("dag: RollbackTo without Begin")
+	}
+	if mark < 0 || mark > len(j.ops) {
+		panic("dag: RollbackTo with invalid mark")
+	}
+	ops := j.ops[mark:]
+	j.ops = j.ops[:mark]
+	d.journal = nil // avoid re-journaling the undo operations
+	d.undo(ops)
+	d.journal = j
+}
+
+// undo reverses a suffix of journal operations, newest first. The journal
+// must be detached while it runs so the inverse mutations are not recorded.
+func (d *DAG) undo(ops []jop) {
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
 		switch op.kind {

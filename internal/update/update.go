@@ -72,6 +72,10 @@ func Xinsert(c *atg.Compiled, d *dag.DAG, db *relational.Database, rp []dag.Node
 	if !d.InTxn() {
 		return nil, fmt.Errorf("update: Xinsert requires an open DAG transaction")
 	}
+	// ΔV is this update's own contribution: measure from a savepoint, not
+	// from the journal's start — inside a multi-update transaction the
+	// journal spans every earlier staged update.
+	mark := d.Mark()
 	root, err := c.PublishSubtree(d, db, elemType, attr)
 	if err != nil {
 		return nil, err
@@ -88,7 +92,7 @@ func Xinsert(c *atg.Compiled, d *dag.DAG, db *relational.Database, rp []dag.Node
 		}
 		d.AddEdge(u, root)
 	}
-	newNodes, edgeAdds, _ := d.Changes()
+	newNodes, edgeAdds, _ := d.ChangesSince(mark)
 	return &ViewDelta{
 		Inserts:     edgeAdds,
 		NewNodes:    newNodes,

@@ -40,16 +40,29 @@
 //     canceled update is skipped and reports context.Canceled without being
 //     applied) and in-flight (the pipeline's phase checks abort it).
 //
+//   - Atomic groups go through Engine.Tx (HTTP: POST /tx): the loop runs
+//     the group as one view transaction — every update stages
+//     speculatively, reading the group's earlier writes — and commits all
+//     of it or none. A committed group advances the generation by exactly
+//     1 and publishes exactly one epoch covering all its updates; a
+//     rejected group (HTTP 409) publishes nothing, because the view never
+//     moved. Snapshot readers therefore cannot observe a mid-transaction
+//     state: epochs step from group to group, never into one. This is the
+//     complement of /batch, which keeps its documented prefix semantics —
+//     a failed batch leaves the successful prefix applied (one generation
+//     per applied update), where a failed tx leaves nothing.
+//
 //   - After every write the loop seals and publishes a fresh snapshot, so
 //     a reader's result always corresponds to an exact prefix of the write
 //     history, identified by the generation it carries, and a writer whose
 //     Update returned reads its own write from the very next Query.
 //
 // Consistency model: reads are snapshot-consistent (every query observes
-// the state after some prefix of the applied updates, never a partial
-// update), writes are strictly serialized in submission-processing order,
-// and reads never wait on writes. A reader may observe a slightly stale
-// epoch; it will never observe a torn one.
+// the state after some prefix of the applied write units — an update, a
+// batch member, or a whole committed transaction — never a partial one),
+// writes are strictly serialized in submission-processing order, and reads
+// never wait on writes. A reader may observe a slightly stale epoch; it
+// will never observe a torn one.
 //
 // NewHandler exposes the Engine over HTTP/JSON (the cmd/xviewd daemon and
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent

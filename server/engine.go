@@ -80,6 +80,8 @@ type Engine struct {
 	queries    atomic.Uint64
 	applied    atomic.Uint64
 	rejected   atomic.Uint64
+	txCommits  atomic.Uint64
+	txRejected atomic.Uint64
 	coalRuns   atomic.Uint64
 	coalUpds   atomic.Uint64
 	snapSwaps  atomic.Uint64
@@ -93,7 +95,8 @@ type Engine struct {
 type request struct {
 	ctx     context.Context
 	u       rxview.Update
-	batch   []rxview.Update // non-nil: a client batch, applied as one unit
+	batch   []rxview.Update // non-nil: a client batch, prefix semantics
+	tx      []rxview.Update // non-nil: an atomic group (all-or-nothing)
 	counted bool            // already tallied in the coalescing counters
 	done    chan result
 }
@@ -223,6 +226,60 @@ func (e *Engine) batchWithGen(ctx context.Context, updates ...rxview.Update) ([]
 	return res.reps, res.gen, res.err
 }
 
+// Tx submits an atomic group of updates, serialized against all other
+// writes: either every update applies — one deferred maintenance flush, one
+// epoch published, the generation advanced by exactly 1 — or none does and
+// the view is untouched. The reports cover the staged updates (ending, on
+// failure, with the rejected one); the error is the group rejection, nil on
+// commit. Unlike Batch there are no prefix effects to account for: a
+// rejected group leaves nothing behind, and snapshot readers can never
+// observe a partially applied group.
+func (e *Engine) Tx(ctx context.Context, updates ...rxview.Update) ([]*rxview.Report, error) {
+	reps, _, err := e.txWithGen(ctx, updates...)
+	return reps, err
+}
+
+// txWithGen is Tx returning also the covering snapshot generation, stamped
+// at delivery like updateWithGen.
+func (e *Engine) txWithGen(ctx context.Context, updates ...rxview.Update) ([]*rxview.Report, uint64, error) {
+	if updates == nil {
+		updates = []rxview.Update{}
+	}
+	req := &request{ctx: ctx, tx: updates, done: make(chan result, 1)}
+	if err := e.submit(ctx, req); err != nil {
+		return nil, 0, err
+	}
+	res := <-req.done
+	return res.reps, res.gen, res.err
+}
+
+// applyTx runs an atomic group through a view transaction. Called only from
+// the apply loop. Any stage failure — a rejection dooming the group or a
+// cancellation — aborts the whole group: all-or-nothing has no innocent
+// members to retry, unlike the coalesced insert runs.
+func (e *Engine) applyTx(ctx context.Context, updates []rxview.Update) ([]*rxview.Report, error) {
+	tx, err := e.view.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		if _, err := tx.Stage(ctx, u); err != nil {
+			rbErr := tx.Rollback()
+			e.txRejected.Add(1)
+			if rbErr != nil {
+				return tx.Reports(), fmt.Errorf("server: tx rollback after %v: %w", err, rbErr)
+			}
+			return tx.Reports(), err
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		e.txRejected.Add(1)
+		return tx.Reports(), err
+	}
+	e.txCommits.Add(1)
+	return tx.Reports(), nil
+}
+
 func (e *Engine) submit(ctx context.Context, req *request) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -258,6 +315,14 @@ func (e *Engine) run() {
 			e.depth.Add(-1)
 		}
 		switch {
+		case req.tx != nil:
+			// An atomic group: one transaction, and — on commit — exactly
+			// one published epoch covering all of it. Readers observe the
+			// pre-Begin snapshot until the post-commit one is swapped in;
+			// a rejected group publishes nothing (the view didn't move).
+			reps, err := e.applyTx(req.ctx, req.tx)
+			e.publish()
+			e.deliver(req, result{reps: reps, err: err})
 		case req.batch != nil:
 			reps, err := e.view.Batch(req.ctx, req.batch...)
 			e.publish()
@@ -277,9 +342,9 @@ func (e *Engine) run() {
 }
 
 // gather collects the run of consecutive queued insertions starting at
-// first, without blocking: it stops at the first queued deletion or client
-// batch (returned as carry for the next loop iteration), at an empty
-// queue, or at the coalescing cap.
+// first, without blocking: it stops at the first queued deletion, client
+// batch or atomic group (returned as carry for the next loop iteration),
+// at an empty queue, or at the coalescing cap.
 func (e *Engine) gather(first *request) (run []*request, carry *request) {
 	run = []*request{first}
 	for len(run) < e.cfg.maxCoalesce {
@@ -289,7 +354,7 @@ func (e *Engine) gather(first *request) (run []*request, carry *request) {
 				return run, nil
 			}
 			e.depth.Add(-1)
-			if r.batch == nil && !r.u.IsDelete() {
+			if r.batch == nil && r.tx == nil && !r.u.IsDelete() {
 				run = append(run, r)
 				continue
 			}
@@ -455,6 +520,8 @@ type Stats struct {
 	Queries          uint64       `json:"queries"`
 	UpdatesApplied   uint64       `json:"updates_applied"`
 	UpdatesRejected  uint64       `json:"updates_rejected"`
+	TxCommitted      uint64       `json:"tx_committed"`
+	TxRejected       uint64       `json:"tx_rejected"`
 	CoalescedRuns    uint64       `json:"coalesced_runs"`
 	CoalescedUpdates uint64       `json:"coalesced_updates"`
 	SnapshotSwaps    uint64       `json:"snapshot_swaps"`
@@ -479,6 +546,8 @@ func (e *Engine) Stats() Stats {
 		Queries:          e.queries.Load(),
 		UpdatesApplied:   e.applied.Load(),
 		UpdatesRejected:  e.rejected.Load(),
+		TxCommitted:      e.txCommits.Load(),
+		TxRejected:       e.txRejected.Load(),
 		CoalescedRuns:    e.coalRuns.Load(),
 		CoalescedUpdates: e.coalUpds.Load(),
 		SnapshotSwaps:    e.snapSwaps.Load(),

@@ -224,4 +224,17 @@ func TestGatherStopsAtDeleteAndCap(t *testing.T) {
 	for len(e.reqs) > 0 {
 		<-e.reqs
 	}
+
+	// An atomic group must break a run exactly like a batch or deletion —
+	// coalescing it would apply its zero-value update and drop the group.
+	txReq := &request{ctx: ctx, tx: []rxview.Update{studentInsert("SGTX")}, done: make(chan result, 1)}
+	e.reqs <- txReq
+	e.reqs <- ins(6)
+	run, carry = e.gather(ins(0))
+	if len(run) != 1 || carry != txReq {
+		t.Fatalf("gather over [ins tx ins]: run=%d carry=%v, want 1-run with the tx as carry", len(run), carry)
+	}
+	for len(e.reqs) > 0 {
+		<-e.reqs
+	}
 }

@@ -31,6 +31,10 @@ type HandlerOptions struct {
 //	               "path":"//course/takenBy"}          → report
 //	POST /batch   {"updates":[...]}                    → reports (prefix
 //	                                                      semantics)
+//	POST /tx      {"updates":[...]}                    → reports (atomic:
+//	                                                      all-or-nothing,
+//	                                                      one generation;
+//	                                                      409 on rejection)
 //	GET  /stats                                        → serving statistics
 //	GET  /healthz                                      → liveness + epoch
 //
@@ -46,6 +50,7 @@ func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /query", h.query)
 	mux.HandleFunc("POST /update", h.update)
 	mux.HandleFunc("POST /batch", h.batch)
+	mux.HandleFunc("POST /tx", h.tx)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	return mux
@@ -302,6 +307,47 @@ func (h *handler) batch(w http.ResponseWriter, r *http.Request) {
 		// Prefix semantics: the reports cover what ran; surface them with
 		// the error so the client knows exactly how far the batch got.
 		writeError(w, statusOf(err), err, reps)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Reports: reportsJSON(reps)})
+}
+
+// txStatusOf maps an atomic group's rejection onto HTTP statuses: any
+// update-level rejection that makes the combined effect unachievable — an
+// XML side effect or an untranslatable ΔV — is a group conflict (409, where
+// /update distinguishes 409 from 422: the group-level question is "can
+// these apply together atomically", and the answer was no). Malformed
+// updates stay 400, timeouts and shutdown keep their transport statuses.
+func txStatusOf(err error) int {
+	if errors.Is(err, rxview.ErrSideEffect) || errors.Is(err, rxview.ErrNotUpdatable) {
+		return http.StatusConflict
+	}
+	return statusOf(err)
+}
+
+// tx applies an atomic group: all updates or none, one generation step, one
+// published epoch. The response mirrors /batch's shape; on rejection the
+// reports still describe every staged update (ending with the rejected
+// one), but — unlike /batch — nothing was applied.
+func (h *handler) tx(w http.ResponseWriter, r *http.Request) {
+	var in batchRequest
+	if !h.decode(w, r, &in) {
+		return
+	}
+	updates := make([]rxview.Update, len(in.Updates))
+	for i, uj := range in.Updates {
+		u, err := uj.compile()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("updates[%d]: %w", i, err), nil)
+			return
+		}
+		updates[i] = u
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	reps, gen, err := h.e.txWithGen(ctx, updates...)
+	if err != nil {
+		writeError(w, txStatusOf(err), err, reps)
 		return
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Reports: reportsJSON(reps)})

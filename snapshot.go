@@ -6,11 +6,14 @@ import (
 	"rxview/internal/core"
 )
 
-// Generation counts the mutations applied to the view since Open: it
-// increments exactly once per applied insertion or deletion, in application
-// order, and never for rejected, skipped, no-op or dry-run updates. A
-// Snapshot carries the generation it was taken at, so an observed query
-// result can be attributed to an exact prefix of the write history.
+// Generation counts the write units committed to the view since Open: it
+// increments exactly once per applied insertion or deletion (Apply, and
+// each applied member of a non-atomic Batch) and exactly once per committed
+// Begin transaction, however many updates it staged — never for rejected,
+// skipped, no-op, rolled-back or dry-run updates. A Snapshot carries the
+// generation it was taken at, so an observed query result can be attributed
+// to an exact prefix of the write history; an atomic group occupies a
+// single generation step, so no snapshot can expose part of one.
 func (v *View) Generation() uint64 { return v.sys.Generation() }
 
 // Snapshot freezes the current view state into an immutable epoch: the
@@ -32,6 +35,10 @@ func (v *View) Generation() uint64 { return v.sys.Generation() }
 // The server package's Engine does exactly that serialization: its apply
 // loop snapshots after each write and publishes the result atomically, which
 // is how reads become wait-free under write load.
+//
+// Snapshot panics while a Begin transaction is open: an epoch must never
+// expose staged-but-uncommitted state. Commit or roll back first (the
+// Engine publishes only between write units, so it can never hit this).
 func (v *View) Snapshot() *Snapshot {
 	return &Snapshot{sn: v.sys.Snapshot()}
 }

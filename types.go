@@ -30,11 +30,12 @@ func (n Node) String() string {
 }
 
 // Mutation is one base-table change; the translation ΔR of an update is a
-// []Mutation.
+// []Mutation. The json tags are the stable wire names used by the server's
+// /update, /batch and /tx payloads.
 type Mutation struct {
-	Table  string
-	Insert bool // true = insert, false = delete
-	Tuple  []Value
+	Table  string  `json:"table"`
+	Insert bool    `json:"insert"` // true = insert, false = delete
+	Tuple  []Value `json:"tuple"`
 }
 
 // String renders the mutation for logs and reports.
@@ -60,14 +61,16 @@ func mutationsOf(dr []relational.Mutation) []Mutation {
 // Timings breaks an update into the phases the paper's Fig.11 reports:
 // (a) XPath evaluation, (b) translation ΔX→ΔV→ΔR plus execution, and
 // (c) maintenance of the auxiliary structures (background in the paper).
+// Durations marshal as integer nanoseconds; the _ns tags make that explicit
+// in the wire names.
 type Timings struct {
-	Validate  time.Duration
-	Eval      time.Duration // (a)
-	Translate time.Duration // (b): ΔX→ΔV and ΔV→ΔR (= XToDV + DVToDR)
-	XToDV     time.Duration // Algorithm Xinsert / Xdelete (Figs.5–6)
-	DVToDR    time.Duration // Algorithm insert / delete (§4)
-	Apply     time.Duration // (b): executing ΔR and ΔV
-	Maintain  time.Duration // (c): ∆(M,L)insert / ∆(M,L)delete
+	Validate  time.Duration `json:"validate_ns"`
+	Eval      time.Duration `json:"eval_ns"`      // (a)
+	Translate time.Duration `json:"translate_ns"` // (b): ΔX→ΔV and ΔV→ΔR (= XToDV + DVToDR)
+	XToDV     time.Duration `json:"x_to_dv_ns"`   // Algorithm Xinsert / Xdelete (Figs.5–6)
+	DVToDR    time.Duration `json:"dv_to_dr_ns"`  // Algorithm insert / delete (§4)
+	Apply     time.Duration `json:"apply_ns"`     // (b): executing ΔR and ΔV
+	Maintain  time.Duration `json:"maintain_ns"`  // (c): ∆(M,L)insert / ∆(M,L)delete
 }
 
 // Total sums all phases.
@@ -87,18 +90,19 @@ func timingsOf(t core.Timings) Timings {
 	}
 }
 
-// Report describes one processed update.
+// Report describes one processed update. The json tags are the stable wire
+// names shared with the server's /update, /batch and /tx payloads.
 type Report struct {
-	Op          string     // the update, rendered
-	Applied     bool       // false for no-ops and rejections
-	Targets     int        // |r[[p]]|, nodes selected by the path
-	Edges       int        // |Ep(r)|, parent-child edges selected
-	SideEffects bool       // the update touched a shared subtree
-	DVInserts   int        // edges added to the view's edge relations
-	DVDeletes   int        // edges removed (including the GC cascade)
-	Changes     []Mutation // the relational translation ΔR, as executed
-	Removed     int        // garbage-collected nodes
-	Timings     Timings
+	Op          string     `json:"op"`                // the update, rendered
+	Applied     bool       `json:"applied"`           // false for no-ops and rejections
+	Targets     int        `json:"targets"`           // |r[[p]]|, nodes selected by the path
+	Edges       int        `json:"edges"`             // |Ep(r)|, parent-child edges selected
+	SideEffects bool       `json:"side_effects"`      // the update touched a shared subtree
+	DVInserts   int        `json:"dv_inserts"`        // edges added to the view's edge relations
+	DVDeletes   int        `json:"dv_deletes"`        // edges removed (including the GC cascade)
+	Changes     []Mutation `json:"changes,omitempty"` // the relational translation ΔR, as executed
+	Removed     int        `json:"removed"`           // garbage-collected nodes
+	Timings     Timings    `json:"timings"`
 }
 
 func reportOf(r *core.Report) *Report {

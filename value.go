@@ -1,6 +1,13 @@
 package rxview
 
-import "rxview/internal/relational"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"rxview/internal/relational"
+)
 
 // Kind identifies the runtime type of a Value.
 type Kind uint8
@@ -56,6 +63,51 @@ func (v Value) Num() int64 {
 
 // String renders the value.
 func (v Value) String() string { return v.v.String() }
+
+// MarshalJSON renders the value in its native JSON form: null, a number, a
+// boolean or a string — the same mapping the server's wire format uses, so
+// a marshaled Mutation round-trips.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.v.K {
+	case relational.KindInt:
+		return json.Marshal(v.v.I)
+	case relational.KindBool:
+		return json.Marshal(v.v.I != 0)
+	case relational.KindString:
+		return json.Marshal(v.v.S)
+	default:
+		return []byte("null"), nil
+	}
+}
+
+// UnmarshalJSON accepts the same forms MarshalJSON emits. Numbers must be
+// exact integers (the value model has no floats) and are parsed as full
+// int64 — not through float64, which would corrupt magnitudes ≥ 2⁵³.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case nil:
+		*v = Null()
+	case bool:
+		*v = Bool(x)
+	case string:
+		*v = Str(x)
+	case json.Number:
+		n, err := strconv.ParseInt(string(x), 10, 64)
+		if err != nil {
+			return fmt.Errorf("rxview: number %s is not an exact int64", x)
+		}
+		*v = Int(n)
+	default:
+		return fmt.Errorf("rxview: unsupported JSON value %T", raw)
+	}
+	return nil
+}
 
 // tupleOf converts public values to an internal tuple.
 func tupleOf(vals []Value) relational.Tuple {

@@ -64,11 +64,14 @@ func (v *View) Query(ctx context.Context, path string) ([]Node, error) {
 // ΔR against the database and ΔV against the view, and maintenance of L and
 // M. Cancellation is honored between the phases; once ΔR has executed the
 // update is carried through, so a cancelled context never leaves the
-// auxiliary structures stale.
+// auxiliary structures stale. It is a one-shot transaction — for a single
+// update, atomicity and prefix semantics coincide; for an all-or-nothing
+// group use Begin.
 //
 // The error, if any, matches ErrParse, ErrSideEffect or ErrNotUpdatable
 // under errors.Is when the update was rejected for the corresponding
-// reason; the report is always returned with whatever phases completed.
+// reason (ErrTxOpen while a Begin transaction is open); the report is
+// always returned with whatever phases completed.
 func (v *View) Apply(ctx context.Context, u Update) (*Report, error) {
 	op, err := u.compile()
 	if err != nil {
@@ -98,15 +101,17 @@ func (v *View) DryRun(ctx context.Context, u Update) (*Report, error) {
 // individually (the result state is identical to the same sequence of Apply
 // calls), but the closure maintenance of M for consecutive insertions is
 // coalesced and flushed once, which is substantially cheaper than paying
-// ∆(M,L)insert per update.
+// ∆(M,L)insert per update. It is a one-shot non-atomic transaction; for an
+// all-or-nothing group use Begin.
 //
 // The batch is not atomic: it stops at the first failing update, with every
 // earlier update already applied and the auxiliary structures repaired. The
 // returned reports cover the processed prefix, ending with a report for the
 // update that failed — on cancellation that is an unapplied report for the
-// first update that did not run, and the error names that update, never the
-// last one that succeeded. Summing Timings.Maintain over the reports gives
-// the batch's true total maintenance cost.
+// first update that did not run — and the error names that update, never
+// the last one that succeeded; a malformed update is named the same way,
+// wherever it sits in the batch. Summing Timings.Maintain over the reports
+// gives the batch's true total maintenance cost.
 func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) {
 	// Compile up to the first malformed update: the prefix before it still
 	// runs, preserving the Apply-sequence equivalence.
@@ -124,19 +129,27 @@ func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) 
 	reps, err := v.sys.ApplyBatch(ctx, ops)
 	out := reportsOf(reps)
 	if err != nil {
+		// The failing update is the last processed one; attribute the error
+		// to it. An empty prefix means the batch could not start at all
+		// (e.g. an open transaction owns the write path).
 		if len(out) > 0 {
-			// The failing update is the last processed one.
 			err = wrapErr(out[len(out)-1].Op, err)
+		} else {
+			err = wrapErr("batch", err)
 		}
 		return out, err
 	}
 	if compileErr != nil {
-		return append(out, &Report{Op: failed.String()}), compileErr
+		// One consistent shape wherever the malformed update sits — leading
+		// included: the reports end with an unapplied report for it and the
+		// error names it, exactly like a runtime rejection.
+		return append(out, &Report{Op: failed.String()}), withOp(compileErr, failed.String())
 	}
 	return out, nil
 }
 
-// Execute parses and applies one textual update statement:
+// Execute parses and applies one textual update statement, as a one-shot
+// transaction like Apply:
 //
 //	insert type(field=value, ...) into xpath
 //	delete xpath
