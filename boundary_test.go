@@ -1,53 +1,29 @@
-package rxview_test
+package rxview
 
 // Guards the API boundary: nothing outside internal/ may import
-// rxview/internal/... except the root rxview package itself, which is the
-// single supported gateway to the implementation.
+// rxview/internal/... except the root rxview package itself (the single
+// supported gateway to the implementation) and cmd/xviewlint (which links
+// the analyzer suite).
+//
+// The predicate lives in internal/lint/internalboundary so `go test` and
+// `go vet -vettool=xviewlint` enforce exactly the same rule; this test is
+// a thin wrapper over its tree walk. It is in package rxview (not
+// rxview_test) because an external test package could not import
+// internal/lint without itself breaching the boundary it checks.
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
+
+	"rxview/internal/lint/internalboundary"
 )
 
 func TestOnlyRootPackageImportsInternal(t *testing.T) {
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if d.Name() == "internal" || strings.HasPrefix(d.Name(), ".") && path != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		fset := token.NewFileSet()
-		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if perr != nil {
-			t.Errorf("%s: %v", path, perr)
-			return nil
-		}
-		// The root rxview package (package clause "rxview", repo root) is
-		// the only permitted gateway to internal/.
-		inRoot := !strings.Contains(path, string(filepath.Separator))
-		gateway := inRoot && f.Name.Name == "rxview"
-		for _, imp := range f.Imports {
-			val, _ := strconv.Unquote(imp.Path.Value)
-			if strings.HasPrefix(val, "rxview/internal/") && !gateway {
-				t.Errorf("%s (package %s) imports %s: only the root rxview package may import internal packages",
-					path, f.Name.Name, val)
-			}
-		}
-		return nil
-	})
+	violations, err := internalboundary.CheckTree(".")
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("%s: package %s imports %s: only the root rxview package may import internal packages",
+			v.Pos, v.PkgPath, v.Import)
 	}
 }

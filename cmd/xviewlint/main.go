@@ -1,0 +1,73 @@
+// Command xviewlint runs the repository's analyzer suite (see
+// internal/lint): the mechanical form of the COW-epoch, single-writer,
+// error-contract, context-flow and API-boundary conventions.
+//
+// Two modes, selected automatically:
+//
+//	xviewlint ./...                   # direct: load packages, analyze, report
+//	go vet -vettool=$(which xviewlint) ./...   # vettool: unitchecker protocol
+//
+// Direct mode loads packages with `go list -export`, so it works offline
+// and analyzes test files too. Exit status is 1 if any finding is
+// reported, 0 otherwise. Findings are suppressed line by line with
+//
+//	//lint:ignore xviewlint/<analyzer> <justification>
+//
+// where the justification is mandatory (see README, "Static analysis").
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"rxview/internal/lint"
+	"rxview/internal/lint/driver"
+	"rxview/internal/lint/loader"
+	"rxview/internal/lint/unitchecker"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes -V=full and -flags first, then hands over a
+	// single unit.cfg; anything else is a direct invocation.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || a == "--flags" ||
+			strings.HasSuffix(a, ".cfg") {
+			unitchecker.Main("xviewlint", lint.All(), args)
+			return
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(dir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "xviewlint: %s: type error: %v\n", p.ImportPath, terr)
+		}
+	}
+	findings, err := driver.Run(pkgs, lint.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xviewlint:", err)
+	os.Exit(2)
+}

@@ -17,6 +17,7 @@ import (
 // it decides in PTIME (Theorem 1), for insertions it runs the heuristic
 // SAT analysis (Theorem 2 makes the exact question NP-complete).
 func (s *System) DryRun(op *update.Op) (*Report, error) {
+	//lint:ignore xviewlint/ctxflow documented context-free convenience variant; callers holding a ctx use DryRunCtx
 	return s.DryRunCtx(context.Background(), op)
 }
 

@@ -265,6 +265,7 @@ func (s *System) Delete(path string) (*Report, error) {
 
 // Apply runs the full pipeline for one XML update ΔX.
 func (s *System) Apply(op *update.Op) (*Report, error) {
+	//lint:ignore xviewlint/ctxflow documented context-free convenience variant; callers holding a ctx use ApplyCtx
 	return s.ApplyCtx(context.Background(), op)
 }
 
@@ -394,7 +395,7 @@ func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Resu
 			// rejection; unwind ΔR too so view and database stay aligned.
 			sc.abort()
 			if uerr := undoMutations(s.DB, dr); uerr != nil {
-				return fmt.Errorf("core: publishing induced %s%s: %v (and %w)", ie.ChildType, ie.Attr, err, uerr)
+				return fmt.Errorf("core: publishing induced %s%s: %w (and %w)", ie.ChildType, ie.Attr, err, uerr)
 			}
 			return fmt.Errorf("core: publishing induced %s%s: %w", ie.ChildType, ie.Attr, err)
 		}

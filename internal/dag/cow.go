@@ -65,6 +65,8 @@ func (s *refStore) row(i NodeID) []NodeID {
 
 // ownBlock makes spine block bi writable in the current epoch, copying it
 // if a sealed version may still reference it.
+//
+// xviewlint:cow-primitive
 func (s *refStore) ownBlock(bi int) *refBlock {
 	if s.bEpoch[bi] != s.epoch {
 		cp := *s.blocks[bi]
@@ -113,6 +115,8 @@ func (s *refStore) setRow(i NodeID, r []NodeID) {
 // grow appends an empty row. Fresh block, chunk, and row slots need no
 // copy-on-write: their indexes are beyond every sealed length, so no sealed
 // reader can see them.
+//
+// xviewlint:cow-primitive
 func (s *refStore) grow() {
 	ci := s.n >> chunkBits
 	if bi := ci >> blockBits; bi == len(s.blocks) {
@@ -197,6 +201,10 @@ func (s *boolStore) get(i NodeID) bool {
 	return s.blocks[i>>rowBlock][(i>>chunkBits)&blockMask][i&chunkMask]
 }
 
+// ownChunk makes chunk ci (and its spine block) writable in the current
+// epoch, copying shared nodes first.
+//
+// xviewlint:cow-primitive
 func (s *boolStore) ownChunk(ci int) *boolChunk {
 	bi := ci >> blockBits
 	if s.bEpoch[bi] != s.epoch {
@@ -219,6 +227,8 @@ func (s *boolStore) set(i NodeID, v bool) {
 
 // grow appends a fresh flag; like refStore.grow it writes fresh slots
 // directly because they are beyond every sealed length.
+//
+// xviewlint:cow-primitive
 func (s *boolStore) grow(v bool) {
 	ci := s.n >> chunkBits
 	if bi := ci >> blockBits; bi == len(s.blocks) {

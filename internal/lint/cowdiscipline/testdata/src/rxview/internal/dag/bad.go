@@ -1,0 +1,31 @@
+// Seeded violations: in-place stores into spine-reachable memory.
+package dag
+
+// badSet skips the own* primitives entirely.
+func (s *refStore) badSet(i NodeID, r []NodeID) {
+	s.blocks[i>>rowBlock][(i>>chunkBits)&blockMask][i&chunkMask] = r // want "spine-reachable"
+}
+
+// badViaVar routes the spine through a local: provenance follows it.
+func (s *refStore) badViaVar(bi, ci int) {
+	b := s.blocks[bi]
+	b[ci&blockMask] = &refChunk{} // want "spine-reachable"
+}
+
+// badDeref overwrites a shared chunk in place through a pointer.
+func (s *refStore) badDeref(ci int) {
+	ch := s.blocks[ci>>blockBits][ci&blockMask]
+	*ch = refChunk{} // want "spine-reachable"
+}
+
+// badCopy mutates a shared row with copy instead of an indexed store.
+func (s *refStore) badCopy(i NodeID, src []NodeID) {
+	row := s.blocks[i>>rowBlock][(i>>chunkBits)&blockMask][i&chunkMask]
+	copy(row, src) // want "spine-reachable"
+}
+
+// badAppendAlias: append over a spine row may write into shared capacity.
+func (s *refStore) badAppendAlias(i NodeID, v NodeID) {
+	row := append(s.blocks[i>>rowBlock][(i>>chunkBits)&blockMask][i&chunkMask], v)
+	row[0] = v // want "spine-reachable"
+}

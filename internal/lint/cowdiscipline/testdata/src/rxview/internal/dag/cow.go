@@ -1,0 +1,79 @@
+// Fixture mirroring the real refStore shapes from internal/dag/cow.go:
+// a two-level block spine of chunked rows with per-level epoch stamps.
+// Clean code goes through the own* primitives; the seeded violations
+// store into spine-reachable memory directly.
+package dag
+
+type NodeID int32
+
+const (
+	chunkBits = 8
+	blockBits = 8
+	rowBlock  = chunkBits + blockBits
+	chunkMask = 1<<chunkBits - 1
+	blockMask = 1<<blockBits - 1
+)
+
+type refChunk [1 << chunkBits][]NodeID
+
+type refBlock [1 << blockBits]*refChunk
+
+type refStore struct {
+	blocks []*refBlock
+	bEpoch []uint64
+	cEpoch []uint64
+	rEpoch []uint64
+	epoch  uint64
+	n      int
+}
+
+// ownBlock is the real primitive: it must store into the spine to install
+// the copied block, so it carries the audit annotation.
+//
+// xviewlint:cow-primitive
+func (s *refStore) ownBlock(bi int) *refBlock {
+	if s.bEpoch[bi] != s.epoch {
+		cp := *s.blocks[bi]
+		s.blocks[bi] = &cp
+		s.bEpoch[bi] = s.epoch
+	}
+	return s.blocks[bi]
+}
+
+// xviewlint:cow-primitive
+func (s *refStore) ownChunk(ci int) *refChunk {
+	b := s.ownBlock(ci >> blockBits)
+	if s.cEpoch[ci] != s.epoch {
+		cp := *b[ci&blockMask]
+		b[ci&blockMask] = &cp
+		s.cEpoch[ci] = s.epoch
+	}
+	return b[ci&blockMask]
+}
+
+// setRow is clean: the destination chunk comes from ownChunk.
+func (s *refStore) setRow(i NodeID, r []NodeID) {
+	s.ownChunk(int(i) >> chunkBits)[i&chunkMask] = r
+	s.rEpoch[i] = s.epoch
+}
+
+// clone is clean: c's spine is freshly built, so stores into it are
+// construction.
+func (s *refStore) clone() *refStore {
+	c := &refStore{
+		blocks: make([]*refBlock, len(s.blocks)),
+		epoch:  s.epoch,
+		n:      s.n,
+	}
+	for bi := range s.blocks {
+		nb := &refBlock{}
+		for off, ch := range s.blocks[bi] {
+			if ch != nil {
+				cp := *ch
+				nb[off] = &cp
+			}
+		}
+		c.blocks[bi] = nb
+	}
+	return c
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/ctxflow"
+	"rxview/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

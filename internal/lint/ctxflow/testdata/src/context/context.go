@@ -1,0 +1,16 @@
+// Stub of context for ctxflow fixtures.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Err() error            { return nil }
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+func Background() Context { return emptyCtx{} }
+
+func TODO() Context { return emptyCtx{} }

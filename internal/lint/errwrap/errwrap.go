@@ -1,0 +1,212 @@
+// Package errwrap enforces the error contract the public API documents:
+// sentinel errors (ErrSideEffect, ErrTxOpen, io.EOF, ...) are matched
+// with errors.Is, concrete error types are extracted with errors.As, and
+// wrapping goes through fmt.Errorf's %w verb so the chain survives.
+//
+// Three rules:
+//
+//  1. ==/!= against a package-level error variable (a sentinel) is
+//     flagged — a wrapped error never compares equal. The one exemption
+//     is the body of an `Is(error) bool` method, which is the documented
+//     way to make errors.Is match a sentinel. switch-on-error cases are
+//     treated like ==.
+//  2. fmt.Errorf formatting an error value with any verb but %w is
+//     flagged — %v flattens the chain and breaks errors.Is/As upstream.
+//  3. Type assertions and type switches from the error interface to a
+//     concrete error type are flagged in favor of errors.As.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"rxview/internal/lint/analysis"
+	"rxview/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "sentinel errors must be compared with errors.Is/errors.As and wrapped with %w\n\n" +
+		"Flags ==/!= against package-level error variables, fmt.Errorf verbs other " +
+		"than %w applied to error values, and type assertions from error to a " +
+		"concrete error type.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			// The body of an Is(error) bool method is the documented way
+			// to teach errors.Is about a sentinel; == is the point there.
+			exempt := false
+			if fd, ok := decl.(*ast.FuncDecl); ok && isIsMethod(info, fd) {
+				exempt = true
+			}
+			checkDecl(pass, decl, exempt)
+		}
+	}
+	return nil, nil
+}
+
+func checkDecl(pass *analysis.Pass, decl ast.Decl, exempt bool) {
+	info := pass.TypesInfo
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if exempt {
+				return true
+			}
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if name, ok := sentinel(info, side); ok {
+					pass.Reportf(n.OpPos, "comparing error with %s %s: use errors.Is (a wrapped error never compares equal)", n.Op, name)
+					break
+				}
+			}
+		case *ast.SwitchStmt:
+			if exempt || n.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[n.Tag]
+			if !ok || !lintutil.IsErrorInterface(tv.Type) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := sentinel(info, e); ok {
+						pass.Reportf(e.Pos(), "switching on error against %s: use errors.Is (a wrapped error never compares equal)", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, n)
+		case *ast.TypeAssertExpr:
+			if n.Type == nil {
+				return true // handled via TypeSwitchStmt
+			}
+			checkAssert(pass, n.X, n.Type, n.Pos())
+		case *ast.TypeSwitchStmt:
+			var x ast.Expr
+			switch s := n.Assign.(type) {
+			case *ast.ExprStmt:
+				x = s.X.(*ast.TypeAssertExpr).X
+			case *ast.AssignStmt:
+				x = s.Rhs[0].(*ast.TypeAssertExpr).X
+			}
+			tv, ok := info.Types[x]
+			if !ok || !lintutil.IsErrorInterface(tv.Type) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, te := range cc.List {
+					if t, ok := info.Types[te]; ok && t.IsType() &&
+						!types.IsInterface(t.Type) && lintutil.IsErrorType(t.Type) {
+						pass.Reportf(te.Pos(), "type-switching error to %s: use errors.As to see through wrapping", types.TypeString(t.Type, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sentinel reports whether e denotes a package-level variable of error
+// type — the shape of every sentinel, including stdlib ones like io.EOF.
+func sentinel(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// isIsMethod recognizes the errors.Is support method:
+// func (e *E) Is(target error) bool.
+func isIsMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	sig, ok := info.Defs[fd.Name].Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return lintutil.IsErrorInterface(sig.Params().At(0).Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// checkErrorf flags fmt.Errorf verbs other than %w applied to error
+// values.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if !lintutil.IsPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := lintutilUnquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := lintutil.FormatVerbs(format)
+	if !ok || len(verbs) > len(call.Args)-1 {
+		return // indexed args or arity mismatch: leave it to vet's printf
+	}
+	for _, v := range verbs {
+		arg := call.Args[1+v.ArgPos]
+		tv, ok := info.Types[arg]
+		if !ok || !lintutil.IsErrorType(tv.Type) {
+			continue
+		}
+		if v.Letter == 'w' || v.Letter == 'T' {
+			continue // %T prints the type, it does not flatten the chain
+		}
+		pass.Reportf(arg.Pos(), "error formatted with %%%c: use %%w so errors.Is/As see through the wrap", v.Letter)
+	}
+}
+
+func checkAssert(pass *analysis.Pass, x, typ ast.Expr, pos token.Pos) {
+	info := pass.TypesInfo
+	tvX, ok := info.Types[x]
+	if !ok || !lintutil.IsErrorInterface(tvX.Type) {
+		return
+	}
+	tvT, ok := info.Types[typ]
+	if !ok || types.IsInterface(tvT.Type) || !lintutil.IsErrorType(tvT.Type) {
+		return
+	}
+	pass.Reportf(pos, "type assertion error.(%s): use errors.As to see through wrapping", types.TypeString(tvT.Type, types.RelativeTo(pass.Pkg)))
+}
+
+func lintutilUnquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '`' {
+		return s[1 : len(s)-1], nil
+	}
+	return strconv.Unquote(s)
+}

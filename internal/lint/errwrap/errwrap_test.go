@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/errwrap"
+	"rxview/internal/lint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, "testdata", errwrap.Analyzer, "a")
+}

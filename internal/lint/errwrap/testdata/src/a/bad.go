@@ -1,0 +1,56 @@
+// Seeded violations: every way of breaking the error contract.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrTxDone = errors.New("a: tx done")
+
+type parseError struct{ off int }
+
+func (e *parseError) Error() string { return "parse error" }
+
+func compareLocal(err error) bool {
+	return err == ErrTxDone // want "errors.Is"
+}
+
+func compareStdlib(err error) bool {
+	return err != io.EOF // want "errors.Is"
+}
+
+func switchSentinel(err error) string {
+	switch err {
+	case ErrTxDone: // want "errors.Is"
+		return "done"
+	case io.EOF: // want "errors.Is"
+		return "eof"
+	}
+	return ""
+}
+
+func flattenWrap(err error) error {
+	return fmt.Errorf("a: operation failed: %v", err) // want "use %w"
+}
+
+func flattenString(err error) error {
+	return fmt.Errorf("a: %d failed: %s", 7, err) // want "use %w"
+}
+
+func assertConcrete(err error) int {
+	if pe, ok := err.(*parseError); ok { // want "errors.As"
+		return pe.off
+	}
+	return -1
+}
+
+func typeSwitchConcrete(err error) int {
+	switch e := err.(type) {
+	case *parseError: // want "errors.As"
+		return e.off
+	default:
+		return -1
+	}
+}

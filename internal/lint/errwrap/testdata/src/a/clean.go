@@ -1,0 +1,45 @@
+// Clean cases: the documented ways to match, extract and wrap errors.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+type groupError struct{ n int }
+
+func (e *groupError) Error() string { return "group" }
+
+// Is teaches errors.Is to match the sentinel; == is the point here.
+func (e *groupError) Is(target error) bool {
+	return target == ErrTxDone
+}
+
+func matchWithIs(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, ErrTxDone)
+}
+
+func extractWithAs(err error) int {
+	var pe *parseError
+	if errors.As(err, &pe) {
+		return pe.off
+	}
+	return -1
+}
+
+func wrapProperly(err error) error {
+	return fmt.Errorf("a: stage 2: %w", err)
+}
+
+func describeType(err error) error {
+	return fmt.Errorf("a: unexpected %T", err) // %T prints the type, no chain to break
+}
+
+func nilChecksAreFine(err error) bool {
+	return err == nil || err != nil
+}
+
+func compareNonErrors(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,12 @@
+// Stub of the errors package for errwrap fixtures.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return false }
+
+func As(err error, target any) bool { return false }

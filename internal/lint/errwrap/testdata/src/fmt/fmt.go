@@ -1,0 +1,8 @@
+// Stub of fmt for errwrap fixtures.
+package fmt
+
+type wrapped struct{ msg string }
+
+func (w *wrapped) Error() string { return w.msg }
+
+func Errorf(format string, a ...any) error { return &wrapped{format} }

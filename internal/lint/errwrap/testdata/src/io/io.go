@@ -1,0 +1,6 @@
+// Stub of io for errwrap fixtures: EOF is the canonical stdlib sentinel.
+package io
+
+import "errors"
+
+var EOF = errors.New("EOF")

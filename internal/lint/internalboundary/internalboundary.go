@@ -1,0 +1,127 @@
+// Package internalboundary enforces the repository's API boundary:
+// nothing outside internal/ may import rxview/internal/... except the
+// root rxview package (the single supported gateway to the
+// implementation) and cmd/xviewlint itself (the vettool must link the
+// analyzer suite, which lives behind the boundary on purpose — it reasons
+// about implementation invariants, not public API).
+//
+// The rule predates this analyzer as a hand-written AST walk in
+// boundary_test.go; the analyzer is the single source of truth now, and
+// the test invokes CheckTree so `go test` and `go vet -vettool` enforce
+// the same predicate.
+package internalboundary
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rxview/internal/lint/analysis"
+)
+
+const internalPrefix = "rxview/internal/"
+
+// gatewayImporters lists the package paths allowed to import
+// rxview/internal/... from outside internal/ itself.
+var gatewayImporters = map[string]bool{
+	"rxview":               true, // the public API gateway (tests in package rxview included)
+	"rxview/cmd/xviewlint": true, // links the analyzer suite
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "internalboundary",
+	Doc: "only the root rxview package (and cmd/xviewlint) may import rxview/internal/...\n\n" +
+		"The root package is the single supported gateway to the implementation; " +
+		"everything else — cmd tools, server, examples, external test packages — " +
+		"must go through the public API.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	for _, f := range pass.Files {
+		checkFile(path, f, func(pos token.Pos, imp string) {
+			pass.Reportf(pos, "package %s imports %s: only the root rxview package may import internal packages", path, imp)
+		})
+	}
+	return nil, nil
+}
+
+// allowed reports whether a package at path may import rxview/internal/...
+func allowed(path string) bool {
+	return gatewayImporters[path] ||
+		path == "rxview/internal" || strings.HasPrefix(path, internalPrefix)
+}
+
+// checkFile applies the boundary predicate to one file. It is the shared
+// core of the analyzer and CheckTree.
+func checkFile(pkgPath string, f *ast.File, report func(pos token.Pos, imp string)) {
+	if allowed(pkgPath) {
+		return
+	}
+	for _, imp := range f.Imports {
+		val, _ := strconv.Unquote(imp.Path.Value)
+		if strings.HasPrefix(val, internalPrefix) {
+			report(imp.Path.Pos(), val)
+		}
+	}
+}
+
+// Violation is one boundary breach found by CheckTree.
+type Violation struct {
+	Pos     token.Position
+	PkgPath string
+	Import  string
+}
+
+// CheckTree walks a repository tree rooted at the module directory and
+// applies the boundary rule to every non-internal Go file, test files
+// included — the imports-only parse the old boundary_test.go did, now
+// delegating the decision to the analyzer's predicate. internal/ and
+// testdata/ subtrees are skipped: the compiler already polices the former
+// and fixtures deliberately violate rules in the latter.
+func CheckTree(root string) ([]Violation, error) {
+	var out []Violation
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "internal" || name == "testdata" ||
+				(strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		pkgPath := "rxview"
+		if dir := filepath.ToSlash(filepath.Dir(rel)); dir != "." {
+			pkgPath = "rxview/" + dir
+		} else if f.Name.Name != "rxview" {
+			// Root-directory files in package rxview_test (or any other
+			// package clause) are not the gateway package.
+			pkgPath = "rxview_test"
+		}
+		checkFile(pkgPath, f, func(pos token.Pos, imp string) {
+			out = append(out, Violation{Pos: fset.Position(pos), PkgPath: pkgPath, Import: imp})
+		})
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,12 @@
+package internalboundary_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/internalboundary"
+	"rxview/internal/lint/linttest"
+)
+
+func TestInternalBoundary(t *testing.T) {
+	linttest.Run(t, "testdata", internalboundary.Analyzer, "rxview", "rxview/server")
+}

@@ -1,0 +1,4 @@
+// Stub internal package for internalboundary fixtures.
+package dag
+
+type NodeID int32

@@ -1,0 +1,6 @@
+// The root package is the gateway: importing internal here is the point.
+package rxview
+
+import "rxview/internal/dag"
+
+type Snapshot struct{ Root dag.NodeID }

@@ -1,0 +1,12 @@
+// Seeded violation: a non-gateway package reaching behind the boundary.
+package server
+
+import (
+	"rxview"
+	"rxview/internal/dag" // want "only the root rxview package"
+)
+
+type Engine struct {
+	Root dag.NodeID
+	Snap rxview.Snapshot
+}

@@ -1,0 +1,29 @@
+// Package lint is the registry of the xviewlint analyzer suite: the
+// static checks that mechanically enforce this repository's three load-
+// bearing conventions — copy-on-write epochs, the single-writer serving
+// loop, and the sentinel error contract — plus the internal-package API
+// boundary. cmd/xviewlint links this package; boundary_test.go and the
+// per-analyzer tests exercise the same analyzers in-process.
+package lint
+
+import (
+	"rxview/internal/lint/analysis"
+	"rxview/internal/lint/cowdiscipline"
+	"rxview/internal/lint/ctxflow"
+	"rxview/internal/lint/errwrap"
+	"rxview/internal/lint/internalboundary"
+	"rxview/internal/lint/sealedmut"
+	"rxview/internal/lint/singlewriter"
+)
+
+// All returns the full xviewlint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cowdiscipline.Analyzer,
+		ctxflow.Analyzer,
+		errwrap.Analyzer,
+		internalboundary.Analyzer,
+		sealedmut.Analyzer,
+		singlewriter.Analyzer,
+	}
+}

@@ -1,0 +1,218 @@
+// Package sealedmut enforces the immutability contract of sealed
+// versions. A dag.Version, reach.TopoVersion, core.Snapshot or
+// rxview.Snapshot is an immutable epoch artifact shared by concurrent
+// readers without locks; mutating one — directly, through a pointer, or
+// through a slice returned by an aliasing accessor — is a data race
+// against every in-flight query.
+//
+// Flagged, anywhere in the module:
+//
+//   - assignments (including op-assign and ++/--) whose destination is
+//     reached through a value of a sealed type;
+//   - element stores into slices returned by the aliasing accessors
+//     (Children, Parents, Attr, Nodes) of a sealed type or of the
+//     dag.Reader / reach.Order interfaces, and copy() with such a slice
+//     as destination;
+//   - the same stores through the read-only interfaces themselves.
+//
+// Not flagged: writes to a sealed value freshly constructed in the same
+// function (a composite literal or new()) — that is how Seal() builds
+// the next version before publishing it.
+package sealedmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rxview/internal/lint/analysis"
+	"rxview/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sealedmut",
+	Doc: "sealed version values (dag.Version, reach.TopoVersion, Snapshot) and " +
+		"read-only views (dag.Reader, reach.Order, aliasing accessor results) must not be mutated",
+	Run: run,
+}
+
+// sealed value types: mutating one after Seal() races with readers.
+var sealedTypes = [...][2]string{
+	{"rxview/internal/dag", "Version"},
+	{"rxview/internal/reach", "TopoVersion"},
+	{"rxview/internal/core", "Snapshot"},
+	{"rxview", "Snapshot"},
+}
+
+// read-only interfaces: writes through them are never legitimate.
+var sealedIfaces = [...][2]string{
+	{"rxview/internal/dag", "Reader"},
+	{"rxview/internal/reach", "Order"},
+}
+
+// aliasMethods return memory shared with the sealed value; their results
+// are documented "callers must not mutate".
+var aliasMethods = map[string]bool{
+	"Children": true,
+	"Parents":  true,
+	"Attr":     true,
+	"Nodes":    true,
+}
+
+func isSealed(t types.Type) bool {
+	for _, s := range sealedTypes {
+		if lintutil.IsNamed(t, s[0], s[1]) {
+			return true
+		}
+	}
+	for _, s := range sealedIfaces {
+		if lintutil.IsNamed(t, s[0], s[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pass.TypesInfo, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkDest(pass, lhs, fresh)
+					}
+				case *ast.IncDecStmt:
+					checkDest(pass, n.X, fresh)
+				case *ast.CallExpr:
+					// copy(dst, src) mutates dst exactly like dst[i] = v.
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" &&
+						pass.TypesInfo.Uses[id] == types.Universe.Lookup("copy") && len(n.Args) == 2 {
+						checkDest(pass, n.Args[0], fresh)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// freshLocals collects local variables bound to a sealed value constructed
+// in this function (composite literal, &composite, or new(T)). Writing
+// through those is construction, not mutation.
+func freshLocals(info *types.Info, body ast.Node) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if constructsSealed(info, as.Rhs[i]) {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func constructsSealed(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		return constructsSealed(info, e.X)
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		return ok && isSealed(tv.Type)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" &&
+			info.Uses[id] == types.Universe.Lookup("new") && len(e.Args) == 1 {
+			tv, ok := info.Types[e.Args[0]]
+			return ok && isSealed(tv.Type)
+		}
+	}
+	return false
+}
+
+// checkDest walks a store destination toward its root. The store is a
+// violation if the access path passes through a sealed-typed expression
+// or through an aliasing accessor call, unless the path's root is a
+// fresh local under construction.
+func checkDest(pass *analysis.Pass, dest ast.Expr, fresh map[types.Object]bool) {
+	var sealedAt ast.Expr // deepest sealed expression on the path
+	var aliasCall *ast.CallExpr
+	e := ast.Unparen(dest)
+walk:
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			// Selecting a field of a sealed value: the base is the
+			// sealed expression the store goes through.
+			if sealedExpr(pass.TypesInfo, x.X) {
+				sealedAt = x.X
+			}
+			e = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok &&
+				aliasMethods[sel.Sel.Name] && sealedExpr(pass.TypesInfo, sel.X) {
+				aliasCall = x
+			}
+			break walk // a call result has no further addressable root
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e.(*ast.Ident)]; obj != nil && fresh[obj] {
+				return // construction of a fresh value
+			}
+			if dest != e && sealedExpr(pass.TypesInfo, e) {
+				// e.g. *p where p is *Version: the root itself is sealed.
+				sealedAt = e
+			}
+			break walk
+		default:
+			break walk
+		}
+	}
+	switch {
+	case aliasCall != nil:
+		sel := ast.Unparen(aliasCall.Fun).(*ast.SelectorExpr)
+		pass.Reportf(dest.Pos(), "mutating the result of %s.%s: aliasing accessor results are shared with the sealed version",
+			typeName(pass, sel.X), sel.Sel.Name)
+	case sealedAt != nil:
+		pass.Reportf(dest.Pos(), "mutating sealed %s value: versions are immutable after Seal and shared by concurrent readers",
+			typeName(pass, sealedAt))
+	}
+}
+
+// sealedExpr reports whether e's type (possibly behind a pointer) is a
+// sealed type or read-only interface.
+func sealedExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && isSealed(tv.Type)
+}
+
+func typeName(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok {
+		return "sealed"
+	}
+	return types.TypeString(lintutil.Deref(tv.Type), types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,12 @@
+package sealedmut_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/linttest"
+	"rxview/internal/lint/sealedmut"
+)
+
+func TestSealedMut(t *testing.T) {
+	linttest.Run(t, "testdata", sealedmut.Analyzer, "a")
+}

@@ -1,0 +1,44 @@
+// Seeded violations: every way of mutating a sealed version.
+package a
+
+import (
+	"rxview"
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+)
+
+func fieldStore(v *dag.Version) {
+	v.Root = 7 // want "mutating sealed"
+}
+
+func elementStore(v *dag.Version) {
+	v.Blocks[0] = 7 // want "mutating sealed"
+}
+
+func throughPointer(v *dag.Version) {
+	*v = dag.Version{} // want "mutating sealed"
+}
+
+func aliasedRow(v *dag.Version) {
+	v.Children(3)[0] = 7 // want "aliasing accessor"
+}
+
+func throughReader(r dag.Reader) {
+	r.Parents(3)[0] = 7 // want "aliasing accessor"
+}
+
+func throughOrder(o reach.Order) {
+	o.Nodes()[0] = 7 // want "aliasing accessor"
+}
+
+func copyInto(tv *reach.TopoVersion, src []dag.NodeID) {
+	copy(tv.Ids, src) // want "mutating sealed"
+}
+
+func snapshotStore(s *rxview.Snapshot) {
+	s.Gen++ // want "mutating sealed"
+}
+
+func incDec(v *dag.Version) {
+	v.Blocks[1]++ // want "mutating sealed"
+}

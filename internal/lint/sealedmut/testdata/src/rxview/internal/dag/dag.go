@@ -1,0 +1,20 @@
+// Stub of rxview/internal/dag for sealedmut fixtures: the analyzer keys
+// on import path and type name, so exported stand-in fields are enough.
+package dag
+
+type NodeID int32
+
+type Version struct {
+	Blocks []NodeID
+	Root   NodeID
+}
+
+func (v *Version) Children(id NodeID) []NodeID { return nil }
+func (v *Version) Parents(id NodeID) []NodeID  { return nil }
+func (v *Version) Nodes() []NodeID             { return nil }
+
+type Reader interface {
+	Children(id NodeID) []NodeID
+	Parents(id NodeID) []NodeID
+	Nodes() []NodeID
+}

@@ -1,0 +1,16 @@
+// Stub of rxview/internal/reach for sealedmut fixtures.
+package reach
+
+import "rxview/internal/dag"
+
+type TopoVersion struct {
+	Ids []dag.NodeID
+}
+
+func (tv *TopoVersion) Nodes() []dag.NodeID { return tv.Ids }
+func (tv *TopoVersion) Len() int            { return len(tv.Ids) }
+
+type Order interface {
+	Nodes() []dag.NodeID
+	Len() int
+}

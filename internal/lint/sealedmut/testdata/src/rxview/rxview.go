@@ -1,0 +1,9 @@
+// Stub of the rxview root package for sealedmut fixtures.
+package rxview
+
+type Snapshot struct {
+	Gen  uint64
+	Rows []int
+}
+
+func (s *Snapshot) Generation() uint64 { return s.Gen }

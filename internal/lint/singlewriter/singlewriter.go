@@ -1,0 +1,177 @@
+// Package singlewriter enforces the single-writer architecture of the
+// serving layer. The engine publishes epochs through an atomic.Pointer
+// and funnels every mutation through one apply goroutine; the analyzer
+// makes the two halves of that contract mechanical:
+//
+//  1. A struct field annotated `// xviewlint:writer-only` may be written
+//     only from the apply-loop call graph: functions annotated
+//     `// xviewlint:writer-loop` (the loop itself), functions annotated
+//     `// xviewlint:writer-init` (constructors that run before the loop
+//     starts), and everything they transitively call within the package.
+//     Reads are unrestricted — that is the point of the architecture.
+//  2. A value obtained from atomic.Pointer.Load is a shared published
+//     snapshot; storing through it (ep.Load().f = v, or any deeper path)
+//     bypasses the writer entirely and is always flagged.
+//
+// Test files are exempt from rule 1: tests construct engines in ways the
+// production call graph does not.
+package singlewriter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rxview/internal/lint/analysis"
+	"rxview/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "singlewriter",
+	Doc: "fields annotated // xviewlint:writer-only may be written only from the " +
+		"writer-loop/writer-init call graph, and atomic.Pointer loads are never stored through",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	writerFields := collectWriterFields(pass)
+	allowed := writerReachable(pass)
+	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inWriter := allowed[pass.TypesInfo.Defs[fd.Name]]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkStore(pass, lhs, writerFields, inWriter || isTest)
+					}
+				case *ast.IncDecStmt:
+					checkStore(pass, n.X, writerFields, inWriter || isTest)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// collectWriterFields gathers the field objects annotated writer-only.
+func collectWriterFields(pass *analysis.Pass) map[types.Object]bool {
+	fields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !lintutil.HasDirective("writer-only", field.Doc, field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// writerReachable computes the set of function objects reachable from the
+// annotated writer roots through static intra-package calls, including
+// calls made inside function literals of a reachable function.
+func writerReachable(pass *analysis.Pass) map[types.Object]bool {
+	// Static call edges between this package's declared functions.
+	callees := make(map[types.Object][]types.Object)
+	var roots []types.Object
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if lintutil.HasDirective("writer-loop", fd.Doc) ||
+				lintutil.HasDirective("writer-init", fd.Doc) {
+				roots = append(roots, obj)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lintutil.CalleeObj(pass.TypesInfo, call)
+				if fn, ok := callee.(*types.Func); ok && fn.Pkg() == pass.Pkg {
+					callees[obj] = append(callees[obj], fn)
+				}
+				return true
+			})
+		}
+	}
+	reach := make(map[types.Object]bool)
+	work := roots
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reach[fn] {
+			continue
+		}
+		reach[fn] = true
+		work = append(work, callees[fn]...)
+	}
+	return reach
+}
+
+// checkStore inspects one store destination. atomic-load paths are always
+// flagged; writer-only fields are flagged outside the writer call graph.
+func checkStore(pass *analysis.Pass, dest ast.Expr, writerFields map[types.Object]bool, inWriter bool) {
+	e := ast.Unparen(dest)
+	reportedLoad := false
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil && writerFields[obj] && !inWriter {
+				pass.Reportf(dest.Pos(), "write to writer-only field %s outside the writer-loop call graph: route the mutation through the apply loop", x.Sel.Name)
+			}
+			e = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			if !reportedLoad && isAtomicLoad(pass.TypesInfo, x) {
+				pass.Reportf(dest.Pos(), "store through atomic.Pointer Load: the loaded value is a published snapshot shared with readers")
+				reportedLoad = true
+			}
+			return // call results terminate the addressable chain
+		default:
+			return
+		}
+	}
+}
+
+// isAtomicLoad recognizes (*sync/atomic.Pointer[T]).Load calls.
+func isAtomicLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && lintutil.IsNamed(tv.Type, "sync/atomic", "Pointer")
+}

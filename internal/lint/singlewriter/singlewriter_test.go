@@ -1,0 +1,12 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/linttest"
+	"rxview/internal/lint/singlewriter"
+)
+
+func TestSingleWriter(t *testing.T) {
+	linttest.Run(t, "testdata", singlewriter.Analyzer, "a")
+}

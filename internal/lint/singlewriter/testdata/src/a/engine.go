@@ -1,0 +1,65 @@
+// Fixture modeling the serving engine: a writer-only view field, an
+// annotated apply loop and constructor, and an atomic.Pointer epoch.
+package a
+
+import "sync/atomic"
+
+type view struct{ gen uint64 }
+
+type epoch struct{ n int }
+
+type engine struct {
+	view *view // xviewlint:writer-only
+	ep   atomic.Pointer[epoch]
+	hits int
+}
+
+// newEngine owns the field before the loop starts.
+//
+// xviewlint:writer-init
+func newEngine() *engine {
+	e := &engine{}
+	e.view = &view{}
+	return e
+}
+
+// run is the apply loop; it and its callees may write the field.
+//
+// xviewlint:writer-loop
+func (e *engine) run() {
+	for i := 0; i < 3; i++ {
+		e.apply()
+	}
+}
+
+// apply is reachable from run, so this write is legal.
+func (e *engine) apply() {
+	e.view = &view{gen: e.view.gen + 1}
+}
+
+// helper is reachable from run through apply? No — only through reset,
+// which is outside the writer graph, so its write is flagged.
+func (e *engine) reset() {
+	e.view = nil // want "writer-only field view"
+	e.helper()
+}
+
+func (e *engine) helper() {
+	e.view = &view{} // want "writer-only field view"
+}
+
+// readers may read the field and the epoch pointer freely.
+func (e *engine) generation() uint64 {
+	_ = e.ep.Load()
+	return e.view.gen
+}
+
+// storing through a published snapshot bypasses the writer entirely.
+func (e *engine) corrupt() {
+	e.ep.Load().n = 7 // want "store through atomic.Pointer Load"
+}
+
+// unannotated fields are not restricted.
+func (e *engine) count() {
+	e.hits++
+}

@@ -1,0 +1,8 @@
+// Stub of sync/atomic for singlewriter fixtures: the analyzer keys on the
+// import path and the Pointer type name.
+package atomic
+
+type Pointer[T any] struct{ v *T }
+
+func (p *Pointer[T]) Load() *T   { return p.v }
+func (p *Pointer[T]) Store(v *T) { p.v = v }

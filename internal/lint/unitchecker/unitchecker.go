@@ -1,0 +1,203 @@
+// Package unitchecker makes cmd/xviewlint usable as a vettool: it
+// implements the command-line protocol "go vet -vettool=..." drives —
+// -V=full for build caching, -flags for flag discovery, and a JSON
+// unit.cfg describing one compilation unit with compiler-produced export
+// data for its imports. It mirrors x/tools' unitchecker over the local
+// analysis framework (the xviewlint analyzers carry no facts, so the
+// .vetx exchange degenerates to empty files).
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"rxview/internal/lint/analysis"
+	"rxview/internal/lint/driver"
+	"rxview/internal/lint/loader"
+)
+
+// Config is the JSON compilation-unit description "go vet" hands the
+// tool; field names are fixed by the protocol.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool protocol and exits.
+func Main(progname string, analyzers []*analysis.Analyzer, args []string) {
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			os.Exit(0)
+		case arg == "-V" || strings.HasPrefix(arg, "-V="):
+			log.Fatalf("unsupported flag value: %s (use -V=full)", arg)
+		case arg == "-flags" || arg == "--flags":
+			// No analyzer flags: tell go vet so with an empty list.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking the vettool directly is unsupported; use "go vet -vettool="`)
+	}
+	os.Exit(Run(args[0], analyzers, os.Stderr))
+}
+
+// printVersion emits the -V=full line the go command hashes into its
+// build cache key: executable path, "version", and a content digest.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%x\n", exe, h.Sum(nil))
+}
+
+// Run analyzes the unit described by the cfg file and returns the
+// process exit code: 0 clean, 1 findings or soft failure.
+func Run(configFile string, analyzers []*analysis.Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The protocol requires a facts file for dependent units even though
+	// the xviewlint analyzers produce none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg, files, info, err := typeCheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	findings, err := driver.Run([]*loader.Package{{
+		ImportPath: cfg.ImportPath,
+		Raw:        cfg.ID,
+		Dir:        cfg.Dir,
+		Name:       pkg.Name(),
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}}, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func typeCheck(fset *token.FileSet, cfg *Config) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", filepath.Base(cfg.ImportPath), err)
+	}
+	return pkg, files, info, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -79,6 +79,8 @@ func (t *Topo) at(i int) dag.NodeID {
 
 // set overwrites entry i, copying the chunk (and its spine block) if a
 // sealed version may still reference them.
+//
+// xviewlint:cow-primitive
 func (t *Topo) set(i int, v dag.NodeID) {
 	ci := i >> chunkBits
 	bi := ci >> blockBits
@@ -100,6 +102,8 @@ func (t *Topo) set(i int, v dag.NodeID) {
 // sealed reader (compaction shrank the list since that seal), so it goes
 // through the copy-on-write set; slots beyond every sealed length are
 // written directly.
+//
+// xviewlint:cow-primitive
 func (t *Topo) push(v dag.NodeID) {
 	ci := t.n >> chunkBits
 	if ci == t.chunks {

@@ -96,7 +96,7 @@ func (db *Database) Apply(dr []Mutation) error {
 		if m.Insert {
 			db.Delete(m.Table, m.Tuple)
 		} else if e := db.Insert(m.Table, m.Tuple); e != nil {
-			return fmt.Errorf("relational: rollback failed after %v: %v", err, e)
+			return fmt.Errorf("relational: rollback failed after %w: %w", err, e)
 		}
 	}
 	return err

@@ -67,4 +67,32 @@
 // NewHandler exposes the Engine over HTTP/JSON (the cmd/xviewd daemon and
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent
 // readers and a background writer for throughput/latency measurement.
+//
+// # Writer annotations
+//
+// The single-writer contract is machine-checked by the xviewlint suite
+// (internal/lint, run via `go run ./cmd/xviewlint ./...` or as a go vet
+// vettool). Three comment directives drive its singlewriter analyzer:
+//
+//	// xviewlint:writer-only   on a struct field: the field may be
+//	                           written only from the writer call graph
+//	                           (reads are unrestricted — that is the
+//	                           point of the architecture)
+//	// xviewlint:writer-loop   on a function: a writer-graph root — the
+//	                           apply loop itself (Engine.run)
+//	// xviewlint:writer-init   on a function: a constructor that runs
+//	                           before the loop exists (New)
+//
+// The writer call graph is the transitive closure of intra-package calls
+// from the writer-loop and writer-init roots. Engine.view carries
+// writer-only: after New hands the view to the loop, any write to the
+// field outside run's call graph is a finding. Independently, a value
+// obtained from an atomic.Pointer Load (a published epoch) is flagged if
+// anything is stored through it — snapshots are immutable once published.
+//
+// A directive is a statement of architecture, not a suppression: adding
+// one widens what the analyzer accepts, so new annotations get the same
+// review scrutiny as a lock-ordering change. Deliberate per-line
+// exceptions use the //lint:ignore grammar described in the repository
+// README ("Static analysis"), which requires a justification.
 package server

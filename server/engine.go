@@ -67,7 +67,7 @@ type epoch struct {
 // the consistency model. Create one with New; after that the View must not
 // be used directly (the Engine owns it).
 type Engine struct {
-	view *rxview.View
+	view *rxview.View // xviewlint:writer-only
 	cfg  config
 	ep   atomic.Pointer[epoch]
 	reqs chan *request
@@ -111,6 +111,8 @@ type result struct {
 // New starts the serving layer over a view: it publishes the initial
 // snapshot and launches the apply loop. The caller hands the view over —
 // all further access must go through the Engine.
+//
+// xviewlint:writer-init
 func New(view *rxview.View, opts ...Option) *Engine {
 	cfg := config{queue: 256, maxCoalesce: 64, memoCap: 256}
 	for _, o := range opts {
@@ -267,7 +269,7 @@ func (e *Engine) applyTx(ctx context.Context, updates []rxview.Update) ([]*rxvie
 			rbErr := tx.Rollback()
 			e.txRejected.Add(1)
 			if rbErr != nil {
-				return tx.Reports(), fmt.Errorf("server: tx rollback after %v: %w", err, rbErr)
+				return tx.Reports(), fmt.Errorf("server: tx rollback after %w: %w", err, rbErr)
 			}
 			return tx.Reports(), err
 		}
@@ -300,6 +302,8 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 // touches e.view after New, which is what makes the unsynchronized view
 // safe. carry holds a request that gather pulled off the queue but could
 // not coalesce.
+//
+// xviewlint:writer-loop
 func (e *Engine) run() {
 	defer e.wg.Done()
 	var carry *request
@@ -417,6 +421,7 @@ func (e *Engine) processRun(run []*request) {
 				e.coalUpds.Add(1)
 			}
 		}
+		//lint:ignore xviewlint/ctxflow the run context is the merge of every rider's ctx: it must outlive any single one and is canceled via AfterFunc when any rider cancels
 		runCtx, cancel := context.WithCancel(context.Background())
 		stops := make([]func() bool, len(live))
 		updates := make([]rxview.Update, len(live))

@@ -388,6 +388,7 @@ func ListenAndServe(ctx context.Context, addr string, e *Engine, opts HandlerOpt
 		return err
 	case <-ctx.Done():
 	}
+	//lint:ignore xviewlint/ctxflow graceful shutdown starts when the serve ctx is already canceled; its deadline must be independent of it
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutCtx)

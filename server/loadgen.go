@@ -71,9 +71,14 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 			for n := 0; runCtx.Err() == nil; n++ {
 				path := lg.Paths[(reader+n)%len(lg.Paths)]
 				t0 := time.Now()
-				if _, err := lg.Engine.Query(context.Background(), path); err != nil {
-					fail(fmt.Errorf("reader %d: %s: %w", reader, path, err))
-					return
+				if _, err := lg.Engine.Query(runCtx, path); err != nil {
+					// The run deadline can expire mid-query; that ends the
+					// loop, it is not a reader failure.
+					if !isCtxErr(err) {
+						fail(fmt.Errorf("reader %d: %s: %w", reader, path, err))
+						return
+					}
+					break
 				}
 				local = append(local, time.Since(t0).Nanoseconds())
 			}

@@ -152,7 +152,7 @@ func (tx *Tx) Commit(ctx context.Context) error {
 		// The unwind itself failed — the undo log and the live state
 		// disagree. Never mask this behind the original rejection: the
 		// pre-Begin state was NOT restored.
-		return fmt.Errorf("rxview: %w (while unwinding rejected group: %v)", err, tx.err)
+		return fmt.Errorf("rxview: %w (while unwinding rejected group: %w)", err, tx.err)
 	case tx.t.ErrOp() != "":
 		return wrapErr(tx.t.ErrOp(), err)
 	default:
