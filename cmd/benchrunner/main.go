@@ -31,6 +31,12 @@
 // BENCH_PR5.json:
 //
 //	benchrunner -exp tx -sizes 250,2500,25000 -json BENCH_PR5.json
+//
+// The wal experiment prices durability: per-update commit latency at each
+// fsync policy vs the in-memory baseline, and recovery time vs log length,
+// writing BENCH_PR7.json:
+//
+//	benchrunner -exp wal -sizes 250,2500 -json BENCH_PR7.json
 package main
 
 import (
@@ -49,7 +55,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -78,6 +84,7 @@ func main() {
 	run("serve", serveExp)
 	run("snapshot", snapshotExp)
 	run("tx", txExp)
+	run("wal", walExp)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,235 @@
+package main
+
+// The wal experiment prices durability: per-update commit latency with the
+// write-ahead log at each fsync policy against the in-memory baseline, and
+// recovery time (checkpoint load + log replay) as a function of log length.
+// FsyncOff shows the pure logging overhead (serialization + write(2)),
+// FsyncBatch the group-commit compromise, FsyncAlways the full
+// survives-power-loss price — on the insert workload the gap between Off
+// and the baseline is the cost every durable commit pays, and the gap
+// between Always and Off is pure fsync.
+//
+//	benchrunner -exp wal -sizes 250,2500 -json BENCH_PR7.json
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rxview"
+)
+
+// walPoint is one commit-latency row of BENCH_PR7.json.
+type walPoint struct {
+	NC       int   `json:"nc"`
+	Nodes    int   `json:"nodes"`
+	K        int   `json:"k"`                   // updates applied
+	BaseNS   int64 `json:"base_ns_per_op"`      // in-memory view, no durability
+	OffNS    int64 `json:"fsync_off_ns_per_op"` // log written, never synced
+	BatchNS  int64 `json:"fsync_batch_ns_per_op"`
+	AlwaysNS int64 `json:"fsync_always_ns_per_op"`
+}
+
+// walRecoveryPoint is one recovery-time row of BENCH_PR7.json.
+type walRecoveryPoint struct {
+	NC        int   `json:"nc"`
+	Records   int   `json:"records"`      // log records replayed on boot
+	RecoverNS int64 `json:"recover_ns"`   // durable Open: checkpoint + replay
+	ColdNS    int64 `json:"cold_open_ns"` // non-durable Open: full publication
+	LogBytes  int64 `json:"log_bytes"`    // size of the replayed suffix
+}
+
+type walFile struct {
+	Seed     int64              `json:"seed"`
+	Points   []walPoint         `json:"points"`
+	Recovery []walRecoveryPoint `json:"recovery"`
+}
+
+func walExp(sizes []int) {
+	fmt.Println("== WAL: durable commit latency per fsync policy (k inserts, per-update ns) ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tnodes\tk\tbase\tfsync=off\tfsync=batch\tfsync=always")
+	out := walFile{Seed: *seedFlag}
+	for _, nc := range sizes {
+		pt, err := measureWalCommit(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			pt.NC, pt.Nodes, pt.K, pt.BaseNS, pt.OffNS, pt.BatchNS, pt.AlwaysNS)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Println("== WAL: recovery time vs log length (|C| fixed at the first size) ==")
+	w = newTab()
+	fmt.Fprintln(w, "|C|\trecords\tlog bytes\trecover\tcold open")
+	nc := sizes[0]
+	for _, records := range []int{16, 64, 256} {
+		pt, err := measureWalRecovery(nc, *seedFlag, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Recovery = append(out.Recovery, pt)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%s\n", pt.NC, pt.Records, pt.LogBytes,
+			ms(time.Duration(pt.RecoverNS)), ms(time.Duration(pt.ColdNS)))
+	}
+	w.Flush()
+	fmt.Println()
+
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// walView opens a synthetic view (durable when dir is non-empty) and returns
+// the same insert workload the tx experiment uses, so the per-op numbers are
+// directly comparable to BENCH_PR5.
+func walView(nc int, seed int64, k int, opts ...rxview.Option) (*rxview.View, []rxview.Update, error) {
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, append([]rxview.Option{rxview.WithForceSideEffects()}, opts...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return nil, nil, fmt.Errorf("wal: synthetic dataset has no roots")
+	}
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	updates := make([]rxview.Update, 0, k)
+	for _, key := range syn.FreshKeys(k) {
+		updates = append(updates, rxview.Insert(target, "C",
+			rxview.Int(key), rxview.Str(fmt.Sprintf("wal%d", key))))
+	}
+	return view, updates, nil
+}
+
+func applyTimed(view *rxview.View, updates []rxview.Update) (int64, error) {
+	ctx := context.Background()
+	t0 := time.Now()
+	for _, u := range updates {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0).Nanoseconds() / int64(len(updates)), nil
+}
+
+func measureWalCommit(nc int, seed int64) (walPoint, error) {
+	const k = 64
+	pt := walPoint{NC: nc, K: k}
+
+	view, updates, err := walView(nc, seed, k)
+	if err != nil {
+		return pt, err
+	}
+	pt.Nodes = view.Stats().Nodes
+	if pt.BaseNS, err = applyTimed(view, updates); err != nil {
+		return pt, fmt.Errorf("wal base at |C|=%d: %w", nc, err)
+	}
+
+	for _, pol := range []struct {
+		policy rxview.FsyncPolicy
+		slot   *int64
+		name   string
+	}{
+		{rxview.FsyncOff, &pt.OffNS, "off"},
+		{rxview.FsyncBatch, &pt.BatchNS, "batch"},
+		{rxview.FsyncAlways, &pt.AlwaysNS, "always"},
+	} {
+		dir, err := os.MkdirTemp("", "rxview-wal-")
+		if err != nil {
+			return pt, err
+		}
+		view, updates, err := walView(nc, seed, k,
+			rxview.WithDurability(dir), rxview.WithFsync(pol.policy))
+		if err != nil {
+			os.RemoveAll(dir)
+			return pt, err
+		}
+		ns, err := applyTimed(view, updates)
+		if err == nil {
+			err = view.Close()
+		}
+		os.RemoveAll(dir)
+		if err != nil {
+			return pt, fmt.Errorf("wal fsync=%s at |C|=%d: %w", pol.name, nc, err)
+		}
+		*pol.slot = ns
+	}
+	return pt, nil
+}
+
+func measureWalRecovery(nc int, seed int64, records int) (walRecoveryPoint, error) {
+	pt := walRecoveryPoint{NC: nc, Records: records}
+	dir, err := os.MkdirTemp("", "rxview-wal-")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Build a log of the requested length: no Close, so the next Open must
+	// replay every record onto the genesis checkpoint.
+	view, updates, err := walView(nc, seed, records,
+		rxview.WithDurability(dir), rxview.WithFsync(rxview.FsyncOff),
+		rxview.WithCheckpointEvery(1<<30))
+	if err != nil {
+		return pt, err
+	}
+	ctx := context.Background()
+	for _, u := range updates {
+		if _, err := view.Apply(ctx, u); err != nil {
+			return pt, fmt.Errorf("wal recovery workload at |C|=%d: %w", nc, err)
+		}
+	}
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		return pt, err
+	}
+	for _, s := range info.Segments {
+		for _, r := range s.Records {
+			pt.LogBytes += int64(r.Bytes)
+		}
+	}
+
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return pt, err
+	}
+	t0 := time.Now()
+	recovered, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects(),
+		rxview.WithDurability(dir), rxview.WithFsync(rxview.FsyncOff))
+	if err != nil {
+		return pt, fmt.Errorf("wal recovery open at |C|=%d: %w", nc, err)
+	}
+	pt.RecoverNS = time.Since(t0).Nanoseconds()
+	if err := recovered.Close(); err != nil {
+		return pt, err
+	}
+
+	// The cold baseline: publish the same dataset from scratch, no log.
+	syn, err = rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return pt, err
+	}
+	t0 = time.Now()
+	if _, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects()); err != nil {
+		return pt, err
+	}
+	pt.ColdNS = time.Since(t0).Nanoseconds()
+	return pt, nil
+}

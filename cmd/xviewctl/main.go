@@ -26,6 +26,11 @@
 //	stats                          view + auxiliary structure statistics
 //	check                          verify ΔX(T) = σ(ΔR(I)) and index health
 //	tables                         row counts of the base relations
+//	wal inspect <dir>              list a durability directory: checkpoints,
+//	                               log segments, per-record sizes (offline,
+//	                               read-only)
+//	checkpoint <dir>               describe the newest readable checkpoint —
+//	                               the sealed epoch a recovery would boot from
 //	help | quit
 package main
 
@@ -219,7 +224,8 @@ func (s *session) dispatch(out io.Writer, line string) error {
   insert <type>(field=value, ...) into <xpath>
   delete <xpath>
   begin | stage <stmt> | commit | rollback | tx
-  xml | stats | check | tables | quit`)
+  xml | stats | check | tables | quit
+  wal inspect <dir> | checkpoint <dir>`)
 		return nil
 	case line == "begin":
 		if s.tx != nil {
@@ -303,6 +309,10 @@ func (s *session) dispatch(out io.Writer, line string) error {
 			fmt.Fprintf(out, "  %-12s %d rows\n", t.Name, t.Rows)
 		}
 		return nil
+	case strings.HasPrefix(line, "wal inspect "):
+		return walInspect(out, strings.TrimSpace(strings.TrimPrefix(line, "wal inspect")))
+	case strings.HasPrefix(line, "checkpoint "):
+		return checkpointDescribe(out, strings.TrimSpace(strings.TrimPrefix(line, "checkpoint")))
 	case strings.HasPrefix(line, "query "):
 		nodes, err := view.Query(ctx, strings.TrimSpace(strings.TrimPrefix(line, "query")))
 		if err != nil {
@@ -327,6 +337,68 @@ func (s *session) dispatch(out io.Writer, line string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try help)", line)
 	}
+}
+
+// walInspect lists a durability directory: every checkpoint with its
+// validity, every log segment with per-record generation and size. It is
+// read-only and safe against the live directory of a running process.
+func walInspect(out io.Writer, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("usage: wal inspect <dir>")
+	}
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		return err
+	}
+	if len(info.Checkpoints) == 0 && len(info.Segments) == 0 {
+		fmt.Fprintln(out, "  empty durability directory")
+		return nil
+	}
+	for _, c := range info.Checkpoints {
+		status := "ok"
+		if c.Err != "" {
+			status = c.Err
+		}
+		fmt.Fprintf(out, "  checkpoint gen=%d %s (%d bytes state) [%s]\n",
+			c.Gen, c.Path, c.Bytes, status)
+	}
+	for _, s := range info.Segments {
+		var ops, muts, bytes int
+		for _, r := range s.Records {
+			ops += r.DeltaOps
+			muts += r.Mutations
+			bytes += r.Bytes
+		}
+		fmt.Fprintf(out, "  segment start=%d %s: %d record(s), ΔV ops=%d ΔR=%d (%d bytes)\n",
+			s.Start, s.Path, len(s.Records), ops, muts, bytes)
+		for _, r := range s.Records {
+			fmt.Fprintf(out, "    gen=%d ΔV=%d ΔR=%d %d bytes\n", r.Gen, r.DeltaOps, r.Mutations, r.Bytes)
+		}
+		if s.Note != "" {
+			fmt.Fprintf(out, "    note: %s\n", s.Note)
+		}
+	}
+	return nil
+}
+
+// checkpointDescribe decodes the newest readable checkpoint in a durability
+// directory — the sealed epoch a recovery would boot from.
+func checkpointDescribe(out io.Writer, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("usage: checkpoint <dir>")
+	}
+	det, err := rxview.InspectCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  checkpoint %s\n", det.Path)
+	fmt.Fprintf(out, "  sealed at generation %d (%d bytes state)\n", det.Gen, det.StateBytes)
+	fmt.Fprintf(out, "  DAG: %d live node(s) of %d, %d edge(s); |L|=%d\n",
+		det.LiveNodes, det.Nodes, det.Edges, det.OrderLen)
+	for _, t := range det.Tables {
+		fmt.Fprintf(out, "  %-12s %d rows\n", t.Name, t.Rows)
+	}
+	return nil
 }
 
 // execute runs one update statement — directly against the view, or staged

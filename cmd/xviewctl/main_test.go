@@ -295,3 +295,66 @@ func TestRunOneShotTransactionDoomedGroup(t *testing.T) {
 		t.Fatal("doomed group left state applied")
 	}
 }
+
+func TestWalInspectAndCheckpointSubcommands(t *testing.T) {
+	// Build a real durability directory: one committed update, clean close.
+	dir := t.TempDir()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := rxview.Open(atg, db, rxview.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dv.Apply(context.Background(),
+		rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S77"), rxview.Str("Wal"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := dv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	view := testView(t)
+	var out strings.Builder
+	if err := runOneShot(view, &out, "wal inspect "+dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"checkpoint gen=", "segment start=", "gen=1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("wal inspect output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	if err := runOneShot(view, &out, "checkpoint "+dir); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	for _, want := range []string{"sealed at generation 1", "DAG:", "student"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("checkpoint output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWalInspectUsageAndErrors(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	if err := runOneShot(view, &out, "wal inspect"); err == nil {
+		t.Fatal("bare 'wal inspect' accepted")
+	}
+	out.Reset()
+	if err := runOneShot(view, &out, "checkpoint "+t.TempDir()); err == nil {
+		t.Fatal("checkpoint on an empty directory succeeded")
+	}
+	out.Reset()
+	// An empty durability directory inspects cleanly.
+	if err := runOneShot(view, &out, "wal inspect "+t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "empty durability directory") {
+		t.Errorf("empty dir not reported:\n%s", out.String())
+	}
+}

@@ -7,6 +7,11 @@
 //
 //	xviewd [-addr :8080] [-dataset registrar|synthetic] [-nc 1000]
 //	       [-seed 42] [-force] [-timeout 10s] [-queue 256]
+//	       [-data DIR] [-fsync always|batch|off] [-checkpoint-every 256]
+//
+// With -data, the view is durable: committed updates are logged to DIR
+// before their verdict is returned, and a restart pointing at the same DIR
+// recovers every committed generation (newest checkpoint plus log replay).
 //
 // Endpoints:
 //
@@ -18,7 +23,8 @@
 //	GET  /healthz
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests drain,
-// then the apply loop stops.
+// then the apply loop stops; a durable view seals a final checkpoint so the
+// next boot recovers without replay.
 package main
 
 import (
@@ -42,6 +48,10 @@ var (
 	force   = flag.Bool("force", false, "carry out updates with XML side effects (revised semantics)")
 	timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
 	queue   = flag.Int("queue", 256, "apply-loop queue depth")
+
+	dataDir   = flag.String("data", "", "durability directory (empty = in-memory only)")
+	fsync     = flag.String("fsync", "always", "log sync policy: always, batch or off")
+	ckptEvery = flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default)")
 )
 
 func main() {
@@ -49,6 +59,10 @@ func main() {
 	view, err := open()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("xviewd: durable at %s (fsync=%s), recovered generation %d",
+			*dataDir, *fsync, view.Generation())
 	}
 	log.Printf("xviewd: %s view loaded — %s", *dataset, view.Stats())
 	eng := server.New(view, server.WithQueueDepth(*queue))
@@ -59,6 +73,11 @@ func main() {
 	if err := server.ListenAndServe(ctx, *addr, eng, server.HandlerOptions{Timeout: *timeout}); err != nil {
 		log.Fatal(err)
 	}
+	// The engine has stopped: seal the final epoch so the next boot
+	// recovers without replaying the log.
+	if err := view.Close(); err != nil {
+		log.Fatalf("xviewd: final checkpoint: %v", err)
+	}
 	log.Print("xviewd: shut down cleanly")
 }
 
@@ -66,6 +85,19 @@ func open() (*rxview.View, error) {
 	var opts []rxview.Option
 	if *force {
 		opts = append(opts, rxview.WithForceSideEffects())
+	}
+	if *dataDir != "" {
+		pol, err := rxview.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts,
+			rxview.WithDurability(*dataDir),
+			rxview.WithFsync(pol),
+			rxview.WithRecoveryWarn(func(msg string) { log.Printf("xviewd: %s", msg) }))
+		if *ckptEvery > 0 {
+			opts = append(opts, rxview.WithCheckpointEvery(*ckptEvery))
+		}
 	}
 	switch *dataset {
 	case "registrar":

@@ -1,0 +1,174 @@
+package main
+
+// End-to-end durability: build the daemon, run it against a data directory,
+// kill it with SIGKILL partway through an acknowledged workload, restart it
+// on the same directory, and require every acknowledged update to be
+// visible — the recovered query results must match an in-process oracle
+// that applied the same updates.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"rxview"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon did not become healthy")
+}
+
+func postJSON(t *testing.T, addr, path string, body any, out any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: %s: %s", path, resp.Status, buf.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKillDashNineRecoversAcknowledgedUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "xviewd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building xviewd: %v", err)
+	}
+
+	dataDir := t.TempDir()
+	addr := freePort(t)
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-data", dataDir, "-fsync", "off")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitHealthy(t, addr)
+		return cmd
+	}
+
+	cmd := start()
+	defer cmd.Process.Kill()
+
+	// The workload: every update below is acknowledged (the response
+	// arrived) before the kill, so all of them must survive it.
+	type upd struct {
+		Kind   string   `json:"kind"`
+		Type   string   `json:"type"`
+		Values []string `json:"values,omitempty"`
+		Path   string   `json:"path"`
+	}
+	workload := []upd{
+		{Kind: "insert", Type: "course", Values: []string{"CS860", "Crash"}, Path: `.`},
+		{Kind: "insert", Type: "student", Values: []string{"S91", "Gus"}, Path: `//course[cno="CS860"]/takenBy`},
+		{Kind: "insert", Type: "course", Values: []string{"CS861", "Course"}, Path: `//course[cno="CS860"]/prereq`},
+		{Kind: "insert", Type: "student", Values: []string{"S92", "Hal"}, Path: `//course[cno="CS861"]/takenBy`},
+	}
+	for _, u := range workload {
+		postJSON(t, addr, "/update", u, nil)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The oracle: the same updates against an in-process view.
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := rxview.Open(atg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, u := range workload {
+		vals := make([]rxview.Value, len(u.Values))
+		for i, s := range u.Values {
+			vals[i] = rxview.Str(s)
+		}
+		if _, err := oracle.Apply(ctx, rxview.Insert(u.Path, u.Type, vals...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd2 := start()
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	for _, q := range []string{`//course[cno="CS860"]//student`, `//course`, `//student`} {
+		var got struct {
+			Count int `json:"count"`
+		}
+		postJSON(t, addr, "/query", map[string]string{"path": q}, &got)
+		want, err := oracle.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != len(want) {
+			t.Fatalf("query %s after kill -9: %d nodes, oracle has %d", q, got.Count, len(want))
+		}
+	}
+}
+
+func TestFsyncFlagRejectsUnknownPolicy(t *testing.T) {
+	if _, err := rxview.ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown fsync policy accepted")
+	}
+	for _, s := range []string{"always", "batch", "off"} {
+		if _, err := rxview.ParseFsyncPolicy(s); err != nil {
+			t.Fatalf("policy %q rejected: %v", s, err)
+		}
+	}
+}

@@ -53,6 +53,17 @@
 // process-wide compiled-path cache shared by View.Query, Snapshot.Query
 // and the server handlers.
 //
+// Views are in-memory by default; WithDurability(dir) adds a write-ahead
+// log of committed write units plus sealed-epoch checkpoints, and Open then
+// recovers the newest durable state from dir (checkpoint + log replay,
+// re-verified with CheckConsistency) before serving. Every commit — an
+// Apply, a Batch member, a whole Begin/Commit group — is in the log before
+// its verdict returns, under the fsync policy of WithFsync; View.Close
+// seals a final checkpoint so the next Open replays nothing. Damage
+// surfaces as ErrCorruptLog or ErrCheckpointMismatch (a torn final record
+// is truncated with a WithRecoveryWarn warning instead). Views opened
+// without WithDurability pay nothing for any of this.
+//
 // The implementation lives under internal/; internal/core wires it together
 // behind this package. See README.md for a tour and for how to run the
 // benchmarks. The root bench_test.go regenerates every table and figure of

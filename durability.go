@@ -1,0 +1,323 @@
+package rxview
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"rxview/internal/core"
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+	"rxview/internal/storage"
+	"rxview/internal/wal"
+)
+
+// Durability glue: the root package owns the checkpoint payload format and
+// converts between core's commit records and the wal's on-disk records —
+// core cannot import wal (core owns the commit path and must stay
+// storage-agnostic) and wal cannot import core, so the two meet here.
+
+// defaultCheckpointEvery is the commit count between automatic checkpoints
+// when WithCheckpointEvery is not given.
+const defaultCheckpointEvery = 256
+
+// ckptVersion versions the checkpoint payload layout.
+const ckptVersion = 1
+
+// openDurable is Open with WithDurability: recover the newest durable state
+// from the directory (or establish the genesis epoch from the provided DB),
+// install the commit sink, and seal the boot state with a checkpoint.
+func openDurable(a *ATG, db *DB, cfg *config) (*View, error) {
+	var pol wal.SyncPolicy
+	switch cfg.fsync {
+	case FsyncAlways:
+		pol = wal.SyncAlways
+	case FsyncBatch:
+		pol = wal.SyncBatch
+	case FsyncOff:
+		pol = wal.SyncOff
+	default:
+		return nil, fmt.Errorf("rxview: unknown fsync policy %d", int(cfg.fsync))
+	}
+	log, boot, err := wal.Open(cfg.durDir, wal.Options{Policy: pol})
+	if err != nil {
+		return nil, walErr(cfg.durDir, err)
+	}
+
+	var sys *core.System
+	if boot == nil {
+		// Fresh directory: publish from the caller-seeded DB as usual; the
+		// checkpoint below makes generation 0 the genesis epoch.
+		sys, err = core.OpenBackend(a.c, storage.NewMemory(db.db), cfg.opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, w := range boot.Warnings {
+			warnTo(cfg.warn, "rxview: recovery: %s", w)
+		}
+		sys, err = recoverSystem(a, db, cfg, boot)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	v := &View{
+		sys:       sys,
+		db:        db,
+		log:       log,
+		warn:      cfg.warn,
+		ckptEvery: uint64(cfg.ckptEvery),
+		ckptGen:   sys.Generation(),
+	}
+	if v.ckptEvery == 0 {
+		v.ckptEvery = defaultCheckpointEvery
+	}
+	// Seal the boot state before serving: recovery never appends to old
+	// segments, so the boot checkpoint is what gives the log an active
+	// segment again (and prunes what the recovered state supersedes).
+	if err := log.WriteCheckpoint(sys.Generation(), encodeCheckpoint(sys)); err != nil {
+		return nil, fmt.Errorf("rxview: boot checkpoint: %w", err)
+	}
+	sys.SetCommitSink(v.sinkRecords, v.afterDurable)
+	return v, nil
+}
+
+// recoverSystem rebuilds the system from a checkpoint payload plus the log
+// suffix: decode, replace the DB contents, replay, verify.
+func recoverSystem(a *ATG, db *DB, cfg *config, boot *wal.BootState) (*core.System, error) {
+	ck, err := decodeCheckpoint(boot.State)
+	if err != nil {
+		return nil, &CorruptLogError{Dir: cfg.durDir, Err: err}
+	}
+	if ck.gen != boot.Gen {
+		return nil, &CheckpointMismatchError{Dir: cfg.durDir,
+			Err: fmt.Errorf("checkpoint payload is for generation %d, file for %d", ck.gen, boot.Gen)}
+	}
+	db.db.Reset()
+	for _, tb := range ck.tables {
+		for _, t := range tb.tuples {
+			if err := db.db.Insert(tb.name, t); err != nil {
+				return nil, &CorruptLogError{Dir: cfg.durDir,
+					Err: fmt.Errorf("checkpointed tuple rejected: %w", err)}
+			}
+		}
+	}
+	d, err := dag.DecodeState(ck.dagState)
+	if err != nil {
+		return nil, &CorruptLogError{Dir: cfg.durDir, Err: err}
+	}
+	recs := make([]core.CommitRecord, len(boot.Records))
+	for i, r := range boot.Records {
+		recs[i] = core.CommitRecord{Gen: r.Gen, Delta: r.Delta, DR: r.DR}
+	}
+	sys, err := core.Recover(a.c, storage.NewMemory(db.db), d, ck.order, boot.Gen, recs, cfg.opts)
+	if err != nil {
+		return nil, &CheckpointMismatchError{Dir: cfg.durDir, Err: err}
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		return nil, &CheckpointMismatchError{Dir: cfg.durDir,
+			Err: fmt.Errorf("recovered state fails consistency check: %w", err)}
+	}
+	return sys, nil
+}
+
+// sinkRecords is the core.CommitSink of a durable view: it appends the
+// commit's records to the log before the commit verdict is returned.
+func (v *View) sinkRecords(recs []core.CommitRecord) error {
+	wrecs := make([]wal.Record, len(recs))
+	for i, r := range recs {
+		wrecs[i] = wal.Record{Gen: r.Gen, Delta: r.Delta, DR: r.DR}
+	}
+	return v.log.Append(wrecs)
+}
+
+// afterDurable runs after each durable commit, once the system is quiescent:
+// the periodic checkpoint trigger. A failed checkpoint is reported and
+// retried at the next commit — the log keeps every record since the last
+// successful one, so nothing is lost, the log just grows.
+func (v *View) afterDurable(gen uint64) {
+	if gen-v.ckptGen < v.ckptEvery {
+		return
+	}
+	if err := v.Checkpoint(); err != nil {
+		warnTo(v.warn, "rxview: checkpoint at generation %d failed: %v", gen, err)
+	}
+}
+
+// Checkpoint seals the current epoch: the full view state is serialized at
+// the current generation, the log rotates to a fresh segment, and the
+// prefix the checkpoint supersedes is pruned. Durable views checkpoint
+// automatically (WithCheckpointEvery); an explicit call bounds recovery
+// time before a planned stop. No-op on a view without durability; ErrTxOpen
+// while a transaction is open.
+func (v *View) Checkpoint() error {
+	if v.log == nil {
+		return nil
+	}
+	if v.sys.InTxn() {
+		return ErrTxOpen
+	}
+	if err := v.log.WriteCheckpoint(v.sys.Generation(), encodeCheckpoint(v.sys)); err != nil {
+		return err
+	}
+	v.ckptGen = v.sys.Generation()
+	return nil
+}
+
+// Close flushes a final checkpoint and closes the log, so the next Open
+// recovers without replaying anything. No-op on a view without durability
+// (and on repeat calls); the view itself stays usable, just no longer
+// durable.
+func (v *View) Close() error {
+	if v.log == nil {
+		return nil
+	}
+	err := v.Checkpoint()
+	if cerr := v.log.Close(); err == nil {
+		err = cerr
+	}
+	v.log = nil
+	v.sys.SetCommitSink(nil, nil)
+	return err
+}
+
+// warnTo formats a finding into the warning sink, if one is installed.
+func warnTo(warn func(string), format string, args ...any) {
+	if warn != nil {
+		warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// walErr maps wal-layer sentinel errors into the public taxonomy.
+func walErr(dir string, err error) error {
+	switch {
+	case errors.Is(err, wal.ErrCorrupt):
+		return &CorruptLogError{Dir: dir, Err: err}
+	case errors.Is(err, wal.ErrMismatch):
+		return &CheckpointMismatchError{Dir: dir, Err: err}
+	}
+	return err
+}
+
+// checkpoint is the decoded payload: the relational instance, the DAG with
+// its full identity table, the topological order, and the generation — all
+// of it at one sealed epoch.
+type checkpoint struct {
+	gen      uint64
+	tables   []ckptTable
+	dagState []byte
+	order    []dag.NodeID
+}
+
+type ckptTable struct {
+	name   string
+	tuples []relational.Tuple
+}
+
+// encodeCheckpoint serializes the full state of the system. The layout is
+// version, generation, the tables (tuples sorted by their injective
+// encoding, so the payload is byte-stable), the DAG state, and L. M is not
+// serialized: it is uniquely determined as the transitive closure of the
+// DAG, and recovery recomputes it.
+func encodeCheckpoint(sys *core.System) []byte {
+	dst := []byte{ckptVersion}
+	dst = binary.AppendUvarint(dst, sys.Generation())
+	names := sys.DB.Schema.TableNames()
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, name := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		tuples := sys.DB.Rel(name).Tuples()
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Encode() < tuples[j].Encode() })
+		dst = binary.AppendUvarint(dst, uint64(len(tuples)))
+		for _, t := range tuples {
+			dst = relational.AppendTuple(dst, t)
+		}
+	}
+	dagState := sys.DAG.AppendState(nil)
+	dst = binary.AppendUvarint(dst, uint64(len(dagState)))
+	dst = append(dst, dagState...)
+	order := sys.Index.Topo.Nodes()
+	dst = binary.AppendUvarint(dst, uint64(len(order)))
+	for _, id := range order {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	return dst
+}
+
+func decodeCheckpoint(b []byte) (*checkpoint, error) {
+	if len(b) == 0 || b[0] != ckptVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version")
+	}
+	b = b[1:]
+	ck := &checkpoint{}
+	var w int
+	var u uint64
+	next := func(what string) (uint64, error) {
+		u, w = binary.Uvarint(b)
+		if w <= 0 {
+			return 0, fmt.Errorf("checkpoint: bad %s", what)
+		}
+		b = b[w:]
+		return u, nil
+	}
+	gen, err := next("generation")
+	if err != nil {
+		return nil, err
+	}
+	ck.gen = gen
+	nt, err := next("table count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nt; i++ {
+		nl, err := next("table name length")
+		if err != nil {
+			return nil, err
+		}
+		if nl > uint64(len(b)) {
+			return nil, fmt.Errorf("checkpoint: table name exceeds input")
+		}
+		tb := ckptTable{name: string(b[:nl])}
+		b = b[nl:]
+		cnt, err := next("tuple count")
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < cnt; j++ {
+			t, rest, err := relational.DecodeTuple(b)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: table %s tuple %d: %w", tb.name, j, err)
+			}
+			tb.tuples = append(tb.tuples, t)
+			b = rest
+		}
+		ck.tables = append(ck.tables, tb)
+	}
+	dl, err := next("DAG state length")
+	if err != nil {
+		return nil, err
+	}
+	if dl > uint64(len(b)) {
+		return nil, fmt.Errorf("checkpoint: DAG state exceeds input")
+	}
+	ck.dagState = b[:dl]
+	b = b[dl:]
+	on, err := next("order length")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < on; i++ {
+		id, err := next("order entry")
+		if err != nil {
+			return nil, err
+		}
+		ck.order = append(ck.order, dag.NodeID(id))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(b))
+	}
+	return ck, nil
+}

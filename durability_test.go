@@ -1,0 +1,612 @@
+package rxview_test
+
+// Tests of the durability layer: fresh-directory genesis, recovery with and
+// without a clean Close, the crash-point property (a log cut at every byte
+// recovers exactly the last durable generation), checkpoint rotation, the
+// error taxonomy, and the zero-overhead contract for non-durable views.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rxview"
+)
+
+func mustDurableView(t *testing.T, dir string, opts ...rxview.Option) *rxview.View {
+	t.Helper()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, append([]rxview.Option{rxview.WithDurability(dir)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// fingerprint captures the externally observable state: the serialized
+// view, the base-table row counts, and the generation.
+func fingerprint(t *testing.T, v *rxview.View) string {
+	t.Helper()
+	xml, err := v.XML(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gen=%d\n", v.Generation())
+	for _, ti := range v.DB().Tables() {
+		fmt.Fprintf(&sb, "%s=%d\n", ti.Name, ti.Rows)
+	}
+	sb.WriteString(xml)
+	return sb.String()
+}
+
+func TestDurableCleanShutdownAndReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	if v.Generation() != 0 {
+		t.Fatalf("genesis generation %d", v.Generation())
+	}
+	if _, err := v.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS800"), rxview.Str("Durable"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(ctx, rxview.Insert(`//course[cno="CS800"]/takenBy`, "student", rxview.Str("S80"), rxview.Str("Dee"))); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, v)
+	if err := v.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Close is idempotent and leaves the view usable in memory.
+	if err := v.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	v2 := mustDurableView(t, dir)
+	defer v2.Close()
+	if got := fingerprint(t, v2); got != want {
+		t.Fatalf("reopened state differs:\n%s\nvs\n%s", got, want)
+	}
+	if err := v2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean shutdown sealed everything in the checkpoint: recovery must
+	// not have replayed any records.
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := info.Checkpoints[len(info.Checkpoints)-1]
+	if newest.Gen != 2 {
+		t.Fatalf("newest checkpoint at generation %d, want 2", newest.Gen)
+	}
+}
+
+func TestDurableRecoveryWithoutClose(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	if _, err := v.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS810"), rxview.Str("Unclosed"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Batch(ctx,
+		rxview.Insert(`//course[cno="CS810"]/takenBy`, "student", rxview.Str("S81"), rxview.Str("Ann")),
+		rxview.Insert(`//course[cno="CS810"]/takenBy`, "student", rxview.Str("S82"), rxview.Str("Bob")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, v)
+	// No Close: the next Open replays the log suffix onto the genesis
+	// checkpoint.
+	v2 := mustDurableView(t, dir)
+	defer v2.Close()
+	if v2.Generation() != 3 {
+		t.Fatalf("recovered generation %d, want 3", v2.Generation())
+	}
+	if got := fingerprint(t, v2); got != want {
+		t.Fatalf("recovered state differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestDurableAtomicTxRecovery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	tx, err := v.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []rxview.Update{
+		rxview.Insert(`.`, "course", rxview.Str("CS111"), rxview.Str("Intro")),
+		rxview.Insert(`//course[cno="CS111"]/prereq`, "course", rxview.Str("CS112"), rxview.Str("Intro II")),
+		rxview.Delete(`//course[cno="CS320"]//student[ssn="S02"]`),
+	} {
+		if _, err := tx.Stage(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation() != 1 {
+		t.Fatalf("atomic group advanced generation to %d, want 1", v.Generation())
+	}
+	want := fingerprint(t, v)
+
+	v2 := mustDurableView(t, dir)
+	defer v2.Close()
+	if got := fingerprint(t, v2); got != want {
+		t.Fatalf("recovered state differs:\n%s\nvs\n%s", got, want)
+	}
+	// The whole group is one record.
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs int
+	for _, s := range info.Segments {
+		recs += len(s.Records)
+	}
+	if recs != 1 {
+		t.Fatalf("atomic group produced %d records, want 1", recs)
+	}
+}
+
+// crashStep is one committed unit (or, for batch, one unit per member) of
+// the deterministic crash workload.
+type crashStep struct {
+	kind string // apply, tx, batch
+	ups  []rxview.Update
+}
+
+func crashSteps() []crashStep {
+	return []crashStep{
+		{"apply", []rxview.Update{rxview.Insert(`.`, "course", rxview.Str("CS800"), rxview.Str("Alpha"))}},
+		{"apply", []rxview.Update{rxview.Insert(`//course[cno="CS800"]/prereq`, "course", rxview.Str("CS801"), rxview.Str("Beta"))}},
+		{"batch", []rxview.Update{
+			rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S71"), rxview.Str("One")),
+			rxview.Insert(`//course[cno="CS650"]/takenBy`, "student", rxview.Str("S72"), rxview.Str("Two")),
+			rxview.Insert(`//course[cno="CS800"]/takenBy`, "student", rxview.Str("S73"), rxview.Str("Three")),
+		}},
+		{"tx", []rxview.Update{
+			rxview.Insert(`.`, "course", rxview.Str("CS111"), rxview.Str("Intro")),
+			rxview.Insert(`//course[cno="CS111"]/prereq`, "course", rxview.Str("CS112"), rxview.Str("Intro II")),
+			rxview.Delete(`//course[cno="CS320"]//student[ssn="S02"]`),
+		}},
+		{"apply", []rxview.Update{rxview.Delete(`//course[cno="CS800"]//course[cno="CS801"]`)}},
+		{"batch", []rxview.Update{
+			rxview.Insert(`.`, "course", rxview.Str("CS901"), rxview.Str("Gamma")),
+			rxview.Insert(`//course[cno="CS901"]/prereq`, "course", rxview.Str("CS902"), rxview.Str("Delta")),
+			rxview.Insert(`//course[cno="CS902"]/takenBy`, "student", rxview.Str("S99"), rxview.Str("Last")),
+		}},
+		{"apply", []rxview.Update{rxview.Delete(`//course[cno="CS901"]`)}},
+	}
+}
+
+// runCrashStep executes one step on a view, committing through the same
+// code path the durable run uses.
+func runCrashStep(t *testing.T, ctx context.Context, v *rxview.View, s crashStep) {
+	t.Helper()
+	switch s.kind {
+	case "apply":
+		if _, err := v.Apply(ctx, s.ups[0]); err != nil {
+			t.Fatalf("apply %v: %v", s.ups[0], err)
+		}
+	case "batch":
+		if _, err := v.Batch(ctx, s.ups...); err != nil {
+			t.Fatalf("batch: %v", err)
+		}
+	case "tx":
+		tx, err := v.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range s.ups {
+			if _, err := tx.Stage(ctx, u); err != nil {
+				t.Fatalf("stage %v: %v", u, err)
+			}
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+}
+
+// oracleFingerprints replays the workload on a plain in-memory view,
+// capturing the fingerprint after every generation: batch members advance
+// one generation each (batch state equals the same sequence of Applies),
+// an atomic group advances exactly one.
+func oracleFingerprints(t *testing.T) []string {
+	t.Helper()
+	ctx := context.Background()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rxview.Open(atg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := []string{fingerprint(t, v)} // generation 0
+	for _, s := range crashSteps() {
+		switch s.kind {
+		case "apply", "batch":
+			for _, u := range s.ups {
+				if _, err := v.Apply(ctx, u); err != nil {
+					t.Fatalf("oracle apply %v: %v", u, err)
+				}
+				fps = append(fps, fingerprint(t, v))
+			}
+		case "tx":
+			runCrashStep(t, ctx, v, s)
+			fps = append(fps, fingerprint(t, v))
+		}
+	}
+	return fps
+}
+
+// TestCrashPointRecovery is the crash-point property test: run the workload
+// durably, then cut the log at every byte, recover, and require the result
+// to equal the in-memory oracle at the last durable generation.
+func TestCrashPointRecovery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	// Huge checkpoint interval: the whole workload lands in one segment
+	// after the genesis checkpoint.
+	v := mustDurableView(t, dir, rxview.WithFsync(rxview.FsyncOff), rxview.WithCheckpointEvery(1<<30))
+	for _, s := range crashSteps() {
+		runCrashStep(t, ctx, v, s)
+	}
+	finalGen := v.Generation()
+	// No Close, no final checkpoint: the process "dies" here with the
+	// whole history in the log.
+
+	oracle := oracleFingerprints(t)
+	if uint64(len(oracle)) != finalGen+1 {
+		t.Fatalf("oracle has %d states for final generation %d", len(oracle), finalGen)
+	}
+
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Segments) != 1 || len(info.Checkpoints) != 1 {
+		t.Fatalf("expected 1 segment + 1 checkpoint, got %+v", info)
+	}
+	seg := info.Segments[0]
+	if uint64(len(seg.Records)) != finalGen {
+		t.Fatalf("log has %d records for %d generations", len(seg.Records), finalGen)
+	}
+	whole, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End offset of each record: the segment is header + records, so walk
+	// the published sizes back from the file end.
+	total := 0
+	for _, r := range seg.Records {
+		total += r.Bytes
+	}
+	recEnd := make([]int, len(seg.Records)) // recEnd[i] = bytes that fully contain records 0..i
+	off := len(whole) - total
+	for i, r := range seg.Records {
+		off += r.Bytes
+		recEnd[i] = off
+	}
+	ckptBytes, err := os.ReadFile(info.Checkpoints[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := make([]int, 0, len(whole)+1)
+	if testing.Short() {
+		// Record boundaries ±1 plus frame midpoints.
+		seen := map[int]bool{}
+		add := func(c int) {
+			if c >= 0 && c <= len(whole) && !seen[c] {
+				seen[c] = true
+				cuts = append(cuts, c)
+			}
+		}
+		prev := 0
+		for _, e := range recEnd {
+			add(e - 1)
+			add(e)
+			add(e + 1)
+			add((prev + e) / 2)
+			prev = e
+		}
+		add(0)
+		add(len(whole))
+	} else {
+		for c := 0; c <= len(whole); c++ {
+			cuts = append(cuts, c)
+		}
+	}
+
+	for _, cut := range cuts {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(seg.Path)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(info.Checkpoints[0].Path)), ckptBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantGen := uint64(0)
+		for i, e := range recEnd {
+			if e <= cut {
+				wantGen = uint64(i + 1)
+			}
+		}
+		rv := mustDurableView(t, sub)
+		if rv.Generation() != wantGen {
+			t.Fatalf("cut at %d: recovered generation %d, want %d", cut, rv.Generation(), wantGen)
+		}
+		if got := fingerprint(t, rv); got != oracle[wantGen] {
+			t.Fatalf("cut at %d (generation %d): recovered state differs from oracle:\n%s\nvs\n%s",
+				cut, wantGen, got, oracle[wantGen])
+		}
+		if err := rv.CheckConsistency(); err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if err := rv.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+	}
+}
+
+func TestCheckpointEveryRotatesAndPrunes(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir, rxview.WithCheckpointEvery(2))
+	for i := 0; i < 7; i++ {
+		u := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student",
+			rxview.Str(fmt.Sprintf("S6%02d", i)), rxview.Str("X"))
+		if _, err := v.Apply(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 commits at every-2 → automatic checkpoints fired; pruning keeps 2.
+	if len(info.Checkpoints) != 2 {
+		t.Fatalf("kept %d checkpoints: %+v", len(info.Checkpoints), info.Checkpoints)
+	}
+	newest := info.Checkpoints[1]
+	if newest.Gen < 4 {
+		t.Fatalf("newest checkpoint at generation %d", newest.Gen)
+	}
+	want := fingerprint(t, v)
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := mustDurableView(t, dir)
+	defer v2.Close()
+	if got := fingerprint(t, v2); got != want {
+		t.Fatalf("recovered state differs after rotation:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestCorruptLogErrorRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	if _, err := v.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS820"), rxview.Str("Doomed"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage every checkpoint: recovery has nothing to boot from.
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range info.Checkpoints {
+		b, err := os.ReadFile(c.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0xff
+		if err := os.WriteFile(c.Path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rxview.Open(atg, db, rxview.WithDurability(dir))
+	if err == nil {
+		t.Fatal("open over corrupt checkpoints succeeded")
+	}
+	if !errors.Is(err, rxview.ErrCorruptLog) {
+		t.Fatalf("errors.Is(err, ErrCorruptLog) = false for %v", err)
+	}
+	var cle *rxview.CorruptLogError
+	if !errors.As(err, &cle) {
+		t.Fatalf("errors.As *CorruptLogError failed for %v", err)
+	}
+	if cle.Dir != dir || cle.Unwrap() == nil {
+		t.Fatalf("error detail incomplete: %+v", cle)
+	}
+	if errors.Is(err, rxview.ErrCheckpointMismatch) {
+		t.Fatal("corrupt log also matches ErrCheckpointMismatch")
+	}
+}
+
+func TestCheckpointMismatchErrorRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir, rxview.WithFsync(rxview.FsyncOff), rxview.WithCheckpointEvery(1<<30))
+	for i := 0; i < 3; i++ {
+		u := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student",
+			rxview.Str(fmt.Sprintf("S9%02d", i)), rxview.Str("Gap"))
+		if _, err := v.Apply(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Splice the middle record out of the segment: the frames around it
+	// stay valid, so the log reads cleanly but generation 2 is missing.
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := info.Segments[0]
+	if len(seg.Records) != 3 {
+		t.Fatalf("expected 3 records, got %+v", seg.Records)
+	}
+	b, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := seg.Records[0].Bytes + seg.Records[1].Bytes + seg.Records[2].Bytes
+	start1 := len(b) - total + seg.Records[0].Bytes // start of record for generation 2
+	end1 := start1 + seg.Records[1].Bytes
+	spliced := append(append([]byte{}, b[:start1]...), b[end1:]...)
+	if err := os.WriteFile(seg.Path, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rxview.Open(atg, db, rxview.WithDurability(dir))
+	if err == nil {
+		t.Fatal("open over a generation gap succeeded")
+	}
+	if !errors.Is(err, rxview.ErrCheckpointMismatch) {
+		t.Fatalf("errors.Is(err, ErrCheckpointMismatch) = false for %v", err)
+	}
+	var cme *rxview.CheckpointMismatchError
+	if !errors.As(err, &cme) {
+		t.Fatalf("errors.As *CheckpointMismatchError failed for %v", err)
+	}
+	if cme.Dir != dir || cme.Unwrap() == nil {
+		t.Fatalf("error detail incomplete: %+v", cme)
+	}
+	if errors.Is(err, rxview.ErrCorruptLog) {
+		t.Fatal("mismatch also matches ErrCorruptLog")
+	}
+}
+
+func TestRecoveryWarnSurfacesTornTail(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir, rxview.WithFsync(rxview.FsyncOff), rxview.WithCheckpointEvery(1<<30))
+	for i := 0; i < 2; i++ {
+		u := rxview.Insert(`//course[cno="CS650"]/takenBy`, "student",
+			rxview.Str(fmt.Sprintf("S8%02d", i)), rxview.Str("Torn"))
+		if _, err := v.Apply(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := rxview.InspectWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := info.Segments[0]
+	b, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg.Path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := rxview.Open(atg, db, rxview.WithDurability(dir),
+		rxview.WithRecoveryWarn(func(msg string) { warnings = append(warnings, msg) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.Generation() != 1 {
+		t.Fatalf("recovered generation %d, want 1 (torn final record dropped)", v2.Generation())
+	}
+	if len(warnings) == 0 {
+		t.Fatal("torn tail produced no warning")
+	}
+}
+
+func TestNonDurableViewHasNoDurabilitySurface(t *testing.T) {
+	ctx := context.Background()
+	view := mustView(t)
+	if _, err := view.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS830"), rxview.Str("Plain"))); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint and Close are explicit no-ops without WithDurability.
+	if err := view.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint on non-durable view: %v", err)
+	}
+	if err := view.Close(); err != nil {
+		t.Fatalf("Close on non-durable view: %v", err)
+	}
+	// The view stays fully usable.
+	if _, err := view.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS831"), rxview.Str("Still"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointDuringOpenTxRefused(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	defer v.Close()
+	tx, err := v.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Checkpoint(); !errors.Is(err, rxview.ErrTxOpen) {
+		t.Fatalf("Checkpoint during open tx: %v, want ErrTxOpen", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after rollback: %v", err)
+	}
+}
+
+func TestInspectCheckpointDetail(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	v := mustDurableView(t, dir)
+	if _, err := v.Apply(ctx, rxview.Insert(`.`, "course", rxview.Str("CS840"), rxview.Str("Meta"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	det, err := rxview.InspectCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Gen != 1 {
+		t.Fatalf("checkpoint generation %d, want 1", det.Gen)
+	}
+	if det.LiveNodes == 0 || det.Edges == 0 || det.OrderLen != det.LiveNodes {
+		t.Fatalf("implausible detail: %+v", det)
+	}
+	var courseRows int
+	for _, tb := range det.Tables {
+		if tb.Name == "course" {
+			courseRows = tb.Rows
+		}
+	}
+	if courseRows == 0 {
+		t.Fatalf("no course rows in %+v", det.Tables)
+	}
+}

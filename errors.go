@@ -31,7 +31,54 @@ var (
 	// ErrTxDone marks an operation on a transaction that has already been
 	// committed or rolled back.
 	ErrTxDone = errors.New("rxview: transaction already committed or rolled back")
+	// ErrCorruptLog marks a durability directory whose contents fail
+	// validation beyond what recovery may repair: a checksum failure before
+	// the final record, an undecodable checkpoint, every checkpoint
+	// unreadable. The concrete type is *CorruptLogError. (A torn final
+	// record is not corruption — recovery truncates it and continues.)
+	ErrCorruptLog = errors.New("rxview: durability log is corrupt")
+	// ErrCheckpointMismatch marks a durability directory whose files are
+	// individually valid but do not continue each other — a generation gap
+	// between the checkpoint and the log, or a replayed log that fails to
+	// reproduce a consistent state. The concrete type is
+	// *CheckpointMismatchError.
+	ErrCheckpointMismatch = errors.New("rxview: checkpoint and log disagree")
 )
+
+// CorruptLogError reports unrecoverable damage in a durability directory.
+type CorruptLogError struct {
+	Dir string // the WithDurability directory
+	Err error  // the underlying validation failure
+}
+
+func (e *CorruptLogError) Error() string {
+	return fmt.Sprintf("rxview: durability log in %s is corrupt: %v", e.Dir, e.Err)
+}
+
+// Is matches ErrCorruptLog.
+func (e *CorruptLogError) Is(target error) bool { return target == ErrCorruptLog }
+
+// Unwrap exposes the underlying validation failure.
+func (e *CorruptLogError) Unwrap() error { return e.Err }
+
+// CheckpointMismatchError reports that the checkpoint and the log in a
+// durability directory disagree: replaying the log onto the checkpointed
+// state either hit a generation gap or failed to reproduce a consistent
+// system.
+type CheckpointMismatchError struct {
+	Dir string
+	Err error
+}
+
+func (e *CheckpointMismatchError) Error() string {
+	return fmt.Sprintf("rxview: checkpoint and log in %s disagree: %v", e.Dir, e.Err)
+}
+
+// Is matches ErrCheckpointMismatch.
+func (e *CheckpointMismatchError) Is(target error) bool { return target == ErrCheckpointMismatch }
+
+// Unwrap exposes the underlying failure.
+func (e *CheckpointMismatchError) Unwrap() error { return e.Err }
 
 // SideEffectError reports that an update would change occurrences of a
 // shared subtree beyond the selected ones. Re-run with WithForceSideEffects

@@ -1,0 +1,112 @@
+package rxview
+
+import (
+	"rxview/internal/dag"
+	"rxview/internal/wal"
+)
+
+// Offline inspection of a durability directory — the API behind
+// `xviewctl wal inspect` and `xviewctl checkpoint`. Both functions are
+// read-only: unlike Open, they never truncate a torn tail or write a boot
+// checkpoint, so they are safe to point at the live directory of a running
+// process.
+
+// WALRecord summarizes one committed write unit in the log.
+type WALRecord struct {
+	Gen       uint64 `json:"gen"`
+	DeltaOps  int    `json:"delta_ops"` // DAG mutations (ΔV) in the record
+	Mutations int    `json:"mutations"` // relational mutations (ΔR)
+	Bytes     int    `json:"bytes"`     // framed size on disk
+}
+
+// WALSegment summarizes one log segment file.
+type WALSegment struct {
+	Path    string      `json:"path"`
+	Start   uint64      `json:"start"` // generation the segment starts after
+	Records []WALRecord `json:"records,omitempty"`
+	Note    string      `json:"note,omitempty"` // torn tail / damage finding
+}
+
+// WALCheckpoint summarizes one checkpoint file.
+type WALCheckpoint struct {
+	Path  string `json:"path"`
+	Gen   uint64 `json:"gen"`
+	Bytes int    `json:"bytes"`         // state payload size
+	Err   string `json:"err,omitempty"` // non-empty when the file fails validation
+}
+
+// WALInfo is the inspection view of a durability directory.
+type WALInfo struct {
+	Checkpoints []WALCheckpoint `json:"checkpoints"`
+	Segments    []WALSegment    `json:"segments"`
+}
+
+// InspectWAL lists a durability directory: every checkpoint with its
+// validity, every log segment with its records. Damage is reported in the
+// Err/Note fields rather than failing the listing.
+func InspectWAL(dir string) (*WALInfo, error) {
+	di, err := wal.Inspect(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &WALInfo{}
+	for _, c := range di.Checkpoints {
+		info.Checkpoints = append(info.Checkpoints, WALCheckpoint{
+			Path: c.Path, Gen: c.Gen, Bytes: c.Bytes, Err: c.Err,
+		})
+	}
+	for _, s := range di.Segments {
+		seg := WALSegment{Path: s.Path, Start: s.Start, Note: s.Note}
+		for _, r := range s.Records {
+			seg.Records = append(seg.Records, WALRecord{
+				Gen: r.Gen, DeltaOps: r.DeltaOps, Mutations: r.Mutations, Bytes: r.Bytes,
+			})
+		}
+		info.Segments = append(info.Segments, seg)
+	}
+	return info, nil
+}
+
+// CheckpointDetail describes the newest readable checkpoint in a durability
+// directory: the sealed epoch a recovery would boot from.
+type CheckpointDetail struct {
+	Path       string      `json:"path"`
+	Gen        uint64      `json:"gen"`
+	Tables     []TableInfo `json:"tables"`      // base relations with row counts
+	Nodes      int         `json:"nodes"`       // identity-table size, dead entries included
+	LiveNodes  int         `json:"live_nodes"`  // nodes alive at the sealed epoch
+	Edges      int         `json:"edges"`       // DAG edges at the sealed epoch
+	OrderLen   int         `json:"order_len"`   // entries in the serialized L
+	StateBytes int         `json:"state_bytes"` // payload size on disk
+}
+
+// InspectCheckpoint decodes the newest readable checkpoint in dir and
+// returns its metadata. It fails (wrapping ErrCorruptLog where applicable)
+// when no checkpoint is readable.
+func InspectCheckpoint(dir string) (*CheckpointDetail, error) {
+	gen, state, path, err := wal.NewestCheckpoint(dir)
+	if err != nil {
+		return nil, walErr(dir, err)
+	}
+	ck, err := decodeCheckpoint(state)
+	if err != nil {
+		return nil, &CorruptLogError{Dir: dir, Err: err}
+	}
+	d, err := dag.DecodeState(ck.dagState)
+	if err != nil {
+		return nil, &CorruptLogError{Dir: dir, Err: err}
+	}
+	det := &CheckpointDetail{
+		Path:       path,
+		Gen:        gen,
+		Nodes:      d.Cap(),
+		LiveNodes:  d.NumNodes(),
+		Edges:      d.NumEdges(),
+		OrderLen:   len(ck.order),
+		StateBytes: len(state),
+	}
+	for _, tb := range ck.tables {
+		det.Tables = append(det.Tables, TableInfo{Name: tb.name, Rows: len(tb.tuples)})
+	}
+	return det, nil
+}

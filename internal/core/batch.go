@@ -33,7 +33,9 @@ func (s *System) ApplyBatch(ctx context.Context, ops []*update.Op) ([]*Report, e
 		if err := ctx.Err(); err != nil {
 			// The cancelled update never ran; report it unapplied so the
 			// caller attributes the error to it, not to the last update
-			// that succeeded.
+			// that succeeded. The stage error outranks any durability
+			// failure from the commit — the applied prefix still went to
+			// the sink.
 			t.reports = append(t.reports, &Report{Op: op.String()})
 			_ = t.Commit(ctx)
 			return t.Reports(), err
@@ -43,6 +45,10 @@ func (s *System) ApplyBatch(ctx context.Context, ops []*update.Op) ([]*Report, e
 			return t.Reports(), err
 		}
 	}
-	_ = t.Commit(ctx)
+	// A non-atomic commit of staged-and-applied updates can only fail in the
+	// durability sink; that failure must reach the caller.
+	if err := t.Commit(ctx); err != nil {
+		return t.Reports(), err
+	}
 	return t.Reports(), nil
 }

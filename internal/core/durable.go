@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"rxview/internal/atg"
+	"rxview/internal/dag"
+	"rxview/internal/reach"
+	"rxview/internal/relational"
+	"rxview/internal/storage"
+	"rxview/internal/viewupdate"
+)
+
+// CommitRecord is everything a committed write unit changed, in replayable
+// form: the generation it produced, the chronological DAG delta (ΔV at the
+// instance level, deletions included — dag.DeltaOp, not the grouped change
+// summary) and the executed relational group update ΔR. Replaying the record
+// against the state at generation Gen-1 reproduces the state at Gen exactly,
+// node identities included.
+type CommitRecord struct {
+	Gen   uint64
+	Delta []dag.DeltaOp
+	DR    []relational.Mutation
+}
+
+// CommitSink receives the records of a committing write unit before its
+// verdict is returned to the caller: an atomic transaction sends exactly one
+// record, a non-atomic one sends one per applied stage. A non-nil error from
+// the sink fails the commit — atomic groups roll back, non-atomic groups
+// stay applied in memory and surface the error. The sink must make the
+// records durable (to its configured fsync policy) before returning nil.
+type CommitSink func(recs []CommitRecord) error
+
+// SetCommitSink installs the durability hook. afterSync, if non-nil, runs
+// after each successful commit with the highest generation the sink
+// accepted, once the system is quiescent again — the checkpoint trigger.
+// Installing a sink also makes non-atomic transactions open a DAG journal to
+// capture per-stage deltas; with a nil sink (the default) the write path is
+// exactly the non-durable one.
+func (s *System) SetCommitSink(sink CommitSink, afterSync func(gen uint64)) {
+	s.sink = sink
+	s.afterSync = afterSync
+}
+
+// Recover rebuilds a System from durable state: a checkpoint (the backend
+// holding the checkpointed instance, the decoded DAG and its serialized
+// topological order, at generation gen) plus the log suffix recs. Each
+// record is replayed in order — ΔR through the backend, the DAG delta op by
+// op with L maintained incrementally (append for node births, swap-repair
+// for edge insertions, tombstoning for removals) — and M is computed once at
+// the end, which reproduces it exactly: M is uniquely determined as the
+// transitive closure of the recovered DAG. Generations must be contiguous
+// from gen+1; a gap means the log and checkpoint disagree and recovery
+// refuses rather than resurrect a wrong state.
+func Recover(c *atg.Compiled, store storage.Backend, d *dag.DAG, order []dag.NodeID, gen uint64, recs []CommitRecord, opts Options) (*System, error) {
+	topo := reach.RestoreTopo(order)
+	for _, rec := range recs {
+		if rec.Gen != gen+1 {
+			return nil, fmt.Errorf("core: recover: log record for generation %d follows generation %d", rec.Gen, gen)
+		}
+		if err := store.Apply(rec.DR); err != nil {
+			return nil, fmt.Errorf("core: recover: generation %d: %w", rec.Gen, err)
+		}
+		for _, op := range rec.Delta {
+			if err := d.ApplyDelta(op); err != nil {
+				return nil, fmt.Errorf("core: recover: generation %d: %w", rec.Gen, err)
+			}
+			switch op.Kind {
+			case dag.DeltaNodeAdd:
+				topo.Append(op.Node)
+			case dag.DeltaNodeDel:
+				topo.Delete(op.Node)
+			case dag.DeltaEdgeAdd:
+				topo.FixEdge(d, op.Edge.Parent, op.Edge.Child)
+			case dag.DeltaEdgeDel:
+				// Removing an edge never invalidates a topological order.
+			}
+		}
+		gen = rec.Gen
+	}
+	db := store.DB()
+	s := &System{
+		ATG:        c,
+		DB:         db,
+		DAG:        d,
+		Index:      &reach.Index{Topo: topo, Matrix: reach.Compute(d, topo)},
+		Translator: viewupdate.NewTranslator(c, db, d),
+		store:      store,
+		opts:       opts,
+		text:       c.Text(d),
+		gen:        gen,
+	}
+	s.warmIndexes()
+	return s, nil
+}

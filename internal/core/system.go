@@ -19,6 +19,7 @@ import (
 	"rxview/internal/dag"
 	"rxview/internal/reach"
 	"rxview/internal/relational"
+	"rxview/internal/storage"
 	"rxview/internal/update"
 	"rxview/internal/viewupdate"
 	"rxview/internal/xpath"
@@ -140,10 +141,14 @@ type Report struct {
 // System is a published XML view with update support.
 type System struct {
 	ATG        *atg.Compiled
-	DB         *relational.Database
+	DB         *relational.Database // the storage backend's in-memory image (== store.DB())
 	DAG        *dag.DAG
 	Index      *reach.Index
 	Translator *viewupdate.Translator
+
+	store     storage.Backend // every ΔR mutation goes through here
+	sink      CommitSink      // durability hook, nil when the view is not durable
+	afterSync func(gen uint64)
 
 	opts Options
 	text func(dag.NodeID) (string, bool)
@@ -152,8 +157,16 @@ type System struct {
 }
 
 // Open publishes σ(I) as a DAG, builds L, M and the source index, and
-// returns the system.
+// returns the system, backed by the in-memory store.
 func Open(c *atg.Compiled, db *relational.Database, opts Options) (*System, error) {
+	return OpenBackend(c, storage.NewMemory(db), opts)
+}
+
+// OpenBackend is Open over a pluggable storage backend: publication and
+// query evaluation read the backend's in-memory image, and every mutation
+// the update pipeline produces is applied through the backend.
+func OpenBackend(c *atg.Compiled, store storage.Backend, opts Options) (*System, error) {
+	db := store.DB()
 	d, err := c.PublishDAG(db)
 	if err != nil {
 		return nil, err
@@ -164,12 +177,16 @@ func Open(c *atg.Compiled, db *relational.Database, opts Options) (*System, erro
 		DAG:        d,
 		Index:      reach.BuildIndex(d),
 		Translator: viewupdate.NewTranslator(c, db, d),
+		store:      store,
 		opts:       opts,
 		text:       c.Text(d),
 	}
 	s.warmIndexes()
 	return s, nil
 }
+
+// Store returns the storage backend the system mutates through.
+func (s *System) Store() storage.Backend { return s.store }
 
 // warmIndexes pre-builds the secondary hash indexes on every column that a
 // rule query can join through, so the first update does not pay the build.
@@ -382,7 +399,7 @@ func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Resu
 	}
 
 	t0 = time.Now()
-	if err := s.DB.Apply(dr); err != nil {
+	if err := s.store.Apply(dr); err != nil {
 		sc.abort()
 		return err
 	}
@@ -394,7 +411,7 @@ func (s *System) applyInsert(ctx context.Context, op *update.Op, res *xpath.Resu
 			// A failure here is an internal inconsistency, not a user
 			// rejection; unwind ΔR too so view and database stay aligned.
 			sc.abort()
-			if uerr := undoMutations(s.DB, dr); uerr != nil {
+			if uerr := undoMutations(s.store, dr); uerr != nil {
 				return fmt.Errorf("core: publishing induced %s%s: %w (and %w)", ie.ChildType, ie.Attr, err, uerr)
 			}
 			return fmt.Errorf("core: publishing induced %s%s: %w", ie.ChildType, ie.Attr, err)
@@ -444,7 +461,7 @@ func (s *System) applyDelete(ctx context.Context, op *update.Op, res *xpath.Resu
 	}
 
 	t0 = time.Now()
-	if err := s.DB.Apply(dr); err != nil {
+	if err := s.store.Apply(dr); err != nil {
 		return err
 	}
 	if t.atomic {

@@ -9,6 +9,7 @@ import (
 	"rxview/internal/dag"
 	"rxview/internal/reach"
 	"rxview/internal/relational"
+	"rxview/internal/storage"
 	"rxview/internal/update"
 )
 
@@ -59,6 +60,13 @@ type Txn struct {
 	dbLog      []relational.Mutation
 	noteLog    []noteRec
 
+	// Durability state, populated only when the system has a commit sink.
+	// Non-atomic mode opens its own DAG journal (journalOwned) purely to
+	// capture per-stage deltas; recs buffers the records of applied stages
+	// until the sink writes them at close.
+	recs         []CommitRecord
+	journalOwned bool
+
 	err    error  // atomic mode: the rejection that doomed the group
 	errOp  string // the staged update the rejection belongs to
 	closed bool
@@ -88,6 +96,13 @@ func (s *System) Begin(atomic bool) (*Txn, error) {
 		// a copy at all.
 		t.topoSave = s.Index.Topo.Clone()
 		s.DAG.Begin()
+	} else if s.sink != nil {
+		// Durable non-atomic groups persist per applied stage, and the
+		// per-stage delta comes from a DAG journal the transaction opens for
+		// itself. Views without a sink skip this branch entirely, so the
+		// non-durable batch write path stays journal-free as it always was.
+		s.DAG.Begin()
+		t.journalOwned = true
 	}
 	s.txn = t
 	return t, nil
@@ -144,6 +159,11 @@ func (t *Txn) Stage(ctx context.Context, op *update.Op) (*Report, error) {
 		t.saveMatrix()
 		t.flushPending()
 	}
+	var mark int
+	capture := t.journalOwned // non-atomic + durable: one record per stage
+	if capture {
+		mark = t.s.DAG.Mark()
+	}
 	rep, err := t.s.apply(ctx, op, t)
 	t.reports = append(t.reports, rep)
 	if rep.Applied {
@@ -153,6 +173,13 @@ func (t *Txn) Stage(ctx context.Context, op *update.Op) (*Report, error) {
 		}
 		if !t.atomic {
 			t.s.gen++
+			if capture {
+				t.recs = append(t.recs, CommitRecord{
+					Gen:   t.s.gen,
+					Delta: t.s.DAG.DeltaSince(mark),
+					DR:    rep.DR,
+				})
+			}
 		}
 	}
 	if err != nil && t.atomic && !isCtxErr(err) {
@@ -182,6 +209,8 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if t.closed {
 		return ErrTxDone
 	}
+	s := t.s
+	var through uint64 // highest generation the sink accepted; 0 = none
 	if t.atomic {
 		if t.err != nil {
 			err := t.err
@@ -197,16 +226,42 @@ func (t *Txn) Commit(ctx context.Context) error {
 			}
 			return err
 		}
-	}
-	t.flushPending()
-	if t.atomic {
-		t.s.DAG.Commit()
-		if t.applied > 0 {
-			t.s.gen++
+		if s.sink != nil && t.applied > 0 {
+			// Durable before irreversible: flushPending mutates M, and an
+			// insert-only group never took the lazy copy, so the group's
+			// record must reach the sink while rollback is still clean. The
+			// journal is still open here, so DeltaSince(0) is the whole
+			// group's chronological op stream.
+			rec := CommitRecord{Gen: s.gen + 1, Delta: s.DAG.DeltaSince(0), DR: t.dbLog}
+			if err := s.sink([]CommitRecord{rec}); err != nil {
+				if rerr := t.rollback(); rerr != nil {
+					return rerr
+				}
+				return err
+			}
+			through = rec.Gen
 		}
 	}
-	t.close()
-	return nil
+	t.flushPending()
+	var durErr error
+	if t.atomic {
+		s.DAG.Commit()
+		if t.applied > 0 {
+			s.gen++
+		}
+	} else if s.sink != nil && len(t.recs) > 0 {
+		// The records were buffered as stages applied; the whole applied
+		// prefix goes durable here. A sink failure leaves the in-memory
+		// state applied (the batch contract) and surfaces as the commit
+		// error.
+		if err := s.sink(t.recs); err != nil {
+			durErr = err
+		} else {
+			through = t.recs[len(t.recs)-1].Gen
+		}
+	}
+	t.finish(through)
+	return durErr
 }
 
 // Rollback abandons the transaction: atomic mode restores the pre-Begin
@@ -220,8 +275,20 @@ func (t *Txn) Rollback() error {
 	}
 	if !t.atomic {
 		t.flushPending()
-		t.close()
-		return nil
+		var durErr error
+		var through uint64
+		if s := t.s; s.sink != nil && len(t.recs) > 0 {
+			// The applied prefix stays applied, so it must also go durable:
+			// a replayed log has to reproduce exactly the state the process
+			// was left in.
+			if err := s.sink(t.recs); err != nil {
+				durErr = err
+			} else {
+				through = t.recs[len(t.recs)-1].Gen
+			}
+		}
+		t.finish(through)
+		return durErr
 	}
 	return t.rollback()
 }
@@ -235,7 +302,7 @@ func (t *Txn) Rollback() error {
 func (t *Txn) rollback() error {
 	s := t.s
 	s.DAG.Rollback()
-	err := undoMutations(s.DB, t.dbLog)
+	err := undoMutations(s.store, t.dbLog)
 	for i := len(t.noteLog) - 1; i >= 0; i-- {
 		n := t.noteLog[i]
 		if n.inserted {
@@ -254,8 +321,24 @@ func (t *Txn) rollback() error {
 }
 
 func (t *Txn) close() {
+	if t.journalOwned {
+		// The delta-capture journal: nothing was unwound through it, so
+		// committing it just detaches it and keeps the mutations.
+		t.s.DAG.Commit()
+	}
 	t.closed = true
 	t.s.txn = nil
+}
+
+// finish closes the transaction and fires the post-sync hook for the
+// generations the sink accepted. The hook runs after close so that a
+// checkpoint it triggers sees a quiescent system — no open transaction, no
+// attached DAG journal.
+func (t *Txn) finish(through uint64) {
+	t.close()
+	if through > 0 && t.s.afterSync != nil {
+		t.s.afterSync(through)
+	}
 }
 
 // saveMatrix captures the rollback copy of M before its first transaction-
@@ -280,15 +363,16 @@ func (t *Txn) flushPending() {
 	}
 }
 
-// undoMutations replays the inverse of an executed ΔR log, newest first.
-func undoMutations(db *relational.Database, dr []relational.Mutation) error {
+// undoMutations replays the inverse of an executed ΔR log, newest first,
+// through the storage backend.
+func undoMutations(store storage.Backend, dr []relational.Mutation) error {
 	for i := len(dr) - 1; i >= 0; i-- {
 		m := dr[i]
 		if m.Insert {
-			if !db.Delete(m.Table, m.Tuple) {
+			if !store.Delete(m.Table, m.Tuple) {
 				return fmt.Errorf("core: rollback: undo insert %s %s: no such tuple", m.Table, m.Tuple)
 			}
-		} else if err := db.Insert(m.Table, m.Tuple); err != nil {
+		} else if err := store.Insert(m.Table, m.Tuple); err != nil {
 			return fmt.Errorf("core: rollback: undo delete %s %s: %w", m.Table, m.Tuple, err)
 		}
 	}

@@ -1,0 +1,184 @@
+package dag
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rxview/internal/relational"
+)
+
+// buildSample constructs a DAG with shared subtrees, a deletion, and a
+// resurrection, so the identity table has dead entries and reused ids.
+func buildSample(t *testing.T) *DAG {
+	t.Helper()
+	d := New("db")
+	a, _ := d.AddNode("course", relational.Tuple{relational.Str("CS650")})
+	b, _ := d.AddNode("course", relational.Tuple{relational.Str("CS550")})
+	c, _ := d.AddNode("student", relational.Tuple{relational.Str("S1"), relational.Str("Ann")})
+	d.AddEdge(d.Root(), a)
+	d.AddEdge(d.Root(), b)
+	d.AddEdge(a, c)
+	d.AddEdge(b, c) // shared subtree
+	d.RemoveEdge(b, c)
+	d.RemoveNode(b) // dead identity stays in the table
+	// Resurrect b's identity, then kill it again: the table keeps the id.
+	id, created := d.AddNode("course", relational.Tuple{relational.Str("CS550")})
+	if !created || id != b {
+		t.Fatalf("resurrection allocated %d (created=%v), want %d", id, created, b)
+	}
+	d.RemoveNode(b)
+	return d
+}
+
+// equalDAGsExact compares two DAGs including identity table, liveness,
+// sibling order and the Skolem registry — the bit-for-bit contract replay
+// and checkpoint reload must satisfy.
+func equalDAGsExact(t *testing.T, a, b *DAG) {
+	t.Helper()
+	if a.Cap() != b.Cap() || a.Root() != b.Root() || a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: cap %d/%d root %d/%d nodes %d/%d edges %d/%d",
+			a.Cap(), b.Cap(), a.Root(), b.Root(), a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for id := NodeID(0); int(id) < a.Cap(); id++ {
+		if a.Type(id) != b.Type(id) || !a.Attr(id).Equal(b.Attr(id)) || a.Alive(id) != b.Alive(id) {
+			t.Fatalf("node %d: (%s%s alive=%v) vs (%s%s alive=%v)", id,
+				a.Type(id), a.Attr(id), a.Alive(id), b.Type(id), b.Attr(id), b.Alive(id))
+		}
+		if !reflect.DeepEqual(append([]NodeID{}, a.Children(id)...), append([]NodeID{}, b.Children(id)...)) {
+			t.Fatalf("node %d children: %v vs %v", id, a.Children(id), b.Children(id))
+		}
+	}
+	// Skolem registry must cover dead identities so resurrection reuses ids.
+	for _, id := range []NodeID{0, 1, 2, 3} {
+		if int(id) >= a.Cap() {
+			break
+		}
+		got, ok := b.gen[genKey(a.Type(id), a.Attr(id))]
+		if !ok || got != id {
+			t.Fatalf("gen registry: id %d maps to %d (ok=%v)", id, got, ok)
+		}
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	d := buildSample(t)
+	got, err := DecodeState(d.AppendState(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDAGsExact(t, d, got)
+
+	// The reloaded DAG must behave identically going forward: resurrecting
+	// the dead identity reuses its id.
+	id, created := got.AddNode("course", relational.Tuple{relational.Str("CS550")})
+	if !created || id != 2 {
+		t.Fatalf("post-reload resurrection: id %d created %v", id, created)
+	}
+}
+
+func TestStateCodecTruncated(t *testing.T) {
+	full := buildSample(t).AppendState(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeState(full[:cut]); err == nil {
+			// A shorter prefix can only be valid if the trailing check fails;
+			// DecodeState demands exact consumption, so any cut must error.
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestDeltaSinceChronological(t *testing.T) {
+	d := New("db")
+	a, _ := d.AddNode("course", relational.Tuple{relational.Str("CS650")})
+	d.AddEdge(d.Root(), a)
+
+	base, err := DecodeState(d.AppendState(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.Begin()
+	b, _ := d.AddNode("course", relational.Tuple{relational.Str("CS550")})
+	d.AddEdge(d.Root(), b)
+	d.AddEdge(a, b)
+	d.RemoveEdge(a, b) // delete then...
+	d.AddEdge(a, b)    // ...re-add: grouped changes would lose the order
+	d.RemoveEdge(d.Root(), a)
+	d.RemoveNode(a) // removes (a,b) too, then deadens a
+	ops := d.DeltaSince(0)
+	d.Commit()
+
+	// Round-trip every op through the wire format.
+	var buf []byte
+	for _, op := range ops {
+		buf = AppendDelta(buf, op)
+	}
+	var decoded []DeltaOp
+	rest := buf
+	for len(rest) > 0 {
+		var op DeltaOp
+		var err error
+		op, rest, err = DecodeDelta(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = append(decoded, op)
+	}
+	if len(decoded) != len(ops) {
+		t.Fatalf("decoded %d ops, recorded %d", len(decoded), len(ops))
+	}
+
+	// Replay onto the pre-transaction state and compare exactly.
+	for i, op := range decoded {
+		if err := base.ApplyDelta(op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	equalDAGsExact(t, d, base)
+}
+
+func TestDeltaIncludesNodeDeletions(t *testing.T) {
+	d := New("db")
+	a, _ := d.AddNode("course", relational.Tuple{relational.Str("CS650")})
+	d.AddEdge(d.Root(), a)
+	d.Begin()
+	d.RemoveEdge(d.Root(), a)
+	d.RemoveNode(a)
+	ops := d.DeltaSince(0)
+	d.Commit()
+	var dels int
+	for _, op := range ops {
+		if op.Kind == DeltaNodeDel {
+			dels++
+		}
+	}
+	if dels != 1 {
+		t.Fatalf("delta records %d node deletions, want 1 (ops: %v)", dels, ops)
+	}
+}
+
+func TestApplyDeltaDivergence(t *testing.T) {
+	d := New("db")
+	a, _ := d.AddNode("course", relational.Tuple{relational.Str("CS650")})
+	d.AddEdge(d.Root(), a)
+
+	cases := []struct {
+		name string
+		op   DeltaOp
+		want string
+	}{
+		{"node add existing", DeltaOp{Kind: DeltaNodeAdd, Node: 5, Type: "course", Attr: relational.Tuple{relational.Str("CS650")}}, "already alive"},
+		{"node add wrong id", DeltaOp{Kind: DeltaNodeAdd, Node: 7, Type: "course", Attr: relational.Tuple{relational.Str("CS999")}}, "allocated id"},
+		{"edge add duplicate", DeltaOp{Kind: DeltaEdgeAdd, Edge: Edge{Parent: d.Root(), Child: a}}, "not addable"},
+		{"edge del absent", DeltaOp{Kind: DeltaEdgeDel, Edge: Edge{Parent: a, Child: d.Root()}}, "not present"},
+		{"node del dead", DeltaOp{Kind: DeltaNodeDel, Node: 99}, "not alive"},
+		{"node del with edges", DeltaOp{Kind: DeltaNodeDel, Node: a}, "incident edges"},
+	}
+	for _, tc := range cases {
+		err := d.ApplyDelta(tc.op)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

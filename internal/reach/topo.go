@@ -161,6 +161,29 @@ func ComputeTopo(d *dag.DAG) *Topo {
 	return t
 }
 
+// RestoreTopo rebuilds a Topo from a serialized order (live entries,
+// descendants first, as returned by Nodes) — the checkpoint-reload path.
+// The restored order is tombstone-free; it validates against the DAG the
+// order was serialized from.
+func RestoreTopo(order []dag.NodeID) *Topo {
+	t := &Topo{}
+	maxID := dag.InvalidNode
+	for _, id := range order {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	t.pos = make([]int32, int(maxID)+1)
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+	for _, id := range order {
+		t.pos[id] = int32(t.n)
+		t.push(id)
+	}
+	return t
+}
+
 // Len returns the number of live entries.
 func (t *Topo) Len() int { return t.n - t.holes }
 

@@ -1,6 +1,9 @@
 package relational
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Database is an instance I of a schema R: one relation per table.
 type Database struct {
@@ -38,6 +41,15 @@ func (db *Database) Delete(table string, t Tuple) bool {
 	return r.DeleteTuple(t)
 }
 
+// Reset drops every tuple, leaving fresh empty relations over the same
+// schema — the checkpoint-restore path replaces the instance contents
+// wholesale while keeping the identity of the Database that callers hold.
+func (db *Database) Reset() {
+	for name := range db.rels {
+		db.rels[name] = NewRelation(db.rels[name].Schema)
+	}
+}
+
 // Clone deep-copies the database; used by what-if analyses and tests.
 func (db *Database) Clone() *Database {
 	out := &Database{Schema: db.Schema, rels: make(map[string]*Relation, len(db.rels))}
@@ -72,8 +84,14 @@ func (m Mutation) String() string {
 	return fmt.Sprintf("%s %s %s", op, m.Table, m.Tuple)
 }
 
+// ErrNoSuchTuple marks a deletion whose target tuple is absent.
+var ErrNoSuchTuple = errors.New("relational: no such tuple")
+
 // Apply performs a group update ΔR. It fails atomically: on error, already
-// applied mutations are rolled back.
+// applied mutations are rolled back. The error names the index of the
+// failing mutation within dr (and wraps the underlying cause), so a caller
+// replaying a persisted ΔR — the write-ahead-log recovery path — can
+// attribute a divergence to the exact record position.
 func (db *Database) Apply(dr []Mutation) error {
 	done := 0
 	var err error
@@ -81,9 +99,10 @@ func (db *Database) Apply(dr []Mutation) error {
 		if m.Insert {
 			err = db.Insert(m.Table, m.Tuple)
 		} else if !db.Delete(m.Table, m.Tuple) {
-			err = fmt.Errorf("relational: delete %s %s: no such tuple", m.Table, m.Tuple)
+			err = fmt.Errorf("delete %s %s: %w", m.Table, m.Tuple, ErrNoSuchTuple)
 		}
 		if err != nil {
+			err = fmt.Errorf("relational: apply ΔR[%d] (%s): %w", i, m, err)
 			done = i
 			break
 		}

@@ -1,0 +1,120 @@
+package relational
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for values and tuples. The per-value wire format is exactly
+// the injective encoding Tuple.Encode has always used as a map key (kind
+// byte; strings length-prefixed, numeric payloads 8-byte big-endian), made
+// decodable: AppendValue/DecodeValue round-trip a Value, AppendTuple/
+// DecodeTuple a whole row. The write-ahead log and checkpoint files persist
+// mutations and base tables through these helpers, so the on-disk key of a
+// tuple is byte-identical to its in-memory Skolem/index key.
+
+// AppendValue appends the self-delimiting binary encoding of v to dst.
+func AppendValue(dst []byte, v Value) []byte { return v.appendEncoded(dst) }
+
+// DecodeValue decodes one value from the front of b, returning the value and
+// the remaining bytes.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, fmt.Errorf("relational: decode value: empty input")
+	}
+	k := Kind(b[0])
+	b = b[1:]
+	switch k {
+	case KindNull:
+		return Value{}, b, nil
+	case KindString:
+		if len(b) < 4 {
+			return Value{}, nil, fmt.Errorf("relational: decode string value: truncated length")
+		}
+		n := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+		b = b[4:]
+		if n < 0 || len(b) < n {
+			return Value{}, nil, fmt.Errorf("relational: decode string value: length %d exceeds input", n)
+		}
+		return Str(string(b[:n])), b[n:], nil
+	case KindInt, KindBool, KindVar:
+		if len(b) < 8 {
+			return Value{}, nil, fmt.Errorf("relational: decode %v value: truncated payload", k)
+		}
+		u := binary.BigEndian.Uint64(b)
+		return Value{K: k, I: int64(u)}, b[8:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("relational: decode value: unknown kind %d", uint8(k))
+	}
+}
+
+// AppendTuple appends a length-prefixed encoding of t to dst.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = v.appendEncoded(dst)
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of b, returning the tuple and
+// the remaining bytes. A zero-length tuple decodes as nil, matching the nil
+// attribute tuples of root nodes.
+func DecodeTuple(b []byte) (Tuple, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("relational: decode tuple: bad length prefix")
+	}
+	b = b[w:]
+	if n == 0 {
+		return nil, b, nil
+	}
+	if n > uint64(len(b)) { // each value takes ≥ 1 byte
+		return nil, nil, fmt.Errorf("relational: decode tuple: %d values exceed input", n)
+	}
+	out := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, rest, err := DecodeValue(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relational: decode tuple value %d: %w", i, err)
+		}
+		out = append(out, v)
+		b = rest
+	}
+	return out, b, nil
+}
+
+// AppendMutation appends a binary encoding of one ΔR mutation to dst.
+func AppendMutation(dst []byte, m Mutation) []byte {
+	if m.Insert {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Table)))
+	dst = append(dst, m.Table...)
+	return AppendTuple(dst, m.Tuple)
+}
+
+// DecodeMutation decodes one mutation from the front of b.
+func DecodeMutation(b []byte) (Mutation, []byte, error) {
+	var m Mutation
+	if len(b) == 0 {
+		return m, nil, fmt.Errorf("relational: decode mutation: empty input")
+	}
+	m.Insert = b[0] != 0
+	b = b[1:]
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return m, nil, fmt.Errorf("relational: decode mutation: bad table name")
+	}
+	b = b[w:]
+	m.Table = string(b[:n])
+	b = b[n:]
+	t, rest, err := DecodeTuple(b)
+	if err != nil {
+		return m, nil, fmt.Errorf("relational: decode mutation tuple: %w", err)
+	}
+	m.Tuple = t
+	return m, rest, nil
+}

@@ -1,0 +1,362 @@
+// Package wal is the durability layer under a view: an append-only,
+// checksummed write-ahead log of committed transaction groups plus
+// sealed-epoch checkpoints of the full view state.
+//
+// A log directory holds two kinds of files, both named by the generation
+// they start at (zero-padded so lexicographic order is numeric order):
+//
+//	ckpt-<gen>.xvc  — a checkpoint: the complete state at <gen>, opaque to
+//	                  this package (the root package serializes it), CRC'd,
+//	                  written to a temp file and renamed into place.
+//	wal-<gen>.xvl   — a log segment: the records of generations
+//	                  (<gen>, next checkpoint], one CRC-framed record each.
+//
+// A checkpoint seals the epoch before it: writing ckpt-G rotates the log to
+// a fresh segment wal-G and prunes everything older than the previous
+// checkpoint (two checkpoints are kept so a corrupt newest checkpoint still
+// recovers from the one before it plus its segments). Recovery reads the
+// newest valid checkpoint and replays the segments at or after it; a torn
+// final record — an append interrupted mid-write — is truncated away with a
+// warning, while a checksum failure anywhere else refuses the log rather
+// than resurrect a wrong state.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrCorrupt marks a log or checkpoint whose contents fail validation in a
+// way recovery must not paper over (a bad checksum before the final record,
+// an undecodable record, every checkpoint unreadable). Wrapped errors carry
+// the file and offset.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// ErrMismatch marks a log directory whose files are individually valid but
+// disagree with each other — a generation gap between the checkpoint and the
+// records that should continue it. Replaying past a gap would resurrect a
+// state that never existed, so recovery refuses.
+var ErrMismatch = errors.New("wal: checkpoint and log disagree")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a commit verdict implies the
+	// record survives power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs every Options.BatchEvery appends (and on checkpoint
+	// and close): group commit. A crash can lose the last unsynced batch,
+	// never a prefix of it.
+	SyncBatch
+	// SyncOff never fsyncs: appends still reach the kernel via write(2), so
+	// a process kill loses nothing, but an OS crash can lose the tail.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses "always", "batch" or "off".
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, batch or off)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	Policy     SyncPolicy
+	BatchEvery int // SyncBatch: fsync every this many appends (default 32)
+	Keep       int // checkpoints retained (default 2, minimum 1)
+}
+
+func (o *Options) norm() {
+	if o.BatchEvery <= 0 {
+		o.BatchEvery = 32
+	}
+	if o.Keep < 1 {
+		o.Keep = 2
+	}
+}
+
+// Log is an open write-ahead log: one active segment file being appended to,
+// plus the checkpoint machinery. It is not internally locked; the view's
+// single-writer discipline covers it.
+type Log struct {
+	dir  string
+	opts Options
+
+	f        *os.File // active segment
+	segStart uint64   // generation the active segment starts after
+	unsynced int      // appends since the last fsync (SyncBatch)
+	buf      []byte   // frame scratch, reused across appends
+}
+
+const (
+	segMagic  = "XVL1"
+	ckptMagic = "XVC1"
+	segExt    = ".xvl"
+	ckptExt   = ".xvc"
+)
+
+func segName(gen uint64) string  { return fmt.Sprintf("wal-%020d%s", gen, segExt) }
+func ckptName(gen uint64) string { return fmt.Sprintf("ckpt-%020d%s", gen, ckptExt) }
+
+// parseGen extracts the generation from a segment or checkpoint file name.
+func parseGen(name, prefix, ext string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ext), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// create opens the log directory for appending; recovery (Open) chose the
+// boot state first. The caller must follow with WriteCheckpoint to establish
+// the invariant that the newest checkpoint and the active segment agree.
+func create(dir string, opts Options) (*Log, error) {
+	opts.norm()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	return &Log{dir: dir, opts: opts}, nil
+}
+
+// Append writes the records as one frame each, then syncs per policy. The
+// records are durable (to the policy's guarantee) when Append returns nil.
+func (l *Log) Append(recs []Record) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: append before the first checkpoint")
+	}
+	l.buf = l.buf[:0]
+	for _, r := range recs {
+		payload := appendRecord(nil, r)
+		l.buf = appendFrame(l.buf, payload)
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", l.f.Name(), err)
+	}
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+		}
+	case SyncBatch:
+		l.unsynced++
+		if l.unsynced >= l.opts.BatchEvery {
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+			}
+			l.unsynced = 0
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return nil
+	}
+	l.unsynced = 0
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+	}
+	return nil
+}
+
+// WriteCheckpoint seals the epoch: it writes the full state at gen as
+// ckpt-<gen> (temp file, fsync, rename, fsync the directory), rotates the
+// log to a fresh segment wal-<gen>, and prunes files older than the Keep'th
+// newest checkpoint.
+func (l *Log) WriteCheckpoint(gen uint64, state []byte) error {
+	// The log up to here must be stable before the checkpoint that
+	// supersedes it claims the epoch is sealed.
+	if l.f != nil {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	// File layout: magic, one frame holding the generation, one frame
+	// holding the (opaque) state.
+	buf := append(make([]byte, 0, len(ckptMagic)+len(state)+32), ckptMagic...)
+	buf = appendFrame(buf, u64bytes(gen))
+	buf = appendFrame(buf, state)
+
+	tmp, err := os.CreateTemp(l.dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint %d: %w", gen, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint %d: %w", gen, err)
+	}
+	final := filepath.Join(l.dir, ckptName(gen))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint %d: %w", gen, err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint %d: %w", gen, err)
+	}
+	if err := l.rotate(gen); err != nil {
+		return err
+	}
+	l.prune()
+	return nil
+}
+
+// rotate closes the active segment and starts wal-<gen>.
+func (l *Log) rotate(gen uint64) error {
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat segment %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		hdr := append([]byte(segMagic), nil...)
+		hdr = appendFrame(hdr, u64bytes(gen))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: segment header %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: segment header %s: %w", path, err)
+		}
+	}
+	l.f, l.segStart, l.unsynced = f, gen, 0
+	return nil
+}
+
+// prune removes checkpoints beyond the Keep newest and segments older than
+// the oldest kept checkpoint. Best-effort: pruning failures leave garbage,
+// never lose data.
+func (l *Log) prune() {
+	ckpts, segs := listDir(l.dir)
+	if len(ckpts) <= l.opts.Keep {
+		return
+	}
+	keepFrom := ckpts[len(ckpts)-l.opts.Keep]
+	for _, g := range ckpts {
+		if g < keepFrom {
+			os.Remove(filepath.Join(l.dir, ckptName(g)))
+		}
+	}
+	for _, g := range segs {
+		if g < keepFrom {
+			os.Remove(filepath.Join(l.dir, segName(g)))
+		}
+	}
+}
+
+// Close syncs and closes the active segment. The caller typically writes a
+// final checkpoint first.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// listDir returns the checkpoint and segment generations present, ascending.
+func listDir(dir string) (ckpts, segs []uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil
+	}
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), "ckpt-", ckptExt); ok {
+			ckpts = append(ckpts, g)
+		} else if g, ok := parseGen(e.Name(), "wal-", segExt); ok {
+			segs = append(segs, g)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return ckpts, segs
+}
+
+func u64bytes(v uint64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[7-i] = byte(v >> (8 * i))
+	}
+	return b[:]
+}
+
+func u64from(b []byte) (uint64, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v, true
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

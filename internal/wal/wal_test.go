@@ -1,0 +1,458 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rxview/internal/dag"
+	"rxview/internal/relational"
+)
+
+// rec builds a distinguishable record for generation g.
+func rec(g uint64) Record {
+	return Record{
+		Gen: g,
+		Delta: []dag.DeltaOp{
+			{Kind: dag.DeltaNodeAdd, Node: dag.NodeID(g), Type: fmt.Sprintf("t%d", g),
+				Attr: relational.Tuple{relational.Str(fmt.Sprintf("a%d", g))}},
+			{Kind: dag.DeltaEdgeAdd, Edge: dag.Edge{Parent: dag.NodeID(g), Child: dag.NodeID(g + 1)}},
+		},
+		DR: []relational.Mutation{
+			{Table: "r1", Insert: true, Tuple: relational.Tuple{relational.Int(int64(g)), relational.Null()}},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *BootState) {
+	t.Helper()
+	l, boot, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, boot
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := rec(7)
+	payload := appendRecord(nil, in)
+	out, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+	// Truncation at every byte must error, never panic or succeed.
+	for i := 0; i < len(payload); i++ {
+		if _, err := decodeRecord(payload[:i]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", i, len(payload))
+		}
+	}
+}
+
+func TestFreshDirThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, boot := mustOpen(t, dir, Options{Policy: SyncOff})
+	if boot != nil {
+		t.Fatalf("fresh dir returned boot state %+v", boot)
+	}
+	if err := l.Append([]Record{rec(1)}); err == nil {
+		t.Fatal("append before first checkpoint did not fail")
+	}
+	if err := l.WriteCheckpoint(0, []byte("genesis")); err != nil {
+		t.Fatalf("genesis checkpoint: %v", err)
+	}
+	for g := uint64(1); g <= 5; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatalf("append %d: %v", g, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, boot = mustOpen(t, dir, Options{Policy: SyncOff})
+	if boot == nil {
+		t.Fatal("no boot state after reopen")
+	}
+	if boot.Gen != 0 || string(boot.State) != "genesis" {
+		t.Fatalf("boot gen=%d state=%q", boot.Gen, boot.State)
+	}
+	if len(boot.Records) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(boot.Records))
+	}
+	for i, r := range boot.Records {
+		if !reflect.DeepEqual(r, rec(uint64(i+1))) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+	if len(boot.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", boot.Warnings)
+	}
+}
+
+func TestCheckpointRotatesAndSkipsOldRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(3, []byte("s3")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(4); g <= 6; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, boot := mustOpen(t, dir, Options{Policy: SyncOff})
+	if boot.Gen != 3 || string(boot.State) != "s3" {
+		t.Fatalf("boot gen=%d state=%q", boot.Gen, boot.State)
+	}
+	gens := recordGens(boot.Records)
+	if !reflect.DeepEqual(gens, []uint64{4, 5, 6}) {
+		t.Fatalf("recovered generations %v", gens)
+	}
+}
+
+func recordGens(recs []Record) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Gen
+	}
+	return out
+}
+
+func TestTornTailTruncatedAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the full-record prefixes end: offsets after the header and
+	// each complete frame.
+	valid := map[int]int{} // byte length -> records fully contained
+	hdrLen := func() int {
+		b := whole[len(segMagic):]
+		_, rest, _ := readFrame(b)
+		return len(whole) - len(rest)
+	}()
+	offs := []int{hdrLen}
+	{
+		off := hdrLen
+		for n := 1; ; n++ {
+			_, rest, res := readFrame(whole[off:])
+			if res != frameOK {
+				break
+			}
+			off = len(whole) - len(rest)
+			offs = append(offs, off)
+			valid[off] = n
+		}
+	}
+	for cut := 0; cut <= len(whole); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, segName(0)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Checkpoint must ride along.
+		src, _ := os.ReadFile(filepath.Join(dir, ckptName(0)))
+		if err := os.WriteFile(filepath.Join(sub, ckptName(0)), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, boot, err := Open(sub, Options{Policy: SyncOff})
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		wantRecs := 0
+		for _, off := range offs {
+			if off <= cut {
+				wantRecs = valid[off]
+			}
+		}
+		if len(boot.Records) != wantRecs {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(boot.Records), wantRecs)
+		}
+		// An empty file (cut 0) is a crash before the header write, not a
+		// torn record — no warning expected there or at clean boundaries.
+		if cut != 0 && cut < len(whole) && len(boot.Warnings) == 0 && !containsOffset(offs, cut) {
+			t.Fatalf("cut at %d: no torn-tail warning", cut)
+		}
+		// The truncated file must now be a clean prefix: reopening again
+		// must succeed without new warnings.
+		if _, boot2, err := Open(sub, Options{Policy: SyncOff}); err != nil {
+			t.Fatalf("cut at %d: second open: %v", cut, err)
+		} else if len(boot2.Records) != wantRecs {
+			t.Fatalf("cut at %d: second open recovered %d records", cut, len(boot2.Records))
+		}
+	}
+}
+
+func containsOffset(offs []int, x int) bool {
+	for _, o := range offs {
+		if o == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMidSegmentCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	b, _ := os.ReadFile(seg)
+	// Flip a byte inside the first record's payload (well before the tail).
+	hdrEnd := func() int {
+		_, rest, _ := readFrame(b[len(segMagic):])
+		return len(b) - len(rest)
+	}()
+	b[hdrEnd+8] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{Policy: SyncOff})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-segment corruption: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 2; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(2, []byte("s2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{rec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the newest checkpoint's state payload.
+	ck := filepath.Join(dir, ckptName(2))
+	b, _ := os.ReadFile(ck)
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(ck, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, boot := mustOpen(t, dir, Options{Policy: SyncOff})
+	if boot.Gen != 0 || string(boot.State) != "s0" {
+		t.Fatalf("fallback chose gen=%d state=%q", boot.Gen, boot.State)
+	}
+	// The suffix must now cover everything after gen 0, crossing segments.
+	if g := recordGens(boot.Records); !reflect.DeepEqual(g, []uint64{1, 2, 3}) {
+		t.Fatalf("fallback recovered generations %v", g)
+	}
+	if len(boot.Warnings) == 0 {
+		t.Fatal("no warning about the skipped checkpoint")
+	}
+	// Damage the older one too: now nothing is recoverable.
+	ck0 := filepath.Join(dir, ckptName(0))
+	b0, _ := os.ReadFile(ck0)
+	b0[len(b0)-1] ^= 0xff
+	if err := os.WriteFile(ck0, b0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Policy: SyncOff}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all checkpoints corrupt: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestGenerationGapRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{rec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{rec(3)}); err != nil { // gap: 2 missing
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{Policy: SyncOff})
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("generation gap: err=%v, want ErrMismatch", err)
+	}
+}
+
+func TestPruneKeepsTwoCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	gen := uint64(0)
+	for ck := 0; ck < 4; ck++ {
+		for i := 0; i < 2; i++ {
+			gen++
+			if err := l.Append([]Record{rec(gen)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.WriteCheckpoint(gen, []byte(fmt.Sprintf("s%d", gen))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts, segs := listDir(dir)
+	if !reflect.DeepEqual(ckpts, []uint64{6, 8}) {
+		t.Fatalf("kept checkpoints %v, want [6 8]", ckpts)
+	}
+	if !reflect.DeepEqual(segs, []uint64{6, 8}) {
+		t.Fatalf("kept segments %v, want [6 8]", segs)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncBatch, SyncOff} {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{Policy: p, BatchEvery: 2})
+		if err := l.WriteCheckpoint(0, []byte("s0")); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for g := uint64(1); g <= 5; g++ {
+			if err := l.Append([]Record{rec(g)}); err != nil {
+				t.Fatalf("%v append %d: %v", p, g, err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("%v close: %v", p, err)
+		}
+		_, boot := mustOpen(t, dir, Options{Policy: SyncOff})
+		if len(boot.Records) != 5 {
+			t.Fatalf("%v: recovered %d records", p, len(boot.Records))
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"batch", SyncBatch}, {"off", SyncOff}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q", got.String())
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.WriteCheckpoint(0, []byte("state-zero")); err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append([]Record{rec(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Checkpoints) != 1 || info.Checkpoints[0].Gen != 0 ||
+		info.Checkpoints[0].Bytes != len("state-zero") || info.Checkpoints[0].Err != "" {
+		t.Fatalf("checkpoints: %+v", info.Checkpoints)
+	}
+	if len(info.Segments) != 1 || info.Segments[0].Start != 0 {
+		t.Fatalf("segments: %+v", info.Segments)
+	}
+	recs := info.Segments[0].Records
+	if len(recs) != 3 {
+		t.Fatalf("records: %+v", recs)
+	}
+	for i, r := range recs {
+		if r.Gen != uint64(i+1) || r.DeltaOps != 2 || r.Mutations != 1 || r.Bytes <= 0 {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+	// Torn tail shows up as a note, not an error.
+	seg := filepath.Join(dir, segName(0))
+	b, _ := os.ReadFile(seg)
+	if err := os.WriteFile(seg, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Segments[0].Note == "" || len(info.Segments[0].Records) != 2 {
+		t.Fatalf("torn segment: %+v", info.Segments[0])
+	}
+	if _, err := Inspect(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestSegmentsWithoutCheckpointRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), []byte(segMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}

@@ -1,12 +1,87 @@
 package rxview
 
-import "rxview/internal/core"
+import (
+	"fmt"
+
+	"rxview/internal/core"
+)
 
 // Option configures a View at Open time.
 type Option func(*config)
 
 type config struct {
 	opts core.Options
+
+	// Durability (see WithDurability): zero values mean "not durable".
+	durDir    string
+	fsync     FsyncPolicy
+	ckptEvery int
+	warn      func(msg string)
+}
+
+// FsyncPolicy selects when committed records reach stable storage; see
+// WithFsync.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the log after every commit: a returned verdict
+	// implies the transaction survives power loss. The slowest policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncBatch syncs the log every few commits (group commit) and on
+	// checkpoint and Close. A crash can lose the last unsynced commits,
+	// never an interior subset.
+	FsyncBatch
+	// FsyncOff never syncs explicitly: records still reach the kernel on
+	// every commit, so a process kill loses nothing, but an OS crash or
+	// power loss can lose the tail.
+	FsyncOff
+)
+
+// ParseFsyncPolicy parses the textual policy names used by the command-line
+// tools: "always", "batch" or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("rxview: unknown fsync policy %q (want always, batch or off)", s)
+}
+
+// WithDurability makes the view durable: committed write units are appended
+// to a write-ahead log in dir before their verdict is returned, sealed
+// epochs are checkpointed periodically, and Open recovers the newest
+// durable state from dir — the checkpoint plus a replay of the log suffix —
+// before serving. The caller-provided DB supplies the schema; on recovery
+// its contents are replaced by the durable instance. Views opened without
+// this option have no durability overhead at all.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithFsync sets the log sync policy; the default is FsyncAlways.
+func WithFsync(p FsyncPolicy) Option {
+	return func(c *config) { c.fsync = p }
+}
+
+// WithCheckpointEvery sets how many committed generations elapse between
+// automatic checkpoints (default 256). A checkpoint bounds both recovery
+// time and log growth: the log prefix it seals is pruned. Smaller values
+// checkpoint (and pay full-state serialization) more often.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) { c.ckptEvery = n }
+}
+
+// WithRecoveryWarn installs a sink for non-fatal durability findings: a
+// torn final record truncated during recovery, a corrupt newest checkpoint
+// skipped in favor of an older one, a periodic checkpoint that failed (the
+// log keeps growing until one succeeds). Without it the findings are
+// dropped.
+func WithRecoveryWarn(fn func(msg string)) Option {
+	return func(c *config) { c.warn = fn }
 }
 
 // WithForceSideEffects carries out updates that have XML side effects under

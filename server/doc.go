@@ -64,6 +64,15 @@
 // never wait on writes. A reader may observe a slightly stale epoch; it
 // will never observe a torn one.
 //
+// Durability composes transparently: on a view opened with
+// rxview.WithDurability, every verdict the apply loop delivers — update,
+// batch member, committed transaction — is already in the write-ahead log
+// when the caller sees it (durable-before-verdict), so killing the process
+// after any acknowledged write loses nothing; restart recovery replays the
+// log and the engine serves the same generations. The engine itself needs
+// no changes for this: the sink sits under View's commit path. Close the
+// engine before View.Close so the final checkpoint sees a quiescent view.
+//
 // NewHandler exposes the Engine over HTTP/JSON (the cmd/xviewd daemon and
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent
 // readers and a background writer for throughput/latency measurement.

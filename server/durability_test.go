@@ -1,0 +1,78 @@
+package server_test
+
+// The serving layer over a durable view: a verdict returned by the engine
+// implies the commit is already in the log, so an abrupt death after any
+// acknowledged update loses nothing.
+
+import (
+	"context"
+	"testing"
+
+	"rxview"
+	"rxview/server"
+)
+
+func TestEngineCommitsAreDurableBeforeVerdict(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	atg, db, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rxview.Open(atg, db, rxview.WithDurability(dir), rxview.WithFsync(rxview.FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := server.New(view)
+
+	if _, err := eng.Update(ctx,
+		rxview.Insert(`.`, "course", rxview.Str("CS850"), rxview.Str("Served"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Batch(ctx,
+		rxview.Insert(`//course[cno="CS850"]/takenBy`, "student", rxview.Str("S85"), rxview.Str("Eve")),
+		rxview.Insert(`//course[cno="CS850"]/takenBy`, "student", rxview.Str("S86"), rxview.Str("Fay")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Tx(ctx,
+		rxview.Insert(`.`, "course", rxview.Str("CS851"), rxview.Str("Grouped")),
+		rxview.Insert(`//course[cno="CS851"]/prereq`, "course", rxview.Str("CS852"), rxview.Str("Before")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(ctx, `//course[cno="CS850"]//student`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(res.Nodes)
+	wantGen := eng.Generation()
+	eng.Close()
+	// No view.Close(): this is the abrupt-death path — every acknowledged
+	// verdict must already be in the log.
+
+	atg2, db2, err := rxview.NewRegistrar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view2, err := rxview.Open(atg2, db2, rxview.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view2.Close()
+	if view2.Generation() != wantGen {
+		t.Fatalf("recovered generation %d, want %d", view2.Generation(), wantGen)
+	}
+	eng2 := server.New(view2)
+	defer eng2.Close()
+	res, err = eng2.Query(ctx, `//course[cno="CS850"]//student`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res.Nodes); got != want {
+		t.Fatalf("recovered query result %q, want %q", got, want)
+	}
+	if err := view2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

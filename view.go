@@ -6,6 +6,7 @@ import (
 
 	"rxview/internal/core"
 	"rxview/internal/update"
+	"rxview/internal/wal"
 )
 
 // View is a published recursive XML view of a relational database, with
@@ -18,6 +19,13 @@ import (
 type View struct {
 	sys *core.System
 	db  *DB
+
+	// Durability state; all nil/zero on a view opened without
+	// WithDurability.
+	log       *wal.Log
+	warn      func(msg string)
+	ckptEvery uint64 // commits between automatic checkpoints
+	ckptGen   uint64 // generation of the newest checkpoint
 }
 
 // Open publishes σ(I): it evaluates the ATG over the database, compresses
@@ -25,10 +33,18 @@ type View struct {
 // order) and M (reachability matrix) and the translator's source index, and
 // returns the live view. The database stays attached: updates applied to the
 // view execute their relational translation ΔR against it.
+//
+// With WithDurability, Open instead recovers the durable state from the log
+// directory (the caller-provided DB supplies the schema; its contents are
+// replaced by the recovered instance), verifies it with CheckConsistency,
+// and makes every subsequent commit durable before its verdict is returned.
 func Open(a *ATG, db *DB, opts ...Option) (*View, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.durDir != "" {
+		return openDurable(a, db, &cfg)
 	}
 	sys, err := core.Open(a.c, db.db, cfg.opts)
 	if err != nil {
