@@ -37,6 +37,12 @@
 // writing BENCH_PR7.json:
 //
 //	benchrunner -exp wal -sizes 250,2500 -json BENCH_PR7.json
+//
+// The obs experiment prices the telemetry subsystem: query and commit
+// ns/op with instrumentation live vs stripped (obs.SetEnabled(false)),
+// writing BENCH_PR8.json; the budget is ≤ 3% overhead on both paths:
+//
+//	benchrunner -exp obs -sizes 1000 -json BENCH_PR8.json
 package main
 
 import (
@@ -55,7 +61,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal|obs")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -85,6 +91,7 @@ func main() {
 	run("snapshot", snapshotExp)
 	run("tx", txExp)
 	run("wal", walExp)
+	run("obs", obsExp)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,182 @@
+package main
+
+// The obs experiment prices the telemetry subsystem itself. The same query
+// and commit workloads run through the serving engine twice — once with
+// instrumentation live (the default) and once with obs.SetEnabled(false)
+// stripping every timing collection — and the relative overhead is the
+// headline number: the tentpole's budget is ≤ 3% on both hot paths.
+//
+//	benchrunner -exp obs -sizes 1000 -json BENCH_PR8.json
+//
+// Reported overhead percentages are floored at 1%: differences below a
+// point are run-to-run noise, not signal, and the floor keeps benchdiff's
+// ratio check meaningful — a committed baseline of 1% with -factor 3 warns
+// exactly when a fresh run measures more than the 3% budget.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rxview"
+	"rxview/obs"
+	"rxview/server"
+)
+
+// obsPoint is one row of BENCH_PR8.json: ns/op on each hot path with
+// instrumentation on and off, and the relative overhead.
+type obsPoint struct {
+	NC                int     `json:"nc"`
+	QueryOnNS         int64   `json:"query_instrumented_ns_per_op"`
+	QueryOffNS        int64   `json:"query_stripped_ns_per_op"`
+	CommitOnNS        int64   `json:"commit_instrumented_ns_per_op"`
+	CommitOffNS       int64   `json:"commit_stripped_ns_per_op"`
+	QueryOverheadPct  float64 `json:"obs_query_overhead_pct"`
+	CommitOverheadPct float64 `json:"obs_commit_overhead_pct"`
+}
+
+type obsFile struct {
+	Seed   int64      `json:"seed"`
+	Points []obsPoint `json:"points"`
+}
+
+func obsExp(sizes []int) {
+	fmt.Println("== Obs: telemetry overhead, instrumented vs stripped ==")
+	w := newTab()
+	fmt.Fprintln(w, "|C|\tquery on\tquery off\toverhead\tcommit on\tcommit off\toverhead")
+	out := obsFile{Seed: *seedFlag}
+	for _, nc := range sizes {
+		pt, err := measureObs(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(w, "%d\t%dns\t%dns\t%.1f%%\t%dns\t%dns\t%.1f%%\n",
+			pt.NC, pt.QueryOnNS, pt.QueryOffNS, pt.QueryOverheadPct,
+			pt.CommitOnNS, pt.CommitOffNS, pt.CommitOverheadPct)
+	}
+	w.Flush()
+	fmt.Println()
+	if *jsonFlag != "" && *expFlag == "obs" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// measureObs times both hot paths at one size. The instrumented and
+// stripped configurations run in alternation (on, off, on, off, ...) on
+// fresh views, and each side keeps its best pass — interleaving cancels
+// the slow machine drift (thermals, GC heritage) that a sequential A-then-B
+// comparison would book as overhead.
+func measureObs(nc int, seed int64) (obsPoint, error) {
+	pt := obsPoint{NC: nc}
+	const passes = 3
+
+	best := func(curr, v int64) int64 {
+		if curr == 0 || v < curr {
+			return v
+		}
+		return curr
+	}
+	defer obs.SetEnabled(true)
+	for p := 0; p < passes; p++ {
+		for _, on := range []bool{true, false} {
+			obs.SetEnabled(on)
+			q, c, err := obsPass(nc, seed)
+			if err != nil {
+				return pt, err
+			}
+			if on {
+				pt.QueryOnNS, pt.CommitOnNS = best(pt.QueryOnNS, q), best(pt.CommitOnNS, c)
+			} else {
+				pt.QueryOffNS, pt.CommitOffNS = best(pt.QueryOffNS, q), best(pt.CommitOffNS, c)
+			}
+		}
+	}
+
+	pt.QueryOverheadPct = overheadPct(pt.QueryOnNS, pt.QueryOffNS)
+	pt.CommitOverheadPct = overheadPct(pt.CommitOnNS, pt.CommitOffNS)
+	return pt, nil
+}
+
+// overheadPct is the relative slowdown of the instrumented path, floored
+// at 1% (see the package comment for why the floor exists).
+func overheadPct(on, off int64) float64 {
+	if off <= 0 {
+		return 1.0
+	}
+	pct := 100 * float64(on-off) / float64(off)
+	if pct < 1.0 {
+		return 1.0
+	}
+	return pct
+}
+
+// obsPass measures one engine's query and commit ns/op under whatever the
+// current obs.Enabled() state is.
+func obsPass(nc int, seed int64) (queryNS, commitNS int64, err error) {
+	ctx := context.Background()
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := server.New(view)
+	defer eng.Close()
+
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return 0, 0, fmt.Errorf("obs: synthetic dataset has no roots")
+	}
+
+	// Query hot path: the served read — epoch load, memo lookup, snapshot
+	// evaluation on a miss. Rotating paths against a stable epoch means
+	// memo hits dominate, which is the WORST case for relative overhead
+	// (the instrumented share of a cheap hit is the largest).
+	paths := []string{`//C[sub/C]`, `//C`}
+	const qn = 4000
+	for i := 0; i < 64; i++ { // warm the memo and the path cache
+		if _, err := eng.Query(ctx, paths[i%len(paths)]); err != nil {
+			return 0, 0, err
+		}
+	}
+	t0 := time.Now()
+	for i := 0; i < qn; i++ {
+		if _, err := eng.Query(ctx, paths[i%len(paths)]); err != nil {
+			return 0, 0, err
+		}
+	}
+	queryNS = time.Since(t0).Nanoseconds() / qn
+
+	// Commit hot path: the full served write — submit, pipeline, deliver,
+	// publish. Insert/delete pairs on fresh keys return the view to its
+	// base state every cycle, so the workload is stable for any length.
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	keys := syn.FreshKeys(16)
+	const cn = 400
+	t0 = time.Now()
+	for i := 0; i < cn/2; i++ {
+		k := keys[i%len(keys)]
+		ins := rxview.Insert(target, "C", rxview.Int(k), rxview.Str("obs"))
+		if _, err := eng.Update(ctx, ins); err != nil {
+			return 0, 0, err
+		}
+		if _, err := eng.Update(ctx, rxview.Delete(fmt.Sprintf(`//C[key="%d"]`, k))); err != nil {
+			return 0, 0, err
+		}
+	}
+	commitNS = time.Since(t0).Nanoseconds() / cn
+	return queryNS, commitNS, nil
+}

@@ -53,17 +53,18 @@ func serveExp(sizes []int) {
 	out.BaselineQPS = base.QPS
 
 	w := newTab()
-	fmt.Fprintln(w, "readers\twriter\treads\twrites\tqps\tp50\tp99")
-	fmt.Fprintf(w, "%d\tno\t%d\t-\t%.0f\t%s\t%s\n", base.Readers, base.Reads, base.QPS,
-		time.Duration(base.P50NS), time.Duration(base.P99NS))
+	fmt.Fprintln(w, "readers\twriter\treads\twrites\tqps\tp50\tp95\tp99\twp50\twp95\twp99")
+	fmt.Fprintf(w, "%d\tno\t%d\t-\t%.0f\t%s\t%s\t%s\t-\t-\t-\n", base.Readers, base.Reads, base.QPS,
+		time.Duration(base.P50NS), time.Duration(base.P95NS), time.Duration(base.P99NS))
 	for _, readers := range serveReaderCounts {
 		res, err := runServePoint(nc, readers, true)
 		if err != nil {
 			log.Fatal(err)
 		}
 		out.Points = append(out.Points, res)
-		fmt.Fprintf(w, "%d\tyes\t%d\t%d\t%.0f\t%s\t%s\n", res.Readers, res.Reads, res.Writes,
-			res.QPS, time.Duration(res.P50NS), time.Duration(res.P99NS))
+		fmt.Fprintf(w, "%d\tyes\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%s\t%s\n", res.Readers, res.Reads, res.Writes,
+			res.QPS, time.Duration(res.P50NS), time.Duration(res.P95NS), time.Duration(res.P99NS),
+			time.Duration(res.WP50NS), time.Duration(res.WP95NS), time.Duration(res.WP99NS))
 		if readers == 64 && out.BaselineQPS > 0 {
 			out.Retention64 = res.QPS / out.BaselineQPS
 		}

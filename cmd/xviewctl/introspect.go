@@ -1,0 +1,223 @@
+package main
+
+// Remote introspection: scrape a running daemon's telemetry endpoints and
+// render them for a terminal. Both commands are read-only HTTP GETs against
+// the same surface Prometheus and curl use — xviewctl adds no privileged
+// channel.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"rxview/obs"
+)
+
+// baseURL normalizes an address argument: "localhost:8080", ":8080" and
+// "http://host:8080" are all accepted.
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return "http://" + addr
+}
+
+func fetch(addr, path string) (io.ReadCloser, error) {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(baseURL(addr) + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp.Body, nil
+}
+
+// metricsScrape fetches /metrics and summarizes each family: plain value
+// for counters and gauges, count/sum plus interpolated p50/p95/p99 for
+// histograms.
+func metricsScrape(out io.Writer, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("usage: metrics <addr>")
+	}
+	body, err := fetch(addr, "/metrics")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		return fmt.Errorf("parsing exposition: %w", err)
+	}
+	for _, f := range fams {
+		switch f.Type {
+		case "histogram":
+			printHistFamily(out, f)
+		default:
+			for _, s := range f.Samples {
+				fmt.Fprintf(out, "  %-44s %s\n", s.Name+labelSuffix(s.Labels, ""), fmtValue(s.Value))
+			}
+		}
+	}
+	return nil
+}
+
+// scrapedHist is one histogram series reassembled from its cumulative
+// _bucket/_sum/_count exposition lines.
+type scrapedHist struct {
+	bounds []float64
+	cum    []float64
+	count  float64
+	sum    float64
+}
+
+// printHistFamily regroups a histogram family's _bucket/_sum/_count series
+// by label set and prints one summary line per series.
+func printHistFamily(out io.Writer, f obs.ParsedFamily) {
+	series := map[string]*scrapedHist{}
+	var order []string
+	get := func(labels map[string]string) *scrapedHist {
+		key := labelSuffix(labels, "le")
+		h, ok := series[key]
+		if !ok {
+			h = &scrapedHist{}
+			series[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			h := get(s.Labels)
+			le := s.Labels["le"]
+			if le == "+Inf" {
+				continue // the +Inf bucket equals _count
+			}
+			var bound float64
+			fmt.Sscanf(le, "%g", &bound)
+			h.bounds = append(h.bounds, bound)
+			h.cum = append(h.cum, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(s.Labels).sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			get(s.Labels).count = s.Value
+		}
+	}
+	for _, key := range order {
+		h := series[key]
+		fmt.Fprintf(out, "  %-44s count=%s sum=%s p50=%s p95=%s p99=%s\n",
+			f.Name+key, fmtValue(h.count), fmtValue(h.sum),
+			fmtValue(quantile(h, 0.50)), fmtValue(quantile(h, 0.95)), fmtValue(quantile(h, 0.99)))
+	}
+}
+
+// quantile interpolates within the first cumulative bucket reaching rank
+// q·count — the same estimate obs histograms report locally.
+func quantile(h *scrapedHist, q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * h.count
+	var prevCum, prevBound float64
+	for i, c := range h.cum {
+		if c >= rank {
+			if c == prevCum {
+				return h.bounds[i]
+			}
+			return prevBound + (h.bounds[i]-prevBound)*(rank-prevCum)/(c-prevCum)
+		}
+		prevCum, prevBound = c, h.bounds[i]
+	}
+	if n := len(h.bounds); n > 0 {
+		return h.bounds[n-1] // rank lies in +Inf: clamp to the last bound
+	}
+	return 0
+}
+
+// labelSuffix renders a label set as {k="v",...}, skipping one key (the
+// histogram's le); empty sets render as nothing.
+func labelSuffix(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func fmtValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// slowEntryJSON mirrors the wire shape of /debug/slow entries.
+type slowEntryJSON struct {
+	At       time.Time `json:"at"`
+	Kind     string    `json:"kind"`
+	Detail   string    `json:"detail"`
+	Duration int64     `json:"duration_ns"`
+	Gen      uint64    `json:"gen"`
+}
+
+type slowJSON struct {
+	ThresholdNS int64           `json:"threshold_ns"`
+	Dropped     uint64          `json:"dropped"`
+	Entries     []slowEntryJSON `json:"entries"`
+}
+
+// slowDump fetches /debug/slow and prints the ring buffer, newest first.
+func slowDump(out io.Writer, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("usage: slow <addr>")
+	}
+	body, err := fetch(addr, "/debug/slow")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	var in slowJSON
+	if err := json.NewDecoder(body).Decode(&in); err != nil {
+		return fmt.Errorf("decoding /debug/slow: %w", err)
+	}
+	if in.ThresholdNS <= 0 {
+		fmt.Fprintln(out, "  slow log disabled (start xviewd with -slow-threshold)")
+		return nil
+	}
+	fmt.Fprintf(out, "  threshold %v, %d dropped, %d entr%s\n",
+		time.Duration(in.ThresholdNS), in.Dropped, len(in.Entries), plural(len(in.Entries), "y", "ies"))
+	for _, e := range in.Entries {
+		fmt.Fprintf(out, "  %s %-7s gen=%-6d %-10v %s\n",
+			e.At.Format(time.RFC3339), e.Kind, e.Gen, time.Duration(e.Duration), e.Detail)
+	}
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -31,6 +31,11 @@
 //	                               read-only)
 //	checkpoint <dir>               describe the newest readable checkpoint —
 //	                               the sealed epoch a recovery would boot from
+//	metrics <addr>                 scrape a running daemon's /metrics and
+//	                               summarize every family (counters, gauges,
+//	                               histogram p50/p95/p99)
+//	slow <addr>                    dump a running daemon's slow-query/commit
+//	                               ring buffer (/debug/slow)
 //	help | quit
 package main
 
@@ -81,6 +86,16 @@ func main() {
 
 	if *exec != "" {
 		if err := runOneShot(view, os.Stdout, *exec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Positional arguments are a single one-shot command, so subcommand
+	// invocations (`xviewctl metrics :8080`, `xviewctl wal inspect dir`)
+	// work without -e instead of being silently ignored.
+	if flag.NArg() > 0 {
+		if err := runOneShot(view, os.Stdout, strings.Join(flag.Args(), " ")); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -225,7 +240,8 @@ func (s *session) dispatch(out io.Writer, line string) error {
   delete <xpath>
   begin | stage <stmt> | commit | rollback | tx
   xml | stats | check | tables | quit
-  wal inspect <dir> | checkpoint <dir>`)
+  wal inspect <dir> | checkpoint <dir>
+  metrics <addr> | slow <addr>`)
 		return nil
 	case line == "begin":
 		if s.tx != nil {
@@ -313,6 +329,10 @@ func (s *session) dispatch(out io.Writer, line string) error {
 		return walInspect(out, strings.TrimSpace(strings.TrimPrefix(line, "wal inspect")))
 	case strings.HasPrefix(line, "checkpoint "):
 		return checkpointDescribe(out, strings.TrimSpace(strings.TrimPrefix(line, "checkpoint")))
+	case strings.HasPrefix(line, "metrics "):
+		return metricsScrape(out, strings.TrimSpace(strings.TrimPrefix(line, "metrics")))
+	case strings.HasPrefix(line, "slow "):
+		return slowDump(out, strings.TrimSpace(strings.TrimPrefix(line, "slow")))
 	case strings.HasPrefix(line, "query "):
 		nodes, err := view.Query(ctx, strings.TrimSpace(strings.TrimPrefix(line, "query")))
 		if err != nil {

@@ -8,6 +8,7 @@
 //	xviewd [-addr :8080] [-dataset registrar|synthetic] [-nc 1000]
 //	       [-seed 42] [-force] [-timeout 10s] [-queue 256]
 //	       [-data DIR] [-fsync always|batch|off] [-checkpoint-every 256]
+//	       [-slow-threshold 100ms] [-debug-addr ADDR]
 //
 // With -data, the view is durable: committed updates are logged to DIR
 // before their verdict is returned, and a restart pointing at the same DIR
@@ -20,7 +21,18 @@
 //	               "path":"//course[cno=\"CS650\"]/takenBy"}
 //	POST /batch   {"updates":[...]}
 //	GET  /stats
-//	GET  /healthz
+//	GET  /healthz      readiness: 503 with the recovery state while boot
+//	                   replay is running or a checkpoint is in flight
+//	GET  /livez        liveness: 200 as soon as the process listens
+//	GET  /metrics      Prometheus text exposition (all layers)
+//	GET  /debug/vars   the same metrics as JSON
+//	GET  /debug/slow   slow-query/slow-commit ring buffer
+//
+// The listener starts before the view loads: /healthz answers 503 (state
+// "loading" or "recovering") until recovery finishes, so load balancers
+// keep a replaying node out of rotation without killing it. -debug-addr
+// additionally serves net/http/pprof on a separate, normally-private
+// address.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests drain,
 // then the apply loop stops; a durable view seals a final checkpoint so the
@@ -32,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -52,12 +66,36 @@ var (
 	dataDir   = flag.String("data", "", "durability directory (empty = in-memory only)")
 	fsync     = flag.String("fsync", "always", "log sync policy: always, batch or off")
 	ckptEvery = flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default)")
+
+	slowThresh = flag.Duration("slow-threshold", 100*time.Millisecond,
+		"queries/commits slower than this land in /debug/slow (0 = disabled)")
+	debugAddr = flag.String("debug-addr", "",
+		"serve net/http/pprof on this extra address (empty = no pprof)")
 )
 
 func main() {
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before loading: health probes answer immediately, with
+	// readiness gated until the view (and its recovery, if durable) is up.
+	gate := server.NewGate("loading")
+	errc := make(chan error, 1)
+	go func() { errc <- server.ServeGated(ctx, *addr, gate) }()
+	log.Printf("xviewd: listening on %s (readiness gated until the view is up)", *addr)
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
+	if *dataDir != "" {
+		gate.SetState("recovering")
+	}
 	view, err := open()
 	if err != nil {
+		stop()
+		<-errc
 		log.Fatal(err)
 	}
 	if *dataDir != "" {
@@ -65,12 +103,16 @@ func main() {
 			*dataDir, *fsync, view.Generation())
 	}
 	log.Printf("xviewd: %s view loaded — %s", *dataset, view.Stats())
-	eng := server.New(view, server.WithQueueDepth(*queue))
-	log.Printf("xviewd: listening on %s", *addr)
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if err := server.ListenAndServe(ctx, *addr, eng, server.HandlerOptions{Timeout: *timeout}); err != nil {
+	eng := server.New(view, server.WithQueueDepth(*queue))
+	eng.SetSlowThreshold(*slowThresh)
+	gate.SetReady(eng, server.HandlerOptions{
+		Timeout:       *timeout,
+		Checkpointing: view.Checkpointing,
+	})
+	log.Print("xviewd: ready")
+
+	if err := <-errc; err != nil {
 		log.Fatal(err)
 	}
 	// The engine has stopped: seal the final epoch so the next boot
@@ -79,6 +121,22 @@ func main() {
 		log.Fatalf("xviewd: final checkpoint: %v", err)
 	}
 	log.Print("xviewd: shut down cleanly")
+}
+
+// serveDebug mounts the pprof handlers on their own listener — profiling
+// stays off the public API address and off unless asked for.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("xviewd: pprof on %s", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("xviewd: pprof server: %v", err)
+	}
 }
 
 func open() (*rxview.View, error) {

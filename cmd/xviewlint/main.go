@@ -1,6 +1,7 @@
 // Command xviewlint runs the repository's analyzer suite (see
 // internal/lint): the mechanical form of the COW-epoch, single-writer,
-// error-contract, context-flow and API-boundary conventions.
+// error-contract, context-flow, API-boundary and telemetry-hot-path
+// conventions.
 //
 // Two modes, selected automatically:
 //

@@ -159,12 +159,22 @@ func (v *View) Checkpoint() error {
 	if v.sys.InTxn() {
 		return ErrTxOpen
 	}
+	v.ckptBusy.Store(true)
+	defer v.ckptBusy.Store(false)
 	if err := v.log.WriteCheckpoint(v.sys.Generation(), encodeCheckpoint(v.sys)); err != nil {
 		return err
 	}
 	v.ckptGen = v.sys.Generation()
 	return nil
 }
+
+// Checkpointing reports whether a checkpoint is being written right now —
+// the full state is serialized, fsynced and rotated in, which stalls the
+// writer for the duration. Unlike the View's other methods it is safe to
+// call from any goroutine: it is the readiness probe serving layers fold
+// into /healthz so load balancers drain a node during the stall. Always
+// false without durability.
+func (v *View) Checkpointing() bool { return v.ckptBusy.Load() }
 
 // Close flushes a final checkpoint and closes the log, so the next Open
 // recovers without replaying anything. No-op on a view without durability

@@ -17,6 +17,7 @@ import (
 
 	"rxview/internal/atg"
 	"rxview/internal/dag"
+	"rxview/internal/obs"
 	"rxview/internal/reach"
 	"rxview/internal/relational"
 	"rxview/internal/storage"
@@ -235,7 +236,13 @@ func (s *System) evaluator() *xpath.Evaluator {
 }
 
 // Query evaluates an XPath expression and returns r[[p]].
+//
+// xviewlint:hot-path
 func (s *System) Query(path string) ([]dag.NodeID, error) {
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	p, err := ParsePath(path)
 	if err != nil {
 		return nil, err
@@ -243,6 +250,9 @@ func (s *System) Query(path string) ([]dag.NodeID, error) {
 	res, err := s.evaluator().Eval(p)
 	if err != nil {
 		return nil, err
+	}
+	if obs.Enabled() {
+		observeQueryEval(time.Since(t0))
 	}
 	return res.Selected, nil
 }
@@ -308,6 +318,8 @@ func (s *System) ApplyCtx(ctx context.Context, op *update.Op) (*Report, error) {
 
 // apply runs one staged update inside transaction t (never nil: every write
 // path goes through a Txn).
+//
+// xviewlint:hot-path
 func (s *System) apply(ctx context.Context, op *update.Op, t *Txn) (*Report, error) {
 	rep := &Report{Op: op.String()}
 	res, proceed, err := s.stage(ctx, op, rep)
@@ -315,9 +327,14 @@ func (s *System) apply(ctx context.Context, op *update.Op, t *Txn) (*Report, err
 		return rep, err
 	}
 	if op.Kind == update.OpInsert {
-		return rep, s.applyInsert(ctx, op, res, rep, t)
+		err = s.applyInsert(ctx, op, res, rep, t)
+	} else {
+		err = s.applyDelete(ctx, op, res, rep, t)
 	}
-	return rep, s.applyDelete(ctx, op, res, rep, t)
+	if rep.Applied && obs.Enabled() {
+		observeTimings(rep.Timings)
+	}
+	return rep, err
 }
 
 // stage runs the phases Apply and DryRun share — DTD validation, XPath

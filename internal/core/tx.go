@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rxview/internal/dag"
+	"rxview/internal/obs"
 	"rxview/internal/reach"
 	"rxview/internal/relational"
 	"rxview/internal/storage"
@@ -151,6 +152,10 @@ func (t *Txn) Stage(ctx context.Context, op *update.Op) (*Report, error) {
 	if t.err != nil {
 		return &Report{Op: op.String()}, t.err
 	}
+	var stageT0 time.Time
+	if obs.Enabled() {
+		stageT0 = time.Now()
+	}
 	if op.Kind == update.OpDelete {
 		// ∆(M,L)delete walks desc(r[[p]]) through M and needs a superset of
 		// the true closure, so the deferred insert half must land first; in
@@ -185,6 +190,15 @@ func (t *Txn) Stage(ctx context.Context, op *update.Op) (*Report, error) {
 	if err != nil && t.atomic && !isCtxErr(err) {
 		t.err, t.errOp = err, op.String()
 	}
+	m := metrics()
+	if rep.Applied {
+		m.stagesOK.Inc()
+	} else if err != nil {
+		m.stagesRej.Inc()
+	}
+	if obs.Enabled() {
+		m.stageDur.Observe(time.Since(stageT0))
+	}
 	return rep, err
 }
 
@@ -208,6 +222,10 @@ func (t *Txn) Fail(op string, err error) {
 func (t *Txn) Commit(ctx context.Context) error {
 	if t.closed {
 		return ErrTxDone
+	}
+	var commitT0 time.Time
+	if obs.Enabled() {
+		commitT0 = time.Now()
 	}
 	s := t.s
 	var through uint64 // highest generation the sink accepted; 0 = none
@@ -261,6 +279,11 @@ func (t *Txn) Commit(ctx context.Context) error {
 		}
 	}
 	t.finish(through)
+	m := metrics()
+	m.commits.Inc()
+	if obs.Enabled() {
+		m.commitDur.Observe(time.Since(commitT0))
+	}
 	return durErr
 }
 
@@ -300,6 +323,10 @@ func (t *Txn) Rollback() error {
 // An inverse-mutation failure means the undo log and the database disagree;
 // it is returned as an internal error, never silently swallowed.
 func (t *Txn) rollback() error {
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	s := t.s
 	s.DAG.Rollback()
 	err := undoMutations(s.store, t.dbLog)
@@ -317,6 +344,11 @@ func (t *Txn) rollback() error {
 	}
 	t.pending = reach.Pending{}
 	t.close()
+	m := metrics()
+	m.rollbacks.Inc()
+	if obs.Enabled() {
+		m.rollbackDur.Observe(time.Since(t0))
+	}
 	return err
 }
 

@@ -1,9 +1,10 @@
 // Package internalboundary enforces the repository's API boundary:
 // nothing outside internal/ may import rxview/internal/... except the
-// root rxview package (the single supported gateway to the
-// implementation) and cmd/xviewlint itself (the vettool must link the
-// analyzer suite, which lives behind the boundary on purpose — it reasons
-// about implementation invariants, not public API).
+// sanctioned gateways — the root rxview package, the rxview/obs telemetry
+// facade (pure aliases over internal/obs), and cmd/xviewlint itself (the
+// vettool must link the analyzer suite, which lives behind the boundary
+// on purpose — it reasons about implementation invariants, not public
+// API).
 //
 // The rule predates this analyzer as a hand-written AST walk in
 // boundary_test.go; the analyzer is the single source of truth now, and
@@ -30,13 +31,15 @@ const internalPrefix = "rxview/internal/"
 var gatewayImporters = map[string]bool{
 	"rxview":               true, // the public API gateway (tests in package rxview included)
 	"rxview/cmd/xviewlint": true, // links the analyzer suite
+	"rxview/obs":           true, // telemetry gateway: aliases internal/obs for server and cmd tools
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "internalboundary",
-	Doc: "only the root rxview package (and cmd/xviewlint) may import rxview/internal/...\n\n" +
-		"The root package is the single supported gateway to the implementation; " +
-		"everything else — cmd tools, server, examples, external test packages — " +
+	Doc: "only the sanctioned gateways (rxview, rxview/obs, cmd/xviewlint) may import rxview/internal/...\n\n" +
+		"The root package is the single supported gateway to the implementation " +
+		"(rxview/obs aliases the telemetry core, nothing more); everything else — " +
+		"cmd tools, server, examples, external test packages — " +
 		"must go through the public API.",
 	Run: run,
 }

@@ -2,8 +2,9 @@
 // static checks that mechanically enforce this repository's three load-
 // bearing conventions — copy-on-write epochs, the single-writer serving
 // loop, and the sentinel error contract — plus the internal-package API
-// boundary. cmd/xviewlint links this package; boundary_test.go and the
-// per-analyzer tests exercise the same analyzers in-process.
+// boundary and the telemetry hot-path contract. cmd/xviewlint links this
+// package; boundary_test.go and the per-analyzer tests exercise the same
+// analyzers in-process.
 package lint
 
 import (
@@ -12,6 +13,7 @@ import (
 	"rxview/internal/lint/ctxflow"
 	"rxview/internal/lint/errwrap"
 	"rxview/internal/lint/internalboundary"
+	"rxview/internal/lint/obshotpath"
 	"rxview/internal/lint/sealedmut"
 	"rxview/internal/lint/singlewriter"
 )
@@ -23,6 +25,7 @@ func All() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		errwrap.Analyzer,
 		internalboundary.Analyzer,
+		obshotpath.Analyzer,
 		sealedmut.Analyzer,
 		singlewriter.Analyzer,
 	}

@@ -1,0 +1,12 @@
+package obshotpath_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/linttest"
+	"rxview/internal/lint/obshotpath"
+)
+
+func TestObsHotPath(t *testing.T) {
+	linttest.Run(t, "testdata", obshotpath.Analyzer, "a")
+}

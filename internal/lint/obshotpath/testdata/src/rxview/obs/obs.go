@@ -1,0 +1,43 @@
+// Stub of the telemetry gateway: enough surface to type-check the
+// fixture. The analyzer matches by import path and symbol name, so the
+// stub stands in for both rxview/obs and rxview/internal/obs; durations
+// are plain int64 to keep the fixture tree free of standard-library stubs.
+package obs
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() {}
+
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) Observe(d int64) {}
+
+func (h *Histogram) Snapshot() *HistSnapshot { return nil }
+
+type HistSnapshot struct{ Count uint64 }
+
+type Family struct{ Name string }
+
+type Registry struct{ fams map[string]*Family }
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return &Histogram{}
+}
+
+func (r *Registry) Gather() []Family { return nil }
+
+func WritePrometheus(w any, regs ...*Registry) error { return nil }
+
+type SlowEntry struct{ Kind string }
+
+type SlowLog struct{ n int }
+
+func NewSlowLog(capacity int) *SlowLog { return &SlowLog{} }
+
+func (l *SlowLog) Record(kind, detail string, d int64, gen uint64) {}
+
+func (l *SlowLog) Entries() (entries []SlowEntry, dropped uint64) { return nil, 0 }

@@ -1,0 +1,412 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("xview_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("xview_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	fams := r.Gather()
+	if len(fams) != 2 {
+		t.Fatalf("gathered %d families, want 2", len(fams))
+	}
+	if fams[0].Name != "xview_test_total" || fams[0].Samples[0].Value != 5 {
+		t.Fatalf("counter family wrong: %+v", fams[0])
+	}
+	if fams[1].Name != "xview_test_depth" || fams[1].Samples[0].Value != 4 {
+		t.Fatalf("gauge family wrong: %+v", fams[1])
+	}
+}
+
+func TestFuncMetricsReadAtGatherTime(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.NewCounterFunc("xview_fn_total", "func counter", func() float64 { return v })
+	if got := r.Gather()[0].Samples[0].Value; got != 1 {
+		t.Fatalf("first gather = %v, want 1", got)
+	}
+	v = 9
+	if got := r.Gather()[0].Samples[0].Value; got != 9 {
+		t.Fatalf("second gather = %v, want 9", got)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("bad name", func() { r.NewCounter("0bad", "h") })
+	mustPanic("bad label", func() { r.NewCounter("ok_total", "h", Label{Key: "0k", Value: "v"}) })
+	r.NewCounter("dup_total", "h")
+	mustPanic("duplicate series", func() { r.NewCounter("dup_total", "h") })
+	mustPanic("type clash", func() { r.NewGauge("dup_total", "h") })
+	mustPanic("unsorted bounds", func() { r.NewHistogram("h_seconds", "h", []float64{2, 1}) })
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("xview_h_seconds", "hist", []float64{0.01, 0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.ObserveValue(0.005) // first bucket
+	}
+	for i := 0; i < 45; i++ {
+		h.ObserveValue(0.05) // second bucket
+	}
+	for i := 0; i < 4; i++ {
+		h.ObserveValue(0.5) // third bucket
+	}
+	h.ObserveValue(5) // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := 50*0.005 + 45*0.05 + 4*0.5 + 5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if got := s.Counts; got[0] != 50 || got[1] != 45 || got[2] != 4 || got[3] != 1 {
+		t.Fatalf("bucket counts = %v", got)
+	}
+	// p50 lands mid-first-bucket, p95 in the second, p99 in the third;
+	// interpolation keeps each inside its bucket's bounds.
+	if p := s.P50(); p <= 0 || p > 0.01 {
+		t.Fatalf("p50 = %v, want in (0, 0.01]", p)
+	}
+	if p := s.P95(); p <= 0.01 || p > 0.1 {
+		t.Fatalf("p95 = %v, want in (0.01, 0.1]", p)
+	}
+	if p := s.P99(); p <= 0.1 || p > 1 {
+		t.Fatalf("p99 = %v, want in (0.1, 1]", p)
+	}
+	// A quantile that falls in +Inf clamps to the largest finite bound.
+	if p := s.Quantile(1.0); p != 1 {
+		t.Fatalf("q1.0 = %v, want clamp to 1", p)
+	}
+	if (&HistSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("d_seconds", "h", LatencyBounds())
+	h.Observe(250 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || math.Abs(s.Sum-0.00025) > 1e-12 {
+		t.Fatalf("snapshot = count %d sum %v", s.Count, s.Sum)
+	}
+}
+
+func TestSetEnabledStripsTimingNotCounts(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	h := r.NewHistogram("e_seconds", "h", []float64{1})
+	c := r.NewCounter("e_total", "c")
+	SetEnabled(false)
+	h.ObserveValue(0.5)
+	c.Inc()
+	if h.Snapshot().Count != 0 {
+		t.Fatal("histogram observed while disabled")
+	}
+	if c.Value() != 1 {
+		t.Fatal("counter must keep counting while disabled")
+	}
+	SetEnabled(true)
+	h.ObserveValue(0.5)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("histogram dead after re-enable")
+	}
+}
+
+// TestPrometheusGolden locks the exact exposition bytes for a registry
+// with all three kinds and labeled series.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("xview_ops_total", "Operations applied.", Label{Key: "kind", Value: "insert"})
+	c.Add(3)
+	c2 := r.NewCounter("xview_ops_total", "Operations applied.", Label{Key: "kind", Value: "delete"})
+	c2.Add(1)
+	g := r.NewGauge("xview_queue_depth", "Queued requests.")
+	g.Set(2)
+	h := r.NewHistogram("xview_q_seconds", "Query latency.", []float64{0.1, 1})
+	h.ObserveValue(0.05)
+	h.ObserveValue(0.5)
+	h.ObserveValue(0.5)
+	h.ObserveValue(2)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP xview_ops_total Operations applied.
+# TYPE xview_ops_total counter
+xview_ops_total{kind="insert"} 3
+xview_ops_total{kind="delete"} 1
+# HELP xview_queue_depth Queued requests.
+# TYPE xview_queue_depth gauge
+xview_queue_depth 2
+# HELP xview_q_seconds Query latency.
+# TYPE xview_q_seconds histogram
+xview_q_seconds_bucket{le="0.1"} 1
+xview_q_seconds_bucket{le="1"} 3
+xview_q_seconds_bucket{le="+Inf"} 4
+xview_q_seconds_sum 3.05
+xview_q_seconds_count 4
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "line1\nline2 back\\slash",
+		Label{Key: "path", Value: `a"b\c` + "\nd"})
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line1\nline2 back\\slash`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 0`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	// The parser must invert the escaping exactly.
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams[0].Help != "line1\nline2 back\\slash" {
+		t.Fatalf("help round-trip = %q", fams[0].Help)
+	}
+	if got := fams[0].Samples[0].Labels["path"]; got != "a\"b\\c\nd" {
+		t.Fatalf("label round-trip = %q", got)
+	}
+}
+
+// TestHistogramCumulativity is the property test: for randomized
+// observation sets, the encoded le buckets are non-decreasing, the +Inf
+// bucket equals _count, and each bucket's cumulative count matches a
+// direct count of observations <= its bound.
+func TestHistogramCumulativity(t *testing.T) {
+	// Deterministic pseudo-random stream (xorshift), seeded per case.
+	for seed := uint64(1); seed <= 8; seed++ {
+		bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+		r := NewRegistry()
+		h := r.NewHistogram("cum_seconds", "h", bounds)
+		x := seed
+		var obs []float64
+		for i := 0; i < 500; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v := float64(x%100000) / 3000.0 // 0 .. ~33
+			obs = append(obs, v)
+			h.ObserveValue(v)
+		}
+		var b strings.Builder
+		if err := WritePrometheus(&b, r); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseExposition(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buckets []ParsedSample
+		var count float64
+		for _, s := range fams[0].Samples {
+			switch s.Name {
+			case "cum_seconds_bucket":
+				buckets = append(buckets, s)
+			case "cum_seconds_count":
+				count = s.Value
+			}
+		}
+		if len(buckets) != len(bounds)+1 {
+			t.Fatalf("seed %d: %d bucket lines, want %d", seed, len(buckets), len(bounds)+1)
+		}
+		prev := -1.0
+		for i, bs := range buckets {
+			if bs.Value < prev {
+				t.Fatalf("seed %d: bucket %d not cumulative: %v < %v", seed, i, bs.Value, prev)
+			}
+			prev = bs.Value
+			le := bs.Labels["le"]
+			if i == len(buckets)-1 {
+				if le != "+Inf" {
+					t.Fatalf("seed %d: last bucket le = %q", seed, le)
+				}
+				if bs.Value != count {
+					t.Fatalf("seed %d: +Inf bucket %v != count %v", seed, bs.Value, count)
+				}
+				continue
+			}
+			// Independent recount against the raw observations.
+			var direct float64
+			for _, v := range obs {
+				if v <= bounds[i] {
+					direct++
+				}
+			}
+			if bs.Value != direct {
+				t.Fatalf("seed %d: bucket le=%s has %v, direct count %v", seed, le, bs.Value, direct)
+			}
+		}
+	}
+}
+
+// TestConcurrentScrapeWhileWriting hammers every metric kind from many
+// goroutines while scraping concurrently; -race is the assertion.
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rc_total", "c")
+	g := r.NewGauge("rc_depth", "g")
+	h := r.NewHistogram("rc_seconds", "h", LatencyBounds())
+	sl := NewSlowLog(16)
+	sl.SetThreshold(1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.ObserveValue(0.001)
+				sl.Record("query", "//x", time.Millisecond, 1)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				if err := WritePrometheus(&b, r); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+					t.Error(err)
+					return
+				}
+				var v strings.Builder
+				if err := WriteVars(&v, r); err != nil {
+					t.Error(err)
+					return
+				}
+				sl.Entries()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	sl := NewSlowLog(3)
+	sl.Record("query", "before threshold", time.Hour, 0)
+	if got, _ := sl.Entries(); len(got) != 0 {
+		t.Fatal("recorded with threshold disabled")
+	}
+	sl.SetThreshold(10 * time.Millisecond)
+	sl.Record("query", "fast", 5*time.Millisecond, 1)
+	if got, _ := sl.Entries(); len(got) != 0 {
+		t.Fatal("recorded below threshold")
+	}
+	for i, d := range []string{"a", "b", "c", "d"} {
+		sl.Record("commit", d, time.Duration(20+i)*time.Millisecond, uint64(i))
+	}
+	got, dropped := sl.Entries()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if len(got) != 3 || got[0].Detail != "d" || got[1].Detail != "c" || got[2].Detail != "b" {
+		t.Fatalf("entries = %+v", got)
+	}
+	if got[0].Kind != "commit" || got[0].Duration != 23*time.Millisecond || got[0].Gen != 3 {
+		t.Fatalf("entry fields = %+v", got[0])
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("v_total", "c", Label{Key: "kind", Value: "x"}).Add(2)
+	h := r.NewHistogram("v_seconds", "h", []float64{1})
+	h.ObserveValue(0.5)
+	var b strings.Builder
+	if err := WriteVars(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"v_total{kind=x,}": 2`, `"v_seconds"`, `"count": 1`, `"p50"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("vars output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGatherAllMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.NewCounter("a_total", "a")
+	b.NewCounter("b_total", "b")
+	fams := GatherAll(a, nil, b)
+	if len(fams) != 2 || fams[0].Name != "a_total" || fams[1].Name != "b_total" {
+		t.Fatalf("merged families = %+v", fams)
+	}
+}
+
+func TestParseExpositionRejectsOrphans(t *testing.T) {
+	_, err := ParseExposition(strings.NewReader("mystery_metric 4\n"))
+	if err == nil {
+		t.Fatal("sample without TYPE accepted")
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBounds = %v", got)
+		}
+	}
+	lb := LatencyBounds()
+	if len(lb) != 30 || lb[0] != 250e-9 {
+		t.Fatalf("LatencyBounds = %v", lb)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanObservesWhenEnabled(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("sp_seconds", "h", LatencyBounds())
+	sp := StartSpan(h)
+	if !sp.Active() {
+		t.Fatal("span inactive while enabled")
+	}
+	time.Sleep(time.Millisecond)
+	if sp.Elapsed() <= 0 {
+		t.Fatal("Elapsed returned zero mid-span")
+	}
+	if d := sp.End(); d < time.Millisecond {
+		t.Fatalf("End = %v, want >= 1ms", d)
+	}
+	if h.Snapshot().Count != 1 {
+		t.Fatal("span did not observe")
+	}
+}
+
+func TestSpanDisabledIsFree(t *testing.T) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	r := NewRegistry()
+	h := r.NewHistogram("spd_seconds", "h", LatencyBounds())
+	sp := StartSpan(h)
+	if sp.Active() || sp.End() != 0 || sp.Elapsed() != 0 {
+		t.Fatal("disabled span not free")
+	}
+	SetEnabled(true)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("disabled span observed")
+	}
+}
+
+func TestSpanNilHistogramIsPureTimer(t *testing.T) {
+	sp := StartSpan(nil)
+	if d := sp.End(); d < 0 {
+		t.Fatalf("End = %v", d)
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// varHist is the JSON shape of a histogram in the /debug/vars dump:
+// the summary a human wants (count, sum, quantiles) rather than raw
+// buckets.
+type varHist struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteVars encodes the gathered families of the given registries as one
+// JSON object keyed by series name (labels folded into the key in
+// {k=v,...} form), histograms as count/sum/quantile summaries. The
+// /debug/vars handler and xviewctl read this. Locked-API side.
+func WriteVars(w io.Writer, regs ...*Registry) error {
+	out := map[string]any{}
+	for _, f := range GatherAll(regs...) {
+		for _, s := range f.Samples {
+			key := f.Name
+			if len(s.Labels) > 0 {
+				key += labelKey(sortedCopy(s.Labels))
+			}
+			if s.Hist != nil {
+				out[key] = varHist{
+					Count: s.Hist.Count,
+					Sum:   jsonSafe(s.Hist.Sum),
+					P50:   jsonSafe(s.Hist.P50()),
+					P95:   jsonSafe(s.Hist.P95()),
+					P99:   jsonSafe(s.Hist.P99()),
+				}
+			} else {
+				out[key] = jsonSafe(s.Value)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonSafe maps non-finite floats to 0 — encoding/json rejects them, and
+// a gauge func returning NaN must not break the whole dump.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -65,6 +65,7 @@ func Open(dir string, opts Options) (*Log, *BootState, error) {
 	// the checkpoint superseded them); their records are simply skipped, and
 	// that also covers the fallback path, where the segment at the corrupt
 	// newest checkpoint carries the suffix we need.
+	m := walmetrics()
 	prev := boot.Gen
 	for i, g := range segs {
 		path := filepath.Join(dir, segName(g))
@@ -72,6 +73,7 @@ func Open(dir string, opts Options) (*Log, *BootState, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		m.replaySegs.Inc()
 		if warn != "" {
 			boot.Warnings = append(boot.Warnings, warn)
 		}
@@ -85,8 +87,10 @@ func Open(dir string, opts Options) (*Log, *BootState, error) {
 			}
 			prev = r.Gen
 			boot.Records = append(boot.Records, r)
+			m.replayRecs.Inc()
 		}
 	}
+	m.replayWarns.Add(uint64(len(boot.Warnings)))
 	return l, boot, nil
 }
 

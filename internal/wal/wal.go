@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"rxview/internal/obs"
 )
 
 // ErrCorrupt marks a log or checkpoint whose contents fail validation in a
@@ -148,6 +150,8 @@ func create(dir string, opts Options) (*Log, error) {
 
 // Append writes the records as one frame each, then syncs per policy. The
 // records are durable (to the policy's guarantee) when Append returns nil.
+//
+// xviewlint:hot-path
 func (l *Log) Append(recs []Record) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: append before the first checkpoint")
@@ -160,15 +164,20 @@ func (l *Log) Append(recs []Record) error {
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append to %s: %w", l.f.Name(), err)
 	}
+	m := walmetrics()
+	m.appends.Inc()
+	m.appendRecs.Add(uint64(len(recs)))
+	m.bytes.Add(uint64(len(l.buf)))
+	m.segBytes.Add(int64(len(l.buf)))
 	switch l.opts.Policy {
 	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncTimed(); err != nil {
 			return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
 		}
 	case SyncBatch:
 		l.unsynced++
 		if l.unsynced >= l.opts.BatchEvery {
-			if err := l.f.Sync(); err != nil {
+			if err := l.syncTimed(); err != nil {
 				return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
 			}
 			l.unsynced = 0
@@ -183,7 +192,7 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.unsynced = 0
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncTimed(); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
 	}
 	return nil
@@ -194,6 +203,8 @@ func (l *Log) Sync() error {
 // log to a fresh segment wal-<gen>, and prunes files older than the Keep'th
 // newest checkpoint.
 func (l *Log) WriteCheckpoint(gen uint64, state []byte) error {
+	m := walmetrics()
+	sp := obs.StartSpan(m.ckptDur)
 	// The log up to here must be stable before the checkpoint that
 	// supersedes it claims the epoch is sealed.
 	if l.f != nil {
@@ -234,6 +245,9 @@ func (l *Log) WriteCheckpoint(gen uint64, state []byte) error {
 		return err
 	}
 	l.prune()
+	m.ckpts.Inc()
+	m.ckptBytes.ObserveValue(float64(len(buf)))
+	sp.End()
 	return nil
 }
 
@@ -255,7 +269,8 @@ func (l *Log) rotate(gen uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: stat segment %s: %w", path, err)
 	}
-	if st.Size() == 0 {
+	size := st.Size()
+	if size == 0 {
 		hdr := append([]byte(segMagic), nil...)
 		hdr = appendFrame(hdr, u64bytes(gen))
 		if _, err := f.Write(hdr); err != nil {
@@ -266,8 +281,12 @@ func (l *Log) rotate(gen uint64) error {
 			f.Close()
 			return fmt.Errorf("wal: segment header %s: %w", path, err)
 		}
+		size = int64(len(hdr))
 	}
 	l.f, l.segStart, l.unsynced = f, gen, 0
+	m := walmetrics()
+	m.rotations.Inc()
+	m.segBytes.Set(size)
 	return nil
 }
 

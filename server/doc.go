@@ -77,11 +77,27 @@
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent
 // readers and a background writer for throughput/latency measurement.
 //
+// # Telemetry
+//
+// Every Engine owns a private obs.Registry (see package rxview/obs): the
+// counters, queue-depth gauge and latency histograms its hot paths record
+// into, plus a ring-buffer slow log (SetSlowThreshold). The HTTP layer
+// scrapes it together with the process-wide registry on GET /metrics
+// (Prometheus text) and GET /debug/vars (JSON); GET /debug/slow dumps the
+// slow log. Recording sites use only the atomic fast-path obs API — one or
+// two atomic operations, nothing on the memo-hit path but counters — so
+// instrumentation stays within the repo's ≤3% overhead budget (measured by
+// `benchrunner -exp obs`). NewGate wraps a Handler with a readiness
+// lifecycle: while the view is still replaying its WAL the gate answers
+// 503 with the recovery state, /livez answers 200 throughout, and
+// SetReady atomically switches to the real handler.
+//
 // # Writer annotations
 //
 // The single-writer contract is machine-checked by the xviewlint suite
 // (internal/lint, run via `go run ./cmd/xviewlint ./...` or as a go vet
-// vettool). Three comment directives drive its singlewriter analyzer:
+// vettool). Four comment directives drive its singlewriter and obshotpath
+// analyzers:
 //
 //	// xviewlint:writer-only   on a struct field: the field may be
 //	                           written only from the writer call graph
@@ -91,6 +107,11 @@
 //	                           apply loop itself (Engine.run)
 //	// xviewlint:writer-init   on a function: a constructor that runs
 //	                           before the loop exists (New)
+//	// xviewlint:hot-path      on a function: a latency-critical root
+//	                           outside the writer graph (Engine.Query);
+//	                           its call graph may record telemetry only
+//	                           through the atomic fast-path obs API,
+//	                           never the locked Gather/snapshot side
 //
 // The writer call graph is the transitive closure of intra-package calls
 // from the writer-loop and writer-init roots. Engine.view carries

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rxview"
+	"rxview/obs"
 )
 
 // ErrClosed is returned by submissions after Close.
@@ -76,17 +78,13 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	depth      atomic.Int64 // queued, not yet picked up by the loop
-	queries    atomic.Uint64
-	applied    atomic.Uint64
-	rejected   atomic.Uint64
-	txCommits  atomic.Uint64
-	txRejected atomic.Uint64
-	coalRuns   atomic.Uint64
-	coalUpds   atomic.Uint64
-	snapSwaps  atomic.Uint64
-	memoHits   atomic.Uint64
-	memoMisses atomic.Uint64
+	// met holds the engine's private obs registry and every counter,
+	// gauge and histogram the hot paths record into; see metrics.go.
+	met engineMetrics
+	// committedGen is the view generation stamped at the last delivery —
+	// the newest write any client has been acknowledged for. Readers
+	// compare it against their epoch's generation for the lag histogram.
+	committedGen atomic.Uint64
 }
 
 // request is one submission to the apply loop. Exactly one result is
@@ -122,8 +120,10 @@ func New(view *rxview.View, opts ...Option) *Engine {
 		view: view,
 		cfg:  cfg,
 		reqs: make(chan *request, cfg.queue),
+		met:  newEngineMetrics(),
 	}
 	e.ep.Store(&epoch{sn: view.Snapshot(), memo: newResultMemo(cfg.memoCap)})
+	e.committedGen.Store(view.Generation())
 	e.wg.Add(1)
 	go e.run()
 	return e
@@ -162,22 +162,39 @@ type QueryResult struct {
 // (the path text is compiled at most once process-wide either way); a memo
 // hit returns the same Node slice to every caller, which must treat it as
 // read-only.
+//
+// xviewlint:hot-path
 func (e *Engine) Query(ctx context.Context, path string) (QueryResult, error) {
 	ep := e.ep.Load()
-	e.queries.Add(1)
+	e.met.queries.Inc()
 	if nodes, ok := ep.memo.get(path); ok {
-		e.memoHits.Add(1)
+		// Memo hit: tens of nanoseconds end to end. Counters only — a span
+		// (two clock reads) would multiply the cost of the hit itself, so
+		// latency is observed where evaluation actually happens, below.
+		e.met.memoHits.Inc()
 		if err := ctx.Err(); err != nil {
 			return QueryResult{}, err
 		}
 		return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, nil
 	}
-	e.memoMisses.Add(1)
+	e.met.memoMisses.Inc()
+	sp := obs.StartSpan(e.met.queryDur)
+	if sp.Active() {
+		// How stale is the epoch being read, in generations, against the
+		// newest write any client has been acknowledged for?
+		if lead, gen := e.committedGen.Load(), ep.sn.Generation(); lead > gen {
+			e.met.readerLag.ObserveValue(float64(lead - gen))
+		} else {
+			e.met.readerLag.ObserveValue(0)
+		}
+	}
 	nodes, err := ep.sn.Query(ctx, path)
 	if err != nil {
 		return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, err
 	}
 	ep.memo.put(path, nodes)
+	d := sp.End()
+	e.met.slow.Record("query", path, d, ep.sn.Generation())
 	return QueryResult{Nodes: nodes, Generation: ep.sn.Generation()}, nil
 }
 
@@ -267,7 +284,7 @@ func (e *Engine) applyTx(ctx context.Context, updates []rxview.Update) ([]*rxvie
 	for _, u := range updates {
 		if _, err := tx.Stage(ctx, u); err != nil {
 			rbErr := tx.Rollback()
-			e.txRejected.Add(1)
+			e.met.txRejected.Inc()
 			if rbErr != nil {
 				return tx.Reports(), fmt.Errorf("server: tx rollback after %w: %w", err, rbErr)
 			}
@@ -275,10 +292,10 @@ func (e *Engine) applyTx(ctx context.Context, updates []rxview.Update) ([]*rxvie
 		}
 	}
 	if err := tx.Commit(ctx); err != nil {
-		e.txRejected.Add(1)
+		e.met.txRejected.Inc()
 		return tx.Reports(), err
 	}
-	e.txCommits.Add(1)
+	e.met.txCommits.Inc()
 	return tx.Reports(), nil
 }
 
@@ -288,12 +305,12 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 	if e.closed {
 		return ErrClosed
 	}
-	e.depth.Add(1)
+	e.met.depth.Add(1)
 	select {
 	case e.reqs <- req:
 		return nil
 	case <-ctx.Done():
-		e.depth.Add(-1)
+		e.met.depth.Add(-1)
 		return ctx.Err()
 	}
 }
@@ -316,7 +333,7 @@ func (e *Engine) run() {
 			if !ok {
 				return
 			}
-			e.depth.Add(-1)
+			e.met.depth.Add(-1)
 		}
 		switch {
 		case req.tx != nil:
@@ -325,17 +342,17 @@ func (e *Engine) run() {
 			// pre-Begin snapshot until the post-commit one is swapped in;
 			// a rejected group publishes nothing (the view didn't move).
 			reps, err := e.applyTx(req.ctx, req.tx)
-			e.publish()
+			stampPublish(e.publish(), reps...)
 			e.deliver(req, result{reps: reps, err: err})
 		case req.batch != nil:
 			reps, err := e.view.Batch(req.ctx, req.batch...)
-			e.publish()
+			stampPublish(e.publish(), reps...)
 			e.deliver(req, result{reps: reps, err: err})
 		case req.u.IsDelete():
 			// Deletions read M and force a flush anyway; apply them alone
 			// under their own context.
 			rep, err := e.view.Apply(req.ctx, req.u)
-			e.publish()
+			stampPublish(e.publish(), rep)
 			e.deliver(req, result{rep: rep, err: err})
 		default:
 			var run []*request
@@ -357,7 +374,7 @@ func (e *Engine) gather(first *request) (run []*request, carry *request) {
 			if !ok {
 				return run, nil
 			}
-			e.depth.Add(-1)
+			e.met.depth.Add(-1)
 			if r.batch == nil && r.tx == nil && !r.u.IsDelete() {
 				run = append(run, r)
 				continue
@@ -406,19 +423,20 @@ func (e *Engine) processRun(run []*request) {
 		if len(live) == 1 {
 			r := live[0]
 			rep, err := e.view.Apply(r.ctx, r.u)
-			e.publish()
+			stampPublish(e.publish(), rep)
 			e.deliver(r, result{rep: rep, err: err})
 			return
 		}
 
-		e.coalRuns.Add(1)
+		e.met.coalRuns.Inc()
+		e.met.runSize.ObserveValue(float64(len(live)))
 		for _, r := range live {
 			// Count each update once, however many retry rounds it rides
 			// through; CoalescedRuns counts Batch calls, so the two stay a
 			// meaningful updates-per-run ratio.
 			if !r.counted {
 				r.counted = true
-				e.coalUpds.Add(1)
+				e.met.coalUpds.Inc()
 			}
 		}
 		//lint:ignore xviewlint/ctxflow the run context is the merge of every rider's ctx: it must outlive any single one and is canceled via AfterFunc when any rider cancels
@@ -437,7 +455,7 @@ func (e *Engine) processRun(run []*request) {
 		// Publish before fulfilling any promise: a writer whose Update has
 		// returned must be able to read its own write (and its generation)
 		// from the very next Query.
-		e.publish()
+		stampPublish(e.publish(), reps...)
 
 		if err == nil {
 			for i, r := range live {
@@ -486,35 +504,50 @@ func isCtxErr(err error) bool {
 }
 
 // deliver fulfills a request's promise exactly once, stamps the covering
-// generation, and keeps the applied / rejected counters. Called only from
-// the apply loop, always after the snapshot covering the verdict has been
-// published.
+// generation, and keeps the applied / rejected counters and the slow-
+// commit log. Called only from the apply loop, always after the snapshot
+// covering the verdict has been published.
 func (e *Engine) deliver(r *request, res result) {
 	res.gen = e.view.Generation()
+	e.committedGen.Store(res.gen)
 	if res.err != nil {
-		e.rejected.Add(1)
+		e.met.rejected.Inc()
 	}
+	var total time.Duration
+	var op string
 	count := func(rep *rxview.Report) {
 		if rep != nil && rep.Applied {
-			e.applied.Add(1)
+			e.met.applied.Inc()
+			total += rep.Timings.Total()
+			op = rep.Op
 		}
 	}
 	count(res.rep)
 	for _, rep := range res.reps {
 		count(rep)
 	}
+	// Total() is built from the pipeline's own phase clocks, so the slow-
+	// commit check costs no time.Now on the apply loop.
+	e.met.slow.Record("commit", op, total, res.gen)
 	r.done <- res
 }
 
-// publish seals and swaps in a fresh epoch if the view moved. Called only
-// from the apply loop. Sealing is O(Δ) in the write just applied — the
-// copy-on-write snapshot shares all untouched state with the previous
-// epoch — so publication cost tracks update size, not view size.
-func (e *Engine) publish() {
-	if e.ep.Load().sn.Generation() != e.view.Generation() {
-		e.ep.Store(&epoch{sn: e.view.Snapshot(), memo: newResultMemo(e.cfg.memoCap)})
-		e.snapSwaps.Add(1)
+// publish seals and swaps in a fresh epoch if the view moved, returning
+// the publication duration (zero when nothing swapped, or when timing
+// instrumentation is disabled). Called only from the apply loop. Sealing
+// is O(Δ) in the write just applied — the copy-on-write snapshot shares
+// all untouched state with the previous epoch — so publication cost
+// tracks update size, not view size.
+func (e *Engine) publish() time.Duration {
+	if e.ep.Load().sn.Generation() == e.view.Generation() {
+		return 0
 	}
+	sp := obs.StartSpan(e.met.publishDur)
+	e.ep.Store(&epoch{sn: e.view.Snapshot(), memo: newResultMemo(e.cfg.memoCap)})
+	d := sp.End()
+	e.met.snapSwaps.Inc()
+	rxview.ObservePublish(d)
+	return d
 }
 
 // Stats describes the serving layer: the published epoch's view statistics
@@ -548,17 +581,17 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		View:             sn.Stats(),
 		Generation:       sn.Generation(),
-		Queries:          e.queries.Load(),
-		UpdatesApplied:   e.applied.Load(),
-		UpdatesRejected:  e.rejected.Load(),
-		TxCommitted:      e.txCommits.Load(),
-		TxRejected:       e.txRejected.Load(),
-		CoalescedRuns:    e.coalRuns.Load(),
-		CoalescedUpdates: e.coalUpds.Load(),
-		SnapshotSwaps:    e.snapSwaps.Load(),
-		QueueDepth:       e.depth.Load(),
-		QueryMemoHits:    e.memoHits.Load(),
-		QueryMemoMisses:  e.memoMisses.Load(),
+		Queries:          e.met.queries.Value(),
+		UpdatesApplied:   e.met.applied.Value(),
+		UpdatesRejected:  e.met.rejected.Value(),
+		TxCommitted:      e.met.txCommits.Value(),
+		TxRejected:       e.met.txRejected.Value(),
+		CoalescedRuns:    e.met.coalRuns.Value(),
+		CoalescedUpdates: e.met.coalUpds.Value(),
+		SnapshotSwaps:    e.met.snapSwaps.Value(),
+		QueueDepth:       e.met.depth.Value(),
+		QueryMemoHits:    e.met.memoHits.Value(),
+		QueryMemoMisses:  e.met.memoMisses.Value(),
 		PathCacheHits:    pcHits,
 		PathCacheMisses:  pcMisses,
 	}

@@ -34,6 +34,7 @@ func newLooplessEngine(t *testing.T, opts ...rxview.Option) *Engine {
 		view: view,
 		cfg:  config{queue: 256, maxCoalesce: 64, memoCap: 256},
 		reqs: make(chan *request, 256),
+		met:  newEngineMetrics(),
 	}
 	e.ep.Store(&epoch{sn: view.Snapshot(), memo: newResultMemo(256)})
 	return e
@@ -99,7 +100,7 @@ func TestProcessRunMidRejection(t *testing.T) {
 	// Each update is tallied once, however many retry rounds it rides
 	// through; the re-applied member finished alone (Apply path), so one
 	// Batch call absorbed all three.
-	if runs, upds := e.coalRuns.Load(), e.coalUpds.Load(); runs != 1 || upds != 3 {
+	if runs, upds := e.met.coalRuns.Value(), e.met.coalUpds.Value(); runs != 1 || upds != 3 {
 		t.Errorf("coalescing counters after retried run: runs=%d upds=%d, want 1/3", runs, upds)
 	}
 }

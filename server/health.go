@@ -1,0 +1,121 @@
+package server
+
+// Readiness gating. A serving process has two distinct health questions:
+//
+//	liveness  — "is the process up?"           GET /livez,   always 200
+//	readiness — "should traffic route here?"   GET /healthz, 503 until ready
+//
+// The Gate is the front door that keeps them distinct: it answers HTTP
+// immediately — before the view has finished boot replay — with 503s that
+// carry the recovery state, and atomically swaps in the full API handler
+// once SetReady is called. Load balancers polling /healthz therefore never
+// route to a node that is still replaying its log, while /livez keeps the
+// process from being killed during a long recovery.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Gate serves readiness 503s until an Engine is attached, then delegates
+// every request to the engine's full handler. Safe for concurrent use; the
+// ready swap is atomic and one-way.
+type Gate struct {
+	state atomic.Pointer[string]
+	ready atomic.Pointer[gateBackend]
+}
+
+type gateBackend struct {
+	h http.Handler
+	e *Engine
+}
+
+// NewGate returns a gate in the not-ready state; state names the startup
+// phase reported by /healthz (e.g. "loading", "recovering").
+func NewGate(state string) *Gate {
+	g := &Gate{}
+	g.SetState(state)
+	return g
+}
+
+// SetState updates the startup phase reported while not ready.
+func (g *Gate) SetState(state string) { g.state.Store(&state) }
+
+// State returns the current startup phase ("ready" once SetReady ran).
+func (g *Gate) State() string {
+	if g.ready.Load() != nil {
+		return "ready"
+	}
+	return *g.state.Load()
+}
+
+// SetReady attaches the engine and opens the gate: from here on every
+// request is served by NewHandler(e, opts).
+func (g *Gate) SetReady(e *Engine, opts HandlerOptions) {
+	g.ready.Store(&gateBackend{h: NewHandler(e, opts), e: e})
+}
+
+// engine returns the attached engine, or nil before SetReady.
+func (g *Gate) engine() *Engine {
+	if b := g.ready.Load(); b != nil {
+		return b.e
+	}
+	return nil
+}
+
+// ServeHTTP delegates to the full handler once ready. Before that only
+// liveness answers 200; everything else — /healthz included — gets a 503
+// with the recovery state, so a balancer keeps the node out of rotation
+// without mistaking it for dead.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if b := g.ready.Load(); b != nil {
+		b.h.ServeHTTP(w, r)
+		return
+	}
+	if r.Method == http.MethodGet && r.URL.Path == "/livez" {
+		writeJSON(w, http.StatusOK, livenessResponse{OK: true})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+		OK:    false,
+		State: g.State(),
+	})
+}
+
+// ServeGated runs the gate on addr until ctx is canceled, then shuts down
+// gracefully (draining in-flight requests) and closes the engine if one was
+// attached. It is ListenAndServe for a process that wants to answer health
+// probes while its view is still loading: start ServeGated first, open the
+// view, then Gate.SetReady.
+func ServeGated(ctx context.Context, addr string, g *Gate) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           g,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	closeEngine := func() {
+		if e := g.engine(); e != nil {
+			e.Close()
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		closeEngine()
+		return err
+	case <-ctx.Done():
+	}
+	//lint:ignore xviewlint/ctxflow graceful shutdown starts when the serve ctx is already canceled; its deadline must be independent of it
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	closeEngine()
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

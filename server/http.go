@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rxview"
+	"rxview/obs"
 )
 
 // HandlerOptions configures the HTTP/JSON surface.
@@ -21,6 +22,11 @@ type HandlerOptions struct {
 	Timeout time.Duration
 	// MaxBody bounds request bodies in bytes. Zero means 1 MiB.
 	MaxBody int64
+	// Checkpointing, when non-nil, reports whether a checkpoint is being
+	// written right now (View.Checkpointing of a durable view). While true,
+	// /healthz answers 503 so load balancers drain the node for the stall;
+	// /livez is unaffected.
+	Checkpointing func() bool
 }
 
 // NewHandler exposes an Engine over HTTP/JSON:
@@ -36,11 +42,19 @@ type HandlerOptions struct {
 //	                                                      one generation;
 //	                                                      409 on rejection)
 //	GET  /stats                                        → serving statistics
-//	GET  /healthz                                      → liveness + epoch
+//	GET  /healthz                                      → readiness (503 while
+//	                                                      checkpointing)
+//	GET  /livez                                        → liveness, always 200
+//	GET  /metrics                                      → Prometheus text
+//	                                                      exposition
+//	GET  /debug/vars                                   → metrics as JSON
+//	GET  /debug/slow                                   → slow-query/commit log
 //
 // The handler is the single dispatch path shared by the xviewd daemon and
 // xviewctl -serve. Reads are served from the published snapshot and never
-// wait on writes; writes go through the apply loop.
+// wait on writes; writes go through the apply loop. /metrics scrapes the
+// engine's private registry merged with the process-wide obs.Default
+// registry (pipeline, WAL and path-cache families).
 func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = 1 << 20
@@ -53,6 +67,10 @@ func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /tx", h.tx)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /livez", h.livez)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /debug/vars", h.debugVars)
+	mux.HandleFunc("GET /debug/slow", h.debugSlow)
 	return mux
 }
 
@@ -357,44 +375,87 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.e.Stats())
 }
 
+// healthResponse is the readiness verdict: OK false (with a 503) means the
+// node should be drained — State says why ("recovering" during boot replay,
+// "checkpointing" while the writer is stalled sealing state).
 type healthResponse struct {
 	OK         bool   `json:"ok"`
-	Generation uint64 `json:"generation"`
-	QueueDepth int64  `json:"queue_depth"`
+	State      string `json:"state"`
+	Generation uint64 `json:"generation,omitempty"`
+	QueueDepth int64  `json:"queue_depth,omitempty"`
 }
 
+type livenessResponse struct {
+	OK bool `json:"ok"`
+}
+
+// healthz is the readiness probe. Liveness is /livez; the two are distinct
+// so a balancer can pull a checkpointing (or still-recovering, see Gate)
+// node out of rotation without the orchestrator killing the process.
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	out := healthResponse{
 		OK:         true,
+		State:      "ready",
 		Generation: h.e.Generation(),
-		QueueDepth: h.e.depth.Load(),
+		QueueDepth: h.e.met.depth.Value(),
+	}
+	status := http.StatusOK
+	if h.opts.Checkpointing != nil && h.opts.Checkpointing() {
+		out.OK, out.State = false, "checkpointing"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}
+
+// livez is the liveness probe: the process is up and serving HTTP.
+func (h *handler) livez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, livenessResponse{OK: true})
+}
+
+// metrics serves the Prometheus text exposition of every registry in the
+// process: the engine's own families plus the obs.Default families
+// (pipeline phases, transactions, WAL, path cache). Locked snapshot side —
+// never called from the hot path.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, h.e.Metrics(), obs.Default())
+}
+
+// debugVars is the same gather as /metrics rendered as one JSON object —
+// for humans with curl and jq, not for scrapers.
+func (h *handler) debugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteVars(w, h.e.Metrics(), obs.Default())
+}
+
+type slowResponse struct {
+	ThresholdNS int64           `json:"threshold_ns"`
+	Dropped     uint64          `json:"dropped"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+// debugSlow dumps the slow-query/slow-commit ring buffer, newest first.
+// Empty until a threshold is configured (xviewd -slow-threshold or
+// Engine.SetSlowThreshold).
+func (h *handler) debugSlow(w http.ResponseWriter, r *http.Request) {
+	entries, dropped := h.e.SlowLog().Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdNS: h.e.SlowLog().Threshold().Nanoseconds(),
+		Dropped:     dropped,
+		Entries:     entries,
 	})
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled, then
 // shuts down gracefully (draining in-flight requests) and closes the
-// engine. It is the lifecycle shared by cmd/xviewd and xviewctl -serve.
+// engine. It is the lifecycle shared by cmd/xviewd and xviewctl -serve; a
+// process that wants to answer health probes before its view has loaded
+// uses ServeGated directly.
 func ListenAndServe(ctx context.Context, addr string, e *Engine, opts HandlerOptions) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           NewHandler(e, opts),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		e.Close()
-		return err
-	case <-ctx.Done():
-	}
-	//lint:ignore xviewlint/ctxflow graceful shutdown starts when the serve ctx is already canceled; its deadline must be independent of it
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	err := srv.Shutdown(shutCtx)
-	e.Close()
-	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
-		err = serveErr
-	}
-	return err
+	g := NewGate("starting")
+	g.SetReady(e, opts)
+	return ServeGated(ctx, addr, g)
 }

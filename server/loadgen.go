@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"rxview"
+	"rxview/obs"
 )
 
 // LoadGen drives an Engine with concurrent readers and an optional
@@ -23,7 +23,10 @@ type LoadGen struct {
 	Updates  []rxview.Update // writer cycles through these; empty = read-only
 }
 
-// LoadResult summarizes one load run.
+// LoadResult summarizes one load run. Latency percentiles come from obs
+// histograms the readers and the writer record every operation into
+// (LatencyBounds buckets, interpolated), so a load run reports the same
+// tail shape a /metrics scrape of the same traffic would.
 type LoadResult struct {
 	Readers   int     `json:"readers"`
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -32,7 +35,11 @@ type LoadResult struct {
 	Rejected  int64   `json:"rejected"` // writer submissions that errored
 	QPS       float64 `json:"qps"`      // aggregate reads per second
 	P50NS     int64   `json:"p50_ns"`   // median read latency
+	P95NS     int64   `json:"p95_ns"`
 	P99NS     int64   `json:"p99_ns"`
+	WP50NS    int64   `json:"write_p50_ns"` // median applied-write latency
+	WP95NS    int64   `json:"write_p95_ns"`
+	WP99NS    int64   `json:"write_p99_ns"`
 }
 
 // Run drives the engine until the duration elapses or ctx is canceled and
@@ -45,13 +52,22 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 	runCtx, cancel := context.WithTimeout(ctx, lg.Duration)
 	defer cancel()
 
+	// Per-op latencies aggregate into run-private obs histograms via
+	// RecordValue — atomic (no reader contention on a shared slice) and
+	// immune to the global SetEnabled switch, which strips instrumentation
+	// overhead but must never strip the harness's own measurements.
+	reg := obs.NewRegistry()
+	readH := reg.NewHistogram("loadgen_read_seconds",
+		"Per-query latency observed by the load generator's readers.", obs.LatencyBounds())
+	writeH := reg.NewHistogram("loadgen_write_seconds",
+		"Per-applied-update latency observed by the load generator's writer.", obs.LatencyBounds())
+
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		latencies []int64
-		writes    int64
-		rejected  int64
-		firstErr  error
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		writes   int64
+		rejected int64
+		firstErr error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -67,7 +83,6 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		wg.Add(1)
 		go func(reader int) {
 			defer wg.Done()
-			local := make([]int64, 0, 4096)
 			for n := 0; runCtx.Err() == nil; n++ {
 				path := lg.Paths[(reader+n)%len(lg.Paths)]
 				t0 := time.Now()
@@ -80,11 +95,8 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 					}
 					break
 				}
-				local = append(local, time.Since(t0).Nanoseconds())
+				readH.RecordValue(time.Since(t0).Seconds())
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}(i)
 	}
 	if len(lg.Updates) > 0 {
@@ -94,12 +106,17 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 			lastYield := time.Now()
 			for n := 0; runCtx.Err() == nil; n++ {
 				u := lg.Updates[n%len(lg.Updates)]
+				t0 := time.Now()
 				rep, err := lg.Engine.Update(runCtx, u)
+				applied := err == nil && rep != nil && rep.Applied
+				if applied {
+					writeH.RecordValue(time.Since(t0).Seconds())
+				}
 				mu.Lock()
 				switch {
 				case err != nil && !isCtxErr(err) && !errors.Is(err, ErrClosed):
 					rejected++
-				case err == nil && rep != nil && rep.Applied:
+				case applied:
 					writes++
 				}
 				mu.Unlock()
@@ -119,33 +136,28 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	rs, ws := readH.Snapshot(), writeH.Snapshot()
 	res := LoadResult{
 		Readers:   lg.Readers,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
-		Reads:     int64(len(latencies)),
+		Reads:     int64(rs.Count),
 		Writes:    writes,
 		Rejected:  rejected,
+		P50NS:     nsQuantile(rs, 0.50),
+		P95NS:     nsQuantile(rs, 0.95),
+		P99NS:     nsQuantile(rs, 0.99),
+		WP50NS:    nsQuantile(ws, 0.50),
+		WP95NS:    nsQuantile(ws, 0.95),
+		WP99NS:    nsQuantile(ws, 0.99),
 	}
 	if elapsed > 0 {
 		res.QPS = float64(res.Reads) / elapsed.Seconds()
 	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		res.P50NS = percentile(latencies, 50)
-		res.P99NS = percentile(latencies, 99)
-	}
 	return res, firstErr
 }
 
-// percentile reads the p-th percentile from sorted latencies
-// (nearest-rank).
-func percentile(sorted []int64, p int) int64 {
-	idx := len(sorted)*p/100 - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+// nsQuantile reads an interpolated quantile from a latency snapshot as
+// integer nanoseconds.
+func nsQuantile(s *obs.HistSnapshot, q float64) int64 {
+	return int64(s.Quantile(q) * 1e9)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rxview"
+	"rxview/obs"
 	"rxview/server"
 )
 
@@ -34,8 +35,23 @@ func TestLoadGenReadersWithBackgroundWriter(t *testing.T) {
 	if res.Rejected != 0 {
 		t.Errorf("writer updates rejected: %+v", res)
 	}
-	if res.P99NS < res.P50NS {
-		t.Errorf("p99 %d < p50 %d", res.P99NS, res.P50NS)
+	if res.P99NS < res.P95NS || res.P95NS < res.P50NS || res.P50NS <= 0 {
+		t.Errorf("reader percentiles not monotone: p50=%d p95=%d p99=%d", res.P50NS, res.P95NS, res.P99NS)
+	}
+	if res.WP99NS < res.WP95NS || res.WP95NS < res.WP50NS || res.WP50NS <= 0 {
+		t.Errorf("writer percentiles not monotone: wp50=%d wp95=%d wp99=%d", res.WP50NS, res.WP95NS, res.WP99NS)
+	}
+
+	// Even with telemetry globally disabled the harness must still measure:
+	// its histograms record via RecordValue, outside the Enabled switch.
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	res2, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reads == 0 || res2.P50NS <= 0 || res2.WP50NS <= 0 {
+		t.Errorf("disabled telemetry stripped the harness's own measurements: %+v", res2)
 	}
 
 	// Misconfiguration is reported, not silently measured.

@@ -1,0 +1,85 @@
+package rxview
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimingsTotalEqualsPhaseSum pins the Total() contract: it is the sum
+// of the top-level phases — Validate, Eval, Translate, Apply, Maintain,
+// Publish — with XToDV and DVToDR excluded as sub-phases of Translate.
+// Built by reflection over the struct so a future phase field that is
+// neither added to Total nor named a sub-phase fails here instead of
+// silently skewing every latency report.
+func TestTimingsTotalEqualsPhaseSum(t *testing.T) {
+	subPhases := map[string]bool{"XToDV": true, "DVToDR": true}
+
+	// Distinct primes per field so no accidental cancellation can hide a
+	// dropped or double-counted term.
+	primes := []time.Duration{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	var tm Timings
+	v := reflect.ValueOf(&tm).Elem()
+	var want time.Duration
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		d := primes[i%len(primes)] * time.Millisecond
+		v.Field(i).Set(reflect.ValueOf(d))
+		if !subPhases[f.Name] {
+			want += d
+		}
+	}
+	if got := tm.Total(); got != want {
+		t.Errorf("Total() = %v, want sum of non-sub-phase fields %v", got, want)
+	}
+}
+
+// TestTimingsJSONTagParity: every Timings field marshals under an explicit
+// snake_case tag ending in _ns (durations are integer nanoseconds on the
+// wire), and the rendered JSON exposes exactly those keys — including the
+// serving-layer publish_ns phase.
+func TestTimingsJSONTagParity(t *testing.T) {
+	typ := reflect.TypeOf(Timings{})
+	wantKeys := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		tag := f.Tag.Get("json")
+		name := strings.Split(tag, ",")[0]
+		switch {
+		case name == "" || name == "-":
+			t.Errorf("field %s: missing explicit json tag (got %q)", f.Name, tag)
+		case !strings.HasSuffix(name, "_ns"):
+			t.Errorf("field %s: json tag %q does not end in _ns", f.Name, name)
+		case strings.ToLower(name) != name:
+			t.Errorf("field %s: json tag %q is not snake_case", f.Name, name)
+		}
+		wantKeys[name] = true
+	}
+	if !wantKeys["publish_ns"] {
+		t.Fatal("Timings has no field tagged publish_ns")
+	}
+
+	raw, err := json.Marshal(Timings{Publish: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int64
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	for k := range wantKeys {
+		if _, ok := got[k]; !ok {
+			t.Errorf("marshaled Timings missing key %q", k)
+		}
+	}
+	for k := range got {
+		if !wantKeys[k] {
+			t.Errorf("marshaled Timings has unexpected key %q", k)
+		}
+	}
+	if got["publish_ns"] != int64(time.Millisecond) {
+		t.Errorf("publish_ns = %d, want %d", got["publish_ns"], int64(time.Millisecond))
+	}
+}

@@ -60,7 +60,8 @@ func mutationsOf(dr []relational.Mutation) []Mutation {
 
 // Timings breaks an update into the phases the paper's Fig.11 reports:
 // (a) XPath evaluation, (b) translation ΔX→ΔV→ΔR plus execution, and
-// (c) maintenance of the auxiliary structures (background in the paper).
+// (c) maintenance of the auxiliary structures (background in the paper) —
+// plus, beyond the paper, the publication phase of the serving layer.
 // Durations marshal as integer nanoseconds; the _ns tags make that explicit
 // in the wire names.
 type Timings struct {
@@ -71,11 +72,18 @@ type Timings struct {
 	DVToDR    time.Duration `json:"dv_to_dr_ns"`  // Algorithm insert / delete (§4)
 	Apply     time.Duration `json:"apply_ns"`     // (b): executing ΔR and ΔV
 	Maintain  time.Duration `json:"maintain_ns"`  // (c): ∆(M,L)insert / ∆(M,L)delete
+	// Publish is the epoch-publication cost (sealing the copy-on-write
+	// snapshot plus the pointer swap). It is stamped by the serving layer
+	// on the report of the write unit that triggered the publication;
+	// library-level Apply/Batch/Execute leave it zero (they publish no
+	// epochs).
+	Publish time.Duration `json:"publish_ns"`
 }
 
-// Total sums all phases.
+// Total sums all phases (XToDV and DVToDR are sub-phases of Translate and
+// are not added again).
 func (t Timings) Total() time.Duration {
-	return t.Validate + t.Eval + t.Translate + t.Apply + t.Maintain
+	return t.Validate + t.Eval + t.Translate + t.Apply + t.Maintain + t.Publish
 }
 
 func timingsOf(t core.Timings) Timings {

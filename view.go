@@ -3,6 +3,7 @@ package rxview
 import (
 	"context"
 	"io"
+	"sync/atomic"
 
 	"rxview/internal/core"
 	"rxview/internal/update"
@@ -24,8 +25,9 @@ type View struct {
 	// WithDurability.
 	log       *wal.Log
 	warn      func(msg string)
-	ckptEvery uint64 // commits between automatic checkpoints
-	ckptGen   uint64 // generation of the newest checkpoint
+	ckptEvery uint64      // commits between automatic checkpoints
+	ckptGen   uint64      // generation of the newest checkpoint
+	ckptBusy  atomic.Bool // a checkpoint is being written right now
 }
 
 // Open publishes σ(I): it evaluates the ATG over the database, compresses
