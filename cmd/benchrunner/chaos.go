@@ -1,0 +1,236 @@
+package main
+
+// The chaos experiment prices the resilience layer: with the apply loop
+// pinned by injected slow I/O and a pool of concurrent writers flooding
+// the queue, it measures the shed rate at the admission watermark and the
+// read tail latency that the wait-free path must hold through the
+// overload; separately it measures the degraded→read-write recovery time
+// (log reopen + full-state checkpoint), which scales with view size.
+//
+//	benchrunner -exp chaos -sizes 1000 -dur 500ms -json BENCH_PR9.json
+//
+// The headline bar is read_p99_ns: reads are wait-free by construction,
+// so their tail must not move with the writer stalled — benchdiff tracks
+// it against the committed baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+// chaosPoint is one row of BENCH_PR9.json.
+type chaosPoint struct {
+	NC        int     `json:"nc"`
+	Readers   int     `json:"readers"`
+	Writers   int     `json:"writers"`
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`        // applied under overload
+	Shed      uint64  `json:"shed"`          // refused by admission control
+	ShedPct   float64 `json:"shed_rate_pct"` // shed / (shed + applied)
+	ReadP99NS int64   `json:"read_p99_ns"`   // wait-free read tail during the stall
+	ReadQPS   float64 `json:"read_qps"`
+	RecoverNS int64   `json:"recover_ns"` // degraded → read-write: reopen + checkpoint
+}
+
+type chaosFile struct {
+	Seed       int64        `json:"seed"`
+	DurationMS float64      `json:"duration_ms"`
+	Points     []chaosPoint `json:"points"`
+}
+
+func chaosExp(sizes []int) {
+	fmt.Printf("== Chaos: overload shedding and degraded-mode recovery (%v/point) ==\n", *durFlag)
+	out := chaosFile{Seed: *seedFlag, DurationMS: float64(durFlag.Microseconds()) / 1000}
+	w := newTab()
+	fmt.Fprintln(w, "|C|\treaders\twriters\treads\twrites\tshed\tshed%\tread p99\tqps\trecover")
+	for _, nc := range sizes {
+		pt, err := measureChaos(nc, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%.0f\t%s\n",
+			pt.NC, pt.Readers, pt.Writers, pt.Reads, pt.Writes, pt.Shed, pt.ShedPct,
+			time.Duration(pt.ReadP99NS), pt.ReadQPS, ms(time.Duration(pt.RecoverNS)))
+	}
+	w.Flush()
+	fmt.Println()
+
+	if *jsonFlag != "" && *expFlag == "chaos" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+func measureChaos(nc int, seed int64) (chaosPoint, error) {
+	pt := chaosPoint{NC: nc, Readers: 8, Writers: 8}
+	if err := measureOverload(nc, seed, &pt); err != nil {
+		return pt, err
+	}
+	if err := measureRecovery(nc, seed, &pt); err != nil {
+		return pt, err
+	}
+	return pt, nil
+}
+
+// measureOverload pins the apply loop with a slow-I/O rule on every append
+// and floods it from a writer pool while a read-only LoadGen measures the
+// wait-free path. Shed rate comes from the engine's own counter: every
+// admission refusal, including ones the writers see as ErrOverloaded.
+func measureOverload(nc int, seed int64, pt *chaosPoint) error {
+	dir, err := os.MkdirTemp("", "rxview-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects(),
+		rxview.WithDurability(dir), rxview.WithFsync(rxview.FsyncOff))
+	if err != nil {
+		return err
+	}
+	eng := server.New(view, server.WithQueueDepth(8), server.WithShedWatermark(4))
+	defer eng.Close()
+
+	if err := rxview.EnableChaos("wal.slow-io:latency=2ms,every=1", seed); err != nil {
+		return err
+	}
+	defer rxview.DisableChaos()
+
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return fmt.Errorf("chaos: synthetic dataset has no roots")
+	}
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	var updates []rxview.Update
+	for i, k := range syn.FreshKeys(16) {
+		updates = append(updates,
+			rxview.Insert(target, "C", rxview.Int(k), rxview.Str(fmt.Sprintf("c%d", i))),
+			rxview.Delete(fmt.Sprintf(`//C[key="%d"]`, k)))
+	}
+
+	runCtx, cancel := context.WithTimeout(context.Background(), *durFlag)
+	defer cancel()
+	var (
+		wg      sync.WaitGroup
+		applied atomic.Int64
+	)
+	writeErr := make(chan error, pt.Writers)
+	for wtr := 0; wtr < pt.Writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for n := wtr; runCtx.Err() == nil; n++ {
+				_, err := eng.Update(runCtx, updates[n%len(updates)])
+				switch {
+				case err == nil:
+					applied.Add(1)
+				case errors.Is(err, server.ErrOverloaded):
+					// Shed: back off one scheduler beat and keep flooding —
+					// the engine's counter tallies the refusal.
+					time.Sleep(100 * time.Microsecond)
+				case runCtx.Err() != nil || errors.Is(err, server.ErrClosed):
+					return
+				default:
+					writeErr <- fmt.Errorf("chaos writer: %w", err)
+					return
+				}
+			}
+		}(wtr)
+	}
+
+	lg := server.LoadGen{
+		Engine:   eng,
+		Readers:  pt.Readers,
+		Duration: *durFlag,
+		Paths:    []string{`//C[sub/C]`, `//C`},
+	}
+	res, err := lg.Run(runCtx)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	select {
+	case werr := <-writeErr:
+		return werr
+	default:
+	}
+
+	rxview.DisableChaos()
+	st := eng.Stats()
+	pt.Reads, pt.ReadP99NS, pt.ReadQPS = res.Reads, res.P99NS, res.QPS
+	pt.Writes = applied.Load()
+	pt.Shed = st.WritesShed
+	if total := float64(pt.Shed) + float64(pt.Writes); total > 0 {
+		pt.ShedPct = 100 * float64(pt.Shed) / total
+	}
+	eng.Close()
+	return view.Close()
+}
+
+// measureRecovery flips a durable view into degraded mode with one
+// injected disk-full and times the recovery transition: log reopen plus
+// the full-state checkpoint that heals the memory-vs-disk divergence.
+func measureRecovery(nc int, seed int64, pt *chaosPoint) error {
+	dir, err := os.MkdirTemp("", "rxview-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
+	if err != nil {
+		return err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB, rxview.WithForceSideEffects(),
+		rxview.WithDurability(dir), rxview.WithFsync(rxview.FsyncOff))
+	if err != nil {
+		return err
+	}
+	roots := syn.Roots()
+	if len(roots) == 0 {
+		return fmt.Errorf("chaos: synthetic dataset has no roots")
+	}
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	keys := syn.FreshKeys(2)
+	ctx := context.Background()
+	if _, err := view.Apply(ctx, rxview.Insert(target, "C", rxview.Int(keys[0]), rxview.Str("pre"))); err != nil {
+		return err
+	}
+
+	if err := rxview.EnableChaos("wal.disk-full:count=1", seed); err != nil {
+		return err
+	}
+	defer rxview.DisableChaos()
+	_, err = view.Apply(ctx, rxview.Insert(target, "C", rxview.Int(keys[1]), rxview.Str("boom")))
+	var de *rxview.DegradedError
+	if !errors.As(err, &de) {
+		return fmt.Errorf("chaos: injected disk-full did not degrade the view: %w", err)
+	}
+	rxview.DisableChaos()
+
+	t0 := time.Now()
+	if err := view.Recover(); err != nil {
+		return fmt.Errorf("chaos recovery at |C|=%d: %w", nc, err)
+	}
+	pt.RecoverNS = time.Since(t0).Nanoseconds()
+	return view.Close()
+}

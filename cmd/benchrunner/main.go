@@ -43,6 +43,13 @@
 // writing BENCH_PR8.json; the budget is ≤ 3% overhead on both paths:
 //
 //	benchrunner -exp obs -sizes 1000 -json BENCH_PR8.json
+//
+// The chaos experiment prices the resilience layer: shed rate and read
+// tail latency with the apply loop pinned by injected slow I/O and a
+// writer pool flooding the admission queue, plus the degraded→read-write
+// recovery time, writing BENCH_PR9.json:
+//
+//	benchrunner -exp chaos -sizes 1000 -dur 500ms -json BENCH_PR9.json
 package main
 
 import (
@@ -61,7 +68,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal|obs")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal|obs|chaos")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -92,6 +99,7 @@ func main() {
 	run("tx", txExp)
 	run("wal", walExp)
 	run("obs", obsExp)
+	run("chaos", chaosExp)
 }
 
 func parseSizes(s string) ([]int, error) {

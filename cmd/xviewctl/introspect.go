@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,18 +32,84 @@ func baseURL(addr string) string {
 	return "http://" + addr
 }
 
+// fetch GETs a daemon endpoint, retrying overload and not-ready responses
+// (429, 503) a few times with jittered exponential backoff. A Retry-After
+// header, when the daemon sends one, overrides the backoff — the server
+// knows its queue better than the client does.
 func fetch(addr, path string) (io.ReadCloser, error) {
 	cl := &http.Client{Timeout: 10 * time.Second}
-	resp, err := cl.Get(baseURL(addr) + path)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := cl.Get(baseURL(addr) + path)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp.Body, nil
+		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
-		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= 3 {
+			return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		}
+		d := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				d = time.Duration(secs) * time.Second
+			}
+		}
+		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d)/2+1)))
+		backoff *= 2
 	}
-	return resp.Body, nil
+}
+
+// exitCodeError carries a scripting exit code through the one-shot command
+// path: main exits with code instead of the generic failure 1.
+type exitCodeError struct {
+	code int
+	msg  string
+}
+
+func (e *exitCodeError) Error() string { return e.msg }
+
+// healthCheck fetches /healthz and renders the node's serving state with
+// scripting-friendly exit codes: 0 ready, 2 starting or stalled (loading,
+// recovering, checkpointing), 3 degraded (read-only after a disk failure),
+// 1 transport or usage errors. Unlike the other scrapes it never retries —
+// a health probe reports the state it found, it does not wait one out.
+func healthCheck(out io.Writer, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("usage: health <addr>")
+	}
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(baseURL(addr) + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var in struct {
+		OK         bool   `json:"ok"`
+		State      string `json:"state"`
+		Generation uint64 `json:"generation"`
+		QueueDepth int64  `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&in); err != nil {
+		return fmt.Errorf("decoding /healthz: %w", err)
+	}
+	fmt.Fprintf(out, "  state=%s generation=%d queue_depth=%d (HTTP %d)\n",
+		in.State, in.Generation, in.QueueDepth, resp.StatusCode)
+	switch {
+	case in.OK:
+		return nil
+	case in.State == "degraded":
+		fmt.Fprintln(out, "  writes are refused while degraded; snapshot reads keep serving,"+
+			" and the recovery prober restores read-write automatically")
+		return &exitCodeError{code: 3, msg: "node is degraded (read-only)"}
+	default:
+		return &exitCodeError{code: 2, msg: "node is not ready: " + in.State}
+	}
 }
 
 // metricsScrape fetches /metrics and summarizes each family: plain value

@@ -36,12 +36,18 @@
 //	                               histogram p50/p95/p99)
 //	slow <addr>                    dump a running daemon's slow-query/commit
 //	                               ring buffer (/debug/slow)
+//	health <addr>                  probe a running daemon's /healthz and
+//	                               render its serving state; as a one-shot
+//	                               command the exit code scripts cleanly:
+//	                               0 ready, 2 starting/checkpointing,
+//	                               3 degraded (read-only), 1 errors
 //	help | quit
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -86,7 +92,7 @@ func main() {
 
 	if *exec != "" {
 		if err := runOneShot(view, os.Stdout, *exec); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -96,7 +102,7 @@ func main() {
 	// work without -e instead of being silently ignored.
 	if flag.NArg() > 0 {
 		if err := runOneShot(view, os.Stdout, strings.Join(flag.Args(), " ")); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -106,6 +112,18 @@ func main() {
 	if err := runREPL(view, os.Stdin, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// fatal exits with a command's scripting exit code when it carries one
+// (health reports 2/3 for not-ready/degraded), the generic failure 1
+// otherwise.
+func fatal(err error) {
+	var xe *exitCodeError
+	if errors.As(err, &xe) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(xe.code)
+	}
+	log.Fatal(err)
 }
 
 // session is one REPL/one-shot conversation: the view plus the transaction
@@ -241,7 +259,7 @@ func (s *session) dispatch(out io.Writer, line string) error {
   begin | stage <stmt> | commit | rollback | tx
   xml | stats | check | tables | quit
   wal inspect <dir> | checkpoint <dir>
-  metrics <addr> | slow <addr>`)
+  metrics <addr> | slow <addr> | health <addr>`)
 		return nil
 	case line == "begin":
 		if s.tx != nil {
@@ -333,6 +351,8 @@ func (s *session) dispatch(out io.Writer, line string) error {
 		return metricsScrape(out, strings.TrimSpace(strings.TrimPrefix(line, "metrics")))
 	case strings.HasPrefix(line, "slow "):
 		return slowDump(out, strings.TrimSpace(strings.TrimPrefix(line, "slow")))
+	case strings.HasPrefix(line, "health "):
+		return healthCheck(out, strings.TrimSpace(strings.TrimPrefix(line, "health")))
 	case strings.HasPrefix(line, "query "):
 		nodes, err := view.Query(ctx, strings.TrimSpace(strings.TrimPrefix(line, "query")))
 		if err != nil {

@@ -7,8 +7,10 @@
 //
 //	xviewd [-addr :8080] [-dataset registrar|synthetic] [-nc 1000]
 //	       [-seed 42] [-force] [-timeout 10s] [-queue 256]
+//	       [-shed-watermark N]
 //	       [-data DIR] [-fsync always|batch|off] [-checkpoint-every 256]
 //	       [-slow-threshold 100ms] [-debug-addr ADDR]
+//	       [-chaos SPEC] [-chaos-seed N]
 //
 // With -data, the view is durable: committed updates are logged to DIR
 // before their verdict is returned, and a restart pointing at the same DIR
@@ -30,9 +32,19 @@
 //
 // The listener starts before the view loads: /healthz answers 503 (state
 // "loading" or "recovering") until recovery finishes, so load balancers
-// keep a replaying node out of rotation without killing it. -debug-addr
-// additionally serves net/http/pprof on a separate, normally-private
-// address.
+// keep a replaying node out of rotation without killing it. After a disk
+// failure /healthz answers 503 with state "degraded" — writes are refused
+// while snapshot reads keep serving, and the recovery prober restores
+// "ready" without a restart. Writes beyond the shed watermark answer 429
+// with a Retry-After estimate instead of queuing. -debug-addr additionally
+// serves net/http/pprof on a separate, normally-private address.
+//
+// -chaos arms the deterministic fault-injection framework (resilience
+// testing only — never in production): a semicolon-separated list of fault
+// points with options, e.g. "wal.fsync:after=100,count=1" or
+// "wal.slow-io:latency=5ms,every=10"; see rxview.EnableChaos for the
+// grammar and rxview.FaultPoints for the catalog. -chaos-seed makes
+// probabilistic rules reproducible.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests drain,
 // then the apply loop stops; a durable view seals a final checkpoint so the
@@ -62,6 +74,8 @@ var (
 	force   = flag.Bool("force", false, "carry out updates with XML side effects (revised semantics)")
 	timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
 	queue   = flag.Int("queue", 256, "apply-loop queue depth")
+	shedAt  = flag.Int("shed-watermark", 0,
+		"queue depth at which writes are shed with 429 (0 = the queue depth itself)")
 
 	dataDir   = flag.String("data", "", "durability directory (empty = in-memory only)")
 	fsync     = flag.String("fsync", "always", "log sync policy: always, batch or off")
@@ -71,6 +85,10 @@ var (
 		"queries/commits slower than this land in /debug/slow (0 = disabled)")
 	debugAddr = flag.String("debug-addr", "",
 		"serve net/http/pprof on this extra address (empty = no pprof)")
+
+	chaosSpec = flag.String("chaos", "",
+		"arm deterministic fault injection (resilience testing only): point[:opt,...][;point...]")
+	chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection PRNG seed")
 )
 
 func main() {
@@ -104,7 +122,23 @@ func main() {
 	}
 	log.Printf("xviewd: %s view loaded — %s", *dataset, view.Stats())
 
-	eng := server.New(view, server.WithQueueDepth(*queue))
+	// Arm chaos only after boot recovery: the injected faults target the
+	// serving path, not the replay of a directory that is already healthy.
+	if *chaosSpec != "" {
+		if err := rxview.EnableChaos(*chaosSpec, *chaosSeed); err != nil {
+			stop()
+			<-errc
+			log.Fatalf("xviewd: -chaos: %v", err)
+		}
+		log.Printf("xviewd: CHAOS ARMED (seed %d): %s — injected faults are live, do not use in production",
+			*chaosSeed, *chaosSpec)
+	}
+
+	engOpts := []server.Option{server.WithQueueDepth(*queue)}
+	if *shedAt > 0 {
+		engOpts = append(engOpts, server.WithShedWatermark(*shedAt))
+	}
+	eng := server.New(view, engOpts...)
 	eng.SetSlowThreshold(*slowThresh)
 	gate.SetReady(eng, server.HandlerOptions{
 		Timeout:       *timeout,

@@ -64,6 +64,19 @@
 // is truncated with a WithRecoveryWarn warning instead). Views opened
 // without WithDurability pay nothing for any of this.
 //
+// Failures while serving are part of the contract, not panics. A disk
+// failure mid-commit flips a durable view into degraded (read-only) mode
+// instead of crashing: writes are refused with ErrDegraded, reads keep
+// serving, and View.Recover (log reopen + a fresh checkpoint of the
+// in-memory state) restores read-write at exactly the generation
+// degradation froze. Every write verdict is honest about application:
+// a DegradedError with Applied false is guaranteed unapplied (safe to
+// retry), Applied true means the write is in memory but not durable
+// until recovery checkpoints it — callers must not blindly retry those.
+// EnableChaos arms the deterministic fault-injection framework behind
+// the WAL and storage seams (FaultPoints lists the catalog) so exactly
+// these paths are testable on demand; see README.md ("Resilience").
+//
 // The whole stack is instrumented through the rxview/obs telemetry core:
 // the pipeline's per-phase timings (Timings carries the same split, publish
 // included), the compiled-path cache, the WAL and the serving engine record

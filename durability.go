@@ -124,13 +124,83 @@ func recoverSystem(a *ATG, db *DB, cfg *config, boot *wal.BootState) (*core.Syst
 }
 
 // sinkRecords is the core.CommitSink of a durable view: it appends the
-// commit's records to the log before the commit verdict is returned.
+// commit's records to the log before the commit verdict is returned. A
+// refused append flips the view into degraded mode and surfaces as a
+// DegradedError; the log's all-or-nothing append guarantees the refused
+// records can never resurface in a later recovery, so Applied:false is a
+// true verdict at this layer (the View wrappers upgrade it to Applied:true
+// when the commit had already mutated memory under prefix semantics).
 func (v *View) sinkRecords(recs []core.CommitRecord) error {
 	wrecs := make([]wal.Record, len(recs))
 	for i, r := range recs {
 		wrecs[i] = wal.Record{Gen: r.Gen, Delta: r.Delta, DR: r.DR}
 	}
-	return v.log.Append(wrecs)
+	if err := v.log.Append(wrecs); err != nil {
+		v.markDegraded(err)
+		return &DegradedError{Cause: err}
+	}
+	// The append can succeed and still kill the log (crash-after-fsync:
+	// the record is durable, the verdict stands, but the log refuses
+	// further writes). Degrade proactively so the next write is rejected
+	// up front instead of burning a full pipeline run first.
+	if err := v.log.Failed(); err != nil {
+		v.markDegraded(err)
+	}
+	return nil
+}
+
+// markDegraded flips the view into degraded (read-only) mode, keeping the
+// first cause. Writer-goroutine only.
+func (v *View) markDegraded(cause error) {
+	if v.degraded.CompareAndSwap(false, true) {
+		v.degradedCause = cause
+		warnTo(v.warn, "rxview: entering degraded mode: %v", cause)
+	}
+}
+
+// Degraded reports whether the view is in degraded (read-only) mode after a
+// disk failure: writes are rejected with ErrDegraded, snapshot reads keep
+// serving the last acknowledged state, and Recover restores read-write.
+// Like Checkpointing it is safe to call from any goroutine — it is the
+// health-probe hook. Always false without durability.
+func (v *View) Degraded() bool { return v.degraded.Load() }
+
+// Recover attempts to leave degraded mode: it reopens the log (repairing
+// the torn tail of the active segment, exactly like boot recovery) and
+// seals the in-memory state with a fresh checkpoint, then restores
+// read-write atomically. No-op when the view is not degraded; ErrTxOpen
+// while a transaction is open.
+//
+// The in-memory state is authoritative here: every refused write was
+// reported either guaranteed-unapplied (rolled back, absent from memory) or
+// applied-but-not-durable, so checkpointing memory both re-establishes the
+// active segment and — honestly — makes the indeterminate prefix durable
+// after all. Serving layers call this from a backoff probe routed through
+// their writer goroutine; it must not race other View methods.
+func (v *View) Recover() error {
+	if v.log == nil || !v.degraded.Load() {
+		return nil
+	}
+	if v.sys.InTxn() {
+		return ErrTxOpen
+	}
+	warning, err := v.log.Reopen()
+	if warning != "" {
+		warnTo(v.warn, "rxview: recovery: %s", warning)
+	}
+	if err != nil {
+		return err
+	}
+	v.ckptBusy.Store(true)
+	defer v.ckptBusy.Store(false)
+	if err := v.log.WriteCheckpoint(v.sys.Generation(), encodeCheckpoint(v.sys)); err != nil {
+		return err
+	}
+	v.ckptGen = v.sys.Generation()
+	v.degradedCause = nil
+	v.degraded.Store(false)
+	warnTo(v.warn, "rxview: recovered from degraded mode at generation %d", v.ckptGen)
+	return nil
 }
 
 // afterDurable runs after each durable commit, once the system is quiescent:

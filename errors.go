@@ -43,6 +43,12 @@ var (
 	// reproduce a consistent state. The concrete type is
 	// *CheckpointMismatchError.
 	ErrCheckpointMismatch = errors.New("rxview: checkpoint and log disagree")
+	// ErrDegraded marks a write rejected because a durable view is in
+	// degraded (read-only) mode after a disk failure: the log refused a
+	// commit record, writes are refused until Recover succeeds, and
+	// snapshot reads keep serving the last acknowledged state. The
+	// concrete type is *DegradedError.
+	ErrDegraded = errors.New("rxview: view is degraded (read-only)")
 )
 
 // CorruptLogError reports unrecoverable damage in a durability directory.
@@ -79,6 +85,48 @@ func (e *CheckpointMismatchError) Is(target error) bool { return target == ErrCh
 
 // Unwrap exposes the underlying failure.
 func (e *CheckpointMismatchError) Unwrap() error { return e.Err }
+
+// DegradedError reports a write refused (or left non-durable) by a view in
+// degraded mode. Applied distinguishes the two verdicts a durability
+// failure can produce:
+//
+//   - Applied false — the common case — is a guaranteed-unapplied
+//     rejection: the write is in neither the in-memory state nor the log,
+//     and retrying after recovery is always safe.
+//   - Applied true is an indeterminate outcome, possible only for the
+//     commit during which the log failed under prefix (non-atomic)
+//     semantics: the write reached the in-memory state but not the log. If
+//     the view recovers, Recover's checkpoint makes it durable after all;
+//     if the process dies first, it is lost. Clients must treat it like a
+//     commit timeout, not a rejection.
+type DegradedError struct {
+	Cause   error // the disk failure that flipped the view into degraded mode
+	Applied bool
+}
+
+func (e *DegradedError) Error() string {
+	if e.Applied {
+		return fmt.Sprintf("rxview: view degraded: write applied in memory but not durable: %v", e.Cause)
+	}
+	return fmt.Sprintf("rxview: view is degraded (read-only): %v", e.Cause)
+}
+
+// Is matches ErrDegraded.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// Unwrap exposes the disk failure that caused the degradation.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// degradedApplied upgrades a degraded rejection to the indeterminate
+// applied-but-not-durable verdict; callers invoke it when the report shows
+// the write reached memory before the commit error surfaced.
+func degradedApplied(err error) error {
+	var de *DegradedError
+	if errors.As(err, &de) && !de.Applied {
+		return &DegradedError{Cause: de.Cause, Applied: true}
+	}
+	return err
+}
 
 // SideEffectError reports that an update would change occurrences of a
 // shared subtree beyond the selected ones. Re-run with WithForceSideEffects

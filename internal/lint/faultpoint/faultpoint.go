@@ -1,0 +1,117 @@
+// Package faultpoint enforces the fault-injection catalog contract: every
+// fault.Point value outside rxview/internal/fault must name one of the
+// catalog constants declared there. The catalog is the complete inventory
+// of ways the system can be made to fail — a Hit call or a Rule armed with
+// an ad-hoc string would instrument (or arm) a point no chaos spec can
+// address and no test schedule covers, so the analyzer rejects the three
+// ways an uncataloged Point can be minted: a string literal in a
+// Point-typed position, a Point constant declared outside the catalog
+// package, and an explicit conversion to fault.Point.
+//
+// Variables of type Point are not flagged: a non-constant Point can only
+// originate from the catalog package's own API (Catalog, ParseSpec — both
+// validated) or from a construction site this analyzer already flags, so
+// provenance is checked once, where the value is made.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"rxview/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "fault.Point values must name catalog constants from rxview/internal/fault; " +
+		"string literals, foreign Point constants and fault.Point conversions mint " +
+		"points no chaos spec can address",
+	Run: run,
+}
+
+// faultPkg is the catalog package: the one place Points may be declared.
+const faultPkg = "rxview/internal/fault"
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == faultPkg {
+		return nil, nil // the catalog declares Points; everyone else only names them
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// An explicit conversion mints a Point the catalog never
+				// declared. The operand is not descended into: the
+				// conversion is the finding.
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && isPoint(tv.Type) {
+					pass.Reportf(n.Pos(), "conversion to fault.Point outside the catalog: fault points are declared in %s, not constructed at call sites", faultPkg)
+					return false
+				}
+			case *ast.BasicLit:
+				// An untyped string constant adopted as a Point — the
+				// type checker records the converted type, so this catches
+				// call arguments, Rule literals, slice elements, local
+				// const declarations and comparisons alike.
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isPoint(tv.Type) {
+					msg := "string literal used as fault.Point: name a catalog constant from " + faultPkg
+					if name := catalogName(tv.Type, tv.Value); name != "" {
+						msg += " (did you mean fault." + name + "?)"
+					}
+					pass.Reportf(n.Pos(), "%s", msg)
+				}
+			case *ast.Ident:
+				// A Point constant declared in some other package smuggles
+				// an uncataloged name past the literal check above; its
+				// declaration site is also flagged (the literal), but each
+				// use is an independent violation.
+				obj, ok := pass.TypesInfo.Uses[n].(*types.Const)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() == faultPkg {
+					return true
+				}
+				tv := pass.TypesInfo.Types[n]
+				if isPoint(obj.Type()) || isPoint(tv.Type) {
+					pass.Reportf(n.Pos(), "fault.Point constant %s is declared outside the catalog %s", obj.Name(), faultPkg)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isPoint reports whether t is the named type rxview/internal/fault.Point.
+func isPoint(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == faultPkg && n.Obj().Name() == "Point"
+}
+
+// catalogName scans the catalog package's scope (reachable through the
+// Point type itself) for a constant whose value equals val, turning "you
+// wrote the right name as the wrong kind of token" into a fix-it hint.
+func catalogName(pointType types.Type, val constant.Value) string {
+	if val == nil || val.Kind() != constant.String {
+		return ""
+	}
+	n, ok := types.Unalias(pointType).(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	scope := n.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isPoint(c.Type()) {
+			continue
+		}
+		if c.Val().Kind() == constant.String && constant.StringVal(c.Val()) == constant.StringVal(val) {
+			return name
+		}
+	}
+	return ""
+}

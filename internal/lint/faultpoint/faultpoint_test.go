@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"rxview/internal/lint/faultpoint"
+	"rxview/internal/lint/linttest"
+)
+
+func TestFaultPoint(t *testing.T) {
+	linttest.Run(t, "testdata", faultpoint.Analyzer, "a")
+}

@@ -1,0 +1,77 @@
+// Fixture modeling fault-point call sites: catalog constants pass;
+// string literals, ad-hoc conversions and Point constants declared
+// outside the catalog are flagged wherever a Point is minted.
+package a
+
+import fault "rxview/internal/fault"
+
+// instrumented is the production idiom: the site names its catalog
+// constant. Nothing here is flagged.
+func instrumented() error {
+	if err := fault.Hit(fault.WALSlowIO); err != nil {
+		return err
+	}
+	return fault.Hit(fault.WALFsync)
+}
+
+// A literal spelling of a cataloged name is still the wrong token kind —
+// renaming the catalog constant would silently orphan this site.
+func literalRight() error {
+	return fault.Hit("wal.fsync") // want `string literal used as fault.Point: name a catalog constant from rxview/internal/fault \(did you mean fault.WALFsync\?\)`
+}
+
+// A literal naming nothing in the catalog would never fire at all.
+func literalWrong() error {
+	return fault.Hit("wal.bogus") // want `string literal used as fault.Point: name a catalog constant`
+}
+
+// Conversions mint Points the catalog never declared.
+func convert(s string) error {
+	return fault.Hit(fault.Point(s)) // want `conversion to fault.Point outside the catalog`
+}
+
+// A Point constant declared here smuggles an uncataloged name past the
+// literal check: flagged at the declaration (the literal) and at each use.
+const localPoint fault.Point = "wal.local" // want `string literal used as fault.Point`
+
+func useLocal() error {
+	return fault.Hit(localPoint) // want `fault.Point constant localPoint is declared outside the catalog`
+}
+
+// Rule literals arm points: a keyed catalog constant passes, a literal is
+// minting a point no instrumented site carries.
+func plans() {
+	_, _ = fault.NewPlan(1, fault.Rule{Point: fault.WALSlowIO, Count: 1})
+	_, _ = fault.NewPlan(1, fault.Rule{Point: "wal.slow-io"}) // want `string literal used as fault.Point`
+	_, _ = fault.NewPlan(1, fault.Rule{"wal.adhoc", 2})       // want `string literal used as fault.Point`
+}
+
+// Slice elements are Point positions too.
+var pts = []fault.Point{fault.WALFsync, "wal.adhoc"} // want `string literal used as fault.Point`
+
+// Comparing against a literal hardcodes a name the catalog owns.
+func compare(p fault.Point) bool {
+	return p == "wal.fsync" // want `string literal used as fault.Point`
+}
+
+// Variables of type Point are fine: their value came from the catalog
+// package's own validated API or from a construction site flagged above.
+func sweep() int {
+	n := 0
+	for _, p := range fault.Catalog() {
+		if fault.Registered(p) {
+			n++
+		}
+		_ = fault.Rule{Point: p}
+	}
+	return n
+}
+
+// Point-to-string conversions leave the domain and are not minting.
+func names() []string {
+	var out []string
+	for _, p := range fault.Catalog() {
+		out = append(out, string(p))
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Stub of the fault-injection catalog: enough surface to type-check the
+// fixture. The analyzer matches by import path and type identity, so the
+// stub stands in for rxview/internal/fault; only two catalog points are
+// needed to exercise every rule.
+package fault
+
+type Point string
+
+const (
+	WALFsync  Point = "wal.fsync"
+	WALSlowIO Point = "wal.slow-io"
+)
+
+type Rule struct {
+	Point Point
+	Count int
+}
+
+type Plan struct{ seed int64 }
+
+func NewPlan(seed int64, rules ...Rule) (*Plan, error) { return &Plan{seed: seed}, nil }
+
+func Hit(p Point) error { return nil }
+
+func Registered(p Point) bool { return p == WALFsync || p == WALSlowIO }
+
+func Catalog() []Point { return []Point{WALFsync, WALSlowIO} }

@@ -12,6 +12,7 @@ import (
 	"rxview/internal/lint/cowdiscipline"
 	"rxview/internal/lint/ctxflow"
 	"rxview/internal/lint/errwrap"
+	"rxview/internal/lint/faultpoint"
 	"rxview/internal/lint/internalboundary"
 	"rxview/internal/lint/obshotpath"
 	"rxview/internal/lint/sealedmut"
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		cowdiscipline.Analyzer,
 		ctxflow.Analyzer,
 		errwrap.Analyzer,
+		faultpoint.Analyzer,
 		internalboundary.Analyzer,
 		obshotpath.Analyzer,
 		sealedmut.Analyzer,

@@ -16,7 +16,10 @@
 // convenience loop over Insert/Delete.
 package storage
 
-import "rxview/internal/relational"
+import (
+	"rxview/internal/fault"
+	"rxview/internal/relational"
+)
 
 // Backend is a store of the base relations. Implementations must keep an
 // in-memory relational.Database image current for query evaluation; all
@@ -67,7 +70,15 @@ func (m *Memory) Delete(table string, t relational.Tuple) bool {
 }
 
 // Apply performs a group update ΔR atomically.
-func (m *Memory) Apply(dr []relational.Mutation) error { return m.db.Apply(dr) }
+func (m *Memory) Apply(dr []relational.Mutation) error {
+	// The fault point fires before any mutation lands, so an injected
+	// failure is indistinguishable from a refused ΔR: the pipeline aborts
+	// the stage cleanly and nothing is half-applied.
+	if err := fault.Hit(fault.StorageApply); err != nil {
+		return err
+	}
+	return m.db.Apply(dr)
+}
 
 // Scan iterates the named table's tuples.
 func (m *Memory) Scan(table string, fn func(relational.Tuple) bool) {

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rxview/internal/fault"
 	"rxview/internal/obs"
 )
 
@@ -113,6 +114,8 @@ type Log struct {
 	segStart uint64   // generation the active segment starts after
 	unsynced int      // appends since the last fsync (SyncBatch)
 	buf      []byte   // frame scratch, reused across appends
+	size     int64    // bytes in the active segment (offset attribution)
+	dead     error    // first disk failure; non-nil refuses writes until Reopen
 }
 
 const (
@@ -151,49 +154,165 @@ func create(dir string, opts Options) (*Log, error) {
 // Append writes the records as one frame each, then syncs per policy. The
 // records are durable (to the policy's guarantee) when Append returns nil.
 //
+// Append is all-or-nothing: any failure past the write — a short write, a
+// failed fsync, an injected crash-before-fsync — truncates the batch back
+// out of the segment and returns a *DiskFailureError, so a commit the
+// caller rolls back can never resurface in a replay. After such a failure
+// the log is dead (every write fails fast with the original cause) until
+// Reopen; the single deliberate exception is the injected crash-after-
+// fsync, where the record IS durable, this Append succeeds — failing it
+// would reject a write that survives recovery — and only subsequent
+// appends find the log dead.
+//
 // xviewlint:hot-path
 func (l *Log) Append(recs []Record) error {
+	if l.dead != nil {
+		return l.diskErr("append", l.size, fmt.Errorf("log has failed: %w", l.dead))
+	}
 	if l.f == nil {
 		return fmt.Errorf("wal: append before the first checkpoint")
+	}
+	if fault.Active() {
+		_ = fault.Hit(fault.WALSlowIO) // latency rules stall, never fail
+		if err := fault.Hit(fault.WALAppend); err != nil {
+			return l.diskErr("append", l.size, err)
+		}
+		if err := fault.Hit(fault.WALDiskFull); err != nil {
+			return l.diskErr("append", l.size, fmt.Errorf("no space left on device: %w", err))
+		}
 	}
 	l.buf = l.buf[:0]
 	for _, r := range recs {
 		payload := appendRecord(nil, r)
 		l.buf = appendFrame(l.buf, payload)
 	}
+	start := l.size
 	if _, err := l.f.Write(l.buf); err != nil {
-		return fmt.Errorf("wal: append to %s: %w", l.f.Name(), err)
+		l.failAppend(start, err)
+		return l.diskErr("append", start, err)
 	}
+	l.size += int64(len(l.buf))
 	m := walmetrics()
 	m.appends.Inc()
 	m.appendRecs.Add(uint64(len(recs)))
 	m.bytes.Add(uint64(len(l.buf)))
 	m.segBytes.Add(int64(len(l.buf)))
+	if fault.Active() {
+		if err := fault.Hit(fault.CrashBeforeFsync); err != nil {
+			// The process "died" after write(2) but before fsync: the
+			// record must not count as durable. Undo it and kill the log.
+			l.failAppend(start, err)
+			return l.diskErr("append", start, err)
+		}
+	}
 	switch l.opts.Policy {
 	case SyncAlways:
-		if err := l.syncTimed(); err != nil {
-			return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+		if err := l.appendSync(start); err != nil {
+			return err
 		}
 	case SyncBatch:
 		l.unsynced++
 		if l.unsynced >= l.opts.BatchEvery {
-			if err := l.syncTimed(); err != nil {
-				return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+			if err := l.appendSync(start); err != nil {
+				return err
 			}
 			l.unsynced = 0
+		}
+	}
+	if fault.Active() {
+		if err := fault.Hit(fault.CrashAfterFsync); err != nil {
+			l.dead = err
 		}
 	}
 	return nil
 }
 
+// appendSync is Append's policy fsync with fault injection and typed
+// failure. An fsync that fails (really or injected) leaves the durability
+// of the just-written batch unknown, and its commit is about to be
+// rejected — so the batch is truncated away and the log dies, keeping the
+// on-disk suffix equal to the acknowledged history.
+func (l *Log) appendSync(start int64) error {
+	if err := fault.Hit(fault.WALFsync); err != nil {
+		l.failAppend(start, err)
+		return l.diskErr("fsync", start, err)
+	}
+	if err := l.syncTimed(); err != nil {
+		l.failAppend(start, err)
+		return l.diskErr("fsync", start, err)
+	}
+	return nil
+}
+
+// failAppend makes a failed append all-or-nothing: the segment is truncated
+// back to the batch's start offset and the log refuses further writes until
+// Reopen. Truncation itself failing is tolerable — Reopen re-scans and
+// repairs the segment tail before the log accepts appends again.
+func (l *Log) failAppend(start int64, cause error) {
+	if l.f != nil {
+		if err := l.f.Truncate(start); err == nil {
+			walmetrics().segBytes.Set(start)
+		}
+	}
+	l.size = start
+	l.dead = cause
+}
+
+// diskErr wraps a failure of the active segment into the typed
+// *DiskFailureError, attributing the file and offset.
+func (l *Log) diskErr(op string, off int64, err error) error {
+	path := ""
+	if l.f != nil {
+		path = l.f.Name()
+	}
+	return &DiskFailureError{Path: path, Op: op, Offset: off, Err: err}
+}
+
+// Failed returns the first disk failure that killed the log, or nil while
+// it is healthy. A dead log refuses Append, Sync and WriteCheckpoint with
+// the original cause until Reopen.
+func (l *Log) Failed() error { return l.dead }
+
+// Reopen revives a dead log in place: it closes the stale descriptor
+// (whose state after an I/O failure is unknown), clears the failure, and
+// repairs whatever tail the failed append left in the newest segment —
+// the same torn-tail tolerance boot recovery applies, legitimate here
+// because only the physically last segment can hold an interrupted
+// append. The caller must follow with WriteCheckpoint, exactly as after
+// Open, to give the log an active segment again. The returned warning,
+// when non-empty, describes a truncated tail.
+func (l *Log) Reopen() (warning string, err error) {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.dead = nil
+	l.unsynced = 0
+	l.size = 0
+	_, segs := listDir(l.dir)
+	if len(segs) > 0 {
+		g := segs[len(segs)-1]
+		_, warning, err = readSegment(filepath.Join(l.dir, segName(g)), g, true)
+		if err != nil {
+			l.dead = err
+			return warning, fmt.Errorf("wal: reopen %s: %w", l.dir, err)
+		}
+	}
+	return warning, nil
+}
+
 // Sync flushes the active segment to stable storage regardless of policy.
 func (l *Log) Sync() error {
+	if l.dead != nil {
+		return l.diskErr("fsync", l.size, fmt.Errorf("log has failed: %w", l.dead))
+	}
 	if l.f == nil {
 		return nil
 	}
 	l.unsynced = 0
 	if err := l.syncTimed(); err != nil {
-		return fmt.Errorf("wal: sync %s: %w", l.f.Name(), err)
+		l.failAppend(l.size, err)
+		return l.diskErr("fsync", l.size, err)
 	}
 	return nil
 }
@@ -203,6 +322,12 @@ func (l *Log) Sync() error {
 // log to a fresh segment wal-<gen>, and prunes files older than the Keep'th
 // newest checkpoint.
 func (l *Log) WriteCheckpoint(gen uint64, state []byte) error {
+	if l.dead != nil {
+		return l.diskErr("checkpoint", l.size, fmt.Errorf("log has failed: %w", l.dead))
+	}
+	if err := fault.Hit(fault.CheckpointWrite); err != nil {
+		return &DiskFailureError{Path: filepath.Join(l.dir, ckptName(gen)), Op: "checkpoint", Offset: -1, Err: err}
+	}
 	m := walmetrics()
 	sp := obs.StartSpan(m.ckptDur)
 	// The log up to here must be stable before the checkpoint that
@@ -283,7 +408,7 @@ func (l *Log) rotate(gen uint64) error {
 		}
 		size = int64(len(hdr))
 	}
-	l.f, l.segStart, l.unsynced = f, gen, 0
+	l.f, l.segStart, l.unsynced, l.size = f, gen, 0, size
 	m := walmetrics()
 	m.rotations.Inc()
 	m.segBytes.Set(size)

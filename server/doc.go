@@ -73,6 +73,26 @@
 // no changes for this: the sink sits under View's commit path. Close the
 // engine before View.Close so the final checkpoint sees a quiescent view.
 //
+// The engine also owns the resilience half of the serving contract:
+//
+//   - Overload protection. Admission control sheds a write up front —
+//     *OverloadedError, errors.Is-matchable to ErrOverloaded, carrying a
+//     RetryAfter estimate from an EWMA of recent service times — when the
+//     queue depth passes the shed watermark (WithShedWatermark) or when
+//     the request's own deadline cannot survive the estimated queue wait.
+//     HTTP maps it to 429 + Retry-After. Reads are never shed; they do
+//     not cross the queue. A write whose context expires while queued is
+//     skipped, guaranteed unapplied.
+//
+//   - Degraded-mode serving. When a WAL failure flips the view read-only,
+//     the loop keeps draining the queue — refusing writes with the view's
+//     DegradedError verdicts, serving reads from the published epoch —
+//     and a recovery prober retries View.Recover with jittered
+//     exponential backoff (WithRecoveryBackoff) until the log heals;
+//     /healthz reports "degraded" meanwhile. Stats exposes WritesShed,
+//     Degraded and Recoveries; LoadGen's writer honors Retry-After and
+//     retries only verdicts that guarantee non-application.
+//
 // NewHandler exposes the Engine over HTTP/JSON (the cmd/xviewd daemon and
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent
 // readers and a background writer for throughput/latency measurement.

@@ -22,14 +22,45 @@ type config struct {
 	queue       int
 	maxCoalesce int
 	memoCap     int
+	highWater   int
+	probeBase   time.Duration
+	probeMax    time.Duration
 }
 
-// WithQueueDepth bounds the number of writes waiting for the apply loop;
-// submissions beyond it block (honoring their context). Default 256.
+// WithQueueDepth bounds the number of writes waiting for the apply loop.
+// Default 256. Submissions beyond the shed watermark (by default the queue
+// capacity itself) are refused with ErrOverloaded rather than blocked; see
+// WithShedWatermark.
 func WithQueueDepth(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.queue = n
+		}
+	}
+}
+
+// WithShedWatermark sets the queue depth at which admission control sheds
+// new writes with ErrOverloaded instead of queuing them. Defaults to the
+// queue capacity. Lower it below the capacity to start shedding before
+// submitters ever block on the channel.
+func WithShedWatermark(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.highWater = n
+		}
+	}
+}
+
+// WithRecoveryBackoff sets the base and cap of the jittered exponential
+// backoff between degraded-mode recovery probes. Defaults: 25ms base, 2s
+// cap.
+func WithRecoveryBackoff(base, max time.Duration) Option {
+	return func(c *config) {
+		if base > 0 {
+			c.probeBase = base
+		}
+		if max > 0 {
+			c.probeMax = max
 		}
 	}
 }
@@ -85,6 +116,13 @@ type Engine struct {
 	// the newest write any client has been acknowledged for. Readers
 	// compare it against their epoch's generation for the lag histogram.
 	committedGen atomic.Uint64
+
+	// Overload and degraded-mode state; see overload.go.
+	highWater  int             // queue depth at which admission sheds writes
+	svcNanos   atomic.Int64    // EWMA per-request apply-loop service time, ns
+	recovering atomic.Bool     // a recovery prober goroutine is live
+	stopCtx    context.Context // canceled by Close; wakes the prober out of backoff
+	stopCancel context.CancelFunc
 }
 
 // request is one submission to the apply loop. Exactly one result is
@@ -95,7 +133,9 @@ type request struct {
 	u       rxview.Update
 	batch   []rxview.Update // non-nil: a client batch, prefix semantics
 	tx      []rxview.Update // non-nil: an atomic group (all-or-nothing)
+	recover bool            // a recovery probe: the loop calls View.Recover
 	counted bool            // already tallied in the coalescing counters
+	wait    obs.Span        // queue-wait span, opened at submit
 	done    chan result
 }
 
@@ -112,25 +152,39 @@ type result struct {
 //
 // xviewlint:writer-init
 func New(view *rxview.View, opts ...Option) *Engine {
-	cfg := config{queue: 256, maxCoalesce: 64, memoCap: 256}
+	cfg := config{queue: 256, maxCoalesce: 64, memoCap: 256,
+		probeBase: 25 * time.Millisecond, probeMax: 2 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Engine{
-		view: view,
-		cfg:  cfg,
-		reqs: make(chan *request, cfg.queue),
-		met:  newEngineMetrics(),
+	if cfg.highWater <= 0 {
+		cfg.highWater = cfg.queue
 	}
+	e := &Engine{
+		view:      view,
+		cfg:       cfg,
+		reqs:      make(chan *request, cfg.queue),
+		met:       newEngineMetrics(),
+		highWater: cfg.highWater,
+	}
+	//lint:ignore xviewlint/ctxflow the prober's lifetime is the engine's, not any request's; Close cancels it
+	e.stopCtx, e.stopCancel = context.WithCancel(context.Background())
 	e.ep.Store(&epoch{sn: view.Snapshot(), memo: newResultMemo(cfg.memoCap)})
 	e.committedGen.Store(view.Generation())
+	if view.Degraded() {
+		// Booted into degraded mode (possible when the caller hands over a
+		// view whose log already failed): start probing immediately.
+		e.kickRecovery()
+	}
 	e.wg.Add(1)
 	go e.run()
 	return e
 }
 
 // Close stops accepting submissions, waits for the apply loop to drain and
-// process everything already queued, and returns. Idempotent.
+// process everything already queued, and returns. A running recovery
+// prober is stopped: a view still degraded at Close stays degraded, and
+// the next Open recovers from the log instead. Idempotent.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if !e.closed {
@@ -138,6 +192,7 @@ func (e *Engine) Close() {
 		close(e.reqs)
 	}
 	e.mu.Unlock()
+	e.stopCancel()
 	e.wg.Wait()
 }
 
@@ -305,6 +360,17 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if !req.recover {
+		// Admission control: shed rather than queue a write the loop cannot
+		// serve in time. Recovery probes bypass it — they are what ends an
+		// outage, and they must reach the loop even at full depth.
+		deadline, ok := ctx.Deadline()
+		if err := e.admit(deadline, ok); err != nil {
+			e.met.shed.Inc()
+			return err
+		}
+	}
+	req.wait = obs.StartSpan(e.met.queueWait)
 	e.met.depth.Add(1)
 	select {
 	case e.reqs <- req:
@@ -313,6 +379,13 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 		e.met.depth.Add(-1)
 		return ctx.Err()
 	}
+}
+
+// pickup accounts a request leaving the queue for the loop: the depth
+// gauge drops and its queue wait lands in the histogram.
+func (e *Engine) pickup(r *request) {
+	e.met.depth.Add(-1)
+	r.wait.End()
 }
 
 // run is the single-writer apply loop: it is the only goroutine that
@@ -333,8 +406,22 @@ func (e *Engine) run() {
 			if !ok {
 				return
 			}
-			e.met.depth.Add(-1)
+			e.pickup(req)
 		}
+		if req.recover {
+			e.runRecover(req)
+			continue
+		}
+		// A context that expired while the request sat in the queue is
+		// skipped up front with a guaranteed-unapplied report — the same
+		// contract processRun gives coalesced members, extended to the
+		// direct-dispatch paths.
+		if err := req.ctx.Err(); err != nil {
+			e.deliver(req, queuedSkip(req, err))
+			continue
+		}
+		t0 := time.Now()
+		retired := 1
 		switch {
 		case req.tx != nil:
 			// An atomic group: one transaction, and — on commit — exactly
@@ -357,9 +444,41 @@ func (e *Engine) run() {
 		default:
 			var run []*request
 			run, carry = e.gather(req)
+			retired = len(run)
 			e.processRun(run)
 		}
+		// Feed the admission controller's estimate of how fast the loop
+		// retires queued requests.
+		e.observeService(time.Since(t0), retired)
 	}
+}
+
+// queuedSkip builds the verdict for a request whose context expired while
+// it was still queued: unapplied reports in the shape the request's kind
+// would have produced, and an error that restates the member's own cause
+// (a deadline surfaces as DeadlineExceeded, not Canceled).
+func queuedSkip(r *request, err error) result {
+	switch {
+	case r.tx != nil:
+		return result{reps: unappliedReports(r.tx),
+			err: fmt.Errorf("server: tx canceled while queued: %w", err)}
+	case r.batch != nil:
+		return result{reps: unappliedReports(r.batch),
+			err: fmt.Errorf("server: batch canceled while queued: %w", err)}
+	default:
+		return result{rep: &rxview.Report{Op: r.u.String()},
+			err: fmt.Errorf("server: %s: canceled while queued: %w", r.u, err)}
+	}
+}
+
+// unappliedReports is one guaranteed-unapplied report per member, so a
+// skipped group answers with the same shape as a processed one.
+func unappliedReports(updates []rxview.Update) []*rxview.Report {
+	reps := make([]*rxview.Report, len(updates))
+	for i, u := range updates {
+		reps[i] = &rxview.Report{Op: u.String()}
+	}
+	return reps
 }
 
 // gather collects the run of consecutive queued insertions starting at
@@ -374,8 +493,8 @@ func (e *Engine) gather(first *request) (run []*request, carry *request) {
 			if !ok {
 				return run, nil
 			}
-			e.met.depth.Add(-1)
-			if r.batch == nil && r.tx == nil && !r.u.IsDelete() {
+			e.pickup(r)
+			if r.batch == nil && r.tx == nil && !r.u.IsDelete() && !r.recover {
 				run = append(run, r)
 				continue
 			}
@@ -512,6 +631,11 @@ func (e *Engine) deliver(r *request, res result) {
 	e.committedGen.Store(res.gen)
 	if res.err != nil {
 		e.met.rejected.Inc()
+		if errors.Is(res.err, rxview.ErrDegraded) {
+			// The view just flipped (or was already) read-only; make sure a
+			// prober is working on getting it back.
+			e.kickRecovery()
+		}
 	}
 	var total time.Duration
 	var op string
@@ -564,6 +688,12 @@ type Stats struct {
 	CoalescedUpdates uint64       `json:"coalesced_updates"`
 	SnapshotSwaps    uint64       `json:"snapshot_swaps"`
 	QueueDepth       int64        `json:"queue_depth"`
+	// WritesShed counts writes refused by admission control (HTTP 429);
+	// Degraded reports the view's current read-only state; Recoveries
+	// counts successful degraded→read-write transitions.
+	WritesShed uint64 `json:"writes_shed"`
+	Degraded   bool   `json:"degraded"`
+	Recoveries uint64 `json:"recoveries"`
 	// QueryMemoHits / QueryMemoMisses count Engine.Query calls served from
 	// (respectively past) the per-epoch result memo.
 	QueryMemoHits   uint64 `json:"query_memo_hits"`
@@ -590,6 +720,9 @@ func (e *Engine) Stats() Stats {
 		CoalescedUpdates: e.met.coalUpds.Value(),
 		SnapshotSwaps:    e.met.snapSwaps.Value(),
 		QueueDepth:       e.met.depth.Value(),
+		WritesShed:       e.met.shed.Value(),
+		Degraded:         e.Degraded(),
+		Recoveries:       e.met.recoveries.Value(),
 		QueryMemoHits:    e.met.memoHits.Value(),
 		QueryMemoMisses:  e.met.memoMisses.Value(),
 		PathCacheHits:    pcHits,

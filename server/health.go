@@ -44,9 +44,15 @@ func NewGate(state string) *Gate {
 // SetState updates the startup phase reported while not ready.
 func (g *Gate) SetState(state string) { g.state.Store(&state) }
 
-// State returns the current startup phase ("ready" once SetReady ran).
+// State returns the current startup phase: "ready" once SetReady ran —
+// or "degraded" when the attached engine's view has flipped read-only
+// after a disk failure (reads keep serving; the recovery prober restores
+// "ready" automatically).
 func (g *Gate) State() string {
-	if g.ready.Load() != nil {
+	if b := g.ready.Load(); b != nil {
+		if b.e != nil && b.e.Degraded() {
+			return "degraded"
+		}
 		return "ready"
 	}
 	return *g.state.Load()

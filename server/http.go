@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rxview"
@@ -113,6 +114,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type errorResponse struct {
 	Error   string        `json:"error"`
 	Reports []*reportJSON `json:"reports,omitempty"`
+	// RetryAfterMS accompanies 429 responses: the estimated queue drain
+	// time in milliseconds — the Retry-After header at sub-second grain.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // statusOf maps the public error taxonomy onto HTTP statuses.
@@ -124,6 +128,13 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, rxview.ErrNotUpdatable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, rxview.ErrDegraded):
+		// Writes are refused while degraded; reads keep serving. 503 tells
+		// the balancer to route writes elsewhere, and the recovery prober
+		// flips the node back automatically.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
@@ -134,7 +145,20 @@ func statusOf(err error) int {
 }
 
 func writeError(w http.ResponseWriter, status int, err error, reps []*rxview.Report) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Reports: reportsJSON(reps)})
+	out := errorResponse{Error: err.Error(), Reports: reportsJSON(reps)}
+	var oe *OverloadedError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		// Retry-After is whole seconds by spec; round up so a client that
+		// honors only the header never retries early. The JSON carries the
+		// sub-second estimate.
+		secs := int64((oe.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		out.RetryAfterMS = oe.RetryAfter.Milliseconds()
+		if out.RetryAfterMS == 0 {
+			out.RetryAfterMS = 1
+		}
+	}
+	writeJSON(w, status, out)
 }
 
 type nodeJSON struct {
@@ -392,6 +416,9 @@ type livenessResponse struct {
 // healthz is the readiness probe. Liveness is /livez; the two are distinct
 // so a balancer can pull a checkpointing (or still-recovering, see Gate)
 // node out of rotation without the orchestrator killing the process.
+// "degraded" means the log failed and writes are being refused while
+// snapshot reads keep serving — the 503 routes writes elsewhere, and the
+// recovery prober flips the state back without a restart.
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	out := healthResponse{
 		OK:         true,
@@ -402,6 +429,12 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if h.opts.Checkpointing != nil && h.opts.Checkpointing() {
 		out.OK, out.State = false, "checkpointing"
+		status = http.StatusServiceUnavailable
+	}
+	if h.e.Degraded() {
+		// Takes precedence over "checkpointing": the recovery probe itself
+		// checkpoints, and "degraded" is the state that explains why.
+		out.OK, out.State = false, "degraded"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, out)

@@ -21,6 +21,11 @@ type LoadGen struct {
 	Duration time.Duration   // how long to drive load
 	Paths    []string        // query paths, round-robin per reader
 	Updates  []rxview.Update // writer cycles through these; empty = read-only
+	// MaxRetries bounds the writer's retries per update after a shed
+	// (ErrOverloaded, honoring its Retry-After estimate) or degraded
+	// (ErrDegraded, unapplied) verdict — both are transient by contract.
+	// Default 4; negative disables retrying.
+	MaxRetries int
 }
 
 // LoadResult summarizes one load run. Latency percentiles come from obs
@@ -33,6 +38,7 @@ type LoadResult struct {
 	Reads     int64   `json:"reads"`
 	Writes    int64   `json:"writes"`   // applied by the background writer
 	Rejected  int64   `json:"rejected"` // writer submissions that errored
+	Retries   int64   `json:"retries"`  // writer retries after shed/degraded verdicts
 	QPS       float64 `json:"qps"`      // aggregate reads per second
 	P50NS     int64   `json:"p50_ns"`   // median read latency
 	P95NS     int64   `json:"p95_ns"`
@@ -67,6 +73,7 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		mu       sync.Mutex
 		writes   int64
 		rejected int64
+		retries  int64
 		firstErr error
 	)
 	fail := func(err error) {
@@ -107,12 +114,13 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 			for n := 0; runCtx.Err() == nil; n++ {
 				u := lg.Updates[n%len(lg.Updates)]
 				t0 := time.Now()
-				rep, err := lg.Engine.Update(runCtx, u)
+				rep, err, tries := lg.applyWithRetry(runCtx, u)
 				applied := err == nil && rep != nil && rep.Applied
 				if applied {
 					writeH.RecordValue(time.Since(t0).Seconds())
 				}
 				mu.Lock()
+				retries += tries
 				switch {
 				case err != nil && !isCtxErr(err) && !errors.Is(err, ErrClosed):
 					rejected++
@@ -143,6 +151,7 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		Reads:     int64(rs.Count),
 		Writes:    writes,
 		Rejected:  rejected,
+		Retries:   retries,
 		P50NS:     nsQuantile(rs, 0.50),
 		P95NS:     nsQuantile(rs, 0.95),
 		P99NS:     nsQuantile(rs, 0.99),
@@ -154,6 +163,47 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		res.QPS = float64(res.Reads) / elapsed.Seconds()
 	}
 	return res, firstErr
+}
+
+// applyWithRetry submits one update, retrying shed and degraded verdicts
+// with bounded jittered exponential backoff: both are transient by
+// contract (the queue drains, the recovery prober heals the log) and both
+// guarantee the write was not applied — an OverloadedError never reached
+// the queue, and a DegradedError with Applied false was rejected up
+// front. An indeterminate Applied-true verdict is never retried: the
+// write is already in memory, and a retry would double-apply it. An
+// OverloadedError's RetryAfter estimate is honored as the backoff floor.
+func (lg LoadGen) applyWithRetry(ctx context.Context, u rxview.Update) (*rxview.Report, error, int64) {
+	max := lg.MaxRetries
+	if max == 0 {
+		max = 4
+	}
+	backoff := time.Millisecond
+	var tries int64
+	for attempt := 0; ; attempt++ {
+		rep, err := lg.Engine.Update(ctx, u)
+		if err == nil || attempt >= max ||
+			(!errors.Is(err, ErrOverloaded) && !errors.Is(err, rxview.ErrDegraded)) {
+			return rep, err, tries
+		}
+		var de *rxview.DegradedError
+		if errors.As(err, &de) && de.Applied {
+			return rep, err, tries
+		}
+		d := backoff
+		var oe *OverloadedError
+		if errors.As(err, &oe) && oe.RetryAfter > d {
+			d = oe.RetryAfter
+		}
+		tries++
+		select {
+		case <-time.After(jitter(d)):
+		case <-ctx.Done():
+			// Report the last serving verdict, not the run's own deadline.
+			return rep, err, tries
+		}
+		backoff *= 2
+	}
 }
 
 // nsQuantile reads an interpolated quantile from a latency snapshot as

@@ -31,12 +31,19 @@ type engineMetrics struct {
 	memoHits   *obs.Counter
 	memoMisses *obs.Counter
 
-	depth *obs.Gauge // queued, not yet picked up by the loop
+	// Resilience families: overload shedding and degraded-mode serving.
+	shed       *obs.Counter
+	probes     *obs.Counter
+	recoveries *obs.Counter
+
+	depth     *obs.Gauge // queued, not yet picked up by the loop
+	degradedG *obs.Gauge // 1 while the view is degraded (read-only)
 
 	queryDur   *obs.Histogram
 	publishDur *obs.Histogram
 	runSize    *obs.Histogram
 	readerLag  *obs.Histogram
+	queueWait  *obs.Histogram
 }
 
 // newEngineMetrics registers the engine families on a fresh registry.
@@ -65,8 +72,16 @@ func newEngineMetrics() engineMetrics {
 			"Queries served from the per-epoch result memo."),
 		memoMisses: r.NewCounter("xview_engine_memo_misses_total",
 			"Queries evaluated past the per-epoch result memo."),
+		shed: r.NewCounter("xview_engine_writes_shed_total",
+			"Writes refused by admission control (queue at watermark or estimated wait past the deadline)."),
+		probes: r.NewCounter("xview_engine_recovery_probes_total",
+			"Degraded-mode recovery attempts executed by the apply loop."),
+		recoveries: r.NewCounter("xview_engine_recoveries_total",
+			"Successful degraded-to-read-write transitions."),
 		depth: r.NewGauge("xview_engine_queue_depth",
 			"Write submissions queued for the apply loop."),
+		degradedG: r.NewGauge("xview_engine_degraded",
+			"1 while the view is degraded (read-only after a disk failure), else 0."),
 		queryDur: r.NewHistogram("xview_engine_query_seconds",
 			"Engine.Query evaluation latency past the result memo (memo hits are counter-only: timing them would dominate their cost).",
 			obs.LatencyBounds()),
@@ -78,6 +93,9 @@ func newEngineMetrics() engineMetrics {
 		readerLag: r.NewHistogram("xview_engine_reader_generation_lag",
 			"Generations between the epoch a memo-missing query read and the newest delivered write at that moment.",
 			obs.CountBounds(12)),
+		queueWait: r.NewHistogram("xview_engine_queue_wait_seconds",
+			"Time a write submission spent queued before the apply loop picked it up.",
+			obs.LatencyBounds()),
 	}
 }
 

@@ -49,6 +49,9 @@ func (v *View) Begin(ctx context.Context) (*Tx, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if v.degraded.Load() {
+		return nil, &DegradedError{Cause: v.degradedCause}
+	}
 	t, err := v.sys.Begin(true)
 	if err != nil {
 		return nil, wrapErr("begin", err)

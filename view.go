@@ -28,6 +28,14 @@ type View struct {
 	ckptEvery uint64      // commits between automatic checkpoints
 	ckptGen   uint64      // generation of the newest checkpoint
 	ckptBusy  atomic.Bool // a checkpoint is being written right now
+
+	// Degraded (read-only) mode, entered when the log refuses a commit
+	// record: writes are rejected with ErrDegraded until Recover succeeds,
+	// reads keep serving. degradedCause is written and read only on the
+	// writer's goroutine; the flag itself is readable from anywhere (health
+	// probes), like Checkpointing.
+	degraded      atomic.Bool
+	degradedCause error
 }
 
 // Open publishes σ(I): it evaluates the ATG over the database, compresses
@@ -95,8 +103,16 @@ func (v *View) Apply(ctx context.Context, u Update) (*Report, error) {
 	if err != nil {
 		return &Report{Op: u.String()}, err
 	}
+	if v.degraded.Load() {
+		return &Report{Op: op.String()}, &DegradedError{Cause: v.degradedCause}
+	}
 	rep, err := v.sys.ApplyCtx(ctx, op)
-	return reportOf(rep), wrapErr(op.String(), err)
+	out := reportOf(rep)
+	err = wrapErr(op.String(), err)
+	if out != nil && out.Applied {
+		err = degradedApplied(err)
+	}
+	return out, err
 }
 
 // DryRun answers the updatability question for one update without changing
@@ -131,6 +147,9 @@ func (v *View) DryRun(ctx context.Context, u Update) (*Report, error) {
 // wherever it sits in the batch. Summing Timings.Maintain over the reports
 // gives the batch's true total maintenance cost.
 func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) {
+	if v.degraded.Load() {
+		return nil, &DegradedError{Cause: v.degradedCause}
+	}
 	// Compile up to the first malformed update: the prefix before it still
 	// runs, preserving the Apply-sequence equivalence.
 	ops := make([]*update.Op, 0, len(updates))
@@ -152,6 +171,11 @@ func (v *View) Batch(ctx context.Context, updates ...Update) ([]*Report, error) 
 		// (e.g. an open transaction owns the write path).
 		if len(out) > 0 {
 			err = wrapErr(out[len(out)-1].Op, err)
+			if out[len(out)-1].Applied {
+				// A durability failure at the batch commit: the processed
+				// prefix is applied in memory but not on disk.
+				err = degradedApplied(err)
+			}
 		} else {
 			err = wrapErr("batch", err)
 		}
@@ -176,8 +200,16 @@ func (v *View) Execute(ctx context.Context, stmt string) (*Report, error) {
 	if err != nil {
 		return &Report{Op: stmt}, parseErr(stmt, err)
 	}
+	if v.degraded.Load() {
+		return &Report{Op: op.String()}, &DegradedError{Cause: v.degradedCause}
+	}
 	rep, err := v.sys.ApplyCtx(ctx, op)
-	return reportOf(rep), wrapErr(op.String(), err)
+	out := reportOf(rep)
+	err = wrapErr(op.String(), err)
+	if out != nil && out.Applied {
+		err = degradedApplied(err)
+	}
+	return out, err
 }
 
 // Stats computes current view statistics.
