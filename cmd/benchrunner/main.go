@@ -50,6 +50,14 @@
 // recovery time, writing BENCH_PR9.json:
 //
 //	benchrunner -exp chaos -sizes 1000 -dur 500ms -json BENCH_PR9.json
+//
+// The repl experiment prices the replication subsystem: cold-follower
+// catch-up rate through the change-log stream, steady-state lag p99 under
+// write churn, and aggregate read throughput at 1/2/4 followers (writes
+// submitted to a follower and 421-redirected to the primary), writing
+// BENCH_PR10.json:
+//
+//	benchrunner -exp repl -sizes 1000 -dur 500ms -json BENCH_PR10.json
 package main
 
 import (
@@ -68,7 +76,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal|obs|chaos")
+	expFlag  = flag.String("exp", "all", "experiment: all|fig10b|fig11del|fig11ins|fig11g|fig11h|table1|ablation|perf|serve|snapshot|tx|wal|obs|chaos|repl")
 	sizesStr = flag.String("sizes", "1000,5000,20000", "comma-separated |C| values")
 	opsFlag  = flag.Int("ops", 10, "operations per workload class (the paper uses 10)")
 	seedFlag = flag.Int64("seed", 42, "generator seed")
@@ -100,6 +108,7 @@ func main() {
 	run("wal", walExp)
 	run("obs", obsExp)
 	run("chaos", chaosExp)
+	run("repl", replExp)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,269 @@
+package main
+
+// The repl experiment prices the replication subsystem: how fast a cold
+// follower catches up through the change-log stream, how far a steady-state
+// follower trails a primary under write load, and what aggregate read
+// throughput a fleet of followers adds. Writes are submitted to a follower
+// first, so every point also exercises the 421-redirect path clients use.
+//
+//	benchrunner -exp repl -sizes 1000 -dur 500ms -json BENCH_PR10.json
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"rxview"
+	"rxview/server"
+)
+
+// replCatchupRecords is the generation count a cold follower replays for
+// the catch-up measurement.
+const replCatchupRecords = 256
+
+var replFollowerCounts = []int{1, 2, 4}
+
+// replPoint is one follower-fleet load measurement. The follower count
+// doubles as the point's "nc" key — it is the sweep dimension benchdiff
+// matches baseline points by, and the flatness bar across it says the
+// per-follower read tail must not grow with fleet size.
+type replPoint struct {
+	Followers int `json:"followers"`
+	NC        int `json:"nc"` // = Followers; benchdiff point key
+	server.LoadResult
+}
+
+// replFile is the BENCH_PR10.json layout.
+type replFile struct {
+	Seed       int64   `json:"seed"`
+	Size       int     `json:"size"`
+	DurationMS float64 `json:"duration_ms"`
+	// CatchupRecords streamed generations a cold follower replayed, and the
+	// replay rate end to end (checkpoint fetch included).
+	CatchupRecords    int64   `json:"catchup_records"`
+	CatchupRecsPerSec float64 `json:"catchup_records_per_sec"`
+	// SteadyLagP99 is the p99 of the follower's generation lag sampled while
+	// a writer churns the primary.
+	SteadyLagP99 float64     `json:"steady_lag_p99_gens"`
+	Points       []replPoint `json:"points"` // read QPS at 1/2/4 followers
+}
+
+func replExp(sizes []int) {
+	nc := sizes[len(sizes)-1]
+	fmt.Printf("== Repl: follower catch-up, steady lag, and read scale-out (|C| = %d, %v/point) ==\n",
+		nc, *durFlag)
+	out := replFile{Seed: *seedFlag, Size: nc, DurationMS: float64(durFlag.Microseconds()) / 1000}
+
+	p, err := newReplPrimary(nc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.close()
+
+	// Catch-up: churn the primary first, then boot a cold follower and time
+	// its convergence. The checkpoint is pinned at the genesis generation,
+	// so every record arrives through the stream.
+	if err := p.churn(replCatchupRecords); err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	f := p.follower()
+	target := p.src.Generation()
+	for f.Status().Generation < target {
+		time.Sleep(200 * time.Microsecond)
+	}
+	catchup := time.Since(t0)
+	out.CatchupRecords = int64(target)
+	out.CatchupRecsPerSec = float64(target) / catchup.Seconds()
+	fmt.Printf("catch-up: %d records in %v (%.0f records/s)\n",
+		target, catchup.Round(time.Millisecond), out.CatchupRecsPerSec)
+
+	// Steady state: sample the follower's lag while a writer churns the
+	// primary through the engine.
+	lagDone := make(chan []float64, 1)
+	sampleCtx, stopSampling := context.WithCancel(context.Background())
+	go func() {
+		var samples []float64
+		for sampleCtx.Err() == nil {
+			samples = append(samples, float64(f.Status().Lag))
+			time.Sleep(500 * time.Microsecond)
+		}
+		lagDone <- samples
+	}()
+	lg := server.LoadGen{Engine: p.eng, Readers: 1, Duration: *durFlag, Paths: []string{`//C`}, Updates: p.churnUpdates()}
+	if _, err := lg.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	stopSampling()
+	out.SteadyLagP99 = p99(<-lagDone)
+	fmt.Printf("steady lag p99 under write churn: %.0f generation(s)\n", out.SteadyLagP99)
+	f.Close()
+
+	// Read scale-out: at each fleet size the readers are spread across the
+	// followers while the writer submits to a follower and follows the 421
+	// redirect to the primary — the full client routing path.
+	w := newTab()
+	fmt.Fprintln(w, "followers\treads\tqps\tp50\tp95\tp99\twrites\tredirects")
+	for _, n := range replFollowerCounts {
+		res, err := p.fleetPoint(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Points = append(out.Points, replPoint{Followers: n, NC: n, LoadResult: res})
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%s\t%s\t%s\t%d\t%d\n", n, res.Reads, res.QPS,
+			time.Duration(res.P50NS), time.Duration(res.P95NS), time.Duration(res.P99NS),
+			res.Writes, res.Redirects)
+	}
+	w.Flush()
+	fmt.Println()
+
+	if *jsonFlag != "" && *expFlag == "repl" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// replPrimary bundles the durable primary under test: view, engine, HTTP
+// surface with the replication endpoints, and the churn workload.
+type replPrimary struct {
+	nc   int
+	syn  *rxview.Synthetic
+	view *rxview.View
+	eng  *server.Engine
+	src  *rxview.ReplSource
+	srv  *httptest.Server
+	dir  string
+}
+
+func newReplPrimary(nc int) (*replPrimary, error) {
+	dir, err := os.MkdirTemp("", "benchrepl")
+	if err != nil {
+		return nil, err
+	}
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: *seedFlag})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := rxview.ParseFsyncPolicy("off") // measuring replication, not the disk
+	if err != nil {
+		return nil, err
+	}
+	view, err := rxview.Open(syn.ATG, syn.DB,
+		rxview.WithForceSideEffects(),
+		rxview.WithDurability(dir),
+		rxview.WithFsync(pol),
+		rxview.WithCheckpointEvery(1<<20)) // keep catch-up on the stream, not a checkpoint
+	if err != nil {
+		return nil, err
+	}
+	src, err := view.ReplSource()
+	if err != nil {
+		return nil, err
+	}
+	eng := server.New(view)
+	p := &replPrimary{nc: nc, syn: syn, view: view, eng: eng, src: src, dir: dir}
+	p.srv = httptest.NewServer(server.NewHandler(eng, server.HandlerOptions{
+		Repl:         src,
+		StreamWindow: 100 * time.Millisecond,
+	}))
+	return p, nil
+}
+
+func (p *replPrimary) close() {
+	p.srv.Close()
+	p.eng.Close()
+	p.view.Close()
+	os.RemoveAll(p.dir)
+}
+
+// follower boots a cold replica following the primary's HTTP surface.
+func (p *replPrimary) follower() *server.Replica {
+	syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: p.nc, Seed: *seedFlag})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rxview.OpenReplica(syn.ATG, syn.DB, rxview.WithForceSideEffects())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return server.NewReplica(rep, p.srv.URL,
+		server.WithPollWindow(50*time.Millisecond),
+		server.WithFollowBackoff(time.Millisecond, 50*time.Millisecond))
+}
+
+// churnUpdates is a sustainable insert/delete pair cycle on fresh keys.
+func (p *replPrimary) churnUpdates() []rxview.Update {
+	roots := p.syn.Roots()
+	target := fmt.Sprintf(`//C[key="%d"]/sub`, roots[0])
+	var ups []rxview.Update
+	for i, k := range p.syn.FreshKeys(16) {
+		ups = append(ups,
+			rxview.Insert(target, "C", rxview.Int(k), rxview.Str(fmt.Sprintf("r%d", i))),
+			rxview.Delete(fmt.Sprintf(`//C[key="%d"]`, k)))
+	}
+	return ups
+}
+
+// churn applies n updates through the engine.
+func (p *replPrimary) churn(n int) error {
+	ups := p.churnUpdates()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if _, err := p.eng.Update(ctx, ups[i%len(ups)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fleetPoint spins n fresh followers, waits for convergence, then drives
+// readers across the fleet with the writer redirecting 421s to the primary.
+func (p *replPrimary) fleetPoint(n int) (server.LoadResult, error) {
+	followers := make([]*server.Replica, n)
+	engines := make([]*server.Engine, n)
+	for i := range followers {
+		followers[i] = p.follower()
+		engines[i] = followers[i].Engine()
+	}
+	defer func() {
+		for _, f := range followers {
+			f.Close()
+		}
+	}()
+	target := p.src.Generation()
+	for _, f := range followers {
+		for f.Status().Generation < target {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	lg := server.LoadGen{
+		Engine:   engines[0], // submit to a follower: exercises the 421 redirect
+		Engines:  engines,
+		Lookup:   func(string) *server.Engine { return p.eng },
+		Readers:  8,
+		Duration: *durFlag,
+		Paths:    []string{`//C[sub/C]`, `//C`},
+		Updates:  p.churnUpdates(),
+	}
+	return lg.Run(context.Background())
+}
+
+// p99 is the 99th percentile of a sample set (0 when empty).
+func p99(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	return samples[int(0.99*float64(len(samples)-1))]
+}

@@ -41,6 +41,12 @@
 //	                               command the exit code scripts cleanly:
 //	                               0 ready, 2 starting/checkpointing,
 //	                               3 degraded (read-only), 1 errors
+//	repl status <addr>             probe a node's /repl/info: primaries
+//	                               report the durable watermark and oldest
+//	                               streamable generation, followers their
+//	                               lag; one-shot exit codes: 0 caught up or
+//	                               primary, 3 lagging beyond the follow
+//	                               watermark, 1 errors
 //	help | quit
 package main
 
@@ -259,7 +265,8 @@ func (s *session) dispatch(out io.Writer, line string) error {
   begin | stage <stmt> | commit | rollback | tx
   xml | stats | check | tables | quit
   wal inspect <dir> | checkpoint <dir>
-  metrics <addr> | slow <addr> | health <addr>`)
+  metrics <addr> | slow <addr> | health <addr>
+  repl status <addr>`)
 		return nil
 	case line == "begin":
 		if s.tx != nil {
@@ -353,6 +360,8 @@ func (s *session) dispatch(out io.Writer, line string) error {
 		return slowDump(out, strings.TrimSpace(strings.TrimPrefix(line, "slow")))
 	case strings.HasPrefix(line, "health "):
 		return healthCheck(out, strings.TrimSpace(strings.TrimPrefix(line, "health")))
+	case strings.HasPrefix(line, "repl "):
+		return replCommand(out, strings.TrimSpace(strings.TrimPrefix(line, "repl")))
 	case strings.HasPrefix(line, "query "):
 		nodes, err := view.Query(ctx, strings.TrimSpace(strings.TrimPrefix(line, "query")))
 		if err != nil {

@@ -358,3 +358,83 @@ func TestWalInspectUsageAndErrors(t *testing.T) {
 		t.Errorf("empty dir not reported:\n%s", out.String())
 	}
 }
+
+// replInfoServer serves a canned /repl/info document, 404 elsewhere —
+// the wire shape the repl status subcommand parses.
+func replInfoServer(t *testing.T, doc map[string]any) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/repl/info" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestReplStatusSubcommand(t *testing.T) {
+	view := testView(t)
+
+	primary := replInfoServer(t, map[string]any{
+		"role": "primary", "generation": 12, "oldest": 3,
+	})
+	var out strings.Builder
+	if err := runOneShot(view, &out, "repl status "+primary.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "role=primary durable_generation=12 oldest_streamable=3") {
+		t.Errorf("primary status missing:\n%s", out.String())
+	}
+
+	caught := replInfoServer(t, map[string]any{
+		"role": "follower", "primary": "http://p:8080", "generation": 9,
+		"primary_generation": 10, "lag": 1, "watermark": 8, "following": true,
+	})
+	out.Reset()
+	if err := runOneShot(view, &out, "repl status "+caught.URL); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"role=follower", "lag=1", "caught up"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("caught-up status missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReplStatusLaggingExitCode(t *testing.T) {
+	view := testView(t)
+	lagging := replInfoServer(t, map[string]any{
+		"role": "follower", "primary": "http://p:8080", "generation": 2,
+		"primary_generation": 42, "lag": 40, "watermark": 8, "following": false,
+	})
+	var out strings.Builder
+	err := runOneShot(view, &out, "repl status "+lagging.URL)
+	var xe *exitCodeError
+	if !errors.As(err, &xe) || xe.code != 3 {
+		t.Fatalf("lagging follower error = %v, want exit code 3", err)
+	}
+	if !strings.Contains(out.String(), "lag=40") {
+		t.Errorf("lag missing from output:\n%s", out.String())
+	}
+}
+
+func TestReplStatusUsageAndNonReplNode(t *testing.T) {
+	view := testView(t)
+	var out strings.Builder
+	if err := runOneShot(view, &out, "repl bogus"); err == nil || !strings.Contains(err.Error(), "usage: repl status") {
+		t.Fatalf("bad subcommand error = %v, want usage", err)
+	}
+	plain := httptest.NewServer(http.NotFoundHandler())
+	defer plain.Close()
+	err := runOneShot(view, &out, "repl status "+plain.URL)
+	if err == nil || !strings.Contains(err.Error(), "no replication endpoints") {
+		t.Fatalf("non-repl node error = %v, want endpoint explanation", err)
+	}
+	var xe *exitCodeError
+	if errors.As(err, &xe) {
+		t.Fatalf("transport-level failure carried exit code %d, want generic 1", xe.code)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+// Replication introspection: `repl status <addr>` probes a node's
+// /repl/info and reports its role and position with scripting-friendly
+// exit codes, so a deploy script can block until a follower has caught up:
+//
+//	until xviewctl repl status follower:8081; do sleep 1; done
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// replCommand dispatches the `repl ...` subcommands.
+func replCommand(out io.Writer, args string) error {
+	fields := strings.Fields(args)
+	if len(fields) != 2 || fields[0] != "status" {
+		return fmt.Errorf("usage: repl status <addr>")
+	}
+	return replStatus(out, fields[1])
+}
+
+// replStatus fetches /repl/info and renders the node's replication
+// position. Exit codes as a one-shot command: 0 primary or caught-up
+// follower, 3 follower lagging beyond its watermark (or never contacted),
+// 1 transport/usage errors. Like health, it never retries — a status probe
+// reports the state it found.
+func replStatus(out io.Writer, addr string) error {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(baseURL(addr) + "/repl/info")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("GET /repl/info: %s — the node serves no replication endpoints (not durable, not a follower)", resp.Status)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET /repl/info: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var in struct {
+		Role              string `json:"role"`
+		Generation        uint64 `json:"generation"`
+		Oldest            uint64 `json:"oldest"`
+		Primary           string `json:"primary"`
+		PrimaryGeneration uint64 `json:"primary_generation"`
+		Lag               uint64 `json:"lag"`
+		Watermark         uint64 `json:"watermark"`
+		Following         bool   `json:"following"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&in); err != nil {
+		return fmt.Errorf("decoding /repl/info: %w", err)
+	}
+	switch in.Role {
+	case "primary":
+		fmt.Fprintf(out, "  role=primary durable_generation=%d oldest_streamable=%d\n",
+			in.Generation, in.Oldest)
+		return nil
+	case "follower":
+		fmt.Fprintf(out, "  role=follower primary=%s generation=%d primary_generation=%d lag=%d watermark=%d\n",
+			in.Primary, in.Generation, in.PrimaryGeneration, in.Lag, in.Watermark)
+		if !in.Following {
+			return &exitCodeError{code: 3,
+				msg: fmt.Sprintf("follower lags %d generation(s) behind %s (watermark %d)", in.Lag, in.Primary, in.Watermark)}
+		}
+		fmt.Fprintln(out, "  caught up (within the follow watermark)")
+		return nil
+	default:
+		return fmt.Errorf("/repl/info: unexpected role %q", in.Role)
+	}
+}

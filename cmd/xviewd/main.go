@@ -9,12 +9,31 @@
 //	       [-seed 42] [-force] [-timeout 10s] [-queue 256]
 //	       [-shed-watermark N]
 //	       [-data DIR] [-fsync always|batch|off] [-checkpoint-every 256]
+//	       [-replica-of URL] [-follow-watermark N]
+//	       [-views FILE]
 //	       [-slow-threshold 100ms] [-debug-addr ADDR]
 //	       [-chaos SPEC] [-chaos-seed N]
 //
 // With -data, the view is durable: committed updates are logged to DIR
 // before their verdict is returned, and a restart pointing at the same DIR
 // recovers every committed generation (newest checkpoint plus log replay).
+// A durable primary also serves the replication endpoints (GET
+// /repl/checkpoint, /repl/stream, /repl/info), so followers can attach
+// without further configuration.
+//
+// With -replica-of URL, the process is a read-only follower of the durable
+// primary at URL: it boots from the primary's newest checkpoint, applies
+// the streamed change log, and serves the same read endpoints one
+// write-history prefix behind. Writes answer 421 with the primary's
+// address; /healthz answers 503 state "following" until the follower is
+// within -follow-watermark generations of the primary. A follower is not
+// durable itself (-data is rejected) — a restarted follower re-syncs from
+// the primary's checkpoint.
+//
+// With -views FILE, the process hosts many named views (see replication.go
+// for the JSON schema) behind /v/{name}/... routing — each with its own
+// writer loop, optional durability directory or replica-of upstream, and a
+// private metric registry, so tenants are isolated end to end.
 //
 // Endpoints:
 //
@@ -81,6 +100,13 @@ var (
 	fsync     = flag.String("fsync", "always", "log sync policy: always, batch or off")
 	ckptEvery = flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default)")
 
+	replicaOf = flag.String("replica-of", "",
+		"follow the durable primary at this base URL (read-only replica mode)")
+	followMark = flag.Uint64("follow-watermark", 8,
+		"generations a follower may lag and still report ready")
+	viewsCfg = flag.String("views", "",
+		"JSON view-set file: host many named views behind /v/{name}/... (multi-tenant mode)")
+
 	slowThresh = flag.Duration("slow-threshold", 100*time.Millisecond,
 		"queries/commits slower than this land in /debug/slow (0 = disabled)")
 	debugAddr = flag.String("debug-addr", "",
@@ -96,16 +122,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
+	var err error
+	switch {
+	case *viewsCfg != "" && *replicaOf != "":
+		err = fmt.Errorf("xviewd: -views and -replica-of are mutually exclusive (a view set names its upstreams per entry)")
+	case *viewsCfg != "":
+		err = runViews(ctx, stop)
+	case *replicaOf != "":
+		err = runFollower(ctx, stop)
+	default:
+		err = runPrimary(ctx, stop)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Print("xviewd: shut down cleanly")
+}
+
+// runPrimary is the classic single-view mode: one view, one engine, the
+// full read-write API. Durable primaries additionally serve /repl/* so
+// followers can attach.
+func runPrimary(ctx context.Context, stop context.CancelFunc) error {
 	// Listen before loading: health probes answer immediately, with
 	// readiness gated until the view (and its recovery, if durable) is up.
 	gate := server.NewGate("loading")
 	errc := make(chan error, 1)
 	go func() { errc <- server.ServeGated(ctx, *addr, gate) }()
 	log.Printf("xviewd: listening on %s (readiness gated until the view is up)", *addr)
-
-	if *debugAddr != "" {
-		go serveDebug(*debugAddr)
-	}
 
 	if *dataDir != "" {
 		gate.SetState("recovering")
@@ -114,7 +161,7 @@ func main() {
 	if err != nil {
 		stop()
 		<-errc
-		log.Fatal(err)
+		return err
 	}
 	if *dataDir != "" {
 		log.Printf("xviewd: durable at %s (fsync=%s), recovered generation %d",
@@ -128,33 +175,49 @@ func main() {
 		if err := rxview.EnableChaos(*chaosSpec, *chaosSeed); err != nil {
 			stop()
 			<-errc
-			log.Fatalf("xviewd: -chaos: %v", err)
+			return fmt.Errorf("xviewd: -chaos: %w", err)
 		}
 		log.Printf("xviewd: CHAOS ARMED (seed %d): %s — injected faults are live, do not use in production",
 			*chaosSeed, *chaosSpec)
 	}
 
-	engOpts := []server.Option{server.WithQueueDepth(*queue)}
-	if *shedAt > 0 {
-		engOpts = append(engOpts, server.WithShedWatermark(*shedAt))
-	}
-	eng := server.New(view, engOpts...)
-	eng.SetSlowThreshold(*slowThresh)
-	gate.SetReady(eng, server.HandlerOptions{
+	hopts := server.HandlerOptions{
 		Timeout:       *timeout,
 		Checkpointing: view.Checkpointing,
-	})
+	}
+	if *dataDir != "" {
+		src, err := view.ReplSource()
+		if err != nil {
+			stop()
+			<-errc
+			return fmt.Errorf("xviewd: replication source: %w", err)
+		}
+		hopts.Repl = src
+		log.Printf("xviewd: replication source on /repl (durable generation %d)", src.Generation())
+	}
+	eng := server.New(view, engineOptions()...)
+	eng.SetSlowThreshold(*slowThresh)
+	gate.SetReady(eng, hopts)
 	log.Print("xviewd: ready")
 
 	if err := <-errc; err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The engine has stopped: seal the final epoch so the next boot
 	// recovers without replaying the log.
 	if err := view.Close(); err != nil {
-		log.Fatalf("xviewd: final checkpoint: %v", err)
+		return fmt.Errorf("xviewd: final checkpoint: %w", err)
 	}
-	log.Print("xviewd: shut down cleanly")
+	return nil
+}
+
+// engineOptions translates the shared engine flags.
+func engineOptions() []server.Option {
+	opts := []server.Option{server.WithQueueDepth(*queue)}
+	if *shedAt > 0 {
+		opts = append(opts, server.WithShedWatermark(*shedAt))
+	}
+	return opts
 }
 
 // serveDebug mounts the pprof handlers on their own listener — profiling
@@ -191,20 +254,25 @@ func open() (*rxview.View, error) {
 			opts = append(opts, rxview.WithCheckpointEvery(*ckptEvery))
 		}
 	}
-	switch *dataset {
-	case "registrar":
-		atg, db, err := rxview.NewRegistrar()
-		if err != nil {
-			return nil, err
-		}
-		return rxview.Open(atg, db, opts...)
+	atg, db, err := sources(*dataset, *nc, *seed)
+	if err != nil {
+		return nil, err
+	}
+	return rxview.Open(atg, db, opts...)
+}
+
+// sources builds the schema and base relations for a named dataset.
+func sources(ds string, nc int, seed int64) (*rxview.ATG, *rxview.DB, error) {
+	switch ds {
+	case "", "registrar":
+		return rxview.NewRegistrar()
 	case "synthetic":
-		syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: *nc, Seed: *seed})
+		syn, err := rxview.NewSynthetic(rxview.SyntheticConfig{NC: nc, Seed: seed})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return rxview.Open(syn.ATG, syn.DB, opts...)
+		return syn.ATG, syn.DB, nil
 	default:
-		return nil, fmt.Errorf("unknown dataset %q", *dataset)
+		return nil, nil, fmt.Errorf("unknown dataset %q", ds)
 	}
 }

@@ -1,0 +1,243 @@
+package main
+
+// Follower and multi-tenant modes.
+//
+// -replica-of URL turns the process into a read-only follower of the
+// durable primary at URL (runFollower). -views FILE hosts a set of named
+// views in one process behind /v/{name}/... (runViews); the file is a JSON
+// array of entries:
+//
+//	[
+//	  {"name": "reg",  "dataset": "registrar", "data": "/var/xview/reg"},
+//	  {"name": "syn",  "dataset": "synthetic", "nc": 500, "seed": 7},
+//	  {"name": "mirr", "replica_of": "http://primary:8080/v/reg"}
+//	]
+//
+// Every entry gets its own writer loop, its own optional durability
+// directory or upstream, and a private metric registry: /v/{name}/metrics
+// shows only that view's engine families, while the top-level /metrics
+// serves the process-wide shared families.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"rxview"
+	"rxview/server"
+)
+
+// runFollower serves a read-only replica converging on -replica-of.
+func runFollower(ctx context.Context, stop context.CancelFunc) error {
+	if *dataDir != "" {
+		return errors.New("xviewd: a follower is not durable itself; drop -data (it re-syncs from the primary's checkpoint on restart)")
+	}
+	gate := server.NewGate("loading")
+	errc := make(chan error, 1)
+	var fp atomic.Pointer[server.Replica]
+	go func() {
+		errc <- server.ServeHandler(ctx, *addr, gate, func() {
+			if f := fp.Load(); f != nil {
+				f.Close()
+			}
+		})
+	}()
+	log.Printf("xviewd: follower of %s listening on %s (readiness gated on catch-up)", *replicaOf, *addr)
+
+	rep, err := openReplica(*dataset, *nc, *seed, *force)
+	if err != nil {
+		stop()
+		<-errc
+		return err
+	}
+	f := server.NewReplica(rep, *replicaOf,
+		server.WithFollowWatermark(*followMark),
+		server.WithFollowLog(log.Printf),
+		server.WithEngineOptions(engineOptions()...))
+	fp.Store(f)
+	f.Engine().SetSlowThreshold(*slowThresh)
+	gate.SetReady(f.Engine(), server.HandlerOptions{
+		Timeout: *timeout,
+		Follow:  f.Status,
+	})
+	log.Printf("xviewd: following %s (ready once lag ≤ %d)", *replicaOf, *followMark)
+	err = <-errc
+	f.Close() // idempotent — covers a shutdown that raced ahead of the store
+	return err
+}
+
+// openReplica builds the follower's empty state over the primary's schema.
+func openReplica(ds string, nc int, seed int64, force bool) (*rxview.Replica, error) {
+	atg, db, err := sources(ds, nc, seed)
+	if err != nil {
+		return nil, err
+	}
+	var opts []rxview.Option
+	if force {
+		opts = append(opts, rxview.WithForceSideEffects())
+	}
+	return rxview.OpenReplica(atg, db, opts...)
+}
+
+// viewSpec is one entry of the -views file.
+type viewSpec struct {
+	Name            string `json:"name"`
+	Dataset         string `json:"dataset"` // registrar (default) or synthetic
+	NC              int    `json:"nc"`
+	Seed            int64  `json:"seed"`
+	Force           bool   `json:"force"`
+	Data            string `json:"data"` // durability directory; also enables /repl
+	Fsync           string `json:"fsync"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+	ReplicaOf       string `json:"replica_of"` // follow this primary instead of taking writes
+}
+
+// runViews hosts every entry of the -views file behind one listener.
+func runViews(ctx context.Context, stop context.CancelFunc) error {
+	raw, err := os.ReadFile(*viewsCfg)
+	if err != nil {
+		return fmt.Errorf("xviewd: -views: %w", err)
+	}
+	var specs []viewSpec
+	if err := json.Unmarshal(raw, &specs); err != nil {
+		return fmt.Errorf("xviewd: -views %s: %w", *viewsCfg, err)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("xviewd: -views %s: no views defined", *viewsCfg)
+	}
+
+	// Mount every gate up front so /views lists the whole set — entries
+	// still booting report their loading state — then serve, then bring the
+	// views up one by one.
+	reg := server.NewRegistry()
+	gates := make(map[string]*server.Gate, len(specs))
+	for _, spec := range specs {
+		g := server.NewGate("loading")
+		if err := reg.Add(spec.Name, g); err != nil {
+			return fmt.Errorf("xviewd: -views: %w", err)
+		}
+		gates[spec.Name] = g
+	}
+
+	// Shutdown tears tenants down in reverse boot order; the mutex orders
+	// late boot appends against a shutdown racing in on ctx cancel.
+	var (
+		closeMu sync.Mutex
+		closers []func() error
+	)
+	addCloser := func(fn func() error) {
+		closeMu.Lock()
+		closers = append(closers, fn)
+		closeMu.Unlock()
+	}
+	shutdown := func() {
+		closeMu.Lock()
+		defer closeMu.Unlock()
+		for i := len(closers) - 1; i >= 0; i-- {
+			if err := closers[i](); err != nil {
+				log.Printf("xviewd: shutdown: %v", err)
+			}
+		}
+		closers = nil
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ServeHandler(ctx, *addr, reg, shutdown) }()
+	log.Printf("xviewd: hosting %d views on %s", len(specs), *addr)
+
+	for _, spec := range specs {
+		if err := bootSpec(spec, gates[spec.Name], addCloser); err != nil {
+			stop()
+			<-errc
+			return fmt.Errorf("xviewd: view %q: %w", spec.Name, err)
+		}
+	}
+	log.Print("xviewd: all views ready")
+	return <-errc
+}
+
+// bootSpec opens one tenant — primary or follower — and opens its gate.
+func bootSpec(spec viewSpec, gate *server.Gate, addCloser func(func() error)) error {
+	hopts := server.HandlerOptions{
+		Timeout:            *timeout,
+		PrivateMetricsOnly: true, // tenant isolation: /v/{name}/metrics shows only this view
+	}
+
+	if spec.ReplicaOf != "" {
+		if spec.Data != "" {
+			return errors.New("a follower entry cannot also set data")
+		}
+		rep, err := openReplica(spec.Dataset, spec.NC, spec.Seed, spec.Force)
+		if err != nil {
+			return err
+		}
+		f := server.NewReplica(rep, spec.ReplicaOf,
+			server.WithFollowWatermark(*followMark),
+			server.WithFollowLog(log.Printf),
+			server.WithEngineOptions(engineOptions()...))
+		f.Engine().SetSlowThreshold(*slowThresh)
+		addCloser(func() error { f.Close(); return nil })
+		hopts.Follow = f.Status
+		gate.SetReady(f.Engine(), hopts)
+		log.Printf("xviewd: view %q following %s", spec.Name, spec.ReplicaOf)
+		return nil
+	}
+
+	var opts []rxview.Option
+	if spec.Force {
+		opts = append(opts, rxview.WithForceSideEffects())
+	}
+	if spec.Data != "" {
+		pol, err := rxview.ParseFsyncPolicy(cmpOr(spec.Fsync, "always"))
+		if err != nil {
+			return err
+		}
+		opts = append(opts,
+			rxview.WithDurability(spec.Data),
+			rxview.WithFsync(pol),
+			rxview.WithRecoveryWarn(func(msg string) { log.Printf("xviewd: view %q: %s", spec.Name, msg) }))
+		if spec.CheckpointEvery > 0 {
+			opts = append(opts, rxview.WithCheckpointEvery(spec.CheckpointEvery))
+		}
+		gate.SetState("recovering")
+	}
+	atg, db, err := sources(spec.Dataset, spec.NC, spec.Seed)
+	if err != nil {
+		return err
+	}
+	view, err := rxview.Open(atg, db, opts...)
+	if err != nil {
+		return err
+	}
+	if spec.Data != "" {
+		src, err := view.ReplSource()
+		if err != nil {
+			view.Close()
+			return err
+		}
+		hopts.Repl = src
+		hopts.Checkpointing = view.Checkpointing
+	}
+	eng := server.New(view, engineOptions()...)
+	eng.SetSlowThreshold(*slowThresh)
+	addCloser(func() error {
+		eng.Close()
+		return view.Close() // seal the final checkpoint per tenant
+	})
+	gate.SetReady(eng, hopts)
+	log.Printf("xviewd: view %q ready at generation %d", spec.Name, view.Generation())
+	return nil
+}
+
+// cmpOr returns a if non-empty, else b.
+func cmpOr(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -77,6 +77,18 @@
 // the WAL and storage seams (FaultPoints lists the catalog) so exactly
 // these paths are testable on demand; see README.md ("Resilience").
 //
+// A durable view's log doubles as a replication change log.
+// View.ReplSource streams the gen-contiguous CommitRecord suffix
+// (sealed WAL segments, then a live in-memory tail) and hands out the
+// newest checkpoint; OpenReplica builds the follower side, whose
+// Restore and ApplyRecord replay that stream through the same
+// machinery boot recovery uses — one generation per record, refusing
+// gaps (ErrCheckpointMismatch) and pruned-past positions
+// (ErrReplicaStale) so a follower re-syncs rather than replay into a
+// wrong state. The HTTP transport, the read-only follower engine
+// (421 + primary address on writes) and multi-tenant hosting live in
+// rxview/server; see README.md ("Replication & multi-tenancy").
+//
 // The whole stack is instrumented through the rxview/obs telemetry core:
 // the pipeline's per-phase timings (Timings carries the same split, publish
 // included), the compiled-path cache, the WAL and the serving engine record

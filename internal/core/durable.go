@@ -42,6 +42,76 @@ func (s *System) SetCommitSink(sink CommitSink, afterSync func(gen uint64)) {
 	s.afterSync = afterSync
 }
 
+// CommitObserver receives the records of each durably committed write unit.
+// Observers run synchronously on the write path, after the sink accepted the
+// records — a record a crash could still lose is never observed, which is
+// what lets a replication tail treat every observed generation as part of
+// the primary's durable history. Observers must be fast and must not call
+// back into the system.
+type CommitObserver func(recs []CommitRecord)
+
+// AddCommitObserver registers a post-durability tap. Observers require a
+// commit sink: without one there is no durable history to stream. Not safe
+// for concurrent use with the write path — install observers at setup time,
+// like the sink itself.
+func (s *System) AddCommitObserver(fn CommitObserver) {
+	s.observers = append(s.observers, fn)
+}
+
+// commitRecords feeds a committing unit's records to the durability sink
+// and, only on acceptance, to the observers.
+func (s *System) commitRecords(recs []CommitRecord) error {
+	if err := s.sink(recs); err != nil {
+		return err
+	}
+	for _, fn := range s.observers {
+		fn(recs)
+	}
+	return nil
+}
+
+// ApplyCommitRecord replays one committed record against the live system —
+// the follower's apply path. It is Recover's loop body with the closure
+// maintained incrementally instead of recomputed at the end: ΔR goes through
+// the backend, then the DAG delta op by op with L, M and the translator's
+// source index repaired per op (closure union for edge insertions, the
+// single-edge half of ∆(M,L)delete for removals — cascades arrive as their
+// own ops). The record must continue the current generation exactly; a gap
+// means the caller lost part of the stream and must re-sync from a
+// checkpoint rather than replay into a wrong state.
+func (s *System) ApplyCommitRecord(rec CommitRecord) error {
+	if s.txn != nil {
+		return ErrTxOpen
+	}
+	if rec.Gen != s.gen+1 {
+		return fmt.Errorf("core: apply record: record for generation %d follows generation %d", rec.Gen, s.gen)
+	}
+	if err := s.store.Apply(rec.DR); err != nil {
+		return fmt.Errorf("core: apply record: generation %d: %w", rec.Gen, err)
+	}
+	for _, op := range rec.Delta {
+		if err := s.DAG.ApplyDelta(op); err != nil {
+			return fmt.Errorf("core: apply record: generation %d: %w", rec.Gen, err)
+		}
+		switch op.Kind {
+		case dag.DeltaNodeAdd:
+			s.Index.Topo.Append(op.Node)
+		case dag.DeltaNodeDel:
+			s.Index.Topo.Delete(op.Node)
+			s.Index.Matrix.DropNode(op.Node)
+		case dag.DeltaEdgeAdd:
+			s.Index.Topo.FixEdge(s.DAG, op.Edge.Parent, op.Edge.Child)
+			s.Index.Matrix.InsertEdgeClosure(op.Edge.Parent, op.Edge.Child)
+			s.Translator.NoteEdgeInserted(op.Edge)
+		case dag.DeltaEdgeDel:
+			s.Index.DeleteEdgeUpdate(s.DAG, op.Edge)
+			s.Translator.NoteEdgeDeleted(op.Edge)
+		}
+	}
+	s.gen = rec.Gen
+	return nil
+}
+
 // Recover rebuilds a System from durable state: a checkpoint (the backend
 // holding the checkpointed instance, the decoded DAG and its serialized
 // topological order, at generation gen) plus the log suffix recs. Each

@@ -251,7 +251,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 			// journal is still open here, so DeltaSince(0) is the whole
 			// group's chronological op stream.
 			rec := CommitRecord{Gen: s.gen + 1, Delta: s.DAG.DeltaSince(0), DR: t.dbLog}
-			if err := s.sink([]CommitRecord{rec}); err != nil {
+			if err := s.commitRecords([]CommitRecord{rec}); err != nil {
 				if rerr := t.rollback(); rerr != nil {
 					return rerr
 				}
@@ -272,7 +272,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 		// prefix goes durable here. A sink failure leaves the in-memory
 		// state applied (the batch contract) and surfaces as the commit
 		// error.
-		if err := s.sink(t.recs); err != nil {
+		if err := s.commitRecords(t.recs); err != nil {
 			durErr = err
 		} else {
 			through = t.recs[len(t.recs)-1].Gen
@@ -304,7 +304,7 @@ func (t *Txn) Rollback() error {
 			// The applied prefix stays applied, so it must also go durable:
 			// a replayed log has to reproduce exactly the state the process
 			// was left in.
-			if err := s.sink(t.recs); err != nil {
+			if err := s.commitRecords(t.recs); err != nil {
 				durErr = err
 			} else {
 				through = t.recs[len(t.recs)-1].Gen

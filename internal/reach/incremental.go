@@ -113,6 +113,42 @@ func localTopo(d *dag.DAG, nodes []dag.NodeID) []dag.NodeID {
 	return out
 }
 
+// DeleteEdgeUpdate repairs M after the removal of one DAG edge that has
+// already been applied to d — the replication replay primitive. It is
+// ∆(M,L)delete's row algebra restricted to a single edge and stripped of
+// garbage collection: a replayed journal carries cascade edge removals and
+// node deaths as their own explicit ops, so repairing them here too would
+// apply them twice. A node left without live parents simply has its
+// ancestor row cleared; the ops that remove it follow in the journal.
+func (ix *Index) DeleteEdgeUpdate(d *dag.DAG, e dag.Edge) {
+	m, topo := ix.Matrix, ix.Topo
+
+	// Only descendants-or-self of the child can lose ancestors; the stale
+	// matrix row is a superset of the true set, which is all the traversal
+	// needs.
+	affRow := NewRow(d.Cap())
+	affRow.Set(e.Child)
+	affRow.Or(m.DescendantRow(e.Child))
+	aff := affRow.Slice()
+	topo.SortDescending(aff) // ancestors first: parents are final when read
+
+	ad := NewRow(d.Cap())
+	root := d.Root()
+	for _, n := range aff {
+		if n == root || !d.Alive(n) {
+			continue
+		}
+		ad.Reset()
+		for _, p := range d.Parents(n) {
+			if d.Alive(p) {
+				ad.Set(p)
+				ad.Or(m.AncestorRow(p))
+			}
+		}
+		m.RetainAncestors(n, ad)
+	}
+}
+
 // DeleteUpdate is Algorithm ∆(M,L)delete (Fig.8): given the deletion targets
 // rp = r[[p]] and the already-removed parent-child edges ep = Ep(r), it
 // repairs M, removes newly unreachable nodes from L and the DAG (the paper's

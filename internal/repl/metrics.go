@@ -1,0 +1,45 @@
+package repl
+
+// Primary-side replication telemetry, on the process-wide obs.Default
+// registry (the per-view follower metrics live on each engine's private
+// registry in the server layer). The stream path is off the writer
+// goroutine, but stays on the atomic fast-path API anyway: scraping is the
+// only locked consumer.
+
+import (
+	"sync"
+
+	"rxview/internal/obs"
+)
+
+type replMetrics struct {
+	streams    *obs.Counter
+	recs       *obs.Counter
+	bytes      *obs.Counter
+	tailHits   *obs.Counter
+	tailMisses *obs.Counter
+}
+
+var (
+	replOnce sync.Once
+	rm       *replMetrics
+)
+
+func replmetrics() *replMetrics {
+	replOnce.Do(func() {
+		r := obs.Default()
+		rm = &replMetrics{
+			streams: r.NewCounter("xview_repl_streams_total",
+				"Change-log stream polls served to followers."),
+			recs: r.NewCounter("xview_repl_stream_records_total",
+				"Commit records emitted to followers."),
+			bytes: r.NewCounter("xview_repl_stream_bytes_total",
+				"Framed bytes emitted to followers."),
+			tailHits: r.NewCounter("xview_repl_tail_hits_total",
+				"Stream ranges served from the in-memory tail ring."),
+			tailMisses: r.NewCounter("xview_repl_tail_misses_total",
+				"Stream ranges that fell back to a WAL segment scan."),
+		}
+	})
+	return rm
+}

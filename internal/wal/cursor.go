@@ -1,0 +1,204 @@
+package wal
+
+// Streaming read path for replication. A primary's change-log source reads
+// committed records back out of the log directory while the writer keeps
+// appending to it, so everything here is strictly read-only: unlike boot
+// recovery, a catch-up scan never truncates a torn tail — the tail of the
+// active segment is simply where the available history ends (the writer may
+// be mid-append, or about to roll the bytes back after a failed fsync).
+// Callers bound what they emit by a durability watermark they track
+// themselves; ScanFrom's max parameter is that gate.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrPruned marks a catch-up request for generations the log no longer
+// holds: checkpointing pruned the segments that carried them. The caller
+// restarts from the newest checkpoint instead.
+var ErrPruned = errors.New("wal: generations pruned")
+
+// AppendFramedRecord appends r to dst in the exact on-disk frame format
+// Append uses (uvarint length, CRC-32C, payload), so a follower can feed the
+// bytes straight into a FrameReader.
+func AppendFramedRecord(dst []byte, r Record) []byte {
+	return appendFrame(dst, appendRecord(nil, r))
+}
+
+// FrameReader decodes a stream of CRC-framed records from r — the wire twin
+// of a segment's record region. Next returns io.EOF at a clean stream end,
+// io.ErrUnexpectedEOF when the stream ends inside a frame, and an error
+// wrapping ErrCorrupt on a checksum or decode failure.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r (typically an HTTP response body).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Next reads one framed record.
+func (fr *FrameReader) Next() (Record, error) {
+	size, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("wal: frame length: %w", err)
+	}
+	if size > maxFrame {
+		return Record{}, fmt.Errorf("wal: frame of %d bytes exceeds limit: %w", size, ErrCorrupt)
+	}
+	need := 4 + int(size)
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	b := fr.buf[:need]
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	sum := binary.BigEndian.Uint32(b)
+	payload := b[4:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Record{}, fmt.Errorf("wal: frame checksum mismatch: %w", ErrCorrupt)
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %w", err, ErrCorrupt)
+	}
+	return rec, nil
+}
+
+// Oldest returns the oldest generation a catch-up scan of dir can start
+// from: the start generation of the oldest retained segment. A follower at
+// a generation below it must refetch the checkpoint.
+func Oldest(dir string) (uint64, error) {
+	_, segs := listDir(dir)
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("wal: %s: no log segments", dir)
+	}
+	return segs[0], nil
+}
+
+// ScanFrom reads the records of generations in (from, max] out of dir
+// without modifying anything — the replication catch-up path. The records
+// come back gen-contiguous from from+1; a gap wraps ErrMismatch and damage
+// in a sealed segment wraps ErrCorrupt, but a torn or corrupt tail of the
+// physically last segment just ends the scan: the writer may be appending
+// there concurrently, and max (the caller's durability watermark) is what
+// separates committed history from in-flight bytes. When the segments that
+// held from+1 have been pruned by checkpointing, ScanFrom wraps ErrPruned.
+func ScanFrom(dir string, from, max uint64) ([]Record, error) {
+	if max <= from {
+		return nil, nil
+	}
+	_, segs := listDir(dir)
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("wal: %s: no log segments: %w", dir, ErrPruned)
+	}
+	if from < segs[0] {
+		return nil, fmt.Errorf("wal: %s: generation %d predates oldest segment %d: %w",
+			dir, from+1, segs[0], ErrPruned)
+	}
+	var out []Record
+	prev := from
+	for i, g := range segs {
+		// Segment wal-g holds generations in (g, next checkpoint]; when the
+		// following segment starts at or before from, this one is entirely
+		// behind the cursor.
+		if i+1 < len(segs) && segs[i+1] <= from {
+			continue
+		}
+		recs, err := scanSegment(filepath.Join(dir, segName(g)), g, i == len(segs)-1)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if r.Gen <= from {
+				continue
+			}
+			if r.Gen > max {
+				return out, nil
+			}
+			if r.Gen != prev+1 {
+				return nil, fmt.Errorf("wal: %s: record for generation %d follows generation %d: %w",
+					segName(g), r.Gen, prev, ErrMismatch)
+			}
+			prev = r.Gen
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// scanSegment is readSegment's read-only twin: same parse, no repair. In the
+// physically last segment any tail problem — torn frame, checksum failure on
+// the final frame, undecodable record — ends the scan silently (an append
+// may be in flight there); anywhere else it wraps ErrCorrupt.
+func scanSegment(path string, gen uint64, last bool) ([]Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	name := filepath.Base(path)
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) < len(segMagic) || !bytes.Equal(b[:len(segMagic)], []byte(segMagic)) {
+		if len(b) < len(segMagic) && last {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %s: bad magic: %w", name, ErrCorrupt)
+	}
+	hdr, rest, res := readFrame(b[len(segMagic):])
+	if res != frameOK {
+		if (res == frameTorn || res == frameEOF) && last {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %s: bad header frame: %w", name, ErrCorrupt)
+	}
+	if g, ok := u64from(hdr); !ok || g != gen {
+		return nil, fmt.Errorf("wal: %s: header generation %d does not match file name: %w", name, g, ErrCorrupt)
+	}
+	var recs []Record
+	off := len(b) - len(rest)
+	for {
+		payload, rest, res := readFrame(b[off:])
+		switch res {
+		case frameEOF:
+			return recs, nil
+		case frameTorn:
+			if last {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("wal: %s: torn record at offset %d: %w", name, off, ErrCorrupt)
+		case frameCorrupt:
+			if last && tailEndsAt(b, off) {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("wal: %s: corrupt record at offset %d: %w", name, off, ErrCorrupt)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			if last {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("wal: %s: undecodable record at offset %d: %w: %w", name, off, err, ErrCorrupt)
+		}
+		recs = append(recs, rec)
+		off = len(b) - len(rest)
+	}
+}

@@ -1,0 +1,216 @@
+package rxview
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"rxview/internal/core"
+	"rxview/internal/dag"
+	"rxview/internal/repl"
+	"rxview/internal/storage"
+	"rxview/internal/wal"
+)
+
+// Replication glue. The primary side exposes its durable change log — the
+// exact CommitRecord stream the WAL already serializes — as a ReplSource: a
+// checkpoint fetch plus a generation-contiguous record stream. The follower
+// side is a Replica: a read-only view that restores from a checkpoint
+// payload and replays streamed records one epoch per record through the
+// same machinery boot recovery uses, with L and M maintained incrementally.
+// The HTTP transport between the two lives in the server package; this file
+// only defines the state machines and the wire framing.
+
+// ErrReplicaStale marks a follower that cannot continue from its current
+// generation because the primary's log no longer holds the range — the
+// segments were pruned by checkpointing. The follower re-syncs by fetching
+// the newest checkpoint and restoring from it.
+var ErrReplicaStale = errors.New("rxview: follower generation pruned from the primary's log")
+
+// ReplSource streams a durable view's committed history to followers. Safe
+// for concurrent use by any number of streams while the view keeps
+// committing; obtain it once at setup with View.ReplSource.
+type ReplSource struct {
+	v   *View
+	src *repl.Source
+}
+
+// ReplSource turns a durable view into a change-log source: every commit
+// the log accepts is also published (in wire framing) to an in-memory tail,
+// and the WAL segments serve as the cold catch-up range. Call it once,
+// before the view starts serving writes — it installs a commit observer,
+// which is a setup-time operation like SetCommitSink. Views opened without
+// WithDurability cannot stream: their history is not retained anywhere.
+func (v *View) ReplSource() (*ReplSource, error) {
+	if v.log == nil {
+		return nil, fmt.Errorf("rxview: replication requires a durable view (WithDurability)")
+	}
+	tail := repl.NewTail(v.sys.Generation(), 0)
+	v.sys.AddCommitObserver(func(recs []core.CommitRecord) {
+		for _, r := range recs {
+			tail.Publish(r.Gen, wal.AppendFramedRecord(nil, wal.Record{Gen: r.Gen, Delta: r.Delta, DR: r.DR}))
+		}
+	})
+	return &ReplSource{v: v, src: repl.NewSource(v.log.Dir(), tail)}, nil
+}
+
+// Generation returns the newest streamable generation: the durable
+// watermark, advanced only after the log accepted a commit. It can trail
+// View.Generation transiently (a prefix-semantics commit that failed to
+// persist) but never leads it.
+func (rs *ReplSource) Generation() uint64 { return rs.src.Durable() }
+
+// Oldest returns the oldest generation a stream can resume from; followers
+// behind it must refetch the checkpoint.
+func (rs *ReplSource) Oldest() (uint64, error) { return rs.src.Oldest() }
+
+// CheckpointBytes returns the newest sealed checkpoint: its generation and
+// the opaque payload a Replica.Restore accepts. Reading races no writer —
+// checkpoints are temp-written and renamed into place.
+func (rs *ReplSource) CheckpointBytes() (gen uint64, state []byte, err error) {
+	gen, state, _, err = wal.NewestCheckpoint(rs.v.log.Dir())
+	return gen, state, err
+}
+
+// Stream emits the framed records of every generation past from, in order,
+// one emit call per record, until the stream has been caught up and idle
+// for window (clean nil return — the long-poll recycle point) or ctx ends.
+// A from that predates the retained log returns ErrReplicaStale.
+func (rs *ReplSource) Stream(ctx context.Context, from uint64, window time.Duration, emit func(gen uint64, frame []byte) error) error {
+	err := rs.src.Stream(ctx, from, window, emit)
+	if repl.IsPruned(err) {
+		return fmt.Errorf("%w: %w", ErrReplicaStale, err)
+	}
+	return err
+}
+
+// ReplRecord is one committed write unit in replay form, decoded from a
+// stream frame. Opaque: followers pass it to Replica.ApplyRecord.
+type ReplRecord struct {
+	rec core.CommitRecord
+}
+
+// Generation returns the generation this record produces when applied.
+func (r ReplRecord) Generation() uint64 { return r.rec.Gen }
+
+// ReplFrameReader decodes a change-log stream — the byte sequence a
+// ReplSource.Stream emits, typically arriving as an HTTP response body —
+// into records. Next returns io.EOF at a clean stream end and
+// io.ErrUnexpectedEOF when the stream stops inside a frame (a dropped
+// connection; reconnect and resume).
+type ReplFrameReader struct {
+	fr *wal.FrameReader
+}
+
+// NewReplFrameReader wraps a stream body.
+func NewReplFrameReader(r io.Reader) *ReplFrameReader {
+	return &ReplFrameReader{fr: wal.NewFrameReader(r)}
+}
+
+// Next decodes one record.
+func (r *ReplFrameReader) Next() (ReplRecord, error) {
+	rec, err := r.fr.Next()
+	if err != nil {
+		return ReplRecord{}, err
+	}
+	return ReplRecord{rec: core.CommitRecord{Gen: rec.Gen, Delta: rec.Delta, DR: rec.DR}}, nil
+}
+
+// Replica is a read-only follower of a durable primary: it restores from a
+// fetched checkpoint payload and replays streamed records, sealing exactly
+// one generation per record. It owns no log of its own — a restarted
+// follower re-syncs from the primary's checkpoint, which is the durable
+// copy of record. Like View it is single-writer: Restore and ApplyRecord
+// must run on one goroutine (the serving layer's apply loop), while any
+// number of readers use snapshots taken between applies.
+type Replica struct {
+	v   *View
+	a   *ATG
+	cfg config
+}
+
+// OpenReplica publishes the caller-seeded DB as the replica's provisional
+// state at generation 0; Restore replaces it with the primary's checkpoint.
+// Durability options are refused — a replica's durability is its primary.
+func OpenReplica(a *ATG, db *DB, opts ...Option) (*Replica, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.durDir != "" {
+		return nil, fmt.Errorf("rxview: a replica cannot be durable; its primary's log is the durable copy")
+	}
+	sys, err := core.Open(a.c, db.db, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{v: &View{sys: sys, db: db}, a: a, cfg: cfg}, nil
+}
+
+// View returns the replica's view surface for reads — Query, Snapshot,
+// Stats, XML, Generation. The pointer is stable across Restore: serving
+// layers hold it once. Writes through it are the caller's responsibility to
+// prevent (the server's Replica engine refuses them with
+// ErrReadOnlyReplica before they reach here).
+func (r *Replica) View() *View { return r.v }
+
+// Generation returns the prefix of the primary's write history the replica
+// has applied.
+func (r *Replica) Generation() uint64 { return r.v.sys.Generation() }
+
+// Restore replaces the replica's entire state with a checkpoint payload at
+// gen, as fetched from the primary, and verifies it with CheckConsistency
+// — a corrupt or inconsistent payload is refused with the same taxonomy
+// boot recovery uses, leaving the previous state in place. Single-writer:
+// see Replica.
+func (r *Replica) Restore(gen uint64, state []byte) error {
+	ck, err := decodeCheckpoint(state)
+	if err != nil {
+		return &CorruptLogError{Dir: "replica checkpoint", Err: err}
+	}
+	if ck.gen != gen {
+		return &CheckpointMismatchError{Dir: "replica checkpoint",
+			Err: fmt.Errorf("checkpoint payload is for generation %d, fetch said %d", ck.gen, gen)}
+	}
+	d, err := dag.DecodeState(ck.dagState)
+	if err != nil {
+		return &CorruptLogError{Dir: "replica checkpoint", Err: err}
+	}
+	// The DB reset is safe under concurrent readers: sealed snapshots
+	// evaluate against the frozen DAG and never touch the relational
+	// instance.
+	db := r.v.db
+	db.db.Reset()
+	for _, tb := range ck.tables {
+		for _, t := range tb.tuples {
+			if err := db.db.Insert(tb.name, t); err != nil {
+				return &CorruptLogError{Dir: "replica checkpoint",
+					Err: fmt.Errorf("checkpointed tuple rejected: %w", err)}
+			}
+		}
+	}
+	sys, err := core.Recover(r.a.c, storage.NewMemory(db.db), d, ck.order, ck.gen, nil, r.cfg.opts)
+	if err != nil {
+		return &CheckpointMismatchError{Dir: "replica checkpoint", Err: err}
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		return &CheckpointMismatchError{Dir: "replica checkpoint",
+			Err: fmt.Errorf("restored state fails consistency check: %w", err)}
+	}
+	r.v.sys = sys
+	return nil
+}
+
+// ApplyRecord replays one streamed record, advancing the replica by exactly
+// one generation. A record that does not continue the replica's generation
+// returns ErrReplicaStale-compatible ErrCheckpointMismatch: the follower
+// lost part of the stream and must Restore from a fresh checkpoint rather
+// than replay into a wrong state. Single-writer: see Replica.
+func (r *Replica) ApplyRecord(rec ReplRecord) error {
+	if err := r.v.sys.ApplyCommitRecord(rec.rec); err != nil {
+		return &CheckpointMismatchError{Dir: "replication stream", Err: err}
+	}
+	return nil
+}

@@ -97,6 +97,30 @@
 // xviewctl -serve share it), and LoadGen drives an Engine with concurrent
 // readers and a background writer for throughput/latency measurement.
 //
+// # Replication
+//
+// A durable primary additionally serves its change log (HandlerOptions.Repl):
+// GET /repl/checkpoint returns the newest sealed checkpoint and
+// GET /repl/stream?from=N long-polls CRC-framed commit records. NewReplica
+// runs the follower side — it restores from the checkpoint, replays the
+// stream through the apply loop as replication steps (one sealed epoch per
+// record, so follower reads are the same wait-free snapshot reads), and
+// reconnects with jittered backoff, re-syncing from a fresh checkpoint on a
+// generation gap or a 410. A follower engine refuses writes with
+// ErrReadOnlyReplica, which HTTP maps to 421 Misdirected Request carrying
+// the primary's address (X-Xview-Primary header + "primary" body field);
+// LoadGen.Lookup follows that redirect once per attempt. Readiness composes:
+// with HandlerOptions.Follow set, /healthz (and a Gate) answers
+// 503 "following" until the replica is within WithFollowWatermark
+// generations of the primary's durable watermark, and GET /repl/info
+// reports either side's position for xviewctl repl status.
+//
+// Registry hosts many named views in one process behind /v/{name}/...,
+// each an independent Gate with its own engine, writer loop and private
+// metric registry (HandlerOptions.PrivateMetricsOnly): /views lists the
+// tenants, the top-level /healthz aggregates their states, and the
+// top-level /metrics serves only the process-wide families.
+//
 // # Telemetry
 //
 // Every Engine owns a private obs.Registry (see package rxview/obs): the

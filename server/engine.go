@@ -123,6 +123,12 @@ type Engine struct {
 	recovering atomic.Bool     // a recovery prober goroutine is live
 	stopCtx    context.Context // canceled by Close; wakes the prober out of backoff
 	stopCancel context.CancelFunc
+
+	// primary, when non-nil, marks a read-only follower engine: client
+	// writes are refused up front with *ReadOnlyReplicaError advertising
+	// this address, and only replication exec steps reach the loop. See
+	// replica.go.
+	primary atomic.Pointer[string]
 }
 
 // request is one submission to the apply loop. Exactly one result is
@@ -133,6 +139,7 @@ type request struct {
 	u       rxview.Update
 	batch   []rxview.Update // non-nil: a client batch, prefix semantics
 	tx      []rxview.Update // non-nil: an atomic group (all-or-nothing)
+	exec    func() error    // non-nil: a replication step run verbatim on the loop
 	recover bool            // a recovery probe: the loop calls View.Recover
 	counted bool            // already tallied in the coalescing counters
 	wait    obs.Span        // queue-wait span, opened at submit
@@ -354,13 +361,49 @@ func (e *Engine) applyTx(ctx context.Context, updates []rxview.Update) ([]*rxvie
 	return tx.Reports(), nil
 }
 
+// exec runs fn on the apply goroutine, serialized with every write, and
+// publishes any epoch fn moved the view to. It is the follower's apply
+// path: restores and streamed records go through the same single-writer
+// loop as client writes, which is what keeps the writer-only discipline
+// intact on replicas. Bypasses admission control like recovery probes —
+// replication steps end staleness, so shedding them would be backwards.
+func (e *Engine) exec(ctx context.Context, fn func() error) error {
+	req := &request{ctx: ctx, exec: fn, done: make(chan result, 1)}
+	if err := e.submit(ctx, req); err != nil {
+		return err
+	}
+	res := <-req.done
+	return res.err
+}
+
+// setPrimary flips the engine into read-only follower mode advertising the
+// given primary address for redirected writes.
+func (e *Engine) setPrimary(addr string) { e.primary.Store(&addr) }
+
+// Primary returns the advertised primary address of a follower engine, or
+// "" for a writable primary engine.
+func (e *Engine) Primary() string {
+	if p := e.primary.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 func (e *Engine) submit(ctx context.Context, req *request) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
-	if !req.recover {
+	if req.exec == nil && !req.recover {
+		if p := e.primary.Load(); p != nil {
+			// A follower refuses client writes before they touch the queue;
+			// the error carries where they belong.
+			e.met.rejected.Inc()
+			return &ReadOnlyReplicaError{Primary: *p}
+		}
+	}
+	if !req.recover && req.exec == nil {
 		// Admission control: shed rather than queue a write the loop cannot
 		// serve in time. Recovery probes bypass it — they are what ends an
 		// outage, and they must reach the loop even at full depth.
@@ -410,6 +453,21 @@ func (e *Engine) run() {
 		}
 		if req.recover {
 			e.runRecover(req)
+			continue
+		}
+		if req.exec != nil {
+			// A replication step: run it verbatim, publish, deliver its
+			// error. Publication is unconditional on success — a checkpoint
+			// restore can replace the whole state without moving the
+			// generation counter past the published epoch's.
+			var err error
+			if err = req.ctx.Err(); err == nil {
+				err = req.exec()
+			}
+			if err == nil {
+				e.republish()
+			}
+			e.deliver(req, result{err: err})
 			continue
 		}
 		// A context that expired while the request sat in the queue is
@@ -494,7 +552,7 @@ func (e *Engine) gather(first *request) (run []*request, carry *request) {
 				return run, nil
 			}
 			e.pickup(r)
-			if r.batch == nil && r.tx == nil && !r.u.IsDelete() && !r.recover {
+			if r.batch == nil && r.tx == nil && r.exec == nil && !r.u.IsDelete() && !r.recover {
 				run = append(run, r)
 				continue
 			}
@@ -674,6 +732,17 @@ func (e *Engine) publish() time.Duration {
 	return d
 }
 
+// republish seals and swaps in a fresh epoch unconditionally — the
+// replication-step variant of publish, where state can change under an
+// unchanged generation. Called only from the apply loop.
+func (e *Engine) republish() {
+	sp := obs.StartSpan(e.met.publishDur)
+	e.ep.Store(&epoch{sn: e.view.Snapshot(), memo: newResultMemo(e.cfg.memoCap)})
+	d := sp.End()
+	e.met.snapSwaps.Inc()
+	rxview.ObservePublish(d)
+}
+
 // Stats describes the serving layer: the published epoch's view statistics
 // plus the engine's counters.
 type Stats struct {
@@ -694,6 +763,10 @@ type Stats struct {
 	WritesShed uint64 `json:"writes_shed"`
 	Degraded   bool   `json:"degraded"`
 	Recoveries uint64 `json:"recoveries"`
+	// ReadOnly marks a follower engine; Primary is the address its refused
+	// writes advertise (HTTP 421).
+	ReadOnly bool   `json:"read_only,omitempty"`
+	Primary  string `json:"primary,omitempty"`
 	// QueryMemoHits / QueryMemoMisses count Engine.Query calls served from
 	// (respectively past) the per-epoch result memo.
 	QueryMemoHits   uint64 `json:"query_memo_hits"`
@@ -723,6 +796,8 @@ func (e *Engine) Stats() Stats {
 		WritesShed:       e.met.shed.Value(),
 		Degraded:         e.Degraded(),
 		Recoveries:       e.met.recoveries.Value(),
+		ReadOnly:         e.Primary() != "",
+		Primary:          e.Primary(),
 		QueryMemoHits:    e.met.memoHits.Value(),
 		QueryMemoMisses:  e.met.memoMisses.Value(),
 		PathCacheHits:    pcHits,

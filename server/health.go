@@ -15,6 +15,7 @@ package server
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,9 @@ type Gate struct {
 }
 
 type gateBackend struct {
-	h http.Handler
-	e *Engine
+	h      http.Handler
+	e      *Engine
+	follow func() FollowStatus
 }
 
 // NewGate returns a gate in the not-ready state; state names the startup
@@ -47,11 +49,15 @@ func (g *Gate) SetState(state string) { g.state.Store(&state) }
 // State returns the current startup phase: "ready" once SetReady ran —
 // or "degraded" when the attached engine's view has flipped read-only
 // after a disk failure (reads keep serving; the recovery prober restores
-// "ready" automatically).
+// "ready" automatically), or "following" on a follower node that has not
+// yet closed to within the follow watermark of its primary.
 func (g *Gate) State() string {
 	if b := g.ready.Load(); b != nil {
 		if b.e != nil && b.e.Degraded() {
 			return "degraded"
+		}
+		if b.follow != nil && !b.follow().Following {
+			return "following"
 		}
 		return "ready"
 	}
@@ -61,7 +67,7 @@ func (g *Gate) State() string {
 // SetReady attaches the engine and opens the gate: from here on every
 // request is served by NewHandler(e, opts).
 func (g *Gate) SetReady(e *Engine, opts HandlerOptions) {
-	g.ready.Store(&gateBackend{h: NewHandler(e, opts), e: e})
+	g.ready.Store(&gateBackend{h: NewHandler(e, opts), e: e, follow: opts.Follow})
 }
 
 // engine returns the attached engine, or nil before SetReady.
@@ -97,21 +103,45 @@ func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // probes while its view is still loading: start ServeGated first, open the
 // view, then Gate.SetReady.
 func ServeGated(ctx context.Context, addr string, g *Gate) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           g,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	closeEngine := func() {
+	return ServeHandler(ctx, addr, g, func() {
 		if e := g.engine(); e != nil {
 			e.Close()
 		}
+	})
+}
+
+// ServeHandler runs any handler — a Gate, a multi-tenant Registry — on addr
+// until ctx is canceled, then shuts down gracefully (draining in-flight
+// requests) and calls shutdown (nil ok) to release whatever the handler
+// owns: the caller decides whether that is one engine or a fleet of them.
+func ServeHandler(ctx context.Context, addr string, h http.Handler, shutdown func()) error {
+	// Long-poll handlers (/repl/stream) hold their connections active for
+	// the whole poll window, which would make every graceful Shutdown of a
+	// primary with connected followers wait out the full drain timeout.
+	// Deriving request contexts from a root canceled by RegisterOnShutdown
+	// ends those polls the moment draining starts — a canceled poll is a
+	// normal stream end, and the follower resumes against the next primary
+	// address it is given. Point requests see the same cancellation but
+	// only at their blocking points; a write canceled in-queue reports
+	// context.Canceled without being applied, per the engine's contract.
+	//lint:ignore xviewlint/ctxflow the connection root must outlive the serve ctx: requests drain after it is canceled
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return connCtx },
+	}
+	srv.RegisterOnShutdown(connCancel)
+	if shutdown == nil {
+		shutdown = func() {}
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		closeEngine()
+		shutdown()
 		return err
 	case <-ctx.Done():
 	}
@@ -119,7 +149,7 @@ func ServeGated(ctx context.Context, addr string, g *Gate) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutCtx)
-	closeEngine()
+	shutdown()
 	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
 		err = serveErr
 	}

@@ -28,6 +28,25 @@ type HandlerOptions struct {
 	// /healthz answers 503 so load balancers drain the node for the stall;
 	// /livez is unaffected.
 	Checkpointing func() bool
+	// Repl, when non-nil, serves the primary-side replication endpoints:
+	// GET /repl/checkpoint (the newest sealed checkpoint, octet-stream,
+	// generation in X-Xview-Generation), GET /repl/stream?from=G (framed
+	// commit records of generations > G, chunked; 410 when G predates the
+	// retained log) and GET /repl/info.
+	Repl *rxview.ReplSource
+	// StreamWindow bounds how long one caught-up /repl/stream poll is held
+	// open waiting for new commits before recycling. Zero means 25s.
+	StreamWindow time.Duration
+	// Follow, when non-nil, marks a follower node (server.Replica.Status):
+	// /healthz reports "following" (503) until the lag is inside the follow
+	// watermark, and GET /repl/info reports the follower's position.
+	Follow func() FollowStatus
+	// PrivateMetricsOnly restricts /metrics and /debug/vars to the engine's
+	// own registry, excluding the process-wide obs.Default families. The
+	// multi-tenant Registry sets it so one view's scrape never shows another
+	// view's traffic; the process-wide families stay available at the
+	// registry's top-level /metrics.
+	PrivateMetricsOnly bool
 }
 
 // NewHandler exposes an Engine over HTTP/JSON:
@@ -72,6 +91,13 @@ func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /debug/vars", h.debugVars)
 	mux.HandleFunc("GET /debug/slow", h.debugSlow)
+	if opts.Repl != nil {
+		mux.HandleFunc("GET /repl/checkpoint", h.replCheckpoint)
+		mux.HandleFunc("GET /repl/stream", h.replStream)
+	}
+	if opts.Repl != nil || opts.Follow != nil {
+		mux.HandleFunc("GET /repl/info", h.replInfo)
+	}
 	return mux
 }
 
@@ -117,6 +143,10 @@ type errorResponse struct {
 	// RetryAfterMS accompanies 429 responses: the estimated queue drain
 	// time in milliseconds — the Retry-After header at sub-second grain.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Primary accompanies 421 responses from a read-only follower: the
+	// advertised primary address to re-aim the write at (also in the
+	// X-Xview-Primary header).
+	Primary string `json:"primary,omitempty"`
 }
 
 // statusOf maps the public error taxonomy onto HTTP statuses.
@@ -130,6 +160,10 @@ func statusOf(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrReadOnlyReplica):
+		// The write reached a follower: 421 tells the client this node will
+		// never serve it; the response advertises the primary to re-aim at.
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, rxview.ErrDegraded):
 		// Writes are refused while degraded; reads keep serving. 503 tells
 		// the balancer to route writes elsewhere, and the recovery prober
@@ -157,6 +191,11 @@ func writeError(w http.ResponseWriter, status int, err error, reps []*rxview.Rep
 		if out.RetryAfterMS == 0 {
 			out.RetryAfterMS = 1
 		}
+	}
+	var ro *ReadOnlyReplicaError
+	if errors.As(err, &ro) && ro.Primary != "" {
+		w.Header().Set("X-Xview-Primary", ro.Primary)
+		out.Primary = ro.Primary
 	}
 	writeJSON(w, status, out)
 }
@@ -407,6 +446,9 @@ type healthResponse struct {
 	State      string `json:"state"`
 	Generation uint64 `json:"generation,omitempty"`
 	QueueDepth int64  `json:"queue_depth,omitempty"`
+	// Lag is reported on followers: generations behind the primary's
+	// durable watermark at probe time.
+	Lag uint64 `json:"lag,omitempty"`
 }
 
 type livenessResponse struct {
@@ -437,6 +479,17 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		out.OK, out.State = false, "degraded"
 		status = http.StatusServiceUnavailable
 	}
+	if h.opts.Follow != nil {
+		// Follower readiness: serve reads only once the replica has restored
+		// a checkpoint and closed to within the follow watermark — a balancer
+		// should not route to a node still pages behind the primary.
+		st := h.opts.Follow()
+		out.Lag = st.Lag
+		if !st.Following {
+			out.OK, out.State = false, "following"
+			status = http.StatusServiceUnavailable
+		}
+	}
 	writeJSON(w, status, out)
 }
 
@@ -451,14 +504,24 @@ func (h *handler) livez(w http.ResponseWriter, r *http.Request) {
 // never called from the hot path.
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = obs.WritePrometheus(w, h.e.Metrics(), obs.Default())
+	_ = obs.WritePrometheus(w, h.registries()...)
 }
 
 // debugVars is the same gather as /metrics rendered as one JSON object —
 // for humans with curl and jq, not for scrapers.
 func (h *handler) debugVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = obs.WriteVars(w, h.e.Metrics(), obs.Default())
+	_ = obs.WriteVars(w, h.registries()...)
+}
+
+// registries picks the scrape set: the engine's private registry, plus the
+// process-wide families unless this handler is metric-isolated (one view of
+// a multi-tenant Registry).
+func (h *handler) registries() []*obs.Registry {
+	if h.opts.PrivateMetricsOnly {
+		return []*obs.Registry{h.e.Metrics()}
+	}
+	return []*obs.Registry{h.e.Metrics(), obs.Default()}
 }
 
 type slowResponse struct {
@@ -480,6 +543,101 @@ func (h *handler) debugSlow(w http.ResponseWriter, r *http.Request) {
 		Dropped:     dropped,
 		Entries:     entries,
 	})
+}
+
+// replCheckpoint serves the newest sealed checkpoint verbatim — the bytes a
+// follower feeds to rxview.Replica.Restore. The generation the checkpoint
+// seals rides in X-Xview-Generation and the primary's durable watermark in
+// X-Xview-Durable, so one fetch tells the follower both where it will start
+// and how far behind that start already is.
+func (h *handler) replCheckpoint(w http.ResponseWriter, r *http.Request) {
+	gen, state, err := h.opts.Repl.CheckpointBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Xview-Generation", strconv.FormatUint(gen, 10))
+	w.Header().Set("X-Xview-Durable", strconv.FormatUint(h.opts.Repl.Generation(), 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(state)))
+	_, _ = w.Write(state)
+}
+
+// replStream long-polls the change log: every commit record with generation
+// > from is written as one CRC-framed chunk and flushed immediately, so a
+// caught-up follower sees new commits at commit latency. A poll that stays
+// idle for the stream window ends with a clean empty 200 — the follower
+// reads EOF and reconnects, which bounds how long a dead peer can pin the
+// connection. A from that predates the retained log answers 410 Gone: the
+// follower must re-fetch /repl/checkpoint.
+func (h *handler) replStream(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing from=%q: %w", s, err), nil)
+			return
+		}
+		from = v
+	}
+	window := h.opts.StreamWindow
+	if window <= 0 {
+		window = 25 * time.Second
+	}
+	w.Header().Set("X-Xview-Durable", strconv.FormatUint(h.opts.Repl.Generation(), 10))
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	err := h.opts.Repl.Stream(r.Context(), from, window, func(_ uint64, frame []byte) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		// Either frames were streamed or the window elapsed idle; both end
+		// the response cleanly and the follower polls again.
+	case wrote:
+		// Mid-stream failure (peer gone, emit error): the frames already on
+		// the wire are CRC-framed and self-delimiting, so just drop the
+		// connection — the follower resumes from its last applied generation.
+	case errors.Is(err, rxview.ErrReplicaStale):
+		writeError(w, http.StatusGone, err, nil)
+	default:
+		writeError(w, statusOf(err), err, nil)
+	}
+}
+
+// replInfo reports this node's replication position — the endpoint behind
+// `xviewctl repl status`. Primaries answer role "primary" with the durable
+// watermark and the oldest streamable generation; followers answer role
+// "follower" with the full FollowStatus.
+func (h *handler) replInfo(w http.ResponseWriter, r *http.Request) {
+	if h.opts.Follow != nil {
+		writeJSON(w, http.StatusOK, struct {
+			Role string `json:"role"`
+			FollowStatus
+		}{Role: "follower", FollowStatus: h.opts.Follow()})
+		return
+	}
+	oldest, err := h.opts.Repl.Oldest()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Role       string `json:"role"`
+		Generation uint64 `json:"generation"`
+		Oldest     uint64 `json:"oldest"`
+	}{Role: "primary", Generation: h.opts.Repl.Generation(), Oldest: oldest})
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled, then

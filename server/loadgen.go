@@ -26,6 +26,16 @@ type LoadGen struct {
 	// (ErrDegraded, unapplied) verdict — both are transient by contract.
 	// Default 4; negative disables retrying.
 	MaxRetries int
+	// Engines, when non-empty, spreads the readers across several engines —
+	// a primary plus its followers, or many tenant views — with reader i
+	// pinned to Engines[i%len(Engines)]. The writer still targets Engine.
+	Engines []*Engine
+	// Lookup resolves a 421 redirect: when the write target refuses with
+	// ReadOnlyReplicaError (it is a follower), Lookup maps the advertised
+	// primary address onto an engine to retry against — at most one redirect
+	// per update, mirroring a client that re-aims once and otherwise gives
+	// up. Nil disables redirect following.
+	Lookup func(primary string) *Engine
 }
 
 // LoadResult summarizes one load run. Latency percentiles come from obs
@@ -36,11 +46,12 @@ type LoadResult struct {
 	Readers   int     `json:"readers"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Reads     int64   `json:"reads"`
-	Writes    int64   `json:"writes"`   // applied by the background writer
-	Rejected  int64   `json:"rejected"` // writer submissions that errored
-	Retries   int64   `json:"retries"`  // writer retries after shed/degraded verdicts
-	QPS       float64 `json:"qps"`      // aggregate reads per second
-	P50NS     int64   `json:"p50_ns"`   // median read latency
+	Writes    int64   `json:"writes"`    // applied by the background writer
+	Rejected  int64   `json:"rejected"`  // writer submissions that errored
+	Retries   int64   `json:"retries"`   // writer retries after shed/degraded verdicts
+	Redirects int64   `json:"redirects"` // writer 421s followed to the advertised primary
+	QPS       float64 `json:"qps"`       // aggregate reads per second
+	P50NS     int64   `json:"p50_ns"`    // median read latency
 	P95NS     int64   `json:"p95_ns"`
 	P99NS     int64   `json:"p99_ns"`
 	WP50NS    int64   `json:"write_p50_ns"` // median applied-write latency
@@ -69,12 +80,13 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		"Per-applied-update latency observed by the load generator's writer.", obs.LatencyBounds())
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		writes   int64
-		rejected int64
-		retries  int64
-		firstErr error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		writes    int64
+		rejected  int64
+		retries   int64
+		redirects int64
+		firstErr  error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -85,15 +97,21 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		cancel()
 	}
 
+	targets := lg.Engines
+	if len(targets) == 0 {
+		targets = []*Engine{lg.Engine}
+	}
+
 	start := time.Now()
 	for i := 0; i < lg.Readers; i++ {
 		wg.Add(1)
 		go func(reader int) {
 			defer wg.Done()
+			e := targets[reader%len(targets)]
 			for n := 0; runCtx.Err() == nil; n++ {
 				path := lg.Paths[(reader+n)%len(lg.Paths)]
 				t0 := time.Now()
-				if _, err := lg.Engine.Query(runCtx, path); err != nil {
+				if _, err := e.Query(runCtx, path); err != nil {
 					// The run deadline can expire mid-query; that ends the
 					// loop, it is not a reader failure.
 					if !isCtxErr(err) {
@@ -114,13 +132,14 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 			for n := 0; runCtx.Err() == nil; n++ {
 				u := lg.Updates[n%len(lg.Updates)]
 				t0 := time.Now()
-				rep, err, tries := lg.applyWithRetry(runCtx, u)
+				rep, err, tries, redir := lg.applyWithRetry(runCtx, u)
 				applied := err == nil && rep != nil && rep.Applied
 				if applied {
 					writeH.RecordValue(time.Since(t0).Seconds())
 				}
 				mu.Lock()
 				retries += tries
+				redirects += redir
 				switch {
 				case err != nil && !isCtxErr(err) && !errors.Is(err, ErrClosed):
 					rejected++
@@ -152,6 +171,7 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 		Writes:    writes,
 		Rejected:  rejected,
 		Retries:   retries,
+		Redirects: redirects,
 		P50NS:     nsQuantile(rs, 0.50),
 		P95NS:     nsQuantile(rs, 0.95),
 		P99NS:     nsQuantile(rs, 0.99),
@@ -173,22 +193,37 @@ func (lg LoadGen) Run(ctx context.Context) (LoadResult, error) {
 // front. An indeterminate Applied-true verdict is never retried: the
 // write is already in memory, and a retry would double-apply it. An
 // OverloadedError's RetryAfter estimate is honored as the backoff floor.
-func (lg LoadGen) applyWithRetry(ctx context.Context, u rxview.Update) (*rxview.Report, error, int64) {
+//
+// A 421 verdict — the target is a read-only follower — is not a retry but
+// a redirect: when Lookup resolves the advertised primary, the update is
+// re-aimed there immediately (no backoff, the write never entered a queue)
+// without consuming an attempt, at most once per update.
+func (lg LoadGen) applyWithRetry(ctx context.Context, u rxview.Update) (*rxview.Report, error, int64, int64) {
 	max := lg.MaxRetries
 	if max == 0 {
 		max = 4
 	}
 	backoff := time.Millisecond
-	var tries int64
+	target := lg.Engine
+	var tries, redirects int64
 	for attempt := 0; ; attempt++ {
-		rep, err := lg.Engine.Update(ctx, u)
+		rep, err := target.Update(ctx, u)
+		var ro *ReadOnlyReplicaError
+		if err != nil && errors.As(err, &ro) && lg.Lookup != nil && redirects == 0 {
+			if p := lg.Lookup(ro.Primary); p != nil {
+				target = p
+				redirects++
+				attempt--
+				continue
+			}
+		}
 		if err == nil || attempt >= max ||
 			(!errors.Is(err, ErrOverloaded) && !errors.Is(err, rxview.ErrDegraded)) {
-			return rep, err, tries
+			return rep, err, tries, redirects
 		}
 		var de *rxview.DegradedError
 		if errors.As(err, &de) && de.Applied {
-			return rep, err, tries
+			return rep, err, tries, redirects
 		}
 		d := backoff
 		var oe *OverloadedError
@@ -200,7 +235,7 @@ func (lg LoadGen) applyWithRetry(ctx context.Context, u rxview.Update) (*rxview.
 		case <-time.After(jitter(d)):
 		case <-ctx.Done():
 			// Report the last serving verdict, not the run's own deadline.
-			return rep, err, tries
+			return rep, err, tries, redirects
 		}
 		backoff *= 2
 	}

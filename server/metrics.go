@@ -36,8 +36,15 @@ type engineMetrics struct {
 	probes     *obs.Counter
 	recoveries *obs.Counter
 
+	// Follower families: zero on primary engines, recorded by the follow
+	// loop on replicas (see replica.go).
+	followRecs       *obs.Counter
+	followResyncs    *obs.Counter
+	followReconnects *obs.Counter
+
 	depth     *obs.Gauge // queued, not yet picked up by the loop
 	degradedG *obs.Gauge // 1 while the view is degraded (read-only)
+	followLag *obs.Gauge // follower generations behind the primary's durable watermark
 
 	queryDur   *obs.Histogram
 	publishDur *obs.Histogram
@@ -78,10 +85,18 @@ func newEngineMetrics() engineMetrics {
 			"Degraded-mode recovery attempts executed by the apply loop."),
 		recoveries: r.NewCounter("xview_engine_recoveries_total",
 			"Successful degraded-to-read-write transitions."),
+		followRecs: r.NewCounter("xview_follower_records_total",
+			"Streamed commit records this follower applied."),
+		followResyncs: r.NewCounter("xview_follower_resyncs_total",
+			"Checkpoint re-fetches after a pruned or gapped stream."),
+		followReconnects: r.NewCounter("xview_follower_reconnects_total",
+			"Stream reconnects after a transport failure (clean long-poll recycles excluded)."),
 		depth: r.NewGauge("xview_engine_queue_depth",
 			"Write submissions queued for the apply loop."),
 		degradedG: r.NewGauge("xview_engine_degraded",
 			"1 while the view is degraded (read-only after a disk failure), else 0."),
+		followLag: r.NewGauge("xview_follower_lag",
+			"Generations between this follower and the primary's durable watermark (0 on primaries)."),
 		queryDur: r.NewHistogram("xview_engine_query_seconds",
 			"Engine.Query evaluation latency past the result memo (memo hits are counter-only: timing them would dominate their cost).",
 			obs.LatencyBounds()),
